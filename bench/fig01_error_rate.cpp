@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 1: relative component error rate under 8% degradation per bit
+ * per technology generation (Borkar's model the paper cites).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "fault/injector.hh"
+
+int
+main()
+{
+    using namespace acr;
+
+    std::cout << "Figure 1: relative component error rate "
+                 "(8% degradation/bit/generation)\n\n";
+
+    Table table({"generation", "relative error rate"});
+    for (unsigned g = 0; g <= 9; ++g) {
+        table.row()
+            .cell(static_cast<long long>(g))
+            .cell(fault::relativeErrorRate(g), 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNine generations of scaling roughly double the "
+                 "component error rate ("
+              << fault::relativeErrorRate(9)
+              << "x), motivating more frequent checkpointing (Sec. I).\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 6: % execution-time overhead of checkpointing and recovery.
+ *
+ * For every benchmark, the four bars of the paper's figure: Ckpt_NE,
+ * Ckpt_E, ReCkpt_NE, ReCkpt_E — all normalized to NoCkpt — followed by
+ * the overhead-reduction summaries the paper quotes in Sec. V-A/V-B
+ * (ReCkpt_NE vs Ckpt_NE: up to 28.81% for is, 11.92% on average;
+ * ReCkpt_E vs Ckpt_E: up to 26.68% for is, 12.39% on average).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace acr;
+    using namespace acr::bench;
+    using harness::BerMode;
+
+    harness::Runner runner(kDefaultThreads);
+
+    std::cout << "Figure 6: execution time overhead of checkpointing "
+                 "and recovery (% vs NoCkpt)\n"
+              << kDefaultThreads << " threads, " << kDefaultCheckpoints
+              << " checkpoints, 1 error in the _E configurations\n\n";
+
+    Table table({"bench", "Ckpt_NE", "Ckpt_E", "ReCkpt_NE", "ReCkpt_E",
+                 "NE red.%", "E red.%"});
+    Summary ne_reduction, e_reduction;
+
+    for (const auto &name : workloads::allWorkloadNames()) {
+        const auto &base = runner.noCkpt(name);
+        auto ckpt_ne = runner.run(name, makeConfig(BerMode::kCkpt));
+        auto ckpt_e = runner.run(name, makeConfig(BerMode::kCkpt, 1));
+        auto reckpt_ne = runner.run(name, makeConfig(BerMode::kReCkpt));
+        auto reckpt_e = runner.run(name, makeConfig(BerMode::kReCkpt, 1));
+
+        double o_ckpt_ne = ckpt_ne.timeOverheadPct(base.cycles);
+        double o_ckpt_e = ckpt_e.timeOverheadPct(base.cycles);
+        double o_reckpt_ne = reckpt_ne.timeOverheadPct(base.cycles);
+        double o_reckpt_e = reckpt_e.timeOverheadPct(base.cycles);
+
+        double ne_red = reductionPct(o_ckpt_ne, o_reckpt_ne);
+        double e_red = reductionPct(o_ckpt_e, o_reckpt_e);
+        ne_reduction.add(name, ne_red);
+        e_reduction.add(name, e_red);
+
+        table.row()
+            .cell(name)
+            .cell(o_ckpt_ne)
+            .cell(o_ckpt_e)
+            .cell(o_reckpt_ne)
+            .cell(o_reckpt_e)
+            .cell(ne_red)
+            .cell(e_red);
+    }
+    table.print(std::cout);
+
+    std::cout << "\n";
+    ne_reduction.print(std::cout,
+                       "ReCkpt_NE reduces Ckpt_NE's time overhead");
+    e_reduction.print(std::cout,
+                      "ReCkpt_E reduces Ckpt_E's time overhead");
+    std::cout << "(paper: up to 28.81% / 11.92% avg error-free; up to "
+                 "26.68% / 12.39% avg with an error)\n";
+    return 0;
+}

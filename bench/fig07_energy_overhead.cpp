@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 7: % energy overhead of checkpointing and recovery, normalized
+ * to NoCkpt, with the Sec. V-A/V-B reduction summaries (paper: ReCkpt_NE
+ * up to 26.93% for is, 12.53% avg; ReCkpt_E up to 30% for dc, 13.47%
+ * avg).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace acr;
+    using namespace acr::bench;
+    using harness::BerMode;
+
+    harness::Runner runner(kDefaultThreads);
+
+    std::cout << "Figure 7: energy overhead of checkpointing and "
+                 "recovery (% vs NoCkpt)\n\n";
+
+    Table table({"bench", "Ckpt_NE", "Ckpt_E", "ReCkpt_NE", "ReCkpt_E",
+                 "NE red.%", "E red.%"});
+    Summary ne_reduction, e_reduction;
+
+    for (const auto &name : workloads::allWorkloadNames()) {
+        const auto &base = runner.noCkpt(name);
+        auto ckpt_ne = runner.run(name, makeConfig(BerMode::kCkpt));
+        auto ckpt_e = runner.run(name, makeConfig(BerMode::kCkpt, 1));
+        auto reckpt_ne = runner.run(name, makeConfig(BerMode::kReCkpt));
+        auto reckpt_e = runner.run(name, makeConfig(BerMode::kReCkpt, 1));
+
+        double o_ckpt_ne = ckpt_ne.energyOverheadPct(base.energyPj);
+        double o_ckpt_e = ckpt_e.energyOverheadPct(base.energyPj);
+        double o_reckpt_ne = reckpt_ne.energyOverheadPct(base.energyPj);
+        double o_reckpt_e = reckpt_e.energyOverheadPct(base.energyPj);
+
+        double ne_red = reductionPct(o_ckpt_ne, o_reckpt_ne);
+        double e_red = reductionPct(o_ckpt_e, o_reckpt_e);
+        ne_reduction.add(name, ne_red);
+        e_reduction.add(name, e_red);
+
+        table.row()
+            .cell(name)
+            .cell(o_ckpt_ne)
+            .cell(o_ckpt_e)
+            .cell(o_reckpt_ne)
+            .cell(o_reckpt_e)
+            .cell(ne_red)
+            .cell(e_red);
+    }
+    table.print(std::cout);
+
+    std::cout << "\n";
+    ne_reduction.print(std::cout,
+                       "ReCkpt_NE reduces Ckpt_NE's energy overhead");
+    e_reduction.print(std::cout,
+                      "ReCkpt_E reduces Ckpt_E's energy overhead");
+    std::cout << "(paper: up to 26.93% / 12.53% avg error-free; up to "
+                 "30% / 13.47% avg with an error)\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 8: % reduction of energy-delay product under ReCkpt_NE and
+ * ReCkpt_E w.r.t. Ckpt_NE and Ckpt_E respectively (paper: up to 47.98%
+ * for is / 22.47% avg error-free, up to 48.07% for dc / 23.41% avg with
+ * an error).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace acr;
+    using namespace acr::bench;
+    using harness::BerMode;
+
+    harness::Runner runner(kDefaultThreads);
+
+    std::cout << "Figure 8: EDP reduction of ReCkpt_{NE,E} w.r.t. "
+                 "Ckpt_{NE,E} (%)\n\n";
+
+    Table table({"bench", "EDP red. NE %", "EDP red. E %"});
+    Summary ne_reduction, e_reduction;
+
+    for (const auto &name : workloads::allWorkloadNames()) {
+        auto ckpt_ne = runner.run(name, makeConfig(BerMode::kCkpt));
+        auto ckpt_e = runner.run(name, makeConfig(BerMode::kCkpt, 1));
+        auto reckpt_ne = runner.run(name, makeConfig(BerMode::kReCkpt));
+        auto reckpt_e = runner.run(name, makeConfig(BerMode::kReCkpt, 1));
+
+        double ne_red = reckpt_ne.edpReductionPct(ckpt_ne.edp);
+        double e_red = reckpt_e.edpReductionPct(ckpt_e.edp);
+        ne_reduction.add(name, ne_red);
+        e_reduction.add(name, e_red);
+        table.row().cell(name).cell(ne_red).cell(e_red);
+    }
+    table.print(std::cout);
+
+    std::cout << "\n";
+    ne_reduction.print(std::cout, "ReCkpt_NE EDP reduction");
+    e_reduction.print(std::cout, "ReCkpt_E EDP reduction");
+    std::cout << "(paper: up to 47.98% / 22.47% avg error-free; up to "
+                 "48.07% / 23.41% avg with an error)\n";
+    return 0;
+}

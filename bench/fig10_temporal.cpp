@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 10: per-interval checkpoint-size reduction over time for bt at
+ * thresholds {10, 20, 30, 40, 50}. The paper's point: recomputable
+ * values are not uniformly distributed across intervals, so some
+ * checkpoints shrink far more than others — the opportunity the
+ * recompute-aware placement ablation exploits.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace acr;
+    using namespace acr::bench;
+    using harness::BerMode;
+
+    harness::Runner runner(kDefaultThreads);
+    const std::vector<unsigned> thresholds = {10, 20, 30, 40, 50};
+    const std::string name = "bt";
+
+    std::cout << "Figure 10: impact of Slice length on checkpoint size "
+                 "over time for bt (% reduction per interval)\n\n";
+
+    auto baseline = runner.run(name, makeConfig(BerMode::kCkpt));
+
+    std::vector<harness::ExperimentResult> results;
+    for (unsigned threshold : thresholds) {
+        auto cfg = makeConfig(BerMode::kReCkpt);
+        cfg.sliceThreshold = threshold;
+        results.push_back(runner.run(name, cfg));
+    }
+
+    std::vector<std::string> headers = {"interval", "base KB"};
+    for (unsigned t : thresholds)
+        headers.push_back(csprintf("thr %u", t));
+    Table table(headers);
+
+    std::size_t intervals = baseline.history.size();
+    for (const auto &r : results)
+        intervals = std::min(intervals, r.history.size());
+
+    for (std::size_t i = 0; i < intervals; ++i) {
+        table.row()
+            .cell(static_cast<long long>(i + 1))
+            .cell(static_cast<double>(
+                      baseline.history[i].storedBytes()) /
+                  1024.0);
+        for (const auto &r : results) {
+            table.cell(reductionPct(
+                static_cast<double>(baseline.history[i].storedBytes()),
+                static_cast<double>(r.history[i].storedBytes())));
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNote the burst interval in the middle of the run: "
+                 "its reduction depends strongly on the threshold, "
+                 "reproducing the temporal variation of Fig. 10.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 11 (and the Sec. V-D2 EDP numbers): % execution-time overhead
+ * of Ckpt_E and ReCkpt_E w.r.t. NoCkpt for 1..5 uniformly distributed
+ * errors. Paper: overheads grow with the error count; ReCkpt_E tracks
+ * below Ckpt_E throughout, with time-overhead reductions of ~9-12% on
+ * average and EDP reductions of ~18-24%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace acr;
+    using namespace acr::bench;
+    using harness::BerMode;
+
+    harness::Runner runner(kDefaultThreads);
+
+    std::cout << "Figure 11: time overhead (% vs NoCkpt) under "
+                 "increasing error counts\n\n";
+
+    for (unsigned errors = 1; errors <= 5; ++errors) {
+        Table table({"bench", "Ckpt_E %", "ReCkpt_E %", "time red. %",
+                     "EDP red. %"});
+        Summary time_red, edp_red;
+        for (const auto &name : workloads::allWorkloadNames()) {
+            const auto &base = runner.noCkpt(name);
+            auto ckpt = runner.run(name,
+                                   makeConfig(BerMode::kCkpt, errors));
+            auto reckpt =
+                runner.run(name, makeConfig(BerMode::kReCkpt, errors));
+
+            double o_ckpt = ckpt.timeOverheadPct(base.cycles);
+            double o_reckpt = reckpt.timeOverheadPct(base.cycles);
+            double t_red = reductionPct(o_ckpt, o_reckpt);
+            double e_red = reckpt.edpReductionPct(ckpt.edp);
+            time_red.add(name, t_red);
+            edp_red.add(name, e_red);
+
+            table.row()
+                .cell(name)
+                .cell(o_ckpt)
+                .cell(o_reckpt)
+                .cell(t_red)
+                .cell(e_red);
+        }
+        std::cout << "--- " << errors << " error(s) ---\n";
+        table.print(std::cout);
+        time_red.print(std::cout, "time overhead reduction");
+        edp_red.print(std::cout, "EDP reduction");
+        std::cout << "\n";
+    }
+
+    std::cout << "(paper: time reduction up to 26.68% at 1 error down "
+                 "to 19.92% at 5; avg 9-12%; EDP reduction avg "
+                 "18-24%)\n";
+    return 0;
+}

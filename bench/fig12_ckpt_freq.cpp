@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 12 (Sec. V-D3): % execution-time overhead of Ckpt_NE and
+ * ReCkpt_NE w.r.t. NoCkpt at 25/50/75/100 checkpoints. Paper: overhead
+ * grows with checkpoint count (ft worst), ReCkpt_NE tracks below
+ * Ckpt_NE with reductions of ~10-14% on average (up to 50.86% for is
+ * at 75 checkpoints), and EDP reductions of ~20-26%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace acr;
+    using namespace acr::bench;
+    using harness::BerMode;
+
+    harness::Runner runner(kDefaultThreads);
+
+    std::cout << "Figure 12: time overhead (% vs NoCkpt) under "
+                 "increasing checkpoint counts\n\n";
+
+    for (unsigned checkpoints : {25u, 50u, 75u, 100u}) {
+        Table table({"bench", "Ckpt_NE %", "ReCkpt_NE %", "time red. %",
+                     "EDP red. %"});
+        Summary time_red, edp_red;
+        for (const auto &name : workloads::allWorkloadNames()) {
+            const auto &base = runner.noCkpt(name);
+            auto ckpt = runner.run(
+                name, makeConfig(BerMode::kCkpt, 0,
+                                 ckpt::Coordination::kGlobal,
+                                 checkpoints));
+            auto reckpt = runner.run(
+                name, makeConfig(BerMode::kReCkpt, 0,
+                                 ckpt::Coordination::kGlobal,
+                                 checkpoints));
+
+            double o_ckpt = ckpt.timeOverheadPct(base.cycles);
+            double o_reckpt = reckpt.timeOverheadPct(base.cycles);
+            double t_red = reductionPct(o_ckpt, o_reckpt);
+            double e_red = reckpt.edpReductionPct(ckpt.edp);
+            time_red.add(name, t_red);
+            edp_red.add(name, e_red);
+
+            table.row()
+                .cell(name)
+                .cell(o_ckpt)
+                .cell(o_reckpt)
+                .cell(t_red)
+                .cell(e_red);
+        }
+        std::cout << "--- " << checkpoints << " checkpoints ---\n";
+        table.print(std::cout);
+        time_red.print(std::cout, "time overhead reduction");
+        edp_red.print(std::cout, "EDP reduction");
+        std::cout << "\n";
+    }
+
+    std::cout << "(paper: reductions up to 28.81%/25.3%/50.86%/43.52% "
+                 "at 25/50/75/100 checkpoints, avg 10-14%)\n";
+    return 0;
+}

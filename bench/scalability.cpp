@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sec. V-D4 scalability study: checkpointing overhead and ACR's
+ * reductions at 8/16/32 threads (one thread per core). Paper: the
+ * checkpointing overhead always exceeds 9% and averages ~45%/55%/60%
+ * at 8/16/32 threads; ReCkpt_NE reduces it by up to 28.81% (is, 8t),
+ * 17.78% (is, 16t) and 19.12% (mg, 32t), with EDP reductions up to
+ * 47.98%/31.81%/33.8%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace acr;
+    using namespace acr::bench;
+    using harness::BerMode;
+
+    std::cout << "Scalability (Sec. V-D4): checkpoint overhead and ACR "
+                 "reductions at 8/16/32 threads\n\n";
+
+    for (unsigned threads : {8u, 16u, 32u}) {
+        harness::Runner runner(threads);
+        Table table({"bench", "Ckpt_NE ovh %", "ReCkpt_NE ovh %",
+                     "time red. %", "EDP red. %"});
+        Summary time_red, edp_red;
+        double overhead_sum = 0;
+        double overhead_min = 1e300;
+
+        for (const auto &name : workloads::allWorkloadNames()) {
+            const auto &base = runner.noCkpt(name);
+            auto ckpt = runner.run(name, makeConfig(BerMode::kCkpt));
+            auto reckpt = runner.run(name, makeConfig(BerMode::kReCkpt));
+
+            double o_ckpt = ckpt.timeOverheadPct(base.cycles);
+            double o_reckpt = reckpt.timeOverheadPct(base.cycles);
+            overhead_sum += o_ckpt;
+            overhead_min = std::min(overhead_min, o_ckpt);
+            double t_red = reductionPct(o_ckpt, o_reckpt);
+            double e_red = reckpt.edpReductionPct(ckpt.edp);
+            time_red.add(name, t_red);
+            edp_red.add(name, e_red);
+
+            table.row()
+                .cell(name)
+                .cell(o_ckpt)
+                .cell(o_reckpt)
+                .cell(t_red)
+                .cell(e_red);
+        }
+
+        std::cout << "--- " << threads << " threads ---\n";
+        table.print(std::cout);
+        std::cout << "checkpointing overhead: min " << overhead_min
+                  << "%, avg "
+                  << overhead_sum /
+                         workloads::allWorkloadNames().size()
+                  << "%\n";
+        time_red.print(std::cout, "ReCkpt_NE overhead reduction");
+        edp_red.print(std::cout, "EDP reduction");
+        std::cout << "\n";
+    }
+
+    std::cout << "(paper: overhead >9% always, avg ~45/55/60% at "
+                 "8/16/32 threads; reductions up to 28.81/17.78/19.12%)"
+                 "\n";
+    return 0;
+}

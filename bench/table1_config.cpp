@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table I: the simulated architecture. Prints the machine configuration
+ * used by every experiment, in the paper's terms, plus the derived
+ * simulation parameters.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "sim/machine_config.hh"
+
+int
+main()
+{
+    using namespace acr;
+    using bench::kDefaultThreads;
+
+    auto config = sim::MachineConfig::tableI(kDefaultThreads);
+
+    std::cout << "Table I: simulated architecture\n\n";
+    Table table({"parameter", "value"});
+    table.row().cell("Technology node").cell("22nm (energy model)");
+    table.row().cell("Frequency").cell(
+        csprintf("%.2f GHz", config.frequencyHz / 1e9));
+    table.row().cell("Core").cell(
+        csprintf("%u-issue, in-order, mlp divisor %.1f",
+                 config.coreTiming.issueWidth,
+                 config.coreTiming.mlpFactor));
+    table.row().cell("L1-I (LRU)").cell(
+        csprintf("%zuKB, %u-way, %llu cycles",
+                 config.hierarchy.l1i.sizeBytes / 1024,
+                 config.hierarchy.l1i.ways,
+                 static_cast<unsigned long long>(
+                     config.hierarchy.l1i.latency)));
+    table.row().cell("L1-D (LRU, WB)").cell(
+        csprintf("%zuKB, %u-way, %llu cycles",
+                 config.hierarchy.l1d.sizeBytes / 1024,
+                 config.hierarchy.l1d.ways,
+                 static_cast<unsigned long long>(
+                     config.hierarchy.l1d.latency)));
+    table.row().cell("L2 (LRU, WB)").cell(
+        csprintf("%zuKB, %u-way, %llu cycles",
+                 config.hierarchy.l2.sizeBytes / 1024,
+                 config.hierarchy.l2.ways,
+                 static_cast<unsigned long long>(
+                     config.hierarchy.l2.latency)));
+    table.row().cell("Coherence").cell(
+        csprintf("directory-based, %llu-cycle remote actions",
+                 static_cast<unsigned long long>(
+                     config.hierarchy.coherenceLatency)));
+    table.row().cell("Main memory").cell(
+        csprintf("%llu cycles (~120ns), %.2f B/cycle/controller "
+                 "(~7.6 GB/s), %u controllers (1 per 4 cores)",
+                 static_cast<unsigned long long>(config.dram.latency),
+                 config.dram.bytesPerCycle, config.dram.controllers));
+    table.row().cell("Cores").cell(
+        csprintf("%u (8/16/32 in the scalability study)",
+                 config.numCores));
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * acrsim: the full command-line front end to the ACR library — pick a
+ * kernel (or sweep all), a BER mode, coordination, checkpoint cadence,
+ * error count, slice threshold/policy and thread count; get overheads,
+ * checkpoint-size accounting, per-interval history, raw statistics, or
+ * CSV for plotting.
+ *
+ *   ./build/examples/acrsim --workload=ft --mode=reckpt --errors=2
+ *   ./build/examples/acrsim --workload=all --csv
+ *   ./build/examples/acrsim --workload=is --dump-stats --history
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/table.hh"
+#include "harness/runner.hh"
+
+using namespace acr;
+
+namespace
+{
+
+harness::BerMode
+parseMode(const std::string &mode)
+{
+    if (mode == "nockpt")
+        return harness::BerMode::kNoCkpt;
+    if (mode == "ckpt")
+        return harness::BerMode::kCkpt;
+    if (mode == "reckpt")
+        return harness::BerMode::kReCkpt;
+    fatal("unknown --mode '%s' (nockpt|ckpt|reckpt)", mode.c_str());
+}
+
+void
+runOne(harness::Runner &runner, const std::string &workload,
+       const harness::ExperimentConfig &config, const OptionParser &opts,
+       Table &table)
+{
+    const auto &base = runner.noCkpt(workload);
+    auto result = config.mode == harness::BerMode::kNoCkpt
+                      ? runner.noCkpt(workload)
+                      : runner.run(workload, config);
+
+    table.row()
+        .cell(workload)
+        .cell(config.label())
+        .cell(static_cast<long long>(result.cycles))
+        .cell(result.timeOverheadPct(base.cycles))
+        .cell(result.energyOverheadPct(base.energyPj))
+        .cell(static_cast<long long>(result.checkpointsEstablished))
+        .cell(static_cast<long long>(result.recoveries))
+        .cell(static_cast<double>(result.ckptBytesStored) / 1024.0)
+        .cell(static_cast<double>(result.ckptBytesOmitted) / 1024.0);
+
+    if (opts.getFlag("history")) {
+        std::cout << "\nper-interval history for '" << workload
+                  << "' (" << config.label() << "):\n";
+        Table history({"interval", "records", "amnesic", "stored KB",
+                       "omitted KB", "flushed lines"});
+        for (const auto &interval : result.history) {
+            history.row()
+                .cell(static_cast<long long>(interval.interval))
+                .cell(static_cast<long long>(interval.records))
+                .cell(static_cast<long long>(interval.amnesicRecords))
+                .cell(static_cast<double>(interval.storedBytes()) /
+                      1024.0)
+                .cell(static_cast<double>(interval.omittedBytes) /
+                      1024.0)
+                .cell(static_cast<long long>(interval.flushedLines));
+        }
+        history.print(std::cout);
+        std::cout << "\n";
+    }
+
+    if (opts.getFlag("dump-stats")) {
+        std::cout << "\nraw statistics for '" << workload << "' ("
+                  << config.label() << "):\n";
+        result.stats.dump(std::cout);
+        std::cout << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("acrsim");
+    opts.addString("workload", "is",
+                   "bt|cg|dc|ft|is|lu|mg|sp, or 'all'");
+    opts.addString("mode", "reckpt", "nockpt|ckpt|reckpt");
+    opts.addString("coordination", "global", "global|local");
+    opts.addInt("threads", 8, "cores / SPMD threads (1..64)");
+    opts.addInt("scale", 1, "problem size multiplier");
+    opts.addInt("checkpoints", 25, "checkpoints over the run");
+    opts.addInt("errors", 0, "fail-stop errors, uniformly placed");
+    opts.addInt("threshold", 0,
+                "slice length threshold (0 = paper default per kernel)");
+    opts.addString("policy", "greedy", "greedy|cost slice selection");
+    opts.addString("placement", "uniform",
+                   "uniform|aware checkpoint placement");
+    opts.addInt("seed", 0xacce55, "error placement seed");
+    opts.addFlag("csv", "emit the summary as CSV");
+    opts.addFlag("history", "print per-interval checkpoint sizes");
+    opts.addFlag("dump-stats", "print the raw statistic set");
+    opts.addFlag("disassemble", "print the (hinted) program and exit");
+    opts.parse(argc, argv);
+
+    harness::Runner runner(
+        static_cast<unsigned>(opts.getInt("threads")),
+        static_cast<unsigned>(opts.getInt("scale")));
+
+    harness::ExperimentConfig config;
+    config.mode = parseMode(opts.getString("mode"));
+    config.coordination = opts.getString("coordination") == "local"
+                              ? ckpt::Coordination::kLocal
+                              : ckpt::Coordination::kGlobal;
+    config.numCheckpoints =
+        static_cast<unsigned>(opts.getInt("checkpoints"));
+    config.numErrors = static_cast<unsigned>(opts.getInt("errors"));
+    config.sliceThreshold =
+        static_cast<unsigned>(opts.getInt("threshold"));
+    config.policy = opts.getString("policy") == "cost"
+                        ? slice::SelectionPolicy::kCostModel
+                        : slice::SelectionPolicy::kGreedyThreshold;
+    config.placement = opts.getString("placement") == "aware"
+                           ? harness::PlacementPolicy::kRecomputeAware
+                           : harness::PlacementPolicy::kUniform;
+    config.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+
+    std::vector<std::string> names;
+    if (opts.getString("workload") == "all")
+        names = workloads::allWorkloadNames();
+    else
+        names.push_back(opts.getString("workload"));
+
+    if (opts.getFlag("disassemble")) {
+        for (const auto &name : names) {
+            unsigned threshold = config.sliceThreshold
+                                     ? config.sliceThreshold
+                                     : harness::Runner::defaultThreshold(
+                                           name);
+            runner.profileAt(name, threshold, config.policy)
+                .program.disassemble(std::cout);
+        }
+        return 0;
+    }
+
+    Table table({"workload", "config", "cycles", "time ovh %",
+                 "energy ovh %", "ckpts", "recoveries", "stored KB",
+                 "omitted KB"});
+    for (const auto &name : names)
+        runOne(runner, name, config, opts, table);
+
+    if (opts.getFlag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Writing a kernel with the expression DSL (frontend) instead of raw
+ * assembly, then running it through the full ACR pipeline: compiler
+ * pass, amnesic checkpointing, an injected error, verified recovery.
+ *
+ *   ./build/examples/dsl_kernel
+ */
+
+#include <iostream>
+
+#include "acr/slice_pass.hh"
+#include "frontend/function.hh"
+#include "harness/ber_runtime.hh"
+
+using namespace acr;
+using frontend::Expr;
+using frontend::Function;
+using frontend::Var;
+
+/** A little stencil kernel demonstrating the store classes ACR
+ *  distinguishes. Phase 1 (polynomial fill) hangs off the register-
+ *  resident loop counters, so its backward slice *grows with the
+ *  iteration count* — only early iterations fit under the threshold,
+ *  the paper's footnote-1 observation that loop unrolling depth bounds
+ *  Slices. Phase 2 (smoothing) roots in loads, whose values are
+ *  captured operands: a constant 2-op Slice every iteration. Phase 3
+ *  (compaction) is a pure copy — its backward slice is just a load, so
+ *  it is never recomputable. */
+static isa::Program
+makeKernel()
+{
+    Function f("dsl-stencil");
+    Var base = f.var(Expr(1 << 20) + (f.tid() << 14));
+
+    f.forRange(0, 12, [&](Expr t) {
+        // Phase 1: polynomial fill — arithmetic only.
+        f.forRange(0, 96, [&](Expr i) {
+            f.store(base.read() + i,
+                    (i * 2654435761ll + t * 40503ll) ^ 0x5a5all);
+        });
+        // Phase 2: neighbour smoothing — a 2-op Slice whose inputs are
+        // the two loaded neighbours.
+        f.forRange(1, 95, [&](Expr i) {
+            Expr left = f.load(base.read() + i - 1);
+            Expr right = f.load(base.read() + i + 1);
+            f.store(base.read() + 128 + i, (left + right) >> 1);
+        });
+        // Phase 3: compaction — a pure copy, never recomputable.
+        f.forRange(0, 48, [&](Expr i) {
+            f.store(base.read() + 256 + i,
+                    f.load(base.read() + 128 + i * 2));
+        });
+        f.barrier();
+    });
+    return f.build();
+}
+
+int
+main()
+{
+    auto machine = sim::MachineConfig::tableI(4);
+    isa::Program program = makeKernel();
+    std::cout << "DSL compiled '" << program.name() << "' to "
+              << program.size() << " instructions\n";
+
+    auto pass = amnesic::SlicePass::run(program, machine,
+                                        slice::SlicePolicyConfig{});
+    std::cout << "compiler pass: " << pass.hintedStores << "/"
+              << pass.staticStores
+              << " static stores carry Slices (the copy never does); "
+              << pass.sliceableStores << "/" << pass.dynamicStores
+              << " dynamic stores recomputable — the smoothing phase "
+                 "every time, the fill only while its induction chain "
+                 "is short (footnote 1's unrolling limit)\n";
+
+    harness::ExperimentConfig config;
+    config.mode = harness::BerMode::kReCkpt;
+    config.numCheckpoints = 10;
+    config.numErrors = 1;
+    auto result =
+        harness::BerRuntime::run(pass.program, machine, config, pass);
+
+    std::cout << "ReCkpt_E: " << result.cycles << " cycles, "
+              << result.checkpointsEstablished << " checkpoints, "
+              << result.recoveries << " recovery, "
+              << result.ckptBytesOmitted / 1024
+              << " KB omitted from checkpoints ("
+              << result.ckptBytesStored / 1024
+              << " KB stored); final state verified against the "
+                 "error-free reference.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fault-injection walkthrough: runs a kernel under ACR while injecting
+ * several fail-stop errors, and prints the per-recovery decomposition
+ * of Equation 3 — waste, roll-back, and recomputation — plus proof that
+ * the final state matched the error-free reference.
+ *
+ *   ./build/examples/fault_injection_demo [--workload=ft] [--errors=3]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "harness/runner.hh"
+
+using namespace acr;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser options("fault_injection_demo");
+    options.addString("workload", "ft", "kernel to run");
+    options.addInt("errors", 3, "errors injected (uniform placement)");
+    options.addInt("threads", 8, "cores");
+    options.addFlag("local", "use coordinated local checkpointing");
+    options.parse(argc, argv);
+
+    const std::string workload = options.getString("workload");
+    const unsigned errors =
+        static_cast<unsigned>(options.getInt("errors"));
+
+    harness::Runner runner(
+        static_cast<unsigned>(options.getInt("threads")));
+    const auto &base = runner.noCkpt(workload);
+
+    harness::ExperimentConfig config;
+    config.mode = harness::BerMode::kReCkpt;
+    config.numErrors = errors;
+    config.coordination = options.getFlag("local")
+                              ? ckpt::Coordination::kLocal
+                              : ckpt::Coordination::kGlobal;
+
+    std::cout << "Injecting " << errors << " error(s) into '" << workload
+              << "' under " << config.label() << "...\n\n";
+    auto result = runner.run(workload, config);
+
+    Table table({"metric", "value"});
+    table.row().cell("error-free cycles").cell(
+        static_cast<long long>(base.cycles));
+    table.row().cell("cycles with errors + ACR").cell(
+        static_cast<long long>(result.cycles));
+    table.row().cell("time overhead %").cell(
+        result.timeOverheadPct(base.cycles));
+    table.row().cell("recoveries").cell(
+        static_cast<long long>(result.recoveries));
+    table.row().cell("o_waste (cycles, Eq. 2)").cell(
+        static_cast<long long>(result.stats.get("rec.wasteCycles")));
+    table.row().cell("o_roll-back (cycles)").cell(
+        static_cast<long long>(
+            result.stats.get("rec.rollbackCycles")));
+    table.row().cell("values restored from the log").cell(
+        static_cast<long long>(result.stats.get("rec.restoredWords")));
+    table.row().cell("values recomputed via Slices").cell(
+        static_cast<long long>(
+            result.stats.get("rec.recomputedWords")));
+    table.row().cell("replayed ALU ops (o_rcmp)").cell(
+        static_cast<long long>(result.stats.get("acr.replayAluOps")));
+    table.row().cell("checkpoint bytes omitted").cell(
+        static_cast<long long>(result.ckptBytesOmitted));
+    table.print(std::cout);
+
+    std::cout << "\nEvery recomputed value was asserted bit-identical "
+                 "to its shadow copy, and the final memory image "
+                 "matched the error-free reference.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Coordinated local vs global checkpointing (Sec. V-E): runs a
+ * pair-communicating kernel under both coordination disciplines, shows
+ * the communication groups the directory discovered, and the resulting
+ * coordination savings — then injects an error and shows that only the
+ * failing core's group rolls back under local coordination.
+ *
+ *   ./build/examples/local_checkpointing [--workload=dc]
+ */
+
+#include <iostream>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "harness/runner.hh"
+
+using namespace acr;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser options("local_checkpointing");
+    options.addString("workload", "dc",
+                      "kernel (dc/is pair up; mg quads; bt all-to-all)");
+    options.addInt("threads", 8, "cores");
+    options.parse(argc, argv);
+
+    const std::string workload = options.getString("workload");
+    harness::Runner runner(
+        static_cast<unsigned>(options.getInt("threads")));
+    const auto &base = runner.noCkpt(workload);
+
+    Table table({"config", "cycles", "time ovh %", "avg groups/ckpt",
+                 "recoveries"});
+
+    for (bool with_error : {false, true}) {
+        for (auto coordination : {ckpt::Coordination::kGlobal,
+                                  ckpt::Coordination::kLocal}) {
+            harness::ExperimentConfig config;
+            config.mode = harness::BerMode::kReCkpt;
+            config.coordination = coordination;
+            config.numErrors = with_error ? 1 : 0;
+            auto result = runner.run(workload, config);
+
+            double groups =
+                result.stats.get("ckpt.coordinationGroups") /
+                std::max(1.0, result.stats.get("ckpt.establishments"));
+            table.row()
+                .cell(config.label())
+                .cell(static_cast<long long>(result.cycles))
+                .cell(result.timeOverheadPct(base.cycles))
+                .cell(groups)
+                .cell(static_cast<long long>(result.recoveries));
+        }
+    }
+
+    std::cout << "workload '" << workload
+              << "': local coordination confines checkpoint "
+                 "synchronization (and rollback) to communicating "
+                 "groups discovered by the directory.\n\n";
+    table.print(std::cout);
+    std::cout << "\nUnder local coordination a recovery rolls back only "
+                 "the failing core's communication-group closure; the "
+                 "final state still matched the error-free reference "
+                 "(verified in-run).\n";
+    return 0;
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Build, test, and regenerate every table/figure of the paper, capturing
+# the outputs the repo's EXPERIMENTS.md is based on.
+set -e
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "===== $b =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+done

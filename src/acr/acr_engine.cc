@@ -1,0 +1,113 @@
+#include "acr/acr_engine.hh"
+
+#include "common/logging.hh"
+
+namespace acr::amnesic
+{
+
+AcrEngine::AcrEngine(const AcrConfig &config, slice::SliceEngine &slicer,
+                     StatSet &stats)
+    : config_(config), slicer_(slicer), stats_(stats),
+      operandBuf_(config.operandBufferWords),
+      addrMap_(config.addrMapCapacity)
+{
+}
+
+void
+AcrEngine::onStoreRetired(const cpu::InstrEvent &event)
+{
+    ACR_ASSERT(isa::isStore(event.inst->op),
+               "onStoreRetired with a non-store");
+    const Addr addr = event.addr;
+
+    if (!event.inst->sliceHint) {
+        // No embedded Slice for this store: the value it just wrote is
+        // not recomputable, so any previous association is stale.
+        addrMap_.erase(addr);
+        return;
+    }
+
+    auto built = slicer_.buildForStore(event, config_.policy);
+    if (!built) {
+        // The dynamic producer chain for this instance was inadmissible
+        // (too long under this control flow, too many inputs).
+        addrMap_.erase(addr);
+        stats_.add("acr.captureFailures");
+        return;
+    }
+
+    slice::SliceId id = repo_.intern(std::move(built->slice));
+    auto instance = slice::SliceInstance::create(
+        id, std::move(built->inputs), operandBuf_);
+    if (!instance) {
+        // Operand buffer full: fall back to normal logging.
+        addrMap_.erase(addr);
+        stats_.add("acr.operandBufferRejections");
+        return;
+    }
+
+    // Capture cost: operand words written into the buffer plus the
+    // ASSOC-ADDR's AddrMap write.
+    stats_.add("acr.operandBufferWords",
+               static_cast<double>(instance->inputs().size()));
+    stats_.add("acr.addrMapAccesses");
+
+    if (!addrMap_.insert(addr, std::move(instance), currentInterval_)) {
+        stats_.add("acr.addrMapOverflows");
+        addrMap_.erase(addr);
+        return;
+    }
+    stats_.add("acr.captures");
+}
+
+std::shared_ptr<slice::SliceInstance>
+AcrEngine::currentValueSlice(Addr addr)
+{
+    // The checkpoint handler's AddrMap lookup (Fig. 4a).
+    stats_.add("acr.addrMapAccesses");
+    return addrMap_.lookup(addr);
+}
+
+Word
+AcrEngine::replay(const slice::SliceInstance &instance,
+                  slice::ReplayCost *cost)
+{
+    return instance.replay(repo_, cost);
+}
+
+void
+AcrEngine::onCheckpointEstablished(std::uint64_t interval)
+{
+    currentInterval_ = interval;
+    // Optional age-based expiry (see AcrConfig::retentionIntervals);
+    // instances pinned by retained logs live on through shared
+    // ownership regardless.
+    if (config_.retentionIntervals > 0 &&
+        interval >= config_.retentionIntervals) {
+        addrMap_.expireOlderThan(interval - config_.retentionIntervals);
+    }
+}
+
+void
+AcrEngine::onRollback(const std::vector<Addr> &restored)
+{
+    for (Addr addr : restored)
+        addrMap_.erase(addr);
+}
+
+void
+AcrEngine::exportStats() const
+{
+    stats_.set("acr.addrMapPeakEntries",
+               static_cast<double>(addrMap_.peakSize()));
+    stats_.set("acr.addrMapOverflowsTotal",
+               static_cast<double>(addrMap_.overflows()));
+    stats_.set("acr.operandBufferPeakWords",
+               static_cast<double>(operandBuf_.peakWords()));
+    stats_.set("acr.uniqueSlices",
+               static_cast<double>(repo_.uniqueSlices()));
+    stats_.set("acr.sliceInstrs",
+               static_cast<double>(repo_.totalInstrs()));
+}
+
+} // namespace acr::amnesic

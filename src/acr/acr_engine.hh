@@ -1,0 +1,109 @@
+/**
+ * @file
+ * AcrEngine: the paper's ACR handler pair.
+ *
+ * Checkpoint-handler side (Fig. 4a): every retired store carrying the
+ * compiler's slice hint executes a fused ASSOC-ADDR — the engine builds
+ * the dynamic Slice instance for the stored value, captures its input
+ * operands into the bounded operand buffer, and records the
+ * <address, Slice> association in AddrMap. When the checkpoint substrate
+ * is about to log an old value, it asks (through ckpt::RecomputeProvider)
+ * whether that value's producer left an association; if so the record
+ * becomes amnesic and is omitted from the stored checkpoint.
+ *
+ * Recovery-handler side (Fig. 4b): replays pinned Slice instances to
+ * regenerate omitted values during rollback, and drops stale
+ * associations for rolled-back addresses.
+ */
+
+#ifndef ACR_ACR_ACR_ENGINE_HH
+#define ACR_ACR_ACR_ENGINE_HH
+
+#include <memory>
+
+#include "acr/addr_map.hh"
+#include "ckpt/provider.hh"
+#include "common/stats.hh"
+#include "cpu/exec_observer.hh"
+#include "slice/engine.hh"
+#include "slice/policy.hh"
+#include "slice/repository.hh"
+
+namespace acr::amnesic
+{
+
+/** Configuration of the ACR microarchitectural support (Fig. 5). */
+struct AcrConfig
+{
+    slice::SlicePolicyConfig policy{};
+
+    /** AddrMap entries (on-chip, Sec. III-C). */
+    std::size_t addrMapCapacity = 8192;
+
+    /** Input-operand buffer capacity in words (Sec. II-B). */
+    std::size_t operandBufferWords = 65536;
+
+    /**
+     * Age-based expiry of AddrMap associations, in checkpoint
+     * intervals. 0 (default): an association lives until the address
+     * is overwritten by a non-recomputable store, evicted by capacity,
+     * or rolled back — the mapping describes the *current* memory
+     * value, which stays recomputable however old it is. N > 0 models
+     * the stricter reading of Sec. III-A's "two most recent
+     * checkpoints" (N = 2): associations older than N intervals are
+     * dropped even if still valid. Instances referenced by retained
+     * undo logs survive either way (shared ownership).
+     */
+    unsigned retentionIntervals = 0;
+};
+
+/** The ACR checkpoint + recovery handlers. */
+class AcrEngine : public ckpt::RecomputeProvider
+{
+  public:
+    AcrEngine(const AcrConfig &config, slice::SliceEngine &slicer,
+              StatSet &stats);
+
+    /**
+     * ASSOC-ADDR execution, fused with a retired store (driver calls
+     * this for every store, after the checkpoint substrate logged it).
+     * Non-hinted or non-sliceable stores kill any stale association for
+     * the address, keeping AddrMap sound.
+     */
+    void onStoreRetired(const cpu::InstrEvent &event);
+
+    // --- ckpt::RecomputeProvider ---
+    std::shared_ptr<slice::SliceInstance>
+    currentValueSlice(Addr addr) override;
+
+    Word replay(const slice::SliceInstance &instance,
+                slice::ReplayCost *cost) override;
+
+    void onCheckpointEstablished(std::uint64_t interval) override;
+
+    void onRollback(const std::vector<Addr> &restored) override;
+
+    const AcrConfig &config() const { return config_; }
+    const AddrMap &addrMap() const { return addrMap_; }
+    slice::SliceRepository &repository() { return repo_; }
+    const slice::OperandBufferAccounting &operandBuffer() const
+    {
+        return operandBuf_;
+    }
+
+    /** Publish structure-occupancy statistics. */
+    void exportStats() const;
+
+  private:
+    AcrConfig config_;
+    slice::SliceEngine &slicer_;
+    StatSet &stats_;
+    slice::SliceRepository repo_;
+    slice::OperandBufferAccounting operandBuf_;
+    AddrMap addrMap_;
+    std::uint64_t currentInterval_ = 1;
+};
+
+} // namespace acr::amnesic
+
+#endif // ACR_ACR_ACR_ENGINE_HH

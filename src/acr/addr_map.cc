@@ -1,0 +1,59 @@
+#include "acr/addr_map.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acr::amnesic
+{
+
+AddrMap::AddrMap(std::size_t capacity)
+    : capacity_(capacity)
+{
+    ACR_ASSERT(capacity >= 1, "AddrMap needs capacity >= 1");
+}
+
+bool
+AddrMap::insert(Addr addr, std::shared_ptr<slice::SliceInstance> instance,
+                std::uint64_t interval)
+{
+    ACR_ASSERT(instance != nullptr, "inserting null slice instance");
+    auto it = map_.find(addr);
+    if (it != map_.end()) {
+        it->second = Entry{std::move(instance), interval};
+        return true;
+    }
+    if (map_.size() >= capacity_) {
+        ++overflows_;
+        return false;
+    }
+    map_.emplace(addr, Entry{std::move(instance), interval});
+    peak_ = std::max(peak_, map_.size());
+    return true;
+}
+
+std::shared_ptr<slice::SliceInstance>
+AddrMap::lookup(Addr addr) const
+{
+    auto it = map_.find(addr);
+    return it == map_.end() ? nullptr : it->second.instance;
+}
+
+void
+AddrMap::erase(Addr addr)
+{
+    map_.erase(addr);
+}
+
+void
+AddrMap::expireOlderThan(std::uint64_t min_interval)
+{
+    for (auto it = map_.begin(); it != map_.end();) {
+        if (it->second.interval < min_interval)
+            it = map_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace acr::amnesic

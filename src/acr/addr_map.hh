@@ -1,0 +1,71 @@
+/**
+ * @file
+ * AddrMap (Sec. III-A): the bounded on-chip buffer recording
+ * <memory address, Slice> associations written by ASSOC-ADDR
+ * instructions. An entry says "the current value at this address was
+ * produced by this Slice instance and can therefore be recomputed".
+ * Entries are tagged with the interval that created them and expire once
+ * they fall outside the two-most-recent-checkpoints retention window;
+ * entries referenced by retained undo logs survive through shared
+ * ownership of the SliceInstance.
+ */
+
+#ifndef ACR_ACR_ADDR_MAP_HH
+#define ACR_ACR_ADDR_MAP_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "slice/instance.hh"
+
+namespace acr::amnesic
+{
+
+/** Bounded map: word address -> producing slice instance. */
+class AddrMap
+{
+  public:
+    explicit AddrMap(std::size_t capacity);
+
+    /**
+     * Record that @p addr's current value is producible by @p instance
+     * (tagged with @p interval). Replaces any existing entry for the
+     * address; fails (returns false) when the map is full and the
+     * address is new.
+     */
+    bool insert(Addr addr, std::shared_ptr<slice::SliceInstance> instance,
+                std::uint64_t interval);
+
+    /** Instance producing the current value at @p addr, or null. */
+    std::shared_ptr<slice::SliceInstance> lookup(Addr addr) const;
+
+    /** Drop the entry for @p addr (a non-recomputable store overwrote
+     *  the value). */
+    void erase(Addr addr);
+
+    /** Drop every entry created before @p min_interval (retention). */
+    void expireOlderThan(std::uint64_t min_interval);
+
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t overflows() const { return overflows_; }
+    std::size_t peakSize() const { return peak_; }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<slice::SliceInstance> instance;
+        std::uint64_t interval = 0;
+    };
+
+    std::size_t capacity_;
+    std::unordered_map<Addr, Entry> map_;
+    std::uint64_t overflows_ = 0;
+    std::size_t peak_ = 0;
+};
+
+} // namespace acr::amnesic
+
+#endif // ACR_ACR_ADDR_MAP_HH

@@ -1,0 +1,100 @@
+#include "acr/slice_pass.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "slice/engine.hh"
+#include "slice/repository.hh"
+#include "sim/system.hh"
+
+namespace acr::amnesic
+{
+
+namespace
+{
+
+/** Pin-tool-style instrumentation callback. */
+class PassObserver : public cpu::ExecObserver
+{
+  public:
+    PassObserver(slice::SliceEngine &slicer,
+                 const slice::SlicePolicyConfig &policy)
+        : slicer_(slicer), policy_(policy)
+    {
+    }
+
+    void
+    onInstr(const cpu::InstrEvent &event) override
+    {
+        if (isa::isStore(event.inst->op)) {
+            ++dynamicStores_;
+            auto built = slicer_.buildForStore(event, policy_);
+            if (built) {
+                ++sliceableStores_;
+                hintedPcs_.insert(event.pc);
+                repo_.intern(std::move(built->slice));
+            }
+            return;
+        }
+        slicer_.observe(event);
+    }
+
+    const std::unordered_set<std::size_t> &hintedPcs() const
+    {
+        return hintedPcs_;
+    }
+    const slice::SliceRepository &repo() const { return repo_; }
+    std::uint64_t dynamicStores() const { return dynamicStores_; }
+    std::uint64_t sliceableStores() const { return sliceableStores_; }
+
+  private:
+    slice::SliceEngine &slicer_;
+    slice::SlicePolicyConfig policy_;
+    std::unordered_set<std::size_t> hintedPcs_;
+    slice::SliceRepository repo_;
+    std::uint64_t dynamicStores_ = 0;
+    std::uint64_t sliceableStores_ = 0;
+};
+
+} // namespace
+
+SlicePassResult
+SlicePass::run(const isa::Program &program,
+               const sim::MachineConfig &machine,
+               const slice::SlicePolicyConfig &policy)
+{
+    sim::MulticoreSystem system(machine, program);
+    slice::SliceEngine slicer(machine.numCores);
+    PassObserver observer(slicer, policy);
+    system.setObserver(&observer);
+    system.runToCompletion();
+
+    SlicePassResult result;
+    result.program = program;
+    for (auto &inst : result.program.code()) {
+        if (isa::isStore(inst.op)) {
+            ++result.staticStores;
+            if (observer.hintedPcs().count(
+                    static_cast<std::size_t>(&inst -
+                                             result.program.code().data())))
+            {
+                inst.sliceHint = true;
+                ++result.hintedStores;
+            }
+        }
+    }
+
+    result.uniqueSlices = observer.repo().uniqueSlices();
+    result.sliceInstrs = observer.repo().totalInstrs();
+    result.binaryGrowthPct =
+        100.0 * static_cast<double>(result.sliceInstrs) /
+        static_cast<double>(program.size());
+    result.dynamicStores = observer.dynamicStores();
+    result.sliceableStores = observer.sliceableStores();
+    result.totalProgress = system.progress();
+    result.cycles = system.maxCycle();
+    result.finalImage = system.memory().image();
+    return result;
+}
+
+} // namespace acr::amnesic

@@ -1,0 +1,167 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acr::cache
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), sets_(config.sets())
+{
+    ACR_ASSERT(config_.ways > 0, "%s: zero ways", config_.name.c_str());
+    ACR_ASSERT(sets_ > 0, "%s: size too small for geometry",
+               config_.name.c_str());
+    ACR_ASSERT(config_.sizeBytes % (config_.ways * kLineBytes) == 0,
+               "%s: size not a multiple of way size",
+               config_.name.c_str());
+    ways_.assign(sets_ * config_.ways, Way{});
+}
+
+Cache::Way *
+Cache::find(LineId line)
+{
+    std::size_t base = setOf(line) * config_.ways;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.line == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::find(LineId line) const
+{
+    return const_cast<Cache *>(this)->find(line);
+}
+
+AccessResult
+Cache::access(LineId line, bool write)
+{
+    ++useClock_;
+    AccessResult result;
+
+    if (Way *way = find(line)) {
+        result.hit = true;
+        result.wasDirty = way->dirty;
+        way->lastUse = useClock_;
+        way->dirty = way->dirty || write;
+        ++counters_.hits;
+        return result;
+    }
+
+    ++counters_.misses;
+
+    // Choose a victim: an invalid way if any, else true LRU.
+    std::size_t base = setOf(line) * config_.ways;
+    Way *victim = &ways_[base];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Way &way = ways_[base + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    if (victim->valid) {
+        ++counters_.evictions;
+        if (victim->dirty) {
+            ++counters_.dirtyEvictions;
+            result.dirtyVictim = victim->line;
+            result.hasDirtyVictim = true;
+        }
+    }
+
+    victim->line = line;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->lastUse = useClock_;
+    return result;
+}
+
+bool
+Cache::contains(LineId line) const
+{
+    return find(line) != nullptr;
+}
+
+bool
+Cache::isDirty(LineId line) const
+{
+    const Way *way = find(line);
+    return way && way->dirty;
+}
+
+bool
+Cache::invalidate(LineId line)
+{
+    if (Way *way = find(line)) {
+        bool was_dirty = way->dirty;
+        way->valid = false;
+        way->dirty = false;
+        ++counters_.invalidations;
+        return was_dirty;
+    }
+    return false;
+}
+
+bool
+Cache::clean(LineId line)
+{
+    if (Way *way = find(line)) {
+        bool was_dirty = way->dirty;
+        way->dirty = false;
+        return was_dirty;
+    }
+    return false;
+}
+
+std::vector<LineId>
+Cache::dirtyLines() const
+{
+    std::vector<LineId> out;
+    for (const Way &way : ways_) {
+        if (way.valid && way.dirty)
+            out.push_back(way.line);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t
+Cache::dirtyCount() const
+{
+    std::size_t n = 0;
+    for (const Way &way : ways_)
+        if (way.valid && way.dirty)
+            ++n;
+    return n;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Way &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+    }
+}
+
+void
+Cache::exportStats(StatSet &stats, const std::string &prefix) const
+{
+    stats.add(prefix + ".hits", static_cast<double>(counters_.hits));
+    stats.add(prefix + ".misses", static_cast<double>(counters_.misses));
+    stats.add(prefix + ".evictions",
+              static_cast<double>(counters_.evictions));
+    stats.add(prefix + ".dirtyEvictions",
+              static_cast<double>(counters_.dirtyEvictions));
+    stats.add(prefix + ".invalidations",
+              static_cast<double>(counters_.invalidations));
+}
+
+} // namespace acr::cache

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Set-associative write-back cache with true-LRU replacement.
+ *
+ * This is a timing/bookkeeping model: it tracks tags, dirty bits and LRU
+ * order, while the data itself lives in MainMemory (functional-first
+ * simulation, see DESIGN.md). Dirty-line tracking is what the checkpoint
+ * substrate consumes — establishing a checkpoint "involves writing all
+ * dirty cache lines back to memory" (Sec. II-A).
+ *
+ * Counters are plain integers (this is the hottest path in the
+ * simulator); exportStats() publishes them into a StatSet.
+ */
+
+#ifndef ACR_CACHE_CACHE_HH
+#define ACR_CACHE_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acr::cache
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    /** Access latency in core cycles. */
+    Cycle latency = 4;
+
+    std::size_t lines() const { return sizeBytes / kLineBytes; }
+    std::size_t sets() const { return lines() / ways; }
+};
+
+/** Outcome of a cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** State of the line before this access (false on miss). */
+    bool wasDirty = false;
+    /** Line evicted dirty by this access (needs write-back downstream). */
+    LineId dirtyVictim = ~LineId{0};
+    bool hasDirtyVictim = false;
+};
+
+/** Event counters kept as plain integers for speed. */
+struct CacheCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t invalidations = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+};
+
+/** One level of set-associative write-back cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p line; on miss, allocate it, evicting LRU.
+     * @param write marks the line dirty on completion.
+     */
+    AccessResult access(LineId line, bool write);
+
+    /** True if the line is resident. */
+    bool contains(LineId line) const;
+
+    /** True if the line is resident and dirty. */
+    bool isDirty(LineId line) const;
+
+    /**
+     * Remove @p line if resident.
+     * @return true if it was resident and dirty (caller owns write-back).
+     */
+    bool invalidate(LineId line);
+
+    /**
+     * Mark @p line clean if resident (data written back, copy kept —
+     * the Rebound-style checkpoint flush).
+     * @return true if it was dirty.
+     */
+    bool clean(LineId line);
+
+    /** All currently dirty resident lines, sorted. */
+    std::vector<LineId> dirtyLines() const;
+
+    /** Count of currently dirty resident lines. */
+    std::size_t dirtyCount() const;
+
+    /** Invalidate everything (rollback discards cached state). */
+    void invalidateAll();
+
+    const CacheConfig &config() const { return config_; }
+    const CacheCounters &counters() const { return counters_; }
+
+    /** Publish counters as "<prefix>.hits" etc. */
+    void exportStats(StatSet &stats, const std::string &prefix) const;
+
+  private:
+    struct Way
+    {
+        LineId line = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setOf(LineId line) const { return line % sets_; }
+    Way *find(LineId line);
+    const Way *find(LineId line) const;
+
+    CacheConfig config_;
+    std::size_t sets_;
+    std::vector<Way> ways_;  ///< sets_ × config_.ways, set-major.
+    std::uint64_t useClock_ = 0;
+    CacheCounters counters_;
+};
+
+} // namespace acr::cache
+
+#endif // ACR_CACHE_CACHE_HH

@@ -1,0 +1,187 @@
+#include "cache/directory.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace acr::cache
+{
+
+Directory::Directory(unsigned num_cores)
+    : numCores_(num_cores)
+{
+    ACR_ASSERT(num_cores >= 1 && num_cores <= 64,
+               "directory supports 1..64 cores, got %u", num_cores);
+    interaction_.assign(numCores_, 0);
+    clearInteractions();
+}
+
+void
+Directory::recordInteraction(CoreId a, CoreId b)
+{
+    interaction_[a] |= SharerMask{1} << b;
+    interaction_[b] |= SharerMask{1} << a;
+}
+
+CoreId
+Directory::onRead(CoreId core, LineId line)
+{
+    Entry &entry = entries_[line];
+    CoreId forwarder = kInvalidCore;
+
+    if (entry.owner != kInvalidCore && entry.owner != core) {
+        // Remote owner supplies the data and downgrades to shared.
+        recordInteraction(core, entry.owner);
+        ++counters_.ownerForwards;
+        forwarder = entry.owner;
+        entry.owner = kInvalidCore;
+    }
+    entry.sharers |= SharerMask{1} << core;
+    ++counters_.reads;
+    return forwarder;
+}
+
+SharerMask
+Directory::onWrite(CoreId core, LineId line)
+{
+    Entry &entry = entries_[line];
+    const SharerMask self = SharerMask{1} << core;
+    SharerMask remote = entry.sharers & ~self;
+    if (entry.owner != kInvalidCore && entry.owner != core)
+        remote |= SharerMask{1} << entry.owner;
+
+    for (CoreId c = 0; c < numCores_; ++c) {
+        if (remote & (SharerMask{1} << c))
+            recordInteraction(core, c);
+    }
+
+    entry.sharers = self;
+    entry.owner = core;
+    ++counters_.writes;
+    counters_.invalidationsSent +=
+        static_cast<std::uint64_t>(std::popcount(remote));
+    return remote;
+}
+
+void
+Directory::onEviction(CoreId core, LineId line)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return;
+    it->second.sharers &= ~(SharerMask{1} << core);
+    if (it->second.owner == core)
+        it->second.owner = kInvalidCore;
+    if (it->second.sharers == 0 && it->second.owner == kInvalidCore)
+        entries_.erase(it);
+}
+
+SharerMask
+Directory::sharers(LineId line) const
+{
+    auto it = entries_.find(line);
+    return it == entries_.end() ? 0 : it->second.sharers;
+}
+
+CoreId
+Directory::owner(LineId line) const
+{
+    auto it = entries_.find(line);
+    return it == entries_.end() ? kInvalidCore : it->second.owner;
+}
+
+SharerMask
+Directory::interactions(CoreId core) const
+{
+    ACR_ASSERT(core < numCores_, "bad core id %u", core);
+    return interaction_[core];
+}
+
+std::vector<SharerMask>
+Directory::groupsOf(const std::vector<SharerMask> &adjacency)
+{
+    const unsigned n = static_cast<unsigned>(adjacency.size());
+    std::vector<CoreId> parent(n);
+    for (CoreId c = 0; c < n; ++c)
+        parent[c] = c;
+
+    auto find = [&](CoreId x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    for (CoreId c = 0; c < n; ++c) {
+        for (CoreId d = 0; d < n; ++d) {
+            if (adjacency[c] & (SharerMask{1} << d)) {
+                CoreId a = find(c);
+                CoreId b = find(d);
+                if (a != b)
+                    parent[b] = a;
+            }
+        }
+    }
+
+    std::vector<SharerMask> masks(n, 0);
+    for (CoreId c = 0; c < n; ++c)
+        masks[find(c)] |= SharerMask{1} << c;
+
+    std::vector<SharerMask> groups;
+    for (CoreId c = 0; c < n; ++c) {
+        if (find(c) == c)
+            groups.push_back(masks[c]);
+    }
+    return groups;
+}
+
+std::vector<SharerMask>
+Directory::communicationGroups() const
+{
+    return groupsOf(interaction_);
+}
+
+void
+Directory::clearInteractions()
+{
+    for (CoreId c = 0; c < numCores_; ++c)
+        interaction_[c] = SharerMask{1} << c;
+}
+
+void
+Directory::reset()
+{
+    entries_.clear();
+    clearInteractions();
+}
+
+void
+Directory::dropCores(SharerMask cores)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        Entry &entry = it->second;
+        entry.sharers &= ~cores;
+        if (entry.owner != kInvalidCore &&
+            (cores & (SharerMask{1} << entry.owner))) {
+            entry.owner = kInvalidCore;
+        }
+        if (entry.sharers == 0 && entry.owner == kInvalidCore)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Directory::exportStats(StatSet &stats, const std::string &prefix) const
+{
+    stats.add(prefix + ".reads", static_cast<double>(counters_.reads));
+    stats.add(prefix + ".writes", static_cast<double>(counters_.writes));
+    stats.add(prefix + ".invalidationsSent",
+              static_cast<double>(counters_.invalidationsSent));
+    stats.add(prefix + ".ownerForwards",
+              static_cast<double>(counters_.ownerForwards));
+}
+
+} // namespace acr::cache

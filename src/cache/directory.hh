@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Directory controller for the shared-memory many-core: tracks, per line,
+ * the sharer set and current owner (last writer), returns the remote
+ * caches that must be invalidated or downgraded, and records the
+ * inter-core interaction graph within each checkpoint interval — the
+ * mechanism coordinated *local* checkpointing uses to confine
+ * coordination to communicating cores (Sec. V-E of the paper).
+ */
+
+#ifndef ACR_CACHE_DIRECTORY_HH
+#define ACR_CACHE_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acr::cache
+{
+
+/** Sharer bitmask; supports up to 64 cores. */
+using SharerMask = std::uint64_t;
+
+/** Plain-integer event counters (hot path). */
+struct DirectoryCounters
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t ownerForwards = 0;
+};
+
+/** Directory-based coherence bookkeeping (MESI-style, timing-only). */
+class Directory
+{
+  public:
+    explicit Directory(unsigned num_cores);
+
+    /**
+     * A core fetched a line for reading (L2 miss).
+     * @return remote owner that must downgrade (supplying the data),
+     *         or kInvalidCore when memory supplies it.
+     */
+    CoreId onRead(CoreId core, LineId line);
+
+    /**
+     * A core fetched or upgraded a line for writing.
+     * @return mask of remote caches holding the line, which the caller
+     *         must invalidate.
+     */
+    SharerMask onWrite(CoreId core, LineId line);
+
+    /** A line left @p core's caches entirely (eviction to memory). */
+    void onEviction(CoreId core, LineId line);
+
+    /** Sharer set of a line (zero if untracked). */
+    SharerMask sharers(LineId line) const;
+
+    /** Current owner (last writer still holding it), or kInvalidCore. */
+    CoreId owner(LineId line) const;
+
+    /**
+     * Cores that interacted with @p core through shared lines since the
+     * last clearInteractions(), as a bitmask including the core itself.
+     */
+    SharerMask interactions(CoreId core) const;
+
+    /** The raw interaction adjacency, one mask per core. */
+    const std::vector<SharerMask> &interactionMatrix() const
+    {
+        return interaction_;
+    }
+
+    /**
+     * Connected components of the interaction graph: each entry is a
+     * bitmask of mutually-communicating cores. Every core appears in
+     * exactly one group (singleton if it communicated with no one).
+     * Exposed statically so checkpoint code can also combine retained
+     * matrices from earlier intervals.
+     */
+    static std::vector<SharerMask>
+    groupsOf(const std::vector<SharerMask> &adjacency);
+
+    /** Groups of the current interval's interactions. */
+    std::vector<SharerMask> communicationGroups() const;
+
+    /** Forget interval-local interaction state (at each checkpoint). */
+    void clearInteractions();
+
+    /** Drop all directory state (rollback invalidates caches). */
+    void reset();
+
+    /**
+     * Remove the given cores from every sharer set / ownership (their
+     * caches were invalidated by a group-local rollback).
+     */
+    void dropCores(SharerMask cores);
+
+    unsigned numCores() const { return numCores_; }
+    const DirectoryCounters &counters() const { return counters_; }
+
+    /** Publish counters as "<prefix>.reads" etc. */
+    void exportStats(StatSet &stats, const std::string &prefix) const;
+
+  private:
+    struct Entry
+    {
+        SharerMask sharers = 0;
+        CoreId owner = kInvalidCore;
+    };
+
+    void recordInteraction(CoreId a, CoreId b);
+
+    unsigned numCores_;
+    std::unordered_map<LineId, Entry> entries_;
+    /** interaction_[c] = mask of cores c communicated with (incl. c). */
+    std::vector<SharerMask> interaction_;
+    DirectoryCounters counters_;
+};
+
+} // namespace acr::cache
+
+#endif // ACR_CACHE_DIRECTORY_HH

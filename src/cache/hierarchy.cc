@@ -1,0 +1,200 @@
+#include "cache/hierarchy.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace acr::cache
+{
+
+CacheSystem::CacheSystem(unsigned num_cores,
+                         const HierarchyConfig &hier_config,
+                         const mem::DramConfig &dram_config)
+    : numCores_(num_cores),
+      config_(hier_config),
+      dram_(dram_config),
+      directory_(num_cores)
+{
+    ACR_ASSERT(num_cores >= 1, "need at least one core");
+    for (unsigned c = 0; c < num_cores; ++c) {
+        CacheConfig l1d_cfg = config_.l1d;
+        CacheConfig l2_cfg = config_.l2;
+        l1d_cfg.name = csprintf("core%u.l1d", c);
+        l2_cfg.name = csprintf("core%u.l2", c);
+        l1d_.push_back(std::make_unique<Cache>(l1d_cfg));
+        l2_.push_back(std::make_unique<Cache>(l2_cfg));
+    }
+    fetches_.assign(num_cores, 0);
+}
+
+bool
+CacheSystem::acquireExclusive(CoreId core, LineId line)
+{
+    SharerMask remote = directory_.onWrite(core, line);
+    bool remote_dirty = false;
+    if (!remote)
+        return false;
+    for (CoreId c = 0; c < numCores_; ++c) {
+        if (!(remote & (SharerMask{1} << c)))
+            continue;
+        bool d1 = l1d_[c]->invalidate(line);
+        bool d2 = l2_[c]->invalidate(line);
+        remote_dirty = remote_dirty || d1 || d2;
+    }
+    return remote_dirty;
+}
+
+Cycle
+CacheSystem::dataAccess(CoreId core, Addr addr, bool write, Cycle now)
+{
+    ACR_ASSERT(core < numCores_, "bad core id %u", core);
+    const LineId line = lineOf(addr);
+    Cache &l1 = *l1d_[core];
+    Cache &l2c = *l2_[core];
+
+    Cycle done = now + config_.l1d.latency;
+
+    AccessResult r1 = l1.access(line, write);
+    if (r1.hit) {
+        if (write && !r1.wasDirty) {
+            // Upgrade: gain exclusive ownership of a shared/clean line.
+            if (acquireExclusive(core, line))
+                done += config_.coherenceLatency;
+            // Keep L2's copy coherent with L1's new dirty state.
+            l2c.access(line, true);
+        }
+        return done;
+    }
+
+    // L1 miss: the victim (if dirty) is written back into L2.
+    if (r1.hasDirtyVictim) {
+        AccessResult wb = l2c.access(r1.dirtyVictim, true);
+        if (wb.hasDirtyVictim) {
+            dram_.lineWrite(wb.dirtyVictim, now);  // posted write-back
+            l1.invalidate(wb.dirtyVictim);
+            directory_.onEviction(core, wb.dirtyVictim);
+        }
+    }
+
+    done += config_.l2.latency;
+    AccessResult r2 = l2c.access(line, write);
+
+    if (r2.hasDirtyVictim) {
+        dram_.lineWrite(r2.dirtyVictim, now);  // posted write-back
+        l1.invalidate(r2.dirtyVictim);
+        directory_.onEviction(core, r2.dirtyVictim);
+    }
+
+    if (r2.hit) {
+        if (write && !r2.wasDirty) {
+            if (acquireExclusive(core, line))
+                done += config_.coherenceLatency;
+        }
+        return done;
+    }
+
+    // L2 miss: coherence + fill from a remote cache or from memory.
+    bool filled_remotely = false;
+    if (write) {
+        filled_remotely = acquireExclusive(core, line);
+    } else {
+        CoreId fwd = directory_.onRead(core, line);
+        if (fwd != kInvalidCore) {
+            // Remote dirty owner downgrades: writes back, keeps a clean
+            // copy, and forwards the data cache-to-cache.
+            bool d1 = l1d_[fwd]->clean(line);
+            bool d2 = l2_[fwd]->clean(line);
+            if (d1 || d2)
+                dram_.lineWrite(line, now);  // posted downgrade write-back
+            filled_remotely = true;
+        }
+    }
+
+    if (filled_remotely) {
+        done += config_.coherenceLatency;
+    } else {
+        done = dram_.lineRead(line, done);
+    }
+    return done;
+}
+
+std::vector<LineId>
+CacheSystem::dirtyLines(CoreId core) const
+{
+    std::vector<LineId> l1 = l1d_[core]->dirtyLines();
+    std::vector<LineId> l2v = l2_[core]->dirtyLines();
+    std::vector<LineId> out;
+    out.reserve(l1.size() + l2v.size());
+    std::set_union(l1.begin(), l1.end(), l2v.begin(), l2v.end(),
+                   std::back_inserter(out));
+    return out;
+}
+
+std::size_t
+CacheSystem::dirtyLineCount(CoreId core) const
+{
+    return dirtyLines(core).size();
+}
+
+FlushResult
+CacheSystem::flushCores(SharerMask cores, Cycle now)
+{
+    FlushResult result;
+    result.done = now;
+    for (CoreId c = 0; c < numCores_; ++c) {
+        if (!(cores & (SharerMask{1} << c)))
+            continue;
+        for (LineId line : dirtyLines(c)) {
+            l1d_[c]->clean(line);
+            l2_[c]->clean(line);
+            Cycle t = dram_.lineWrite(line, now);
+            result.done = std::max(result.done, t);
+            ++result.lines;
+        }
+    }
+    return result;
+}
+
+void
+CacheSystem::invalidateCores(SharerMask cores)
+{
+    for (CoreId c = 0; c < numCores_; ++c) {
+        if (!(cores & (SharerMask{1} << c)))
+            continue;
+        l1d_[c]->invalidateAll();
+        l2_[c]->invalidateAll();
+    }
+    directory_.dropCores(cores);
+}
+
+void
+CacheSystem::exportStats(StatSet &stats) const
+{
+    CacheCounters l1d_total, l2_total;
+    std::uint64_t fetch_total = 0;
+    for (unsigned c = 0; c < numCores_; ++c) {
+        const CacheCounters &a = l1d_[c]->counters();
+        const CacheCounters &b = l2_[c]->counters();
+        l1d_total.hits += a.hits;
+        l1d_total.misses += a.misses;
+        l1d_total.evictions += a.evictions;
+        l1d_total.dirtyEvictions += a.dirtyEvictions;
+        l1d_total.invalidations += a.invalidations;
+        l2_total.hits += b.hits;
+        l2_total.misses += b.misses;
+        l2_total.evictions += b.evictions;
+        l2_total.dirtyEvictions += b.dirtyEvictions;
+        l2_total.invalidations += b.invalidations;
+        fetch_total += fetches_[c];
+    }
+    stats.add("l1d.hits", static_cast<double>(l1d_total.hits));
+    stats.add("l1d.misses", static_cast<double>(l1d_total.misses));
+    stats.add("l2.hits", static_cast<double>(l2_total.hits));
+    stats.add("l2.misses", static_cast<double>(l2_total.misses));
+    stats.add("l1i.fetches", static_cast<double>(fetch_total));
+    directory_.exportStats(stats, "directory");
+    dram_.exportStats(stats, "dram");
+}
+
+} // namespace acr::cache

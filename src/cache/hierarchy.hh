@@ -1,0 +1,114 @@
+/**
+ * @file
+ * CacheSystem: all per-core cache hierarchies (L1I/L1D/L2) plus the shared
+ * directory and DRAM, wired together. This is the single entry point the
+ * CPU model uses for the *timing* of every data access; functional values
+ * always come from MainMemory.
+ *
+ * Coherence actions are performed for real across hierarchies (a remote
+ * write invalidates local copies, a remote read downgrades a dirty owner),
+ * so each core's dirty-line set — the quantity checkpoint establishment
+ * pays for — is always globally consistent.
+ */
+
+#ifndef ACR_CACHE_HIERARCHY_HH
+#define ACR_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/directory.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/dram.hh"
+
+namespace acr::cache
+{
+
+/** Per-core cache geometry (Table I defaults). */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 4, 4};
+    CacheConfig l1d{"l1d", 32 * 1024, 8, 4};
+    CacheConfig l2{"l2", 512 * 1024, 8, 27};
+
+    /** Latency of a remote invalidation / cache-to-cache forward. */
+    Cycle coherenceLatency = 30;
+};
+
+/** Result of flushing dirty lines for a checkpoint. */
+struct FlushResult
+{
+    /** Cycle at which the last write-back completes. */
+    Cycle done = 0;
+    /** Number of lines written back. */
+    std::uint64_t lines = 0;
+};
+
+/** The full memory-side timing model shared by all cores. */
+class CacheSystem
+{
+  public:
+    CacheSystem(unsigned num_cores, const HierarchyConfig &hier_config,
+                const mem::DramConfig &dram_config);
+
+    /**
+     * Account the timing of one data access by @p core.
+     * @return completion cycle (>= now + L1D latency).
+     */
+    Cycle dataAccess(CoreId core, Addr addr, bool write, Cycle now);
+
+    /** Account one instruction fetch (always-hit L1I model). */
+    void fetch(CoreId core) { ++fetches_[core]; }
+
+    /** Dirty lines currently held by @p core (L1D ∪ L2). */
+    std::vector<LineId> dirtyLines(CoreId core) const;
+
+    /** Count of dirty lines held by @p core. */
+    std::size_t dirtyLineCount(CoreId core) const;
+
+    /**
+     * Write back every dirty line of the cores in @p cores, keeping
+     * clean copies (Rebound-style checkpoint flush). DRAM bandwidth
+     * queues are charged; @p now is when the flush starts.
+     */
+    FlushResult flushCores(SharerMask cores, Cycle now);
+
+    /** Drop all cached state of the cores in @p cores (rollback). */
+    void invalidateCores(SharerMask cores);
+
+    unsigned numCores() const { return numCores_; }
+    Directory &directory() { return directory_; }
+    const Directory &directory() const { return directory_; }
+    mem::DramModel &dram() { return dram_; }
+    const mem::DramModel &dram() const { return dram_; }
+    Cache &l1d(CoreId core) { return *l1d_[core]; }
+    Cache &l2(CoreId core) { return *l2_[core]; }
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Instruction fetches issued by a core (L1I accesses). */
+    std::uint64_t fetches(CoreId core) const { return fetches_[core]; }
+
+    /** Aggregate counters over all cores into @p stats. */
+    void exportStats(StatSet &stats) const;
+
+  private:
+    /**
+     * A write by @p core gained ownership of @p line: invalidate every
+     * remote copy. Returns true if a remote dirty copy supplied the data.
+     */
+    bool acquireExclusive(CoreId core, LineId line);
+
+    unsigned numCores_;
+    HierarchyConfig config_;
+    mem::DramModel dram_;
+    Directory directory_;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::uint64_t> fetches_;
+};
+
+} // namespace acr::cache
+
+#endif // ACR_CACHE_HIERARCHY_HH

@@ -1,0 +1,39 @@
+#include "ckpt/log.hh"
+
+#include "common/logging.hh"
+
+namespace acr::ckpt
+{
+
+void
+IntervalLog::append(LogRecord record)
+{
+    ACR_ASSERT(!contains(record.addr),
+               "address already logged this interval");
+    if (record.isAmnesic())
+        ++amnesicRecords_;
+    index_[record.addr] = records_.size();
+    records_.push_back(std::move(record));
+}
+
+void
+IntervalLog::removeWriters(std::uint64_t writer_mask)
+{
+    std::vector<LogRecord> kept;
+    kept.reserve(records_.size());
+    for (auto &record : records_) {
+        if (writer_mask & (std::uint64_t{1} << record.writer))
+            continue;
+        kept.push_back(std::move(record));
+    }
+    records_ = std::move(kept);
+    index_.clear();
+    amnesicRecords_ = 0;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        index_[records_[i].addr] = i;
+        if (records_[i].isAmnesic())
+            ++amnesicRecords_;
+    }
+}
+
+} // namespace acr::ckpt

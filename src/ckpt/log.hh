@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Undo-log structures for log-based incremental in-memory checkpointing
+ * (Sec. II-A, after Rebound/ReVive/SafetyNet): upon the first update to a
+ * word within a checkpoint interval, a record of the old value enters the
+ * log. The per-word "log bit" of the paper is realized by the log's
+ * address index.
+ *
+ * Under ACR a record may be *amnesic*: the old value is omitted from the
+ * stored checkpoint because a Slice can recompute it; the record then
+ * pins the SliceInstance (and its captured operands) for as long as the
+ * log is retained. The old value field is still kept in the simulator as
+ * a shadow copy so recovery can assert bit-exact recomputation — it is
+ * never charged to checkpoint storage or traffic.
+ */
+
+#ifndef ACR_CKPT_LOG_HH
+#define ACR_CKPT_LOG_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "slice/instance.hh"
+
+namespace acr::ckpt
+{
+
+/** Bytes charged per stored log record (word address + old value). */
+inline constexpr std::uint64_t kLogRecordBytes = 2 * kWordBytes;
+
+/** One undo record. */
+struct LogRecord
+{
+    Addr addr = 0;
+    /** Old value; for amnesic records this is a verification shadow. */
+    Word oldValue = 0;
+    /** Core whose store triggered the record (local-mode rollback). */
+    CoreId writer = 0;
+    /** Non-null: record omitted from the checkpoint, recompute instead. */
+    std::shared_ptr<slice::SliceInstance> amnesic;
+
+    bool isAmnesic() const { return amnesic != nullptr; }
+};
+
+/** Undo log of one checkpoint interval. */
+class IntervalLog
+{
+  public:
+    explicit IntervalLog(std::uint64_t interval = 0)
+        : interval_(interval)
+    {
+    }
+
+    /** Index of the interval this log covers. */
+    std::uint64_t interval() const { return interval_; }
+
+    /** The "log bit": has @p addr been logged this interval? */
+    bool contains(Addr addr) const { return index_.count(addr) != 0; }
+
+    /** Append a record; the address must not be logged yet. */
+    void append(LogRecord record);
+
+    const std::vector<LogRecord> &records() const { return records_; }
+
+    /**
+     * Remove (and forget the log bits of) every record written by the
+     * cores in @p writers — used after a group-local rollback undid
+     * those updates. Compacts the log.
+     */
+    void removeWriters(std::uint64_t writer_mask);
+
+    std::uint64_t totalRecords() const { return records_.size(); }
+    std::uint64_t amnesicRecords() const { return amnesicRecords_; }
+
+    std::uint64_t
+    normalRecords() const
+    {
+        return totalRecords() - amnesicRecords_;
+    }
+
+    /** Bytes the checkpoint actually stores (amnesic records omitted). */
+    std::uint64_t
+    loggedBytes() const
+    {
+        return normalRecords() * kLogRecordBytes;
+    }
+
+    /** Bytes ACR avoided storing. */
+    std::uint64_t
+    omittedBytes() const
+    {
+        return amnesicRecords_ * kLogRecordBytes;
+    }
+
+  private:
+    std::uint64_t interval_;
+    std::vector<LogRecord> records_;
+    std::unordered_map<Addr, std::size_t> index_;
+    std::uint64_t amnesicRecords_ = 0;
+};
+
+} // namespace acr::ckpt
+
+#endif // ACR_CKPT_LOG_HH

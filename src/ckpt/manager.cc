@@ -1,0 +1,372 @@
+#include "ckpt/manager.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace acr::ckpt
+{
+
+namespace
+{
+
+unsigned
+popcount(cache::SharerMask mask)
+{
+    return static_cast<unsigned>(std::popcount(mask));
+}
+
+bool
+inMask(cache::SharerMask mask, CoreId core)
+{
+    return (mask >> core) & 1;
+}
+
+/** Synthetic line ids for checkpoint-region traffic (arch state). */
+LineId
+archRegionLine(CoreId core, std::uint64_t index)
+{
+    return (LineId{1} << 40) + core * 1024 + index;
+}
+
+} // namespace
+
+CheckpointManager::CheckpointManager(const Config &config,
+                                     sim::MulticoreSystem &system,
+                                     RecomputeProvider *provider,
+                                     StatSet &stats)
+    : config_(config), system_(system), provider_(provider), stats_(stats)
+{
+}
+
+void
+CheckpointManager::initialCheckpoint()
+{
+    ACR_ASSERT(!initialized_, "initialCheckpoint called twice");
+    initialized_ = true;
+
+    Checkpoint ckpt;
+    ckpt.index = 0;
+    ckpt.establishedAt = 0;
+    ckpt.progressAt = system_.progress();
+    for (CoreId c = 0; c < system_.numCores(); ++c)
+        ckpt.arch.push_back(system_.core(c).saveArch());
+    ckpt.log = IntervalLog(0);
+    ckpt.interactions.assign(system_.numCores(), 0);
+    ckpt.validFor = ~cache::SharerMask{0};
+    retained_.push_back(std::move(ckpt));
+}
+
+void
+CheckpointManager::onStore(CoreId writer, Addr addr, Word old_value)
+{
+    if (openLog_.contains(addr))
+        return;  // log bit set: only the first update per interval logs
+
+    LogRecord record;
+    record.addr = addr;
+    record.oldValue = old_value;
+    record.writer = writer;
+    if (provider_)
+        record.amnesic = provider_->currentValueSlice(addr);
+    openLog_.append(std::move(record));
+}
+
+void
+CheckpointManager::establishGroup(cache::SharerMask group,
+                                  IntervalSizes &sizes)
+{
+    auto &caches = system_.caches();
+    auto &dram = caches.dram();
+
+    // Coordinate the group, then flush its dirty lines.
+    Cycle start = system_.syncCores(group);
+    cache::FlushResult flush = caches.flushCores(group, start);
+    sizes.flushedLines += flush.lines;
+    Cycle done = flush.done;
+
+    // Log traffic: each stored (non-amnesic) record reads the old value
+    // from memory and appends it to the log region; amnesic records cost
+    // nothing here (their AddrMap writes were charged at ASSOC-ADDR).
+    for (const LogRecord &record : openLog_.records()) {
+        if (!inMask(group, record.writer))
+            continue;
+        if (record.isAmnesic())
+            continue;
+        Cycle t1 = dram.wordRead(record.addr, start);
+        Cycle t2 = dram.wordWrite(record.addr, start);
+        done = std::max({done, t1, t2});
+    }
+
+    // Architectural state of every group core goes to the checkpoint
+    // region in memory.
+    const std::uint64_t arch_lines =
+        (config_.archBytesPerCore + kLineBytes - 1) / kLineBytes;
+    for (CoreId c = 0; c < system_.numCores(); ++c) {
+        if (!inMask(group, c))
+            continue;
+        for (std::uint64_t i = 0; i < arch_lines; ++i) {
+            Cycle t = dram.lineWrite(archRegionLine(c, i), start);
+            done = std::max(done, t);
+        }
+    }
+
+    // The whole group stalls until establishment completes.
+    for (CoreId c = 0; c < system_.numCores(); ++c) {
+        if (inMask(group, c))
+            system_.core(c).setCycle(done);
+    }
+    stats_.add("ckpt.establishStallCycles",
+               static_cast<double>((done - start) * popcount(group)));
+}
+
+void
+CheckpointManager::establish()
+{
+    ACR_ASSERT(initialized_, "establish before initialCheckpoint");
+    ++established_;
+
+    IntervalSizes sizes;
+    sizes.interval = openLog_.interval();
+    sizes.records = openLog_.totalRecords();
+    sizes.amnesicRecords = openLog_.amnesicRecords();
+    sizes.loggedBytes = openLog_.loggedBytes();
+    sizes.omittedBytes = openLog_.omittedBytes();
+    sizes.archBytes = config_.archBytesPerCore * system_.numCores();
+
+    auto &directory = system_.caches().directory();
+    std::vector<cache::SharerMask> adjacency =
+        directory.interactionMatrix();
+
+    std::vector<cache::SharerMask> groups;
+    if (config_.mode == Coordination::kGlobal)
+        groups.push_back(system_.allCoresMask());
+    else
+        groups = cache::Directory::groupsOf(adjacency);
+    stats_.add("ckpt.coordinationGroups",
+               static_cast<double>(groups.size()));
+
+    for (cache::SharerMask group : groups)
+        establishGroup(group, sizes);
+
+    Checkpoint ckpt;
+    ckpt.index = openLog_.interval();
+    ckpt.establishedAt = system_.maxCycle();
+    ckpt.progressAt = system_.progress();
+    for (CoreId c = 0; c < system_.numCores(); ++c)
+        ckpt.arch.push_back(system_.core(c).saveArch());
+    ckpt.interactions = std::move(adjacency);
+    ckpt.validFor = ~cache::SharerMask{0};
+    std::uint64_t next_interval = openLog_.interval() + 1;
+    ckpt.log = std::move(openLog_);
+    retained_.push_back(std::move(ckpt));
+
+    // Two-checkpoint retention (Sec. II-A): dropping an old checkpoint
+    // releases its log and thereby unpins its slice instances.
+    while (retained_.size() > 2)
+        retained_.pop_front();
+
+    openLog_ = IntervalLog(next_interval);
+    directory.clearInteractions();
+    if (provider_)
+        provider_->onCheckpointEstablished(next_interval);
+
+    history_.push_back(sizes);
+    stats_.add("ckpt.establishments");
+    stats_.add("ckpt.flushedLines",
+               static_cast<double>(sizes.flushedLines));
+    stats_.add("ckpt.records", static_cast<double>(sizes.records));
+    stats_.add("ckpt.amnesicRecords",
+               static_cast<double>(sizes.amnesicRecords));
+    stats_.add("ckpt.loggedBytes", static_cast<double>(sizes.loggedBytes));
+    stats_.add("ckpt.omittedBytes",
+               static_cast<double>(sizes.omittedBytes));
+    stats_.add("ckpt.archBytes", static_cast<double>(sizes.archBytes));
+}
+
+void
+CheckpointManager::applyLog(const IntervalLog &log,
+                            cache::SharerMask mask, Cycle issue_at,
+                            Cycle &dram_done,
+                            std::vector<Cycle> &replay_cycles,
+                            std::vector<Addr> &restored)
+{
+    auto &dram = system_.caches().dram();
+
+    // Affected cores share the recomputation work (Slices execute on
+    // the cores before the register files are restored, Sec. II-B).
+    std::vector<CoreId> workers;
+    for (CoreId c = 0; c < system_.numCores(); ++c) {
+        if (inMask(mask, c))
+            workers.push_back(c);
+    }
+    ACR_ASSERT(!workers.empty(), "applyLog with empty core mask");
+
+    for (const LogRecord &record : log.records()) {
+        if (!inMask(mask, record.writer))
+            continue;
+
+        if (record.isAmnesic()) {
+            ACR_ASSERT(provider_,
+                       "amnesic record without a recompute provider");
+            slice::ReplayCost cost;
+            Word value = provider_->replay(*record.amnesic, &cost);
+            ACR_ASSERT(value == record.oldValue,
+                       "recomputation mismatch at addr %llu",
+                       static_cast<unsigned long long>(record.addr));
+            system_.memory().write(record.addr, value);
+
+            // Least-loaded affected core executes this Slice.
+            CoreId worker = workers[0];
+            for (CoreId c : workers) {
+                if (replay_cycles[c] < replay_cycles[worker])
+                    worker = c;
+            }
+            replay_cycles[worker] += cost.aluOps;
+
+            dram_done = std::max(dram_done,
+                                 dram.wordWrite(record.addr, issue_at));
+            stats_.add("acr.replayAluOps",
+                       static_cast<double>(cost.aluOps));
+            stats_.add("acr.operandBufferWords",
+                       static_cast<double>(cost.operandReads));
+            stats_.add("rec.recomputedWords");
+        } else {
+            system_.memory().write(record.addr, record.oldValue);
+            Cycle t1 = dram.wordRead(record.addr, issue_at);
+            Cycle t2 = dram.wordWrite(record.addr, issue_at);
+            dram_done = std::max({dram_done, t1, t2});
+            stats_.add("rec.restoredWords");
+        }
+        restored.push_back(record.addr);
+    }
+}
+
+RecoveryOutcome
+CheckpointManager::recover(CoreId failing, Cycle error_time,
+                           Cycle detection_time)
+{
+    ACR_ASSERT(initialized_, "recover before initialCheckpoint");
+    ACR_ASSERT(!retained_.empty(), "no checkpoints retained");
+
+    // Determine the rollback scope.
+    cache::SharerMask affected;
+    if (config_.mode == Coordination::kGlobal) {
+        affected = system_.allCoresMask();
+    } else {
+        // Conservative closure: union of the open interval's interaction
+        // matrix with those of every retained checkpoint interval.
+        std::vector<cache::SharerMask> adjacency =
+            system_.caches().directory().interactionMatrix();
+        for (const Checkpoint &ckpt : retained_) {
+            for (std::size_t c = 0;
+                 c < ckpt.interactions.size() && c < adjacency.size();
+                 ++c) {
+                adjacency[c] |= ckpt.interactions[c];
+            }
+        }
+        affected = 0;
+        for (cache::SharerMask group :
+             cache::Directory::groupsOf(adjacency)) {
+            if (inMask(group, failing)) {
+                affected = group;
+                break;
+            }
+        }
+        ACR_ASSERT(affected != 0, "failing core not in any group");
+    }
+
+    // Pick the most recent safe checkpoint: established strictly before
+    // the error occurred (Fig. 2: a checkpoint taken between error
+    // occurrence and detection may hold corrupted state) and still valid
+    // for every affected core.
+    const Checkpoint *target = nullptr;
+    for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+        if (it->establishedAt < error_time &&
+            (it->validFor & affected) == affected) {
+            target = &*it;
+            break;
+        }
+    }
+    ACR_ASSERT(target != nullptr,
+               "no safe checkpoint: detection latency exceeded the "
+               "checkpoint period");
+
+    // Coordinate the affected cores for recovery.
+    Cycle start = system_.syncCores(affected);
+    start = std::max(start, detection_time);
+
+    Cycle dram_done = start;
+    std::vector<Cycle> replay_cycles(system_.numCores(), 0);
+    std::vector<Addr> restored;
+
+    // Apply undo logs newest -> oldest; older records overwrite newer
+    // ones, landing memory on the target checkpoint's state.
+    applyLog(openLog_, affected, start, dram_done, replay_cycles,
+             restored);
+    for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+        if (it->index <= target->index)
+            break;
+        applyLog(it->log, affected, start, dram_done, replay_cycles,
+                 restored);
+    }
+
+    // Restore architectural state of affected cores, reading the
+    // checkpoint region.
+    auto &dram = system_.caches().dram();
+    const std::uint64_t arch_lines =
+        (config_.archBytesPerCore + kLineBytes - 1) / kLineBytes;
+    for (CoreId c = 0; c < system_.numCores(); ++c) {
+        if (!inMask(affected, c))
+            continue;
+        for (std::uint64_t i = 0; i < arch_lines; ++i) {
+            Cycle t = dram.lineRead(archRegionLine(c, i), start);
+            dram_done = std::max(dram_done, t);
+        }
+    }
+
+    Cycle replay_done = start;
+    for (CoreId c = 0; c < system_.numCores(); ++c)
+        replay_done = std::max(replay_done, start + replay_cycles[c]);
+    Cycle resume = std::max(dram_done, replay_done);
+
+    for (CoreId c = 0; c < system_.numCores(); ++c) {
+        if (!inMask(affected, c))
+            continue;
+        system_.core(c).restoreArch(target->arch[c]);
+        system_.core(c).setCycle(resume);
+    }
+    system_.caches().invalidateCores(affected);
+
+    // Updates undone for the affected cores disappear from every log
+    // newer than the target; newer checkpoints are no longer valid
+    // rollback targets for them (Fig. 2: the suspect checkpoint is
+    // skipped and effectively discarded for this group).
+    openLog_.removeWriters(affected);
+    for (Checkpoint &ckpt : retained_) {
+        if (ckpt.index > target->index) {
+            ckpt.log.removeWriters(affected);
+            ckpt.validFor &= ~affected;
+        }
+    }
+
+    if (provider_)
+        provider_->onRollback(restored);
+
+    stats_.add("rec.recoveries");
+    stats_.add("rec.wasteCycles",
+               static_cast<double>(detection_time -
+                                   std::min(detection_time,
+                                            target->establishedAt)));
+    stats_.add("rec.rollbackCycles", static_cast<double>(resume - start));
+
+    RecoveryOutcome outcome;
+    outcome.affected = affected;
+    outcome.targetIndex = target->index;
+    outcome.resumeCycle = resume;
+    outcome.progressAt = target->progressAt;
+    return outcome;
+}
+
+} // namespace acr::ckpt

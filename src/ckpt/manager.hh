@@ -1,0 +1,180 @@
+/**
+ * @file
+ * CheckpointManager: the BER substrate of the reproduction — log-based
+ * incremental in-memory checkpointing with global or local coordination
+ * (Sec. II-A, V-E), two-checkpoint retention (Sec. II-A / Fig. 2), and
+ * rollback/recovery with optional recomputation of amnesic records
+ * through a RecomputeProvider (Sec. III-B / Fig. 4b).
+ */
+
+#ifndef ACR_CKPT_MANAGER_HH
+#define ACR_CKPT_MANAGER_HH
+
+#include <deque>
+#include <vector>
+
+#include "cache/directory.hh"
+#include "ckpt/log.hh"
+#include "ckpt/provider.hh"
+#include "common/stats.hh"
+#include "sim/system.hh"
+
+namespace acr::ckpt
+{
+
+/** Coordination discipline of checkpoint establishment. */
+enum class Coordination
+{
+    /** All cores cooperate at every checkpoint (Sec. II-A). */
+    kGlobal,
+    /** Only communicating cores coordinate (Sec. V-E). */
+    kLocal,
+};
+
+/** One established checkpoint. */
+struct Checkpoint
+{
+    /** Checkpoint number (the interval it terminates). */
+    std::uint64_t index = 0;
+
+    /** Cycle at which establishment completed (max over groups). */
+    Cycle establishedAt = 0;
+
+    /** Program progress (retired instructions) at establishment. */
+    std::uint64_t progressAt = 0;
+
+    /** Architectural state of every core. */
+    std::vector<cpu::ArchState> arch;
+
+    /** Undo log of the interval that ended at this checkpoint. */
+    IntervalLog log;
+
+    /** Interaction adjacency of that interval (local-mode closure). */
+    std::vector<cache::SharerMask> interactions;
+
+    /** Cores for which this checkpoint is still a valid rollback
+     *  target (group rollbacks invalidate newer checkpoints for the
+     *  rolled-back cores only). */
+    cache::SharerMask validFor = ~cache::SharerMask{0};
+};
+
+/** Per-interval size bookkeeping, kept for the whole run (Fig. 9/10,
+ *  Table II). */
+struct IntervalSizes
+{
+    std::uint64_t interval = 0;
+    std::uint64_t records = 0;
+    std::uint64_t amnesicRecords = 0;
+    std::uint64_t loggedBytes = 0;
+    std::uint64_t omittedBytes = 0;
+    std::uint64_t flushedLines = 0;
+    std::uint64_t archBytes = 0;
+
+    /** Stored checkpoint footprint (log + architectural state). */
+    std::uint64_t
+    storedBytes() const
+    {
+        return loggedBytes + archBytes;
+    }
+};
+
+/** Outcome of a recovery, for the driver (slicer resets, scheduling). */
+struct RecoveryOutcome
+{
+    /** Cores rolled back. */
+    cache::SharerMask affected = 0;
+    /** Index of the checkpoint restored. */
+    std::uint64_t targetIndex = 0;
+    /** Cycle at which the affected cores resume. */
+    Cycle resumeCycle = 0;
+    /** Program progress of the restored checkpoint. */
+    std::uint64_t progressAt = 0;
+};
+
+/** The checkpointing and recovery substrate. */
+class CheckpointManager
+{
+  public:
+    struct Config
+    {
+        Coordination mode = Coordination::kGlobal;
+        /** Register file + pc + bookkeeping per core. */
+        std::uint64_t archBytesPerCore =
+            isa::kNumRegs * kWordBytes + 3 * kWordBytes;
+    };
+
+    /**
+     * @param provider  recomputation engine, or null for the plain
+     *                  baseline (every record carries its old value)
+     * @param stats     shared statistics sink
+     */
+    CheckpointManager(const Config &config, sim::MulticoreSystem &system,
+                      RecomputeProvider *provider, StatSet &stats);
+
+    /**
+     * Record checkpoint 0: the initial machine state at cycle 0. Must be
+     * called once before execution starts.
+     */
+    void initialCheckpoint();
+
+    /**
+     * Store interception (driver calls this for every retired store):
+     * log the old value on the first update to @p addr this interval,
+     * consulting the provider for amnesic omission.
+     */
+    void onStore(CoreId writer, Addr addr, Word old_value);
+
+    /** Establish a checkpoint now (the driver owns the schedule). */
+    void establish();
+
+    /**
+     * Recover from an error that occurred on @p failing at cycle
+     * @p error_time and was detected at @p detection_time: pick the
+     * most recent safe checkpoint, roll back memory + architectural
+     * state (global: all cores; local: the failing core's communication
+     * group closure), recompute amnesic records, and account costs.
+     */
+    RecoveryOutcome recover(CoreId failing, Cycle error_time,
+                            Cycle detection_time);
+
+    /** Number of checkpoints established (excluding checkpoint 0). */
+    std::uint64_t checkpointsEstablished() const { return established_; }
+
+    /** Index of the currently open interval. */
+    std::uint64_t openInterval() const { return openLog_.interval(); }
+
+    /** Per-interval size history across the whole run. */
+    const std::vector<IntervalSizes> &history() const { return history_; }
+
+    /** Currently retained checkpoints (newest last). */
+    const std::deque<Checkpoint> &retained() const { return retained_; }
+
+    const IntervalLog &openLog() const { return openLog_; }
+
+  private:
+    /** Establishment work for one coordination group. */
+    void establishGroup(cache::SharerMask group, IntervalSizes &sizes);
+
+    /** Apply one log's records (filtered by @p mask) to memory,
+     *  recomputing amnesic ones; collects restored addresses and
+     *  accumulates timing. */
+    void applyLog(const IntervalLog &log, cache::SharerMask mask,
+                  Cycle issue_at, Cycle &dram_done,
+                  std::vector<Cycle> &replay_cycles,
+                  std::vector<Addr> &restored);
+
+    Config config_;
+    sim::MulticoreSystem &system_;
+    RecomputeProvider *provider_;
+    StatSet &stats_;
+
+    IntervalLog openLog_{1};
+    std::deque<Checkpoint> retained_;
+    std::uint64_t established_ = 0;
+    std::vector<IntervalSizes> history_;
+    bool initialized_ = false;
+};
+
+} // namespace acr::ckpt
+
+#endif // ACR_CKPT_MANAGER_HH

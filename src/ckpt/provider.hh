@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Interface between the BER substrate and the recomputation engine. The
+ * checkpoint manager is oblivious to how Slices are produced; ACR's
+ * checkpoint handler (acr::AcrEngine) implements this interface, and a
+ * null provider yields the plain (non-amnesic) baseline.
+ */
+
+#ifndef ACR_CKPT_PROVIDER_HH
+#define ACR_CKPT_PROVIDER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "slice/instance.hh"
+
+namespace acr::ckpt
+{
+
+/** Recomputation services consumed by the checkpoint manager. */
+class RecomputeProvider
+{
+  public:
+    virtual ~RecomputeProvider() = default;
+
+    /**
+     * Slice instance able to regenerate the *current* value stored at
+     * @p addr (i.e., the old value about to be logged), or null when the
+     * value is not recomputable (Sec. III-C: the memory controller asks
+     * whether "the current value v of the respective memory line ... is
+     * recomputable").
+     */
+    virtual std::shared_ptr<slice::SliceInstance>
+    currentValueSlice(Addr addr) = 0;
+
+    /** Replay an instance, accounting the cost. */
+    virtual Word replay(const slice::SliceInstance &instance,
+                        slice::ReplayCost *cost) = 0;
+
+    /** A new checkpoint interval @p interval just opened. */
+    virtual void onCheckpointEstablished(std::uint64_t interval) = 0;
+
+    /**
+     * Rollback restored the given addresses; any producer bookkeeping
+     * for them is now stale.
+     */
+    virtual void onRollback(const std::vector<Addr> &restored) = 0;
+};
+
+} // namespace acr::ckpt
+
+#endif // ACR_CKPT_PROVIDER_HH

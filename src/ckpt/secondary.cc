@@ -1,0 +1,87 @@
+#include "ckpt/secondary.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acr::ckpt
+{
+
+SecondaryTier::SecondaryTier(const SecondaryConfig &config, StatSet &stats)
+    : config_(config), stats_(stats)
+{
+    ACR_ASSERT(config_.bytesPerCycle > 0,
+               "storage tier bandwidth must be positive");
+}
+
+bool
+SecondaryTier::duePromotion(std::uint64_t index) const
+{
+    return config_.promotionPeriod != 0 && index != 0 &&
+           index % config_.promotionPeriod == 0;
+}
+
+Cycle
+SecondaryTier::promote(const sim::MulticoreSystem &system,
+                       std::uint64_t checkpoint_index, Cycle now)
+{
+    SecondarySnapshot snapshot;
+    snapshot.checkpointIndex = checkpoint_index;
+    snapshot.progressAt = system.progress();
+    snapshot.promotedAt = now;
+    snapshot.image = system.memory().image();
+    for (CoreId c = 0; c < system.numCores(); ++c)
+        snapshot.arch.push_back(system.core(c).saveArch());
+
+    const double bytes = static_cast<double>(snapshot.bytes());
+    double start = std::max(static_cast<double>(now), channelFree_);
+    double occupancy = bytes / config_.bytesPerCycle;
+    channelFree_ = start + occupancy;
+
+    ++promotions_;
+    stats_.add("secondary.promotions");
+    stats_.add("secondary.bytesWritten", bytes);
+    stats_.add("secondary.writeCycles", occupancy);
+
+    latest_ = std::move(snapshot);
+    return now + static_cast<Cycle>(start - now + occupancy + 0.5) +
+           config_.latency;
+}
+
+const SecondarySnapshot *
+SecondaryTier::latest() const
+{
+    return latest_ ? &*latest_ : nullptr;
+}
+
+std::optional<Cycle>
+SecondaryTier::restore(sim::MulticoreSystem &system, Cycle now) const
+{
+    if (!latest_)
+        return std::nullopt;
+    const SecondarySnapshot &snapshot = *latest_;
+    ACR_ASSERT(snapshot.arch.size() == system.numCores(),
+               "snapshot core count mismatch");
+
+    // Wipe and reload the functional state.
+    system.memory().clear();
+    for (const auto &[addr, value] : snapshot.image)
+        system.memory().write(addr, value);
+
+    const double bytes = static_cast<double>(snapshot.bytes());
+    Cycle done = now + config_.latency +
+                 static_cast<Cycle>(bytes / config_.bytesPerCycle + 0.5);
+
+    for (CoreId c = 0; c < system.numCores(); ++c) {
+        system.core(c).restoreArch(snapshot.arch[c]);
+        system.core(c).setCycle(
+            std::max(system.core(c).cycle(), done));
+    }
+    system.caches().invalidateCores(system.allCoresMask());
+
+    stats_.add("secondary.restores");
+    stats_.add("secondary.bytesRead", bytes);
+    return done;
+}
+
+} // namespace acr::ckpt

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SecondaryTier: the second level of a hierarchical checkpointing
+ * framework. Sec. II-A of the paper notes that in-memory checkpointing
+ * "may correspond to a stand-alone checkpointing scheme or represent
+ * the first level in a hierarchical checkpointing framework"; this
+ * component implements that second level — periodic promotion of a full
+ * consistent snapshot to a slow storage tier, surviving failures that
+ * invalidate the in-memory logs entirely (e.g., loss of the node's
+ * DRAM).
+ *
+ * Promotion is posted (it does not stall the cores) but occupies the
+ * storage channel, and its traffic/energy is accounted. Restoration is
+ * a catastrophic-recovery path: it reloads the entire promoted image.
+ */
+
+#ifndef ACR_CKPT_SECONDARY_HH
+#define ACR_CKPT_SECONDARY_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/core.hh"
+#include "sim/system.hh"
+
+namespace acr::ckpt
+{
+
+/** Storage-tier parameters (flash/remote-node class). */
+struct SecondaryConfig
+{
+    /** Promote every Nth established checkpoint (0 disables). */
+    unsigned promotionPeriod = 4;
+
+    /** Sustained storage bandwidth, bytes per core cycle
+     *  (~1 GB/s at 1.09 GHz). */
+    double bytesPerCycle = 0.9;
+
+    /** Fixed per-promotion latency in cycles (~50 us). */
+    Cycle latency = 54500;
+};
+
+/** A promoted, self-contained snapshot. */
+struct SecondarySnapshot
+{
+    std::uint64_t checkpointIndex = 0;
+    std::uint64_t progressAt = 0;
+    Cycle promotedAt = 0;
+    std::map<Addr, Word> image;
+    std::vector<cpu::ArchState> arch;
+
+    /** Bytes this snapshot occupies on the storage tier. */
+    std::uint64_t
+    bytes() const
+    {
+        return image.size() * 2 * kWordBytes +
+               arch.size() * (isa::kNumRegs + 3) * kWordBytes;
+    }
+};
+
+/** The storage tier itself. */
+class SecondaryTier
+{
+  public:
+    SecondaryTier(const SecondaryConfig &config, StatSet &stats);
+
+    /** Should checkpoint @p index be promoted? */
+    bool duePromotion(std::uint64_t index) const;
+
+    /**
+     * Promote the machine's current (just-checkpointed) state. Called
+     * immediately after establishment, when caches are clean and
+     * MainMemory holds the checkpointed image. Posted: returns the
+     * cycle the storage write completes without stalling cores.
+     */
+    Cycle promote(const sim::MulticoreSystem &system,
+                  std::uint64_t checkpoint_index, Cycle now);
+
+    /** The most recent promoted snapshot, if any. */
+    const SecondarySnapshot *latest() const;
+
+    /**
+     * Catastrophic recovery: restore memory and every core's
+     * architectural state from the latest snapshot.
+     * @return the cycle at which the machine resumes, or nullopt when
+     *         nothing was ever promoted.
+     */
+    std::optional<Cycle> restore(sim::MulticoreSystem &system,
+                                 Cycle now) const;
+
+    std::uint64_t promotions() const { return promotions_; }
+    const SecondaryConfig &config() const { return config_; }
+
+  private:
+    SecondaryConfig config_;
+    StatSet &stats_;
+    std::optional<SecondarySnapshot> latest_;
+    /** Earliest cycle the storage channel is free. */
+    double channelFree_ = 0.0;
+    std::uint64_t promotions_ = 0;
+};
+
+} // namespace acr::ckpt
+
+#endif // ACR_CKPT_SECONDARY_HH

@@ -1,0 +1,76 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace acr
+{
+
+std::string
+vcsprintf(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string("<format error>");
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vcsprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", s.c_str());
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    std::abort();
+}
+
+} // namespace acr

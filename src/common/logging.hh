@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 idiom.
+ *
+ * panic()  — an internal invariant of the simulator itself was violated;
+ *            aborts so a core dump / debugger is available.
+ * fatal()  — the *user* asked for something impossible (bad configuration,
+ *            malformed program); exits with an error code.
+ * warn()   — something is off but the simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef ACR_COMMON_LOGGING_HH
+#define ACR_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace acr
+{
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of csprintf. */
+std::string vcsprintf(const char *fmt, va_list args);
+
+/** Print an informational message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** User-level error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Simulator bug: print and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant; calls panic() with location info when the
+ * condition does not hold. Active in all build types (the simulator's
+ * correctness arguments in tests rely on these firing in Release builds).
+ */
+#define ACR_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::acr::panic("assertion '%s' failed at %s:%d: %s", #cond,       \
+                         __FILE__, __LINE__,                                \
+                         ::acr::csprintf(__VA_ARGS__).c_str());             \
+        }                                                                   \
+    } while (0)
+
+} // namespace acr
+
+#endif // ACR_COMMON_LOGGING_HH

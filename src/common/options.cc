@@ -1,0 +1,152 @@
+#include "common/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace acr
+{
+
+OptionParser::OptionParser(std::string program_name)
+    : programName_(std::move(program_name))
+{
+}
+
+void
+OptionParser::addString(const std::string &name, const std::string &def,
+                        const std::string &help)
+{
+    options_[name] = Option{Kind::kString, def, def, help};
+    order_.push_back(name);
+}
+
+void
+OptionParser::addInt(const std::string &name, long long def,
+                     const std::string &help)
+{
+    std::string d = std::to_string(def);
+    options_[name] = Option{Kind::kInt, d, d, help};
+    order_.push_back(name);
+}
+
+void
+OptionParser::addDouble(const std::string &name, double def,
+                        const std::string &help)
+{
+    std::ostringstream oss;
+    oss << def;
+    options_[name] = Option{Kind::kDouble, oss.str(), oss.str(), help};
+    order_.push_back(name);
+}
+
+void
+OptionParser::addFlag(const std::string &name, const std::string &help)
+{
+    options_[name] = Option{Kind::kFlag, "0", "0", help};
+    order_.push_back(name);
+}
+
+void
+OptionParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+        std::string name = arg;
+        std::string value;
+        bool has_value = false;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end())
+            fatal("unknown option '--%s'\n%s", name.c_str(),
+                  usage().c_str());
+        Option &opt = it->second;
+        if (opt.kind == Kind::kFlag) {
+            if (has_value)
+                fatal("flag '--%s' does not take a value", name.c_str());
+            opt.value.assign(1, '1');
+            continue;
+        }
+        if (!has_value)
+            fatal("option '--%s' requires =value", name.c_str());
+        if (opt.kind == Kind::kInt) {
+            char *end = nullptr;
+            (void)std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                fatal("option '--%s' expects an integer, got '%s'",
+                      name.c_str(), value.c_str());
+        } else if (opt.kind == Kind::kDouble) {
+            char *end = nullptr;
+            (void)std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                fatal("option '--%s' expects a number, got '%s'",
+                      name.c_str(), value.c_str());
+        }
+        opt.value = value;
+    }
+}
+
+const OptionParser::Option &
+OptionParser::find(const std::string &name, Kind kind) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        panic("option '%s' was never declared", name.c_str());
+    if (it->second.kind != kind)
+        panic("option '%s' accessed with the wrong type", name.c_str());
+    return it->second;
+}
+
+std::string
+OptionParser::getString(const std::string &name) const
+{
+    return find(name, Kind::kString).value;
+}
+
+long long
+OptionParser::getInt(const std::string &name) const
+{
+    return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double
+OptionParser::getDouble(const std::string &name) const
+{
+    return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+bool
+OptionParser::getFlag(const std::string &name) const
+{
+    return find(name, Kind::kFlag).value == "1";
+}
+
+std::string
+OptionParser::usage() const
+{
+    std::ostringstream oss;
+    oss << "usage: " << programName_ << " [options]\n";
+    for (const auto &name : order_) {
+        const Option &opt = options_.at(name);
+        oss << "  --" << name;
+        if (opt.kind != Kind::kFlag)
+            oss << "=<v>";
+        oss << "  " << opt.help << " (default: " << opt.def << ")\n";
+    }
+    return oss.str();
+}
+
+} // namespace acr

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal command-line option parsing for the bench and example binaries:
+ * "--name=value" and "--flag" forms, with typed accessors and generated
+ * usage text.
+ */
+
+#ifndef ACR_COMMON_OPTIONS_HH
+#define ACR_COMMON_OPTIONS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace acr
+{
+
+/** Declarative command-line option parser. */
+class OptionParser
+{
+  public:
+    /** @param program_name used in usage output. */
+    explicit OptionParser(std::string program_name);
+
+    /** Declare a string option with a default. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Declare an integer option with a default. */
+    void addInt(const std::string &name, long long def,
+                const std::string &help);
+
+    /** Declare a floating-point option with a default. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+
+    /** Declare a boolean flag (default false; "--name" sets true). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Calls fatal() on unknown options or type errors.
+     * Handles "--help" by printing usage and exiting 0.
+     */
+    void parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    long long getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Usage text for all declared options. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { kString, kInt, kDouble, kFlag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string value;
+        std::string def;
+        std::string help;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string programName_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace acr
+
+#endif // ACR_COMMON_OPTIONS_HH

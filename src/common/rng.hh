@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256** seeded via
+ * splitmix64). Every stochastic choice in the simulator — workload data,
+ * error placement — goes through this generator so that runs are exactly
+ * reproducible from a seed, which the rollback/re-execution correctness
+ * tests depend on.
+ */
+
+#ifndef ACR_COMMON_RNG_HH
+#define ACR_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace acr
+{
+
+/** xoshiro256** 1.0 by Blackman & Vigna (public domain reference). */
+class Rng
+{
+  public:
+    /** Seed the full 256-bit state from one 64-bit seed via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ACR_ASSERT(bound != 0, "Rng::below(0)");
+        // Rejection sampling to remove modulo bias.
+        const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0}
+                                                         % bound) - 1;
+        std::uint64_t v;
+        do {
+            v = next();
+        } while (v > limit);
+        return v % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        ACR_ASSERT(lo <= hi, "Rng::range with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with the given success probability. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace acr
+
+#endif // ACR_COMMON_RNG_HH

@@ -1,0 +1,68 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace acr
+{
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    values_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+void
+StatSet::clear()
+{
+    for (auto &kv : values_)
+        kv.second = 0.0;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &kv : other.values_)
+        values_[kv.first] += kv.second;
+}
+
+StatSet
+StatSet::diff(const StatSet &other) const
+{
+    StatSet out;
+    out.values_ = values_;
+    for (const auto &kv : other.values_)
+        out.values_[kv.first] -= kv.second;
+    return out;
+}
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &kv : values_) {
+        if (!prefix.empty() && kv.first.rfind(prefix, 0) != 0)
+            continue;
+        os << std::left << std::setw(40) << kv.first << " "
+           << std::setprecision(12) << kv.second << "\n";
+    }
+}
+
+} // namespace acr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lightweight named-statistic registry in the spirit of gem5's stats
+ * package. Modules register scalar statistics under hierarchical dotted
+ * names ("ckpt.logRecords", "dram.lineWrites"); the harness merges,
+ * differences, and prints them.
+ */
+
+#ifndef ACR_COMMON_STATS_HH
+#define ACR_COMMON_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace acr
+{
+
+/**
+ * A set of named scalar statistics. Values are doubles so the same
+ * container holds counts, cycles, and energies.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta (default 1) to the statistic named @p name. */
+    void add(const std::string &name, double delta = 1.0);
+
+    /** Overwrite the statistic named @p name. */
+    void set(const std::string &name, double value);
+
+    /** Value of @p name, or 0 if never touched. */
+    double get(const std::string &name) const;
+
+    /** True if @p name has ever been touched. */
+    bool has(const std::string &name) const;
+
+    /** Reset every statistic to zero (names are retained). */
+    void clear();
+
+    /** Accumulate all statistics from @p other into this set. */
+    void merge(const StatSet &other);
+
+    /** This set minus @p other, per matching name (missing names = 0). */
+    StatSet diff(const StatSet &other) const;
+
+    /** All statistics, sorted by name. */
+    const std::map<std::string, double> &all() const { return values_; }
+
+    /** Number of distinct statistic names. */
+    std::size_t size() const { return values_.size(); }
+
+    /**
+     * Print "name value" lines, optionally restricted to names starting
+     * with @p prefix.
+     */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace acr
+
+#endif // ACR_COMMON_STATS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Console table and CSV emission used by every bench binary to print the
+ * rows/series the paper's tables and figures report.
+ */
+
+#ifndef ACR_COMMON_TABLE_HH
+#define ACR_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acr
+{
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric helpers format
+ * with a fixed precision.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a numeric cell with @p precision decimal places. */
+    Table &cell(double value, int precision = 2);
+
+    /** Append an integral cell. */
+    Table &cell(long long value);
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Print with aligned columns and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV (comma-separated, header first). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace acr
+
+#endif // ACR_COMMON_TABLE_HH

@@ -1,0 +1,87 @@
+#include "common/trace.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace acr
+{
+
+void
+EventTrace::span(const std::string &category, const std::string &name,
+                 Cycle start, Cycle end)
+{
+    ACR_ASSERT(end >= start, "trace span ends before it starts");
+    events_.push_back({category, name, start, end});
+}
+
+void
+EventTrace::instant(const std::string &category, const std::string &name,
+                    Cycle at)
+{
+    events_.push_back({category, name, at, at});
+}
+
+void
+EventTrace::writeTimeline(std::ostream &os) const
+{
+    std::vector<const TraceEvent *> sorted;
+    sorted.reserve(events_.size());
+    for (const auto &event : events_)
+        sorted.push_back(&event);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         return a->start < b->start;
+                     });
+
+    for (const TraceEvent *event : sorted) {
+        os << std::setw(12) << event->start;
+        if (event->isInstant())
+            os << "               ";
+        else
+            os << " .. " << std::setw(10) << event->end;
+        os << "  [" << event->category << "] " << event->name << "\n";
+    }
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+EventTrace::writeChromeJson(std::ostream &os) const
+{
+    os << "[";
+    bool first = true;
+    for (const auto &event : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"cat\": \"" << jsonEscape(event.category)
+           << "\", \"name\": \"" << jsonEscape(event.name)
+           << "\", \"pid\": 1, \"tid\": 1, \"ts\": " << event.start;
+        if (event.isInstant()) {
+            os << ", \"ph\": \"i\", \"s\": \"g\"}";
+        } else {
+            os << ", \"ph\": \"X\", \"dur\": "
+               << (event.end - event.start) << "}";
+        }
+    }
+    os << "\n]\n";
+}
+
+} // namespace acr

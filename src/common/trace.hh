@@ -1,0 +1,63 @@
+/**
+ * @file
+ * EventTrace: a lightweight timeline of simulation-level events
+ * (checkpoint establishments, error injections, recoveries), exportable
+ * as a human-readable timeline or as Chrome trace-event JSON
+ * (chrome://tracing / Perfetto) for visual inspection of a run.
+ */
+
+#ifndef ACR_COMMON_TRACE_HH
+#define ACR_COMMON_TRACE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace acr
+{
+
+/** A recorded event spanning [start, end] simulated cycles. */
+struct TraceEvent
+{
+    std::string category;
+    std::string name;
+    Cycle start = 0;
+    Cycle end = 0;
+
+    bool isInstant() const { return end == start; }
+};
+
+/** Append-only event timeline. */
+class EventTrace
+{
+  public:
+    /** Record a spanning event. end must be >= start. */
+    void span(const std::string &category, const std::string &name,
+              Cycle start, Cycle end);
+
+    /** Record an instantaneous event. */
+    void instant(const std::string &category, const std::string &name,
+                 Cycle at);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /** One line per event, sorted by start cycle. */
+    void writeTimeline(std::ostream &os) const;
+
+    /**
+     * Chrome trace-event format (JSON array of "X"/"i" phase events;
+     * cycles are reported as microseconds for viewer convenience).
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace acr
+
+#endif // ACR_COMMON_TRACE_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * In-order core model per Table I of the paper: 4-issue, 1.09 GHz, eight
+ * outstanding loads/stores (approximated by an overlap divisor on miss
+ * stalls), with functional execution against MainMemory and timing
+ * against the CacheSystem.
+ */
+
+#ifndef ACR_CPU_CORE_HH
+#define ACR_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/exec_observer.hh"
+#include "isa/program.hh"
+#include "mem/main_memory.hh"
+
+namespace acr::cpu
+{
+
+/** Issue/stall parameters of the in-order pipeline. */
+struct CoreTimingConfig
+{
+    /** Instructions issued per cycle (Table I: 4-issue). */
+    unsigned issueWidth = 4;
+
+    /**
+     * Divisor applied to exposed miss latency, approximating the memory
+     * level parallelism of 8 outstanding loads/stores on an in-order
+     * core.
+     */
+    double mlpFactor = 2.0;
+
+    /** Extra cycles charged for a taken branch. */
+    Cycle takenBranchPenalty = 1;
+};
+
+/** Execution state of a core. */
+enum class CoreState
+{
+    kRunning,
+    kAtBarrier,
+    kHalted,
+};
+
+/**
+ * Architectural state captured by a checkpoint and restored by rollback.
+ * instrsRetired is included so that "program progress" (which drives the
+ * checkpoint and error schedules) rewinds together with the rollback.
+ */
+struct ArchState
+{
+    std::size_t pc = 0;
+    std::array<Word, isa::kNumRegs> regs{};
+    std::uint64_t instrsRetired = 0;
+    CoreState state = CoreState::kRunning;
+
+    /**
+     * Barriers passed so far. Restored on rollback, which lets a
+     * rolled-back group re-arrive at barriers whose other participants
+     * are already past them: the system releases a waiter as soon as no
+     * live core is at a smaller epoch (see MulticoreSystem::step).
+     */
+    std::uint64_t barrierEpoch = 0;
+
+    bool operator==(const ArchState &other) const = default;
+};
+
+/** Plain-integer per-core event counters. */
+struct CoreCounters
+{
+    std::uint64_t instrs = 0;
+    std::uint64_t aluOps = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t memStallCycles = 0;
+};
+
+/** One simulated in-order core executing an SPMD program. */
+class Core
+{
+  public:
+    Core(CoreId id, const isa::Program &program, mem::MainMemory &memory,
+         cache::CacheSystem &caches, const CoreTimingConfig &timing);
+
+    /**
+     * Execute up to @p max_instrs instructions, stopping early at a
+     * barrier or halt. @p observer (may be null) sees every retired
+     * instruction.
+     * @return state after the quantum.
+     */
+    CoreState run(std::uint64_t max_instrs, ExecObserver *observer);
+
+    CoreId id() const { return id_; }
+    CoreState state() const { return state_; }
+    bool halted() const { return state_ == CoreState::kHalted; }
+    bool atBarrier() const { return state_ == CoreState::kAtBarrier; }
+
+    /**
+     * Resume past the barrier the core is waiting at; the caller (the
+     * system's barrier logic) supplies the synchronized resume cycle.
+     */
+    void releaseBarrier(Cycle resume_cycle);
+
+    /** Local clock. */
+    Cycle cycle() const { return cycle_; }
+
+    /** Advance the local clock (coordination, checkpoint stalls). */
+    void setCycle(Cycle cycle);
+
+    std::uint64_t instrsRetired() const { return counters_.instrs; }
+
+    /** Barriers passed (rolls back with architectural state). */
+    std::uint64_t barrierEpoch() const { return barrierEpoch_; }
+
+    /** Capture architectural state for a checkpoint. */
+    ArchState saveArch() const;
+
+    /** Restore architectural state from a checkpoint (rollback). */
+    void restoreArch(const ArchState &arch);
+
+    /** Read a register (tests, diagnostics). */
+    Word reg(unsigned index) const { return regs_[index]; }
+
+    /**
+     * Fault injection: XOR @p mask into the destination of the next
+     * register-writing instruction (fail-stop model: the wrong value
+     * propagates through registers and stores until detection).
+     */
+    void scheduleCorruption(Word mask);
+
+    /** True while a scheduled corruption has not yet been applied. */
+    bool corruptionPending() const { return corruptMask_.has_value(); }
+
+    /** Drop a scheduled-but-unapplied corruption (victim rescheduling). */
+    void cancelCorruption() { corruptMask_.reset(); }
+
+    /**
+     * Cycle at which the most recent corruption was applied, if one was
+     * applied since the last call (consumed on read).
+     */
+    std::optional<Cycle> takeCorruptionEvent();
+
+    const CoreCounters &counters() const { return counters_; }
+
+    /** Publish counters as "<prefix>.instrs" etc. */
+    void exportStats(StatSet &stats, const std::string &prefix) const;
+
+  private:
+    CoreId id_;
+    const isa::Program &program_;
+    mem::MainMemory &memory_;
+    cache::CacheSystem &caches_;
+    CoreTimingConfig timing_;
+
+    std::size_t pc_ = 0;
+    std::array<Word, isa::kNumRegs> regs_{};
+    CoreState state_ = CoreState::kRunning;
+    Cycle cycle_ = 0;
+    unsigned issueBuf_ = 0;
+    std::uint64_t barrierEpoch_ = 0;
+
+    std::optional<Word> corruptMask_;
+    std::optional<Cycle> corruptionEvent_;
+
+    CoreCounters counters_;
+};
+
+} // namespace acr::cpu
+
+#endif // ACR_CPU_CORE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Observation interface onto the dynamic instruction stream.
+ *
+ * This is the simulator's equivalent of the paper's Pin instrumentation:
+ * the dynamic slicer tracks register producer chains through it, and the
+ * checkpoint substrate intercepts stores for undo logging. One observer is
+ * attached per run; composite observers fan events out.
+ */
+
+#ifndef ACR_CPU_EXEC_OBSERVER_HH
+#define ACR_CPU_EXEC_OBSERVER_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace acr::cpu
+{
+
+/** Everything knowable about one retired dynamic instruction. */
+struct InstrEvent
+{
+    CoreId core = 0;
+    /** Static pc of the instruction. */
+    std::size_t pc = 0;
+    const isa::Instruction *inst = nullptr;
+
+    /**
+     * Value produced: rd's new value for ALU ops and loads, the stored
+     * value for stores, 0 otherwise.
+     */
+    Word result = 0;
+
+    /** Effective address for loads/stores. */
+    Addr addr = 0;
+
+    /** Previous memory value at addr, for stores (the undo-log datum). */
+    Word oldValue = 0;
+};
+
+/** Callback interface invoked once per retired instruction. */
+class ExecObserver
+{
+  public:
+    virtual ~ExecObserver() = default;
+    virtual void onInstr(const InstrEvent &event) = 0;
+};
+
+} // namespace acr::cpu
+
+#endif // ACR_CPU_EXEC_OBSERVER_HH

@@ -1,0 +1,50 @@
+#include "energy/energy_model.hh"
+
+namespace acr::energy
+{
+
+EnergyModel::EnergyModel(const EnergyConfig &config)
+    : config_(config)
+{
+}
+
+double
+EnergyModel::annotate(StatSet &stats) const
+{
+    const double alu = stats.get("cores.aluOps") * config_.aluOpPj;
+    const double fetch = stats.get("l1i.fetches") * config_.fetchPj;
+    const double l1d = (stats.get("l1d.hits") + stats.get("l1d.misses"))
+                       * config_.l1dAccessPj;
+    const double l2 = (stats.get("l2.hits") + stats.get("l2.misses"))
+                      * config_.l2AccessPj;
+    const double dram = stats.get("dram.bytes") * config_.dramBytePj;
+    const double noc = (stats.get("directory.invalidationsSent") +
+                        stats.get("directory.ownerForwards"))
+                       * config_.nocMessagePj;
+    const double addr_map = stats.get("acr.addrMapAccesses")
+                            * config_.addrMapAccessPj;
+    const double operand_buf = stats.get("acr.operandBufferWords")
+                               * config_.operandBufferPj;
+    const double replay = stats.get("acr.replayAluOps") * config_.aluOpPj;
+    const double static_e = stats.get("sim.maxCycle")
+                            * stats.get("sim.numCores")
+                            * config_.staticPjPerCoreCycle;
+
+    stats.set("energy.alu", alu);
+    stats.set("energy.fetch", fetch);
+    stats.set("energy.l1d", l1d);
+    stats.set("energy.l2", l2);
+    stats.set("energy.dram", dram);
+    stats.set("energy.noc", noc);
+    stats.set("energy.addrMap", addr_map);
+    stats.set("energy.operandBuffer", operand_buf);
+    stats.set("energy.sliceReplay", replay);
+    stats.set("energy.static", static_e);
+
+    const double total = alu + fetch + l1d + l2 + dram + noc + addr_map
+                         + operand_buf + replay + static_e;
+    stats.set("energy.total", total);
+    return total;
+}
+
+} // namespace acr::energy

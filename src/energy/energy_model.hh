@@ -1,0 +1,89 @@
+/**
+ * @file
+ * McPAT-style per-event energy model at a 22 nm-class operating point.
+ *
+ * The model converts event counts (gathered as statistics by the cores,
+ * caches, DRAM, checkpoint substrate and ACR structures) into picojoules,
+ * plus leakage/clock static power integrated over wall-clock cycles. The
+ * published constants preserve the paper's driving ratio: a DRAM access
+ * costs three orders of magnitude more energy than an ALU operation —
+ * the "imbalanced technology scaling" premise (Sec. I) that makes
+ * recomputation cheaper than retrieval.
+ */
+
+#ifndef ACR_ENERGY_ENERGY_MODEL_HH
+#define ACR_ENERGY_ENERGY_MODEL_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acr::energy
+{
+
+/** Per-event energies in picojoules (22 nm-class defaults). */
+struct EnergyConfig
+{
+    /** One integer ALU operation including register-file traffic. */
+    double aluOpPj = 1.2;
+
+    /** One instruction fetch from L1-I (amortized). */
+    double fetchPj = 0.6;
+
+    /** One L1-D access (hit or miss lookup). */
+    double l1dAccessPj = 11.0;
+
+    /** One L2 access. */
+    double l2AccessPj = 46.0;
+
+    /** One byte moved to/from DRAM (activation+IO amortized). */
+    double dramBytePj = 14.0;
+
+    /** One coherence message (invalidate / forward) over the NoC. */
+    double nocMessagePj = 14.0;
+
+    /** One AddrMap access (small on-chip buffer, modeled after L1-D
+     *  per Sec. IV but far smaller; paper models it "after L1-D"). */
+    double addrMapAccessPj = 3.0;
+
+    /** One input-operand-buffer word read/write. */
+    double operandBufferPj = 2.2;
+
+    /** Static (leakage + clock) energy per core per cycle. */
+    double staticPjPerCoreCycle = 35.0;
+};
+
+/** Energy accounting over a StatSet of event counts. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyConfig &config = EnergyConfig{});
+
+    /**
+     * Compute component and total energies from the event counters in
+     * @p stats and write them back as "energy.*" entries (picojoules).
+     *
+     * Consumed counters: cores.aluOps, cores.instrs, l1d.hits/misses,
+     * l2.hits/misses, l1i.fetches, dram.bytes,
+     * directory.invalidationsSent/ownerForwards, acr.addrMapAccesses,
+     * acr.operandBufferWords, sim.maxCycle, sim.numCores.
+     *
+     * @return total energy in picojoules.
+     */
+    double annotate(StatSet &stats) const;
+
+    /** Energy-delay product given total energy (pJ) and cycles. */
+    static double
+    edp(double energy_pj, Cycle cycles)
+    {
+        return energy_pj * static_cast<double>(cycles);
+    }
+
+    const EnergyConfig &config() const { return config_; }
+
+  private:
+    EnergyConfig config_;
+};
+
+} // namespace acr::energy
+
+#endif // ACR_ENERGY_ENERGY_MODEL_HH

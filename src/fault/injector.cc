@@ -1,0 +1,171 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acr::fault
+{
+
+double
+relativeErrorRate(unsigned generations, double degradation)
+{
+    // Fig. 1: component error rate grows multiplicatively per
+    // generation as feature size scales down.
+    return std::pow(1.0 + degradation, static_cast<double>(generations));
+}
+
+FaultPlan
+FaultPlan::uniform(unsigned count, std::uint64_t total_progress,
+                   Cycle detection_latency, std::uint64_t seed)
+{
+    ACR_ASSERT(total_progress > 0, "fault plan over empty execution");
+    FaultPlan plan;
+    plan.detectionLatency = detection_latency;
+    Rng rng(seed);
+    for (unsigned i = 1; i <= count; ++i) {
+        Event event;
+        event.progressTrigger =
+            total_progress * i / (static_cast<std::uint64_t>(count) + 1);
+        event.xorMask = rng.next() | 1;  // guarantee at least one flip
+        plan.events.push_back(event);
+    }
+    return plan;
+}
+
+ErrorInjector::ErrorInjector(const FaultPlan &plan, StatSet &stats)
+    : plan_(plan), stats_(stats)
+{
+}
+
+bool
+ErrorInjector::done() const
+{
+    return nextEvent_ >= plan_.events.size() && phase_ == Phase::kIdle;
+}
+
+std::optional<DetectionEvent>
+ErrorInjector::forceDetection(sim::MulticoreSystem &system)
+{
+    if (phase_ == Phase::kLatent) {
+        DetectionEvent detection;
+        detection.core = victim_;
+        detection.errorTime = errorTime_;
+        detection.detectTime =
+            std::max(system.core(victim_).cycle(),
+                     errorTime_ + plan_.detectionLatency);
+        phase_ = Phase::kIdle;
+        ++nextEvent_;
+        ++detected_;
+        stats_.add("fault.detected");
+        return detection;
+    }
+    if (phase_ == Phase::kArmed) {
+        system.core(victim_).cancelCorruption();
+        phase_ = Phase::kIdle;
+        ++nextEvent_;
+        ++dropped_;
+        stats_.add("fault.dropped");
+    }
+    return std::nullopt;
+}
+
+std::optional<DetectionEvent>
+ErrorInjector::poll(sim::MulticoreSystem &system)
+{
+    if (phase_ == Phase::kIdle) {
+        if (nextEvent_ >= plan_.events.size())
+            return std::nullopt;
+        const FaultPlan::Event &event = plan_.events[nextEvent_];
+        if (system.progress() < event.progressTrigger) {
+            // A fully-halted system makes no further progress: the
+            // error can never occur (possible when an earlier,
+            // unrecovered corruption truncated the execution).
+            if (system.allHalted()) {
+                ++dropped_;
+                ++nextEvent_;
+                stats_.add("fault.dropped");
+            }
+            return std::nullopt;
+        }
+
+        // Choose a live victim deterministically (round-robin by event
+        // index, skipping halted cores).
+        CoreId victim = kInvalidCore;
+        for (unsigned k = 0; k < system.numCores(); ++k) {
+            CoreId c = static_cast<CoreId>(
+                (nextEvent_ + k) % system.numCores());
+            if (!system.core(c).halted()) {
+                victim = c;
+                break;
+            }
+        }
+        if (victim == kInvalidCore) {
+            // Program finished under us; the error can no longer occur.
+            ++dropped_;
+            ++nextEvent_;
+            stats_.add("fault.dropped");
+            return std::nullopt;
+        }
+        victim_ = victim;
+        system.core(victim_).scheduleCorruption(event.xorMask);
+        phase_ = Phase::kArmed;
+        return std::nullopt;
+    }
+
+    if (phase_ == Phase::kArmed) {
+        auto applied = system.core(victim_).takeCorruptionEvent();
+        if (applied) {
+            errorTime_ = *applied;
+            phase_ = Phase::kLatent;
+            ++injected_;
+            stats_.add("fault.injected");
+            // Fall through to the latent check below.
+        } else if (system.core(victim_).halted()) {
+            // Victim finished before executing another register write;
+            // move the corruption to a live core.
+            system.core(victim_).cancelCorruption();
+            CoreId replacement = kInvalidCore;
+            for (CoreId c = 0; c < system.numCores(); ++c) {
+                if (!system.core(c).halted()) {
+                    replacement = c;
+                    break;
+                }
+            }
+            if (replacement == kInvalidCore) {
+                ++dropped_;
+                ++nextEvent_;
+                phase_ = Phase::kIdle;
+                stats_.add("fault.dropped");
+                return std::nullopt;
+            }
+            victim_ = replacement;
+            system.core(victim_).scheduleCorruption(
+                plan_.events[nextEvent_].xorMask);
+            return std::nullopt;
+        } else {
+            return std::nullopt;
+        }
+    }
+
+    // Latent: detection fires once the victim's clock passes
+    // occurrence + latency (or immediately if the victim halted with a
+    // corrupted state — the checker catches it at program end).
+    const cpu::Core &victim = system.core(victim_);
+    const Cycle detect_at = errorTime_ + plan_.detectionLatency;
+    if (victim.cycle() >= detect_at || victim.halted()) {
+        DetectionEvent detection;
+        detection.core = victim_;
+        detection.errorTime = errorTime_;
+        detection.detectTime = std::max(victim.cycle(), detect_at);
+        phase_ = Phase::kIdle;
+        ++nextEvent_;
+        ++detected_;
+        stats_.add("fault.detected");
+        return detection;
+    }
+    return std::nullopt;
+}
+
+} // namespace acr::fault

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fail-stop error injection (Sec. II-A): errors corrupt computation — the
+ * destination value of a dynamic instruction — and the wrong value
+ * propagates through registers and stores until *detection*, which lags
+ * occurrence by a configurable latency no longer than the checkpoint
+ * period. Memory and checkpoint logs themselves never fail (ECC).
+ *
+ * Errors are placed uniformly over execution (Sec. V-D2) using program
+ * progress (retired instructions) as the time axis, so the same plan
+ * injects at the same functional points in every configuration compared.
+ */
+
+#ifndef ACR_FAULT_INJECTOR_HH
+#define ACR_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/system.hh"
+
+namespace acr::fault
+{
+
+/** Fig. 1's technology model: relative component error rate after
+ *  @p generations of scaling at @p degradation per bit per generation
+ *  (the paper cites 8%/bit/generation). */
+double relativeErrorRate(unsigned generations,
+                         double degradation = 0.08);
+
+/** A schedule of errors for one run. */
+struct FaultPlan
+{
+    struct Event
+    {
+        /** Inject when program progress reaches this instruction count. */
+        std::uint64_t progressTrigger = 0;
+        /** Bits to flip in the victim instruction's result. */
+        Word xorMask = 1;
+    };
+
+    std::vector<Event> events;
+
+    /** Detection lag in cycles (must not exceed the checkpoint period). */
+    Cycle detectionLatency = 0;
+
+    /**
+     * @p count errors uniformly distributed over @p total_progress
+     * retired instructions, with masks drawn from @p seed.
+     */
+    static FaultPlan uniform(unsigned count, std::uint64_t total_progress,
+                             Cycle detection_latency, std::uint64_t seed);
+};
+
+/** What the BER driver must react to. */
+struct DetectionEvent
+{
+    CoreId core = 0;
+    Cycle errorTime = 0;
+    Cycle detectTime = 0;
+};
+
+/**
+ * Drives a FaultPlan against a running system. The driver calls poll()
+ * between scheduling quanta; when poll() returns a DetectionEvent the
+ * driver must run recovery before continuing.
+ */
+class ErrorInjector
+{
+  public:
+    ErrorInjector(const FaultPlan &plan, StatSet &stats);
+
+    /**
+     * Advance the injector state machine: arm scheduled corruptions,
+     * observe their application, and report detection once the failing
+     * core's clock passes occurrence + detection latency.
+     */
+    std::optional<DetectionEvent> poll(sim::MulticoreSystem &system);
+
+    /**
+     * Watchdog path: the system wedged (corrupted control flow broke a
+     * barrier rendezvous). If an injected error is latent, detect it
+     * now regardless of the latency timer; if one is merely armed
+     * (never applied), drop it. Returns the detection, if any.
+     */
+    std::optional<DetectionEvent>
+    forceDetection(sim::MulticoreSystem &system);
+
+    /** Errors injected so far. */
+    std::uint64_t injected() const { return injected_; }
+
+    /** Errors detected (and thus recovered) so far. */
+    std::uint64_t detected() const { return detected_; }
+
+    /** Errors dropped because they could no longer occur. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** True when every planned error has been detected (or dropped
+     *  because no core could apply it). */
+    bool done() const;
+
+  private:
+    enum class Phase
+    {
+        kIdle,    ///< waiting for the next progress trigger
+        kArmed,   ///< corruption scheduled on a core, not yet applied
+        kLatent,  ///< corruption applied, waiting out detection latency
+    };
+
+    FaultPlan plan_;
+    StatSet &stats_;
+    std::size_t nextEvent_ = 0;
+    Phase phase_ = Phase::kIdle;
+    CoreId victim_ = 0;
+    Cycle errorTime_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t detected_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace acr::fault
+
+#endif // ACR_FAULT_INJECTOR_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Expression trees for the kernel frontend: a small, typed layer above
+ * the raw ISA. Expressions are side-effect-free values (constants, the
+ * thread id, variable reads, loads, arithmetic); Function (function.hh)
+ * sequences statements and compiles expressions to registers.
+ */
+
+#ifndef ACR_FRONTEND_EXPR_HH
+#define ACR_FRONTEND_EXPR_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace acr::frontend
+{
+
+class Function;
+struct VarImpl;
+
+/** Internal expression node. */
+struct ExprNode
+{
+    enum class Kind
+    {
+        kConst,
+        kTid,
+        kReadVar,
+        kLoad,
+        kBinary,
+    };
+
+    Kind kind = Kind::kConst;
+    SWord imm = 0;                      ///< kConst
+    const VarImpl *var = nullptr;       ///< kReadVar
+    isa::Opcode op = isa::Opcode::kAdd; ///< kBinary (register-register)
+    std::shared_ptr<ExprNode> lhs;      ///< kBinary / kLoad address
+    std::shared_ptr<ExprNode> rhs;      ///< kBinary
+};
+
+/** A value expression (cheap to copy; immutable). */
+class Expr
+{
+  public:
+    Expr() : node_(std::make_shared<ExprNode>()) {}
+
+    explicit Expr(std::shared_ptr<ExprNode> node)
+        : node_(std::move(node))
+    {
+    }
+
+    /** Implicit constant conversion: Expr e = x + 3. */
+    Expr(SWord value) : Expr()
+    {
+        node_->kind = ExprNode::Kind::kConst;
+        node_->imm = value;
+    }
+
+    const std::shared_ptr<ExprNode> &node() const { return node_; }
+
+    static Expr
+    binary(isa::Opcode op, const Expr &lhs, const Expr &rhs)
+    {
+        auto node = std::make_shared<ExprNode>();
+        node->kind = ExprNode::Kind::kBinary;
+        node->op = op;
+        node->lhs = lhs.node();
+        node->rhs = rhs.node();
+        return Expr(std::move(node));
+    }
+
+  private:
+    std::shared_ptr<ExprNode> node_;
+};
+
+inline Expr
+operator+(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kAdd, a, b);
+}
+
+inline Expr
+operator-(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kSub, a, b);
+}
+
+inline Expr
+operator*(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kMul, a, b);
+}
+
+inline Expr
+operator/(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kDivu, a, b);
+}
+
+inline Expr
+operator%(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kRemu, a, b);
+}
+
+inline Expr
+operator&(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kAnd, a, b);
+}
+
+inline Expr
+operator|(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kOr, a, b);
+}
+
+inline Expr
+operator^(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kXor, a, b);
+}
+
+inline Expr
+operator<<(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kShl, a, b);
+}
+
+inline Expr
+operator>>(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kShr, a, b);
+}
+
+/** Unsigned minimum / maximum / comparisons. */
+inline Expr
+min(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kMin, a, b);
+}
+
+inline Expr
+max(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kMax, a, b);
+}
+
+inline Expr
+eq(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kCmpEq, a, b);
+}
+
+inline Expr
+ltu(const Expr &a, const Expr &b)
+{
+    return Expr::binary(isa::Opcode::kCmpLtu, a, b);
+}
+
+} // namespace acr::frontend
+
+#endif // ACR_FRONTEND_EXPR_HH

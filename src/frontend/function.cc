@@ -1,0 +1,280 @@
+#include "frontend/function.hh"
+
+#include "common/logging.hh"
+
+namespace acr::frontend
+{
+
+using isa::Opcode;
+
+Function::Function(std::string name)
+    : builder_(name), name_(std::move(name))
+{
+    // r0 is hardwired zero and never allocatable.
+    regUsed_.assign(isa::kNumRegs, false);
+    regUsed_[0] = true;
+}
+
+isa::Reg
+Function::allocReg()
+{
+    for (unsigned r = 1; r < isa::kNumRegs; ++r) {
+        if (!regUsed_[r]) {
+            regUsed_[r] = true;
+            return static_cast<isa::Reg>(r);
+        }
+    }
+    fatal("frontend: out of registers in function '%s' (expression too "
+          "deep or too many live variables)",
+          name_.c_str());
+}
+
+void
+Function::freeReg(isa::Reg reg)
+{
+    ACR_ASSERT(reg != 0 && regUsed_[reg], "double free of r%u", reg);
+    regUsed_[reg] = false;
+}
+
+void
+Function::release(const Operand &operand)
+{
+    if (operand.owned)
+        freeReg(operand.reg);
+}
+
+unsigned
+Function::freeRegs() const
+{
+    unsigned n = 0;
+    for (unsigned r = 1; r < isa::kNumRegs; ++r)
+        n += regUsed_[r] ? 0 : 1;
+    return n;
+}
+
+bool
+Function::immFormOf(Opcode op, Opcode &out)
+{
+    switch (op) {
+      case Opcode::kAdd: out = Opcode::kAddi; return true;
+      case Opcode::kMul: out = Opcode::kMuli; return true;
+      case Opcode::kAnd: out = Opcode::kAndi; return true;
+      case Opcode::kOr: out = Opcode::kOri; return true;
+      case Opcode::kXor: out = Opcode::kXori; return true;
+      case Opcode::kShl: out = Opcode::kShli; return true;
+      case Opcode::kShr: out = Opcode::kShri; return true;
+      default: return false;
+    }
+}
+
+void
+Function::evalInto(const ExprNode &expr, isa::Reg target)
+{
+    switch (expr.kind) {
+      case ExprNode::Kind::kConst:
+        builder_.movi(target, expr.imm);
+        return;
+      case ExprNode::Kind::kTid:
+        builder_.tid(target);
+        return;
+      case ExprNode::Kind::kReadVar:
+        ACR_ASSERT(expr.var && expr.var->live,
+                   "read of a dead or null variable");
+        builder_.mov(target, expr.var->reg);
+        return;
+      case ExprNode::Kind::kLoad: {
+        Operand addr = eval(*expr.lhs);
+        builder_.load(target, addr.reg);
+        release(addr);
+        return;
+      }
+      case ExprNode::Kind::kBinary: {
+        // Fold a constant rhs into the immediate form when one exists.
+        Opcode imm_op;
+        if (expr.rhs->kind == ExprNode::Kind::kConst &&
+            immFormOf(expr.op, imm_op)) {
+            Operand lhs = eval(*expr.lhs);
+            switch (imm_op) {
+              case Opcode::kAddi:
+                builder_.addi(target, lhs.reg, expr.rhs->imm);
+                break;
+              case Opcode::kMuli:
+                builder_.muli(target, lhs.reg, expr.rhs->imm);
+                break;
+              case Opcode::kAndi:
+                builder_.andi(target, lhs.reg, expr.rhs->imm);
+                break;
+              case Opcode::kOri:
+                builder_.ori(target, lhs.reg, expr.rhs->imm);
+                break;
+              case Opcode::kXori:
+                builder_.xori(target, lhs.reg, expr.rhs->imm);
+                break;
+              case Opcode::kShli:
+                builder_.shli(target, lhs.reg, expr.rhs->imm);
+                break;
+              case Opcode::kShri:
+                builder_.shri(target, lhs.reg, expr.rhs->imm);
+                break;
+              default:
+                panic("unexpected immediate opcode");
+            }
+            release(lhs);
+            return;
+        }
+        Operand lhs = eval(*expr.lhs);
+        Operand rhs = eval(*expr.rhs);
+        switch (expr.op) {
+          case Opcode::kAdd: builder_.add(target, lhs.reg, rhs.reg); break;
+          case Opcode::kSub: builder_.sub(target, lhs.reg, rhs.reg); break;
+          case Opcode::kMul: builder_.mul(target, lhs.reg, rhs.reg); break;
+          case Opcode::kDivu:
+            builder_.divu(target, lhs.reg, rhs.reg);
+            break;
+          case Opcode::kRemu:
+            builder_.remu(target, lhs.reg, rhs.reg);
+            break;
+          case Opcode::kAnd:
+            builder_.and_(target, lhs.reg, rhs.reg);
+            break;
+          case Opcode::kOr: builder_.or_(target, lhs.reg, rhs.reg); break;
+          case Opcode::kXor:
+            builder_.xor_(target, lhs.reg, rhs.reg);
+            break;
+          case Opcode::kShl: builder_.shl(target, lhs.reg, rhs.reg); break;
+          case Opcode::kShr: builder_.shr(target, lhs.reg, rhs.reg); break;
+          case Opcode::kSra: builder_.sra(target, lhs.reg, rhs.reg); break;
+          case Opcode::kMin: builder_.min(target, lhs.reg, rhs.reg); break;
+          case Opcode::kMax: builder_.max(target, lhs.reg, rhs.reg); break;
+          case Opcode::kCmpEq:
+            builder_.cmpeq(target, lhs.reg, rhs.reg);
+            break;
+          case Opcode::kCmpLtu:
+            builder_.cmpltu(target, lhs.reg, rhs.reg);
+            break;
+          case Opcode::kCmpLts:
+            builder_.cmplts(target, lhs.reg, rhs.reg);
+            break;
+          default:
+            panic("frontend: unsupported binary opcode");
+        }
+        release(lhs);
+        release(rhs);
+        return;
+      }
+    }
+    panic("frontend: unhandled expression kind");
+}
+
+Function::Operand
+Function::eval(const ExprNode &expr)
+{
+    // Variable reads alias the variable's register (no copy, not owned).
+    if (expr.kind == ExprNode::Kind::kReadVar) {
+        ACR_ASSERT(expr.var && expr.var->live,
+                   "read of a dead or null variable");
+        return {expr.var->reg, false};
+    }
+    isa::Reg reg = allocReg();
+    evalInto(expr, reg);
+    return {reg, true};
+}
+
+Expr
+Function::tid()
+{
+    auto node = std::make_shared<ExprNode>();
+    node->kind = ExprNode::Kind::kTid;
+    return Expr(std::move(node));
+}
+
+Expr
+Function::load(const Expr &addr)
+{
+    auto node = std::make_shared<ExprNode>();
+    node->kind = ExprNode::Kind::kLoad;
+    node->lhs = addr.node();
+    return Expr(std::move(node));
+}
+
+Var
+Function::var(const Expr &init)
+{
+    isa::Reg reg = allocReg();
+    evalInto(*init.node(), reg);
+    vars_.push_back(VarImpl{reg, true});
+    return Var(&vars_.back());
+}
+
+void
+Function::assign(const Var &target, const Expr &value)
+{
+    ACR_ASSERT(target.impl()->live, "assignment to a dead variable");
+    evalInto(*value.node(), target.impl()->reg);
+}
+
+void
+Function::store(const Expr &addr, const Expr &value)
+{
+    Operand a = eval(*addr.node());
+    Operand v = eval(*value.node());
+    builder_.store(a.reg, v.reg);
+    release(a);
+    release(v);
+}
+
+void
+Function::forRange(SWord begin, SWord end,
+                   const std::function<void(Expr)> &body)
+{
+    ACR_ASSERT(begin <= end, "forRange with begin > end");
+    Var i = var(Expr(begin));
+    Var limit = var(Expr(end));
+    std::string label = csprintf("for_%u", labelCounter_++);
+    std::string skip = label + "_end";
+    builder_.label(label);
+    builder_.bgeu(i.impl()->reg, limit.impl()->reg, skip);
+    body(i.read());
+    builder_.addi(i.impl()->reg, i.impl()->reg, 1);
+    builder_.jmp(label);
+    builder_.label(skip);
+    // Scope ends: both registers return to the pool.
+    i.impl()->live = false;
+    limit.impl()->live = false;
+    freeReg(i.impl()->reg);
+    freeReg(limit.impl()->reg);
+}
+
+void
+Function::ifNonZero(const Expr &cond, const std::function<void()> &body)
+{
+    Operand c = eval(*cond.node());
+    std::string skip = csprintf("if_%u_end", labelCounter_++);
+    builder_.beq(c.reg, 0, skip);
+    release(c);
+    body();
+    builder_.label(skip);
+}
+
+void
+Function::barrier()
+{
+    builder_.barrier();
+}
+
+void
+Function::data(Addr addr, Word value)
+{
+    builder_.data(addr, value);
+}
+
+isa::Program
+Function::build()
+{
+    ACR_ASSERT(!built_, "Function::build called twice");
+    built_ = true;
+    builder_.halt();
+    return builder_.build();
+}
+
+} // namespace acr::frontend

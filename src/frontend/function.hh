@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Function: the statement layer of the kernel frontend. Sequences
+ * stores, variable updates, counted loops and barriers, compiling
+ * expression trees to the ISA with a simple temp-register allocator and
+ * register-immediate folding. build() returns a validated Program.
+ *
+ * Example:
+ *
+ *   Function f("poly");
+ *   Var base = f.var(Expr(1 << 20) + (f.tid() << 12));
+ *   f.forRange(0, 64, [&](Expr i) {
+ *       f.store(base.read() + i, i * 3 + f.tid());
+ *   });
+ *   f.barrier();
+ *   isa::Program p = f.build();
+ */
+
+#ifndef ACR_FRONTEND_FUNCTION_HH
+#define ACR_FRONTEND_FUNCTION_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "frontend/expr.hh"
+#include "isa/builder.hh"
+
+namespace acr::frontend
+{
+
+/** A named mutable variable pinned to a register for its lifetime. */
+struct VarImpl
+{
+    isa::Reg reg = 0;
+    bool live = true;
+};
+
+class Var
+{
+  public:
+    explicit Var(VarImpl *impl) : impl_(impl) {}
+
+    /** Read the current value as an expression. */
+    Expr
+    read() const
+    {
+        auto node = std::make_shared<ExprNode>();
+        node->kind = ExprNode::Kind::kReadVar;
+        node->var = impl_;
+        return Expr(std::move(node));
+    }
+
+    VarImpl *impl() const { return impl_; }
+
+  private:
+    VarImpl *impl_;
+};
+
+/** Kernel function under construction. */
+class Function
+{
+  public:
+    explicit Function(std::string name);
+
+    // --- Expressions ---
+    Expr tid();
+    Expr constant(SWord value) { return Expr(value); }
+    Expr load(const Expr &addr);
+
+    // --- Statements ---
+    /** Declare a variable initialized to @p init. */
+    Var var(const Expr &init);
+
+    /** Assign @p value to @p target. */
+    void assign(const Var &target, const Expr &value);
+
+    /** M[addr] = value. */
+    void store(const Expr &addr, const Expr &value);
+
+    /** for (i = begin; i < end; ++i) body(i)   — unsigned compare. */
+    void forRange(SWord begin, SWord end,
+                  const std::function<void(Expr)> &body);
+
+    /** Execute body only when cond != 0. */
+    void ifNonZero(const Expr &cond, const std::function<void()> &body);
+
+    /** Rendezvous of all threads. */
+    void barrier();
+
+    /** Initialize M[addr] = value before execution. */
+    void data(Addr addr, Word value);
+
+    /** Finish with halt, validate, and return the program. */
+    isa::Program build();
+
+    /** Registers currently available for temporaries/vars. */
+    unsigned freeRegs() const;
+
+  private:
+    /** A compiled expression: the register holding it, and whether the
+     *  compiler owns (and must free) that register. */
+    struct Operand
+    {
+        isa::Reg reg = 0;
+        bool owned = false;
+    };
+
+    isa::Reg allocReg();
+    void freeReg(isa::Reg reg);
+    void release(const Operand &operand);
+
+    /** Compile @p expr into a register. */
+    Operand eval(const ExprNode &expr);
+
+    /** Compile @p expr into the specific register @p target. */
+    void evalInto(const ExprNode &expr, isa::Reg target);
+
+    /** Immediate-folding: register-register opcode -> imm form. */
+    static bool immFormOf(isa::Opcode op, isa::Opcode &out);
+
+    isa::ProgramBuilder builder_;
+    std::string name_;
+    std::deque<VarImpl> vars_;
+    std::vector<bool> regUsed_;
+    unsigned labelCounter_ = 0;
+    bool built_ = false;
+};
+
+} // namespace acr::frontend
+
+#endif // ACR_FRONTEND_FUNCTION_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Overhead decomposition in the paper's own terms (Equations 1-4).
+ *
+ *   o_chk     = #chk x o_wr,chk                       (Eq. 1)
+ *   o_rec     = #rec x (o_waste + o_roll-back)        (Eq. 2)
+ *   o_rec,ACR = #rec x (o_waste + o_roll-back,rcmp
+ *                               + o_rcmp)             (Eq. 3)
+ *
+ * and ACR keeps recovery overhead at bay iff
+ *
+ *   o_roll-back,rcmp + o_rcmp <= o_roll-back          (Eq. 4)
+ *
+ * The breakdown is extracted from a run's StatSet; rollbackCycles
+ * already contains both the restore and the recomputation time, so the
+ * Eq. 4 comparison is a direct cycles comparison between an ACR run and
+ * its baseline counterpart.
+ */
+
+#ifndef ACR_HARNESS_ANALYSIS_HH
+#define ACR_HARNESS_ANALYSIS_HH
+
+#include <ostream>
+
+#include "harness/experiment.hh"
+
+namespace acr::harness
+{
+
+/** The Eq. 1-3 components of one run. */
+struct BerBreakdown
+{
+    // Equation 1.
+    double checkpoints = 0;        ///< #chk
+    double establishCycles = 0;    ///< sum of o_wr,chk (core-cycles)
+    double loggedBytes = 0;
+    double omittedBytes = 0;
+
+    // Equations 2/3.
+    double recoveries = 0;         ///< #rec
+    double wasteCycles = 0;        ///< sum of o_waste
+    double rollbackCycles = 0;     ///< o_roll-back(,rcmp) + o_rcmp
+    double restoredWords = 0;
+    double recomputedWords = 0;
+    double replayAluOps = 0;       ///< the work inside o_rcmp
+
+    /** Mean o_wr,chk per checkpoint. */
+    double
+    meanEstablishCycles() const
+    {
+        return checkpoints == 0 ? 0 : establishCycles / checkpoints;
+    }
+
+    /** Mean (o_waste + o_roll-back) per recovery. */
+    double
+    meanRecoveryCycles() const
+    {
+        return recoveries == 0
+                   ? 0
+                   : (wasteCycles + rollbackCycles) / recoveries;
+    }
+};
+
+/** Extract the breakdown from a finished run. */
+inline BerBreakdown
+analyze(const ExperimentResult &result)
+{
+    BerBreakdown b;
+    b.checkpoints = result.stats.get("ckpt.establishments");
+    b.establishCycles = result.stats.get("ckpt.establishStallCycles");
+    b.loggedBytes = result.stats.get("ckpt.loggedBytes");
+    b.omittedBytes = result.stats.get("ckpt.omittedBytes");
+    b.recoveries = result.stats.get("rec.recoveries");
+    b.wasteCycles = result.stats.get("rec.wasteCycles");
+    b.rollbackCycles = result.stats.get("rec.rollbackCycles");
+    b.restoredWords = result.stats.get("rec.restoredWords");
+    b.recomputedWords = result.stats.get("rec.recomputedWords");
+    b.replayAluOps = result.stats.get("acr.replayAluOps");
+    return b;
+}
+
+/**
+ * Equation 4: does the ACR run's per-recovery roll-back cost (restore
+ * of the shrunken checkpoint + recomputation) stay within the
+ * baseline's roll-back cost? @p slack tolerates measurement noise.
+ */
+inline bool
+eq4Holds(const ExperimentResult &acr_run,
+         const ExperimentResult &baseline_run, double slack = 1.0)
+{
+    BerBreakdown a = analyze(acr_run);
+    BerBreakdown b = analyze(baseline_run);
+    if (a.recoveries == 0 || b.recoveries == 0)
+        return true;  // vacuously: no recovery happened
+    return a.rollbackCycles / a.recoveries <=
+           slack * b.rollbackCycles / b.recoveries;
+}
+
+/** Print the decomposition in the paper's notation. */
+inline void
+printBreakdown(std::ostream &os, const BerBreakdown &b)
+{
+    os << "Eq. 1: #chk = " << b.checkpoints
+       << ", mean o_wr,chk = " << b.meanEstablishCycles()
+       << " core-cycles (" << b.loggedBytes / 1024.0 << " KB logged, "
+       << b.omittedBytes / 1024.0 << " KB omitted)\n";
+    os << "Eq. 2/3: #rec = " << b.recoveries
+       << ", o_waste = " << b.wasteCycles
+       << " cycles, o_roll-back(+rcmp) = " << b.rollbackCycles
+       << " cycles (" << b.restoredWords << " words restored, "
+       << b.recomputedWords << " recomputed via "
+       << b.replayAluOps << " replayed ops)\n";
+}
+
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_ANALYSIS_HH

@@ -1,0 +1,312 @@
+#include "harness/ber_runtime.hh"
+
+#include <memory>
+
+#include "acr/acr_engine.hh"
+#include "ckpt/secondary.hh"
+#include "common/logging.hh"
+#include "energy/energy_model.hh"
+#include "fault/injector.hh"
+#include "sim/system.hh"
+#include "slice/engine.hh"
+
+namespace acr::harness
+{
+
+namespace
+{
+
+/** Fans instruction events out to the slicer, the checkpoint logger,
+ *  and ACR's ASSOC-ADDR handling, in dependency order. */
+class DriverObserver : public cpu::ExecObserver
+{
+  public:
+    DriverObserver(ckpt::CheckpointManager *manager,
+                   amnesic::AcrEngine *acr, slice::SliceEngine *slicer)
+        : manager_(manager), acr_(acr), slicer_(slicer)
+    {
+    }
+
+    void
+    onInstr(const cpu::InstrEvent &event) override
+    {
+        if (isa::isStore(event.inst->op)) {
+            // The logging decision must see the producer map as of
+            // *before* this store (the old value's producer), so the
+            // manager runs first and the ASSOC-ADDR update second.
+            if (manager_)
+                manager_->onStore(event.core, event.addr, event.oldValue);
+            if (acr_)
+                acr_->onStoreRetired(event);
+            return;
+        }
+        if (slicer_)
+            slicer_->observe(event);
+    }
+
+  private:
+    ckpt::CheckpointManager *manager_;
+    amnesic::AcrEngine *acr_;
+    slice::SliceEngine *slicer_;
+};
+
+} // namespace
+
+std::string
+ExperimentConfig::label() const
+{
+    std::string base;
+    switch (mode) {
+      case BerMode::kNoCkpt:
+        return "NoCkpt";
+      case BerMode::kCkpt:
+        base = "Ckpt";
+        break;
+      case BerMode::kReCkpt:
+        base = "ReCkpt";
+        break;
+    }
+    base += numErrors > 0 ? "_E" : "_NE";
+    if (coordination == ckpt::Coordination::kLocal)
+        base += ",Loc";
+    return base;
+}
+
+ExperimentResult
+BerRuntime::run(const isa::Program &program,
+                const sim::MachineConfig &machine,
+                const ExperimentConfig &config,
+                const amnesic::SlicePassResult &profile)
+{
+    ACR_ASSERT(profile.totalProgress > 0, "profile has no progress");
+
+    ExperimentResult result;
+    StatSet &stats = result.stats;
+
+    sim::MulticoreSystem system(machine, program);
+
+    // --- Optional ACR machinery ---
+    std::unique_ptr<slice::SliceEngine> slicer;
+    std::unique_ptr<amnesic::AcrEngine> acr;
+    if (config.mode == BerMode::kReCkpt) {
+        slicer = std::make_unique<slice::SliceEngine>(machine.numCores);
+        amnesic::AcrConfig acr_config;
+        acr_config.policy.policy = config.policy;
+        acr_config.policy.lengthThreshold = config.sliceThreshold;
+        acr_config.retentionIntervals = config.addrMapRetention;
+        acr = std::make_unique<amnesic::AcrEngine>(acr_config, *slicer,
+                                                   stats);
+    }
+
+    // --- Checkpoint substrate ---
+    std::unique_ptr<ckpt::CheckpointManager> manager;
+    if (config.mode != BerMode::kNoCkpt) {
+        ckpt::CheckpointManager::Config mgr_config;
+        mgr_config.mode = config.coordination;
+        manager = std::make_unique<ckpt::CheckpointManager>(
+            mgr_config, system, acr.get(), stats);
+        manager->initialCheckpoint();
+    }
+
+    // --- Error injection ---
+    const std::uint64_t period =
+        profile.totalProgress / (config.numCheckpoints + 1);
+    const Cycle period_cycles =
+        profile.cycles / (config.numCheckpoints + 1);
+    std::unique_ptr<fault::ErrorInjector> injector;
+    if (config.numErrors > 0) {
+        ACR_ASSERT(manager != nullptr,
+                   "errors require a checkpointing mode");
+        Cycle latency = static_cast<Cycle>(
+            config.detectionLatencyFraction *
+            static_cast<double>(period_cycles));
+        auto plan = fault::FaultPlan::uniform(config.numErrors,
+                                              profile.totalProgress,
+                                              latency, config.seed);
+        injector = std::make_unique<fault::ErrorInjector>(plan, stats);
+    }
+
+    // --- Optional hierarchical second tier ---
+    std::unique_ptr<ckpt::SecondaryTier> secondary;
+    if (config.secondaryPeriod > 0) {
+        ckpt::SecondaryConfig secondary_config;
+        secondary_config.promotionPeriod = config.secondaryPeriod;
+        secondary = std::make_unique<ckpt::SecondaryTier>(
+            secondary_config, stats);
+    }
+
+    DriverObserver observer(manager.get(), acr.get(), slicer.get());
+    system.setObserver(&observer);
+
+    auto handle_detection = [&](const fault::DetectionEvent &detection) {
+        if (config.trace) {
+            config.trace->instant("fault",
+                                  csprintf("error on core %u",
+                                           detection.core),
+                                  detection.errorTime);
+            config.trace->instant("fault", "detection",
+                                  detection.detectTime);
+        }
+        auto outcome = manager->recover(detection.core,
+                                        detection.errorTime,
+                                        detection.detectTime);
+        if (config.trace) {
+            config.trace->span(
+                "recovery",
+                csprintf("rollback to ckpt %llu",
+                         static_cast<unsigned long long>(
+                             outcome.targetIndex)),
+                detection.detectTime, outcome.resumeCycle);
+        }
+        // Producer chains of rolled-back cores are stale; reseed the
+        // slicer from the restored register files.
+        if (slicer) {
+            for (CoreId c = 0; c < system.numCores(); ++c) {
+                if (!(outcome.affected & (cache::SharerMask{1} << c)))
+                    continue;
+                std::array<Word, isa::kNumRegs> regs;
+                for (unsigned r = 0; r < isa::kNumRegs; ++r)
+                    regs[r] = system.core(c).reg(r);
+                slicer->resetCore(c, regs);
+            }
+        }
+        return outcome;
+    };
+
+    std::uint64_t next_ckpt = manager ? period : ~std::uint64_t{0};
+
+    while (true) {
+        sim::SystemState state = system.step();
+
+        if (injector) {
+            if (auto detection = injector->poll(system)) {
+                auto outcome = handle_detection(*detection);
+                next_ckpt = outcome.progressAt + period;
+                continue;
+            }
+        }
+
+        if (state == sim::SystemState::kBlocked) {
+            // A corrupted value wrecked control flow badly enough to
+            // wedge a barrier rendezvous: the watchdog detects the
+            // error now (Sec. II-A: detection need not be instantaneous
+            // but must happen within the checkpoint period).
+            std::optional<fault::DetectionEvent> detection;
+            if (injector)
+                detection = injector->forceDetection(system);
+            if (!detection) {
+                panic("system wedged without an injected error in "
+                      "flight: program '%s' has divergent barriers",
+                      program.name().c_str());
+            }
+            auto outcome = handle_detection(*detection);
+            next_ckpt = outcome.progressAt + period;
+            continue;
+        }
+
+        if (manager && system.progress() >= next_ckpt &&
+            !system.allHalted()) {
+            bool defer = false;
+            if (config.placement == PlacementPolicy::kRecomputeAware &&
+                acr && profile.dynamicStores > 0) {
+                // Defer while the open interval is recomputation-poor
+                // relative to the program's profiled slice coverage,
+                // up to the slack bound (Sec. V-D1's observation).
+                const auto &log = manager->openLog();
+                double coverage =
+                    static_cast<double>(profile.sliceableStores) /
+                    static_cast<double>(profile.dynamicStores);
+                double ratio =
+                    log.totalRecords() == 0
+                        ? 1.0
+                        : static_cast<double>(log.amnesicRecords()) /
+                              static_cast<double>(log.totalRecords());
+                std::uint64_t limit =
+                    next_ckpt + static_cast<std::uint64_t>(
+                                    config.placementSlack *
+                                    static_cast<double>(period));
+                defer = ratio < coverage && system.progress() < limit;
+                if (defer)
+                    stats.add("ckpt.placementDeferrals");
+            }
+            if (!defer) {
+                Cycle before = system.maxCycle();
+                manager->establish();
+                if (config.trace) {
+                    config.trace->span(
+                        "checkpoint",
+                        csprintf("ckpt %llu",
+                                 static_cast<unsigned long long>(
+                                     manager->checkpointsEstablished())),
+                        before, system.maxCycle());
+                }
+                next_ckpt += period;
+                if (secondary &&
+                    secondary->duePromotion(
+                        manager->checkpointsEstablished())) {
+                    secondary->promote(system,
+                                       manager->checkpointsEstablished(),
+                                       system.maxCycle());
+                }
+            }
+        }
+
+        if (state == sim::SystemState::kAllHalted) {
+            // Flush any error still in flight (a halted victim forces
+            // detection; recovery revives the rolled-back cores).
+            if (injector && !injector->done()) {
+                if (auto detection = injector->poll(system)) {
+                    auto outcome = handle_detection(*detection);
+                    next_ckpt = outcome.progressAt + period;
+                    continue;
+                }
+                if (!injector->done())
+                    continue;  // injector advanced (drop/reschedule)
+            }
+            break;
+        }
+    }
+
+    // --- Verification: recovery must be transparent ---
+    if (config.verifyFinalState) {
+        auto image = system.memory().image();
+        if (image != profile.finalImage) {
+            Addr bad = kInvalidAddr;
+            for (const auto &[addr, value] : profile.finalImage) {
+                auto it = image.find(addr);
+                if (it == image.end() || it->second != value) {
+                    bad = addr;
+                    break;
+                }
+            }
+            panic("%s: final state diverged from the error-free "
+                  "reference (first bad addr %llu)",
+                  config.label().c_str(),
+                  static_cast<unsigned long long>(bad));
+        }
+    }
+
+    // --- Results ---
+    system.exportStats(stats);
+    stats.set("sim.numCores", static_cast<double>(machine.numCores));
+    if (acr)
+        acr->exportStats();
+
+    energy::EnergyModel energy_model;
+    result.energyPj = energy_model.annotate(stats);
+    result.cycles = system.maxCycle();
+    result.edp = energy::EnergyModel::edp(result.energyPj, result.cycles);
+    if (manager) {
+        result.checkpointsEstablished = manager->checkpointsEstablished();
+        result.history = manager->history();
+        for (const auto &interval : result.history) {
+            result.ckptBytesStored += interval.storedBytes();
+            result.ckptBytesOmitted += interval.omittedBytes;
+        }
+    }
+    result.recoveries =
+        static_cast<std::uint64_t>(stats.get("rec.recoveries"));
+    return result;
+}
+
+} // namespace acr::harness

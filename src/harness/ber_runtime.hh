@@ -1,0 +1,41 @@
+/**
+ * @file
+ * BerRuntime: executes one experiment — wires the multicore system, the
+ * checkpoint substrate, the ACR engine, and the error injector together,
+ * drives the progress-based checkpoint schedule, reacts to detections
+ * with recovery, and verifies that the final memory state matches the
+ * error-free reference (recovery transparency).
+ */
+
+#ifndef ACR_HARNESS_BER_RUNTIME_HH
+#define ACR_HARNESS_BER_RUNTIME_HH
+
+#include "acr/slice_pass.hh"
+#include "harness/experiment.hh"
+#include "sim/machine_config.hh"
+
+namespace acr::harness
+{
+
+/** One-shot experiment executor. */
+class BerRuntime
+{
+  public:
+    /**
+     * Run @p config against @p program.
+     *
+     * @param program  the kernel; must carry slice hints (from
+     *                 SlicePass) when config.mode == kReCkpt
+     * @param profile  NoCkpt profile of the same program (progress and
+     *                 cycle totals drive the checkpoint/error schedules;
+     *                 the final image is the verification reference)
+     */
+    static ExperimentResult run(const isa::Program &program,
+                                const sim::MachineConfig &machine,
+                                const ExperimentConfig &config,
+                                const amnesic::SlicePassResult &profile);
+};
+
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_BER_RUNTIME_HH

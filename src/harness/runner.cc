@@ -1,0 +1,77 @@
+#include "harness/runner.hh"
+
+#include "common/logging.hh"
+
+namespace acr::harness
+{
+
+Runner::Runner(unsigned threads, unsigned scale)
+    : machine_(sim::MachineConfig::tableI(threads))
+{
+    params_.threads = threads;
+    params_.scale = scale;
+}
+
+const isa::Program &
+Runner::baseProgram(const std::string &workload)
+{
+    auto it = programs_.find(workload);
+    if (it == programs_.end()) {
+        auto kernel = workloads::makeWorkload(workload);
+        it = programs_.emplace(workload, kernel->build(params_)).first;
+    }
+    return it->second;
+}
+
+const amnesic::SlicePassResult &
+Runner::profileAt(const std::string &workload, unsigned threshold,
+                  slice::SelectionPolicy policy)
+{
+    auto key = std::make_tuple(workload, threshold,
+                               static_cast<int>(policy));
+    auto it = passes_.find(key);
+    if (it == passes_.end()) {
+        slice::SlicePolicyConfig policy_config;
+        policy_config.policy = policy;
+        policy_config.lengthThreshold = threshold;
+        auto result = amnesic::SlicePass::run(baseProgram(workload),
+                                              machine_, policy_config);
+        it = passes_.emplace(key, std::move(result)).first;
+    }
+    return it->second;
+}
+
+const amnesic::SlicePassResult &
+Runner::profile(const std::string &workload)
+{
+    return profileAt(workload, defaultThreshold(workload));
+}
+
+const ExperimentResult &
+Runner::noCkpt(const std::string &workload)
+{
+    auto it = noCkpt_.find(workload);
+    if (it == noCkpt_.end()) {
+        ExperimentConfig config;
+        config.mode = BerMode::kNoCkpt;
+        it = noCkpt_.emplace(workload, run(workload, config)).first;
+    }
+    return it->second;
+}
+
+ExperimentResult
+Runner::run(const std::string &workload, ExperimentConfig config)
+{
+    if (config.sliceThreshold == 0)
+        config.sliceThreshold = defaultThreshold(workload);
+
+    const amnesic::SlicePassResult &pass =
+        profileAt(workload, config.sliceThreshold, config.policy);
+
+    const isa::Program &program = config.mode == BerMode::kReCkpt
+                                      ? pass.program
+                                      : baseProgram(workload);
+    return BerRuntime::run(program, machine_, config, pass);
+}
+
+} // namespace acr::harness

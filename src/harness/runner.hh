@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Runner: benchmark-level orchestration used by every bench and example.
+ * Caches base programs, slice-pass results (per workload × threshold ×
+ * policy), and NoCkpt baselines so sweeps don't repeat work.
+ */
+
+#ifndef ACR_HARNESS_RUNNER_HH
+#define ACR_HARNESS_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "acr/slice_pass.hh"
+#include "harness/ber_runtime.hh"
+#include "harness/experiment.hh"
+#include "sim/machine_config.hh"
+#include "workloads/workload.hh"
+
+namespace acr::harness
+{
+
+/** Cached experiment driver for one machine size. */
+class Runner
+{
+  public:
+    /** Table I machine with @p threads cores; @p scale sizes kernels. */
+    explicit Runner(unsigned threads = 8, unsigned scale = 1);
+
+    /** The paper's per-benchmark slice threshold (footnote 4: 5 for is,
+     *  10 otherwise). */
+    static unsigned
+    defaultThreshold(const std::string &workload)
+    {
+        return workload == "is" ? 5 : 10;
+    }
+
+    const sim::MachineConfig &machine() const { return machine_; }
+    unsigned threads() const { return machine_.numCores; }
+
+    /** The kernel program without slice hints. */
+    const isa::Program &baseProgram(const std::string &workload);
+
+    /**
+     * Slice-pass result (hinted program + NoCkpt profile) for the given
+     * threshold/policy; cached.
+     */
+    const amnesic::SlicePassResult &
+    profileAt(const std::string &workload, unsigned threshold,
+              slice::SelectionPolicy policy =
+                  slice::SelectionPolicy::kGreedyThreshold);
+
+    /** Pass at the workload's default threshold. */
+    const amnesic::SlicePassResult &profile(const std::string &workload);
+
+    /** Cached NoCkpt baseline measurement. */
+    const ExperimentResult &noCkpt(const std::string &workload);
+
+    /** Execute one experiment (threshold defaulted per workload when
+     *  config.sliceThreshold == 0). */
+    ExperimentResult run(const std::string &workload,
+                         ExperimentConfig config);
+
+  private:
+    sim::MachineConfig machine_;
+    workloads::WorkloadParams params_;
+
+    std::map<std::string, isa::Program> programs_;
+    std::map<std::tuple<std::string, unsigned, int>,
+             amnesic::SlicePassResult>
+        passes_;
+    std::map<std::string, ExperimentResult> noCkpt_;
+};
+
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_RUNNER_HH

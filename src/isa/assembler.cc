@@ -1,0 +1,445 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace acr::isa
+{
+
+namespace
+{
+
+/** Operand shape expected by a mnemonic. */
+enum class Form
+{
+    kRRR,      ///< op rd, rs1, rs2
+    kRRI,      ///< op rd, rs1, imm
+    kMovi,     ///< movi rd, imm
+    kTid,      ///< tid rd
+    kLoad,     ///< load rd, [rs1(+|-)imm]
+    kStore,    ///< store [rs1(+|-)imm], rs2
+    kBranch,   ///< op rs1, rs2, target
+    kJmp,      ///< jmp target
+    kBare,     ///< barrier / halt
+};
+
+struct Mnemonic
+{
+    Opcode op;
+    Form form;
+};
+
+const std::map<std::string, Mnemonic> &
+mnemonics()
+{
+    static const std::map<std::string, Mnemonic> table = {
+        {"add", {Opcode::kAdd, Form::kRRR}},
+        {"sub", {Opcode::kSub, Form::kRRR}},
+        {"mul", {Opcode::kMul, Form::kRRR}},
+        {"divu", {Opcode::kDivu, Form::kRRR}},
+        {"remu", {Opcode::kRemu, Form::kRRR}},
+        {"and", {Opcode::kAnd, Form::kRRR}},
+        {"or", {Opcode::kOr, Form::kRRR}},
+        {"xor", {Opcode::kXor, Form::kRRR}},
+        {"shl", {Opcode::kShl, Form::kRRR}},
+        {"shr", {Opcode::kShr, Form::kRRR}},
+        {"sra", {Opcode::kSra, Form::kRRR}},
+        {"min", {Opcode::kMin, Form::kRRR}},
+        {"max", {Opcode::kMax, Form::kRRR}},
+        {"cmpeq", {Opcode::kCmpEq, Form::kRRR}},
+        {"cmpltu", {Opcode::kCmpLtu, Form::kRRR}},
+        {"cmplts", {Opcode::kCmpLts, Form::kRRR}},
+        {"addi", {Opcode::kAddi, Form::kRRI}},
+        {"muli", {Opcode::kMuli, Form::kRRI}},
+        {"andi", {Opcode::kAndi, Form::kRRI}},
+        {"ori", {Opcode::kOri, Form::kRRI}},
+        {"xori", {Opcode::kXori, Form::kRRI}},
+        {"shli", {Opcode::kShli, Form::kRRI}},
+        {"shri", {Opcode::kShri, Form::kRRI}},
+        {"movi", {Opcode::kMovi, Form::kMovi}},
+        {"tid", {Opcode::kTid, Form::kTid}},
+        {"load", {Opcode::kLoad, Form::kLoad}},
+        {"store", {Opcode::kStore, Form::kStore}},
+        {"beq", {Opcode::kBeq, Form::kBranch}},
+        {"bne", {Opcode::kBne, Form::kBranch}},
+        {"bltu", {Opcode::kBltu, Form::kBranch}},
+        {"bgeu", {Opcode::kBgeu, Form::kBranch}},
+        {"blts", {Opcode::kBlts, Form::kBranch}},
+        {"jmp", {Opcode::kJmp, Form::kJmp}},
+        {"barrier", {Opcode::kBarrier, Form::kBare}},
+        {"halt", {Opcode::kHalt, Form::kBare}},
+    };
+    return table;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    std::size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+/** Split an operand list on commas and whitespace. */
+std::vector<std::string>
+tokenize(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : s) {
+        if (c == ',' || c == ' ' || c == '\t') {
+            if (!current.empty()) {
+                out.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        out.push_back(current);
+    return out;
+}
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** The assembler's working state. */
+struct Assembler
+{
+    AsmResult result;
+    std::map<std::string, std::size_t> labels;
+    /// (instruction index, label, source line) fixups.
+    std::vector<std::tuple<std::size_t, std::string, unsigned>> fixups;
+    unsigned lineNo = 0;
+
+    void
+    error(const std::string &message)
+    {
+        result.errors.push_back(csprintf("line %u: %s", lineNo,
+                                         message.c_str()));
+    }
+
+    std::optional<Reg>
+    parseReg(const std::string &token)
+    {
+        if (token.size() < 2 || (token[0] != 'r' && token[0] != 'R')) {
+            error(csprintf("expected a register, got '%s'",
+                           token.c_str()));
+            return std::nullopt;
+        }
+        char *end = nullptr;
+        long v = std::strtol(token.c_str() + 1, &end, 10);
+        if (*end != '\0' || v < 0 || v >= static_cast<long>(kNumRegs)) {
+            error(csprintf("bad register '%s'", token.c_str()));
+            return std::nullopt;
+        }
+        return static_cast<Reg>(v);
+    }
+
+    std::optional<SWord>
+    parseImm(const std::string &token)
+    {
+        char *end = nullptr;
+        long long v = std::strtoll(token.c_str(), &end, 0);
+        if (end == token.c_str() || *end != '\0') {
+            error(csprintf("expected an immediate, got '%s'",
+                           token.c_str()));
+            return std::nullopt;
+        }
+        return static_cast<SWord>(v);
+    }
+
+    /** Parse "[rN]", "[rN+k]" or "[rN-k]". */
+    std::optional<std::pair<Reg, SWord>>
+    parseMemRef(const std::string &token)
+    {
+        if (token.size() < 4 || token.front() != '[' ||
+            token.back() != ']') {
+            error(csprintf("expected [reg+offset], got '%s'",
+                           token.c_str()));
+            return std::nullopt;
+        }
+        std::string inner = token.substr(1, token.size() - 2);
+        std::size_t sep = inner.find_first_of("+-", 1);
+        std::string reg_part =
+            sep == std::string::npos ? inner : inner.substr(0, sep);
+        auto reg = parseReg(trim(reg_part));
+        if (!reg)
+            return std::nullopt;
+        SWord offset = 0;
+        if (sep != std::string::npos) {
+            auto imm = parseImm(trim(inner.substr(sep)));
+            if (!imm)
+                return std::nullopt;
+            offset = *imm;
+        }
+        return std::make_pair(*reg, offset);
+    }
+
+    /** Branch target: a label (fixed up later) or an absolute pc. */
+    void
+    setTarget(Instruction &inst, const std::string &token)
+    {
+        if (!token.empty() && isIdentStart(token[0])) {
+            fixups.emplace_back(result.program.code().size(), token,
+                                lineNo);
+            return;
+        }
+        if (auto imm = parseImm(token))
+            inst.imm = *imm;
+    }
+
+    void
+    parseInstruction(const std::string &mnemonic,
+                     const std::vector<std::string> &ops, bool hint)
+    {
+        auto it = mnemonics().find(mnemonic);
+        if (it == mnemonics().end()) {
+            error(csprintf("unknown mnemonic '%s'", mnemonic.c_str()));
+            return;
+        }
+        const Mnemonic &m = it->second;
+        Instruction inst;
+        inst.op = m.op;
+
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n) {
+                error(csprintf("'%s' expects %zu operand(s), got %zu",
+                               mnemonic.c_str(), n, ops.size()));
+                return false;
+            }
+            return true;
+        };
+
+        switch (m.form) {
+          case Form::kRRR: {
+            if (!need(3))
+                return;
+            auto rd = parseReg(ops[0]);
+            auto rs1 = parseReg(ops[1]);
+            auto rs2 = parseReg(ops[2]);
+            if (!rd || !rs1 || !rs2)
+                return;
+            inst.rd = *rd;
+            inst.rs1 = *rs1;
+            inst.rs2 = *rs2;
+            break;
+          }
+          case Form::kRRI: {
+            if (!need(3))
+                return;
+            auto rd = parseReg(ops[0]);
+            auto rs1 = parseReg(ops[1]);
+            auto imm = parseImm(ops[2]);
+            if (!rd || !rs1 || !imm)
+                return;
+            inst.rd = *rd;
+            inst.rs1 = *rs1;
+            inst.imm = *imm;
+            break;
+          }
+          case Form::kMovi: {
+            if (!need(2))
+                return;
+            auto rd = parseReg(ops[0]);
+            auto imm = parseImm(ops[1]);
+            if (!rd || !imm)
+                return;
+            inst.rd = *rd;
+            inst.imm = *imm;
+            break;
+          }
+          case Form::kTid: {
+            if (!need(1))
+                return;
+            auto rd = parseReg(ops[0]);
+            if (!rd)
+                return;
+            inst.rd = *rd;
+            break;
+          }
+          case Form::kLoad: {
+            if (!need(2))
+                return;
+            auto rd = parseReg(ops[0]);
+            auto mem = parseMemRef(ops[1]);
+            if (!rd || !mem)
+                return;
+            inst.rd = *rd;
+            inst.rs1 = mem->first;
+            inst.imm = mem->second;
+            break;
+          }
+          case Form::kStore: {
+            if (!need(2))
+                return;
+            auto mem = parseMemRef(ops[0]);
+            auto rs2 = parseReg(ops[1]);
+            if (!mem || !rs2)
+                return;
+            inst.rs1 = mem->first;
+            inst.imm = mem->second;
+            inst.rs2 = *rs2;
+            inst.sliceHint = hint;
+            break;
+          }
+          case Form::kBranch: {
+            if (!need(3))
+                return;
+            auto rs1 = parseReg(ops[0]);
+            auto rs2 = parseReg(ops[1]);
+            if (!rs1 || !rs2)
+                return;
+            inst.rs1 = *rs1;
+            inst.rs2 = *rs2;
+            setTarget(inst, ops[2]);
+            break;
+          }
+          case Form::kJmp: {
+            if (!need(1))
+                return;
+            setTarget(inst, ops[0]);
+            break;
+          }
+          case Form::kBare:
+            if (!need(0))
+                return;
+            break;
+        }
+        result.program.code().push_back(inst);
+    }
+
+    void
+    parseLine(std::string line)
+    {
+        // A "; assoc-addr" comment on a store carries the slice hint.
+        bool hint = false;
+        std::size_t semi = line.find(';');
+        if (semi != std::string::npos) {
+            if (line.find("assoc-addr", semi) != std::string::npos)
+                hint = true;
+            line = line.substr(0, semi);
+        }
+        line = trim(line);
+        if (line.empty())
+            return;
+
+        // Strip a disassembler pc prefix ("N:") — labels start with a
+        // letter or underscore, so all-digit prefixes are unambiguous.
+        {
+            std::size_t colon = line.find(':');
+            if (colon != std::string::npos && colon > 0) {
+                bool digits = true;
+                for (std::size_t i = 0; i < colon; ++i) {
+                    if (!std::isdigit(
+                            static_cast<unsigned char>(line[i]))) {
+                        digits = false;
+                        break;
+                    }
+                }
+                if (digits)
+                    line = trim(line.substr(colon + 1));
+            }
+        }
+        if (line.empty())
+            return;
+
+        // Directives.
+        if (line[0] == '.') {
+            auto tokens = tokenize(line);
+            if (tokens[0] == ".name") {
+                if (tokens.size() != 2) {
+                    error(".name expects one argument");
+                    return;
+                }
+                result.program.setName(tokens[1]);
+            } else if (tokens[0] == ".data") {
+                if (tokens.size() != 3) {
+                    error(".data expects an address and a value");
+                    return;
+                }
+                auto addr = parseImm(tokens[1]);
+                auto value = parseImm(tokens[2]);
+                if (!addr || !value)
+                    return;
+                result.program.data().set(static_cast<Addr>(*addr),
+                                          static_cast<Word>(*value));
+            } else {
+                error(csprintf("unknown directive '%s'",
+                               tokens[0].c_str()));
+            }
+            return;
+        }
+
+        // Label definition.
+        if (isIdentStart(line[0])) {
+            std::size_t colon = line.find(':');
+            if (colon != std::string::npos) {
+                std::string name = trim(line.substr(0, colon));
+                if (labels.count(name)) {
+                    error(csprintf("duplicate label '%s'", name.c_str()));
+                    return;
+                }
+                labels[name] = result.program.code().size();
+                line = trim(line.substr(colon + 1));
+                if (line.empty())
+                    return;
+            }
+        }
+
+        auto tokens = tokenize(line);
+        std::string mnemonic = tokens[0];
+        tokens.erase(tokens.begin());
+        parseInstruction(mnemonic, tokens, hint);
+    }
+};
+
+} // namespace
+
+AsmResult
+assemble(const std::string &source, const std::string &name)
+{
+    Assembler assembler;
+    assembler.result.program.setName(name);
+
+    std::istringstream stream(source);
+    std::string line;
+    while (std::getline(stream, line)) {
+        ++assembler.lineNo;
+        assembler.parseLine(line);
+    }
+
+    for (const auto &[index, label, line_no] : assembler.fixups) {
+        auto it = assembler.labels.find(label);
+        if (it == assembler.labels.end()) {
+            assembler.result.errors.push_back(
+                csprintf("line %u: undefined label '%s'", line_no,
+                         label.c_str()));
+            continue;
+        }
+        assembler.result.program.code()[index].imm =
+            static_cast<SWord>(it->second);
+    }
+
+    if (assembler.result.ok()) {
+        std::string err = assembler.result.program.validate();
+        if (!err.empty()) {
+            assembler.result.errors.push_back(
+                csprintf("validation: %s", err.c_str()));
+        }
+    }
+    return assembler.result;
+}
+
+} // namespace acr::isa

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Textual assembler for the simulated ISA — the inverse of the
+ * disassembler, so programs can be written, dumped, edited, and
+ * reloaded as plain text.
+ *
+ * Syntax (one statement per line; ';' starts a comment):
+ *
+ *   .name  mykernel            ; program name
+ *   .data  100  42             ; initialize M[100] = 42
+ *   loop:                      ; label definition
+ *     movi   r1, 5
+ *     addi   r1, r1, -3
+ *     load   r2, [r1+4]
+ *     store  [r1-2], r2        ; "; assoc-addr" may follow: slice hint
+ *     bltu   r1, r2, loop      ; label or absolute pc target
+ *     barrier
+ *     halt
+ *
+ * Disassembler output reassembles verbatim: leading "N:" pc prefixes
+ * are ignored, and a trailing "; assoc-addr" comment on a store sets
+ * its slice hint.
+ */
+
+#ifndef ACR_ISA_ASSEMBLER_HH
+#define ACR_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace acr::isa
+{
+
+/** Outcome of an assembly run. */
+struct AsmResult
+{
+    Program program;
+    /** "line N: message" diagnostics; empty means success. */
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Assemble @p source into a program named @p name (overridden by a
+ *  .name directive). The program is validated on success. */
+AsmResult assemble(const std::string &source,
+                   const std::string &name = "asm");
+
+} // namespace acr::isa
+
+#endif // ACR_ISA_ASSEMBLER_HH

@@ -1,0 +1,181 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+
+namespace acr::isa
+{
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : program_(std::move(name))
+{
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Instruction inst)
+{
+    code_.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("duplicate label '%s' in program '%s'", name.c_str(),
+              program_.name().c_str());
+    labels_[name] = code_.size();
+    return *this;
+}
+
+#define ACR_RRR(fn, opc)                                                    \
+    ProgramBuilder &ProgramBuilder::fn(Reg rd, Reg rs1, Reg rs2)            \
+    {                                                                       \
+        return emit({Opcode::opc, rd, rs1, rs2, 0, false});                 \
+    }
+
+ACR_RRR(add, kAdd)
+ACR_RRR(sub, kSub)
+ACR_RRR(mul, kMul)
+ACR_RRR(divu, kDivu)
+ACR_RRR(remu, kRemu)
+ACR_RRR(and_, kAnd)
+ACR_RRR(or_, kOr)
+ACR_RRR(xor_, kXor)
+ACR_RRR(shl, kShl)
+ACR_RRR(shr, kShr)
+ACR_RRR(sra, kSra)
+ACR_RRR(min, kMin)
+ACR_RRR(max, kMax)
+ACR_RRR(cmpeq, kCmpEq)
+ACR_RRR(cmpltu, kCmpLtu)
+ACR_RRR(cmplts, kCmpLts)
+#undef ACR_RRR
+
+#define ACR_RRI(fn, opc)                                                    \
+    ProgramBuilder &ProgramBuilder::fn(Reg rd, Reg rs1, SWord imm)          \
+    {                                                                       \
+        return emit({Opcode::opc, rd, rs1, 0, imm, false});                 \
+    }
+
+ACR_RRI(addi, kAddi)
+ACR_RRI(muli, kMuli)
+ACR_RRI(andi, kAndi)
+ACR_RRI(ori, kOri)
+ACR_RRI(xori, kXori)
+ACR_RRI(shli, kShli)
+ACR_RRI(shri, kShri)
+#undef ACR_RRI
+
+ProgramBuilder &
+ProgramBuilder::movi(Reg rd, SWord imm)
+{
+    return emit({Opcode::kMovi, rd, 0, 0, imm, false});
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(Reg rd, Reg rs)
+{
+    return addi(rd, rs, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::tid(Reg rd)
+{
+    return emit({Opcode::kTid, rd, 0, 0, 0, false});
+}
+
+ProgramBuilder &
+ProgramBuilder::load(Reg rd, Reg base, SWord offset)
+{
+    return emit({Opcode::kLoad, rd, base, 0, offset, false});
+}
+
+ProgramBuilder &
+ProgramBuilder::store(Reg base, Reg value, SWord offset)
+{
+    return emit({Opcode::kStore, 0, base, value, offset, false});
+}
+
+ProgramBuilder &
+ProgramBuilder::branchTo(Opcode op, Reg rs1, Reg rs2,
+                         const std::string &target)
+{
+    fixups_.emplace_back(code_.size(), target);
+    return emit({op, 0, rs1, rs2, 0, false});
+}
+
+ProgramBuilder &
+ProgramBuilder::beq(Reg rs1, Reg rs2, const std::string &target)
+{
+    return branchTo(Opcode::kBeq, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bne(Reg rs1, Reg rs2, const std::string &target)
+{
+    return branchTo(Opcode::kBne, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bltu(Reg rs1, Reg rs2, const std::string &target)
+{
+    return branchTo(Opcode::kBltu, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bgeu(Reg rs1, Reg rs2, const std::string &target)
+{
+    return branchTo(Opcode::kBgeu, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::blts(Reg rs1, Reg rs2, const std::string &target)
+{
+    return branchTo(Opcode::kBlts, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::jmp(const std::string &target)
+{
+    return branchTo(Opcode::kJmp, 0, 0, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::barrier()
+{
+    return emit({Opcode::kBarrier, 0, 0, 0, 0, false});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit({Opcode::kHalt, 0, 0, 0, 0, false});
+}
+
+ProgramBuilder &
+ProgramBuilder::data(Addr addr, Word value)
+{
+    program_.data().set(addr, value);
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &[pc, target] : fixups_) {
+        auto it = labels_.find(target);
+        if (it == labels_.end())
+            fatal("undefined label '%s' in program '%s'", target.c_str(),
+                  program_.name().c_str());
+        code_[pc].imm = static_cast<SWord>(it->second);
+    }
+    fixups_.clear();
+    program_.code() = code_;
+    std::string err = program_.validate();
+    if (!err.empty())
+        fatal("program '%s' failed validation: %s",
+              program_.name().c_str(), err.c_str());
+    return program_;
+}
+
+} // namespace acr::isa

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ProgramBuilder: an assembler-style API for constructing Programs with
+ * symbolic labels, used by the workload generators and by tests.
+ */
+
+#ifndef ACR_ISA_BUILDER_HH
+#define ACR_ISA_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace acr::isa
+{
+
+/**
+ * Builds a Program instruction by instruction. Branch targets are symbolic
+ * labels; forward references are fixed up in build(). build() validates
+ * the result and calls fatal() on malformed programs (a workload-generator
+ * bug is a user error from the simulator's perspective).
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Current pc (index of the next emitted instruction). */
+    std::size_t here() const { return code_.size(); }
+
+    /** Define @p name at the current pc. */
+    ProgramBuilder &label(const std::string &name);
+
+    // --- Arithmetic/logic, register-register ---
+    ProgramBuilder &add(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &sub(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &mul(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &divu(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &remu(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &and_(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &or_(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &xor_(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &shl(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &shr(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &sra(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &min(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &max(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &cmpeq(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &cmpltu(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &cmplts(Reg rd, Reg rs1, Reg rs2);
+
+    // --- Arithmetic/logic, register-immediate ---
+    ProgramBuilder &addi(Reg rd, Reg rs1, SWord imm);
+    ProgramBuilder &muli(Reg rd, Reg rs1, SWord imm);
+    ProgramBuilder &andi(Reg rd, Reg rs1, SWord imm);
+    ProgramBuilder &ori(Reg rd, Reg rs1, SWord imm);
+    ProgramBuilder &xori(Reg rd, Reg rs1, SWord imm);
+    ProgramBuilder &shli(Reg rd, Reg rs1, SWord imm);
+    ProgramBuilder &shri(Reg rd, Reg rs1, SWord imm);
+    ProgramBuilder &movi(Reg rd, SWord imm);
+    ProgramBuilder &mov(Reg rd, Reg rs);   ///< addi rd, rs, 0
+    ProgramBuilder &tid(Reg rd);
+
+    // --- Memory ---
+    ProgramBuilder &load(Reg rd, Reg base, SWord offset = 0);
+    ProgramBuilder &store(Reg base, Reg value, SWord offset = 0);
+
+    // --- Control flow (targets are labels) ---
+    ProgramBuilder &beq(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &bne(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &bltu(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &bgeu(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &blts(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &jmp(const std::string &target);
+
+    // --- Synchronization / termination ---
+    ProgramBuilder &barrier();
+    ProgramBuilder &halt();
+
+    // --- Data segment ---
+    ProgramBuilder &data(Addr addr, Word value);
+
+    /**
+     * Resolve labels, validate, and return the finished program.
+     * fatal() on undefined labels or validation failure.
+     */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Instruction inst);
+    ProgramBuilder &branchTo(Opcode op, Reg rs1, Reg rs2,
+                             const std::string &target);
+
+    Program program_;
+    std::vector<Instruction> code_;
+    std::map<std::string, std::size_t> labels_;
+    /// (pc of branch, label) pairs awaiting resolution.
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+} // namespace acr::isa
+
+#endif // ACR_ISA_BUILDER_HH

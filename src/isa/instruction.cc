@@ -1,0 +1,129 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace acr::isa
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAdd: return "add";
+      case Opcode::kSub: return "sub";
+      case Opcode::kMul: return "mul";
+      case Opcode::kDivu: return "divu";
+      case Opcode::kRemu: return "remu";
+      case Opcode::kAnd: return "and";
+      case Opcode::kOr: return "or";
+      case Opcode::kXor: return "xor";
+      case Opcode::kShl: return "shl";
+      case Opcode::kShr: return "shr";
+      case Opcode::kSra: return "sra";
+      case Opcode::kMin: return "min";
+      case Opcode::kMax: return "max";
+      case Opcode::kCmpEq: return "cmpeq";
+      case Opcode::kCmpLtu: return "cmpltu";
+      case Opcode::kCmpLts: return "cmplts";
+      case Opcode::kAddi: return "addi";
+      case Opcode::kMuli: return "muli";
+      case Opcode::kAndi: return "andi";
+      case Opcode::kOri: return "ori";
+      case Opcode::kXori: return "xori";
+      case Opcode::kShli: return "shli";
+      case Opcode::kShri: return "shri";
+      case Opcode::kMovi: return "movi";
+      case Opcode::kTid: return "tid";
+      case Opcode::kLoad: return "load";
+      case Opcode::kStore: return "store";
+      case Opcode::kBeq: return "beq";
+      case Opcode::kBne: return "bne";
+      case Opcode::kBltu: return "bltu";
+      case Opcode::kBgeu: return "bgeu";
+      case Opcode::kBlts: return "blts";
+      case Opcode::kJmp: return "jmp";
+      case Opcode::kBarrier: return "barrier";
+      case Opcode::kHalt: return "halt";
+      default: return "<bad>";
+    }
+}
+
+Word
+evalArith(Opcode op, Word a, Word b, SWord imm, Word tid)
+{
+    const Word uimm = static_cast<Word>(imm);
+    switch (op) {
+      case Opcode::kAdd: return a + b;
+      case Opcode::kSub: return a - b;
+      case Opcode::kMul: return a * b;
+      case Opcode::kDivu: return b == 0 ? 0 : a / b;
+      case Opcode::kRemu: return b == 0 ? a : a % b;
+      case Opcode::kAnd: return a & b;
+      case Opcode::kOr: return a | b;
+      case Opcode::kXor: return a ^ b;
+      case Opcode::kShl: return a << (b & 63);
+      case Opcode::kShr: return a >> (b & 63);
+      case Opcode::kSra:
+        return static_cast<Word>(static_cast<SWord>(a) >> (b & 63));
+      case Opcode::kMin: return a < b ? a : b;
+      case Opcode::kMax: return a > b ? a : b;
+      case Opcode::kCmpEq: return a == b ? 1 : 0;
+      case Opcode::kCmpLtu: return a < b ? 1 : 0;
+      case Opcode::kCmpLts:
+        return static_cast<SWord>(a) < static_cast<SWord>(b) ? 1 : 0;
+      case Opcode::kAddi: return a + uimm;
+      case Opcode::kMuli: return a * uimm;
+      case Opcode::kAndi: return a & uimm;
+      case Opcode::kOri: return a | uimm;
+      case Opcode::kXori: return a ^ uimm;
+      case Opcode::kShli: return a << (uimm & 63);
+      case Opcode::kShri: return a >> (uimm & 63);
+      case Opcode::kMovi: return uimm;
+      case Opcode::kTid: return tid;
+      default:
+        panic("evalArith on non-arithmetic opcode %s", opcodeName(op));
+    }
+}
+
+std::string
+toString(const Instruction &inst)
+{
+    const char *name = opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::kLoad:
+        return csprintf("%-6s r%u, [r%u%+lld]", name, inst.rd, inst.rs1,
+                        static_cast<long long>(inst.imm));
+      case Opcode::kStore:
+        return csprintf("%-6s [r%u%+lld], r%u%s", name, inst.rs1,
+                        static_cast<long long>(inst.imm), inst.rs2,
+                        inst.sliceHint ? "  ; assoc-addr" : "");
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBltu:
+      case Opcode::kBgeu:
+      case Opcode::kBlts:
+        return csprintf("%-6s r%u, r%u, %lld", name, inst.rs1, inst.rs2,
+                        static_cast<long long>(inst.imm));
+      case Opcode::kJmp:
+        return csprintf("%-6s %lld", name,
+                        static_cast<long long>(inst.imm));
+      case Opcode::kBarrier:
+      case Opcode::kHalt:
+        return name;
+      case Opcode::kMovi:
+        return csprintf("%-6s r%u, %lld", name, inst.rd,
+                        static_cast<long long>(inst.imm));
+      case Opcode::kTid:
+        return csprintf("%-6s r%u", name, inst.rd);
+      default:
+        break;
+    }
+    if (readsRs2(inst.op)) {
+        return csprintf("%-6s r%u, r%u, r%u", name, inst.rd, inst.rs1,
+                        inst.rs2);
+    }
+    return csprintf("%-6s r%u, r%u, %lld", name, inst.rd, inst.rs1,
+                    static_cast<long long>(inst.imm));
+}
+
+} // namespace acr::isa

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Instruction encoding and the pure functional semantics of the
+ * arithmetic/logic subset.
+ *
+ * evalArith() is the single definition of ALU semantics, used both by the
+ * CPU model during normal execution and by the Slice replay engine during
+ * amnesic recovery — guaranteeing that a recomputed value is bit-identical
+ * to the originally stored one whenever the captured input operands are.
+ */
+
+#ifndef ACR_ISA_INSTRUCTION_HH
+#define ACR_ISA_INSTRUCTION_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace acr::isa
+{
+
+/** Number of general-purpose registers per core; r0 is hardwired to 0. */
+inline constexpr unsigned kNumRegs = 32;
+
+/** Register index type. */
+using Reg = std::uint8_t;
+
+/**
+ * One decoded instruction.
+ *
+ * Field roles by opcode class:
+ *  - ALU reg-reg:  rd = op(rs1, rs2)
+ *  - ALU reg-imm:  rd = op(rs1, imm)
+ *  - kLoad:        rd = M[rs1 + imm]
+ *  - kStore:       M[rs1 + imm] = rs2; sliceHint marks ASSOC-ADDR fusion
+ *  - branches:     compare rs1, rs2; imm is the absolute target pc
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kHalt;
+    Reg rd = 0;
+    Reg rs1 = 0;
+    Reg rs2 = 0;
+    SWord imm = 0;
+
+    /**
+     * Compiler-pass mark on stores: true when the pass embedded a Slice
+     * for this store, i.e. an ASSOC-ADDR instruction is fused with it
+     * (Sec. III-A: ASSOC-ADDR "gets atomically executed with the
+     * corresponding store instruction"). Ignored on non-stores.
+     */
+    bool sliceHint = false;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/**
+ * Evaluate an arithmetic/logic instruction.
+ *
+ * @param op   a sliceable opcode (panics otherwise)
+ * @param a    value of rs1 (ignored by kMovi/kTid)
+ * @param b    value of rs2 for reg-reg forms
+ * @param imm  immediate for reg-imm forms
+ * @param tid  core id, used only by kTid
+ * @return the value written to rd
+ */
+Word evalArith(Opcode op, Word a, Word b, SWord imm, Word tid);
+
+/** Disassemble one instruction. */
+std::string toString(const Instruction &inst);
+
+} // namespace acr::isa
+
+#endif // ACR_ISA_INSTRUCTION_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Opcode set of the simulated RISC-like ISA.
+ *
+ * The classification helpers below are the contract between the CPU model
+ * and the dynamic slicer: a *sliceable* (arithmetic/logic) instruction may
+ * appear inside an ACR Slice, while loads, stores, branches, barriers and
+ * halts may not (Sec. II-B of the paper: Slices are value-centric backward
+ * slices containing neither memory instructions nor branches).
+ */
+
+#ifndef ACR_ISA_OPCODE_HH
+#define ACR_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace acr::isa
+{
+
+/** Every operation the simulated machine can execute. */
+enum class Opcode : std::uint8_t
+{
+    // Arithmetic/logic, register-register (sliceable).
+    kAdd,
+    kSub,
+    kMul,
+    kDivu,   ///< Unsigned divide; x/0 is defined as 0.
+    kRemu,   ///< Unsigned remainder; x%0 is defined as x.
+    kAnd,
+    kOr,
+    kXor,
+    kShl,    ///< Logical shift left by (rs2 & 63).
+    kShr,    ///< Logical shift right by (rs2 & 63).
+    kSra,    ///< Arithmetic shift right by (rs2 & 63).
+    kMin,    ///< Unsigned minimum.
+    kMax,    ///< Unsigned maximum.
+    kCmpEq,  ///< rd = (rs1 == rs2) ? 1 : 0.
+    kCmpLtu, ///< rd = (rs1 < rs2), unsigned.
+    kCmpLts, ///< rd = (rs1 < rs2), signed.
+
+    // Arithmetic/logic, register-immediate (sliceable).
+    kAddi,
+    kMuli,
+    kAndi,
+    kOri,
+    kXori,
+    kShli,
+    kShri,
+    kMovi,   ///< rd = imm (constant producer).
+    kTid,    ///< rd = core/thread id (deterministic per core).
+
+    // Memory (never inside a Slice).
+    kLoad,   ///< rd = M[rs1 + imm].
+    kStore,  ///< M[rs1 + imm] = rs2.
+
+    // Control flow (never inside a Slice).
+    kBeq,    ///< if (rs1 == rs2) pc = imm.
+    kBne,
+    kBltu,
+    kBgeu,
+    kBlts,   ///< Signed less-than branch.
+    kJmp,    ///< pc = imm.
+
+    // Synchronization / termination.
+    kBarrier, ///< All cores rendezvous.
+    kHalt,    ///< Core finished.
+
+    kNumOpcodes,
+};
+
+/** True for arithmetic/logic operations allowed inside an ACR Slice. */
+constexpr bool
+isSliceable(Opcode op)
+{
+    return op < Opcode::kLoad;
+}
+
+constexpr bool isLoad(Opcode op) { return op == Opcode::kLoad; }
+constexpr bool isStore(Opcode op) { return op == Opcode::kStore; }
+
+constexpr bool
+isMem(Opcode op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+constexpr bool
+isBranch(Opcode op)
+{
+    return op >= Opcode::kBeq && op <= Opcode::kJmp;
+}
+
+constexpr bool isBarrier(Opcode op) { return op == Opcode::kBarrier; }
+constexpr bool isHalt(Opcode op) { return op == Opcode::kHalt; }
+
+/** True if the instruction writes its destination register. */
+constexpr bool
+writesReg(Opcode op)
+{
+    return isSliceable(op) || isLoad(op);
+}
+
+/** True if the instruction reads rs1. */
+constexpr bool
+readsRs1(Opcode op)
+{
+    switch (op) {
+      case Opcode::kMovi:
+      case Opcode::kTid:
+      case Opcode::kJmp:
+      case Opcode::kBarrier:
+      case Opcode::kHalt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** True if the instruction reads rs2. */
+constexpr bool
+readsRs2(Opcode op)
+{
+    if (isStore(op))
+        return true;
+    if (isBranch(op))
+        return op != Opcode::kJmp;
+    switch (op) {
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDivu:
+      case Opcode::kRemu:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kSra:
+      case Opcode::kMin:
+      case Opcode::kMax:
+      case Opcode::kCmpEq:
+      case Opcode::kCmpLtu:
+      case Opcode::kCmpLts:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Mnemonic for disassembly. */
+const char *opcodeName(Opcode op);
+
+} // namespace acr::isa
+
+#endif // ACR_ISA_OPCODE_HH

@@ -1,0 +1,82 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acr::mem
+{
+
+DramModel::DramModel(const DramConfig &config)
+    : config_(config)
+{
+    ACR_ASSERT(config_.controllers > 0, "DRAM needs >= 1 controller");
+    ACR_ASSERT(config_.bytesPerCycle > 0, "DRAM bandwidth must be > 0");
+    channelFree_.assign(config_.controllers, 0.0);
+}
+
+unsigned
+DramModel::controllerOf(LineId line) const
+{
+    return static_cast<unsigned>(line % config_.controllers);
+}
+
+Cycle
+DramModel::access(unsigned ctrl, Cycle now, std::size_t bytes, bool write)
+{
+    double start = std::max(static_cast<double>(now), channelFree_[ctrl]);
+    double occupancy = static_cast<double>(bytes) / config_.bytesPerCycle;
+    channelFree_[ctrl] = start + occupancy;
+
+    double queue_delay = start - static_cast<double>(now);
+    counters_.queueDelayCycles += queue_delay;
+    counters_.bytes += bytes;
+    if (write)
+        ++counters_.writes;
+    else
+        ++counters_.reads;
+
+    return now + static_cast<Cycle>(queue_delay + occupancy + 0.5)
+           + config_.latency;
+}
+
+void
+DramModel::exportStats(StatSet &stats, const std::string &prefix) const
+{
+    stats.add(prefix + ".reads", static_cast<double>(counters_.reads));
+    stats.add(prefix + ".writes", static_cast<double>(counters_.writes));
+    stats.add(prefix + ".bytes", static_cast<double>(counters_.bytes));
+    stats.add(prefix + ".queueDelayCycles", counters_.queueDelayCycles);
+}
+
+Cycle
+DramModel::lineRead(LineId line, Cycle now)
+{
+    return access(controllerOf(line), now, kLineBytes, false);
+}
+
+Cycle
+DramModel::lineWrite(LineId line, Cycle now)
+{
+    return access(controllerOf(line), now, kLineBytes, true);
+}
+
+Cycle
+DramModel::wordRead(Addr addr, Cycle now)
+{
+    return access(controllerOf(lineOf(addr)), now, kWordBytes, false);
+}
+
+Cycle
+DramModel::wordWrite(Addr addr, Cycle now)
+{
+    return access(controllerOf(lineOf(addr)), now, kWordBytes, true);
+}
+
+void
+DramModel::reset()
+{
+    std::fill(channelFree_.begin(), channelFree_.end(), 0.0);
+}
+
+} // namespace acr::mem

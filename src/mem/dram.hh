@@ -1,0 +1,101 @@
+/**
+ * @file
+ * DRAM timing model per Table I of the paper: fixed access latency
+ * (120 ns ≈ 131 cycles at 1.09 GHz) plus a per-controller bandwidth queue
+ * (7.6 GB/s per controller, one controller per four cores). Lines are
+ * interleaved across controllers.
+ */
+
+#ifndef ACR_MEM_DRAM_HH
+#define ACR_MEM_DRAM_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acr::mem
+{
+
+/** Plain-integer event counters (hot path). */
+struct DramCounters
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytes = 0;
+    double queueDelayCycles = 0.0;
+};
+
+/** Configuration of the DRAM subsystem. */
+struct DramConfig
+{
+    /** Access latency in core cycles (120 ns at 1.09 GHz). */
+    Cycle latency = 131;
+
+    /** Sustained bandwidth per controller, bytes per core cycle
+     *  (7.6 GB/s at 1.09 GHz ≈ 6.97 B/cycle). */
+    double bytesPerCycle = 6.97;
+
+    /** Number of memory controllers (paper: one per four cores). */
+    unsigned controllers = 2;
+
+    /** Controllers for a given core count per the paper's rule. */
+    static unsigned
+    controllersFor(unsigned cores)
+    {
+        return cores < 4 ? 1 : cores / 4;
+    }
+};
+
+/**
+ * Per-controller bandwidth/latency model. Timing only — functional data
+ * lives in MainMemory.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config);
+
+    /** Controller serving a line (simple interleave). */
+    unsigned controllerOf(LineId line) const;
+
+    /**
+     * Account one line-granular read issued at @p now.
+     * @return cycle at which the data is available.
+     */
+    Cycle lineRead(LineId line, Cycle now);
+
+    /**
+     * Account one line-granular write issued at @p now.
+     * @return cycle at which the write completes.
+     */
+    Cycle lineWrite(LineId line, Cycle now);
+
+    /**
+     * Account a word-granular access (undo-log record traffic). Costs
+     * latency plus word-sized bandwidth occupancy.
+     */
+    Cycle wordRead(Addr addr, Cycle now);
+    Cycle wordWrite(Addr addr, Cycle now);
+
+    /** Reset bandwidth queues (e.g., between experiment phases). */
+    void reset();
+
+    const DramConfig &config() const { return config_; }
+    const DramCounters &counters() const { return counters_; }
+
+    /** Publish counters as "<prefix>.reads" etc. */
+    void exportStats(StatSet &stats, const std::string &prefix) const;
+
+  private:
+    Cycle access(unsigned ctrl, Cycle now, std::size_t bytes, bool write);
+
+    DramConfig config_;
+    /** Earliest cycle each controller's channel is free. */
+    std::vector<double> channelFree_;
+    DramCounters counters_;
+};
+
+} // namespace acr::mem
+
+#endif // ACR_MEM_DRAM_HH

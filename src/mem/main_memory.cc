@@ -1,0 +1,79 @@
+#include "mem/main_memory.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace acr::mem
+{
+
+const MainMemory::Page *
+MainMemory::findPage(Addr page_id) const
+{
+    auto it = pages_.find(page_id);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+MainMemory::Page &
+MainMemory::touchPage(Addr page_id)
+{
+    auto it = pages_.find(page_id);
+    if (it == pages_.end())
+        it = pages_.emplace(page_id, Page(kPageWords, 0)).first;
+    return it->second;
+}
+
+Word
+MainMemory::read(Addr addr) const
+{
+    const Page *page = findPage(pageIdOf(addr));
+    if (!page)
+        return 0;
+    return (*page)[addr % kPageWords];
+}
+
+Word
+MainMemory::write(Addr addr, Word value)
+{
+    Page &page = touchPage(pageIdOf(addr));
+    Word &slot = page[addr % kPageWords];
+    Word old = slot;
+    slot = value;
+    return old;
+}
+
+std::map<Addr, Word>
+MainMemory::image() const
+{
+    std::map<Addr, Word> out;
+    for (const auto &[page_id, page] : pages_) {
+        for (std::size_t i = 0; i < kPageWords; ++i) {
+            if (page[i] != 0)
+                out[page_id * kPageWords + i] = page[i];
+        }
+    }
+    return out;
+}
+
+Addr
+MainMemory::firstDifference(const MainMemory &other) const
+{
+    std::set<Addr> page_ids;
+    for (const auto &kv : pages_)
+        page_ids.insert(kv.first);
+    for (const auto &kv : other.pages_)
+        page_ids.insert(kv.first);
+
+    for (Addr page_id : page_ids) {
+        const Page *a = findPage(page_id);
+        const Page *b = other.findPage(page_id);
+        for (std::size_t i = 0; i < kPageWords; ++i) {
+            Word va = a ? (*a)[i] : 0;
+            Word vb = b ? (*b)[i] : 0;
+            if (va != vb)
+                return page_id * kPageWords + i;
+        }
+    }
+    return kInvalidAddr;
+}
+
+} // namespace acr::mem

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * MainMemory holds the *functional* state of the simulated machine.
+ *
+ * The simulator is functional-first (like Snipersim): every load and store
+ * operates directly on this container, while caches and DRAM are timing /
+ * bookkeeping models layered beside it. Checkpoint correctness — rollback
+ * restoring a bit-exact earlier state — is defined against this object,
+ * which is what makes it directly testable.
+ *
+ * Storage is paged and sparse; untouched words read as zero.
+ */
+
+#ifndef ACR_MEM_MAIN_MEMORY_HH
+#define ACR_MEM_MAIN_MEMORY_HH
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace acr::mem
+{
+
+/** Sparse, paged, word-addressed functional memory. */
+class MainMemory
+{
+  public:
+    /** Words per allocation page (power of two). */
+    static constexpr std::size_t kPageWords = 4096;
+
+    /** Read one word; untouched words are zero. */
+    Word read(Addr addr) const;
+
+    /**
+     * Write one word.
+     * @return the previous value (what an undo-log record would hold).
+     */
+    Word write(Addr addr, Word value);
+
+    /** Number of pages currently allocated. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Total words currently backed by storage. */
+    std::size_t backedWords() const { return pages_.size() * kPageWords; }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+    /**
+     * A full copy of the backed state, for golden-model comparison in
+     * tests. Pages that were allocated but remained all-zero compare
+     * equal to absent pages.
+     */
+    std::map<Addr, Word> image() const;
+
+    /**
+     * Compare against another memory, treating unbacked words as zero.
+     * @return the first differing address, or kInvalidAddr if identical.
+     */
+    Addr firstDifference(const MainMemory &other) const;
+
+  private:
+    using Page = std::vector<Word>;
+
+    static Addr pageIdOf(Addr addr) { return addr / kPageWords; }
+
+    const Page *findPage(Addr page_id) const;
+    Page &touchPage(Addr page_id);
+
+    std::map<Addr, Page> pages_;
+};
+
+} // namespace acr::mem
+
+#endif // ACR_MEM_MAIN_MEMORY_HH

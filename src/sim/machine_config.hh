@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Aggregate configuration of the simulated machine, defaulting to Table I
+ * of the paper: 1.09 GHz, 4-issue in-order cores, 32 KB 4-way L1-I,
+ * 32 KB 8-way L1-D, 512 KB 8-way L2, 120 ns DRAM at 7.6 GB/s per
+ * controller with one controller per four cores.
+ */
+
+#ifndef ACR_SIM_MACHINE_CONFIG_HH
+#define ACR_SIM_MACHINE_CONFIG_HH
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "mem/dram.hh"
+
+namespace acr::sim
+{
+
+/** Full machine description. */
+struct MachineConfig
+{
+    unsigned numCores = 8;
+
+    /** Core clock in Hz; used only to convert cycles to seconds. */
+    double frequencyHz = 1.09e9;
+
+    cpu::CoreTimingConfig coreTiming{};
+    cache::HierarchyConfig hierarchy{};
+    mem::DramConfig dram{};
+
+    /** Instructions per scheduling quantum (round-robin slice). */
+    std::uint64_t quantumInstrs = 1000;
+
+    /** Base cost of a synchronization round among N cores is
+     *  syncBaseCycles * ceil(log2(N)) (tree barrier). */
+    Cycle syncBaseCycles = 60;
+
+    /** Config for @p cores cores with Table I parameters. */
+    static MachineConfig
+    tableI(unsigned cores)
+    {
+        MachineConfig config;
+        config.numCores = cores;
+        config.dram.controllers = mem::DramConfig::controllersFor(cores);
+        return config;
+    }
+
+    /** Cost of synchronizing the @p participants cores. */
+    Cycle
+    syncLatency(unsigned participants) const
+    {
+        if (participants <= 1)
+            return 0;
+        unsigned levels = 0;
+        unsigned n = 1;
+        while (n < participants) {
+            n *= 2;
+            ++levels;
+        }
+        return syncBaseCycles * levels;
+    }
+};
+
+} // namespace acr::sim
+
+#endif // ACR_SIM_MACHINE_CONFIG_HH

@@ -1,0 +1,178 @@
+#include "slice/engine.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace acr::slice
+{
+
+using isa::Opcode;
+
+SliceEngine::SliceEngine(unsigned num_cores, unsigned size_cap)
+    : numCores_(num_cores), sizeCap_(size_cap)
+{
+    ACR_ASSERT(num_cores >= 1, "slice engine needs >= 1 core");
+    ACR_ASSERT(size_cap >= 1, "size cap must be >= 1");
+    regNodes_.resize(num_cores);
+    for (auto &regs : regNodes_) {
+        for (auto &node : regs)
+            node = leaf(0);
+    }
+}
+
+SliceEngine::NodePtr
+SliceEngine::leaf(Word value)
+{
+    auto node = std::make_shared<Node>();
+    node->arith = false;
+    node->value = value;
+    node->approxSize = 1;
+    return node;
+}
+
+void
+SliceEngine::observe(const cpu::InstrEvent &event)
+{
+    const isa::Instruction &inst = *event.inst;
+    ACR_ASSERT(event.core < numCores_, "event from unknown core %u",
+               event.core);
+    auto &regs = regNodes_[event.core];
+
+    if (isa::isLoad(inst.op) || inst.op == Opcode::kTid) {
+        // Memory instructions and tid reads terminate slices: the value
+        // itself becomes a capturable input operand.
+        regs[inst.rd] = leaf(event.result);
+        return;
+    }
+
+    if (!isSliceable(inst.op))
+        return;  // stores, branches, barriers, halt: no register change
+
+    auto node = std::make_shared<Node>();
+    node->arith = true;
+    node->op = inst.op;
+    node->imm = inst.imm;
+    node->value = event.result;
+
+    std::uint64_t approx = 1;
+    if (isa::readsRs1(inst.op)) {
+        node->in1 = regs[inst.rs1];
+        approx += node->in1->arith ? node->in1->approxSize : 0;
+    }
+    if (isa::readsRs2(inst.op)) {
+        node->in2 = regs[inst.rs2];
+        approx += node->in2->arith ? node->in2->approxSize : 0;
+    }
+
+    if (approx > sizeCap_) {
+        // Chain exceeds every threshold under study: collapse to an
+        // opaque leaf. This bounds tracking memory, builder work, and
+        // destructor recursion depth.
+        node->arith = false;
+        node->in1.reset();
+        node->in2.reset();
+        node->approxSize = 1;
+    } else {
+        node->approxSize = static_cast<std::uint32_t>(approx);
+    }
+
+    regs[inst.rd] = std::move(node);
+}
+
+std::optional<BuiltSlice>
+SliceEngine::buildForStore(const cpu::InstrEvent &event,
+                           const SlicePolicyConfig &policy) const
+{
+    const isa::Instruction &inst = *event.inst;
+    ACR_ASSERT(isa::isStore(inst.op), "buildForStore on a non-store");
+    const NodePtr &root = regNodes_[event.core][inst.rs2];
+    auto built = buildFromNode(root, policy);
+    if (built) {
+        ACR_ASSERT(built->value == event.result,
+                   "slice root value desynced from stored value");
+    }
+    return built;
+}
+
+std::optional<BuiltSlice>
+SliceEngine::buildFromNode(const NodePtr &root,
+                           const SlicePolicyConfig &policy) const
+{
+    if (!root || !root->arith)
+        return std::nullopt;  // pure copies/loads have no Slice
+
+    const unsigned max_instrs = policy.buildCap();
+
+    BuiltSlice out;
+    out.value = root->value;
+
+    // Iterative post-order walk; slotOf maps each visited node to its
+    // source encoding (slice-instruction index or input index).
+    std::unordered_map<const Node *, std::int32_t> slot_of;
+
+    struct Frame
+    {
+        const Node *node;
+        bool expanded;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root.get(), false});
+
+    while (!stack.empty()) {
+        Frame frame = stack.back();
+        stack.pop_back();
+        const Node *node = frame.node;
+
+        if (slot_of.count(node))
+            continue;
+
+        if (!node->arith) {
+            // Opaque leaf: capture the value as an input operand.
+            if (out.inputs.size() >= policy.maxInputs)
+                return std::nullopt;
+            std::uint32_t k = static_cast<std::uint32_t>(out.inputs.size());
+            out.inputs.push_back(node->value);
+            slot_of[node] = inputSrc(k);
+            continue;
+        }
+
+        if (!frame.expanded) {
+            stack.push_back({node, true});
+            if (node->in1 && !slot_of.count(node->in1.get()))
+                stack.push_back({node->in1.get(), false});
+            if (node->in2 && !slot_of.count(node->in2.get()))
+                stack.push_back({node->in2.get(), false});
+            continue;
+        }
+
+        // Children resolved: emit this instruction.
+        if (out.slice.code.size() >= max_instrs)
+            return std::nullopt;
+        SliceInstr si;
+        si.op = node->op;
+        si.imm = node->imm;
+        si.src1 = node->in1 ? slot_of.at(node->in1.get()) : kNoSrc;
+        si.src2 = node->in2 ? slot_of.at(node->in2.get()) : kNoSrc;
+        std::int32_t slot = static_cast<std::int32_t>(out.slice.code.size());
+        out.slice.code.push_back(si);
+        slot_of[node] = slot;
+    }
+
+    out.slice.numInputs = static_cast<std::uint32_t>(out.inputs.size());
+
+    if (!policy.accepts(out.slice.length(), out.inputs.size()))
+        return std::nullopt;
+    return out;
+}
+
+void
+SliceEngine::resetCore(CoreId core,
+                       const std::array<Word, isa::kNumRegs> &regs)
+{
+    ACR_ASSERT(core < numCores_, "resetCore on unknown core %u", core);
+    for (unsigned r = 0; r < isa::kNumRegs; ++r)
+        regNodes_[core][r] = leaf(regs[r]);
+}
+
+} // namespace acr::slice

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SliceEngine: the dynamic backward slicer — the simulator's equivalent
+ * of the paper's Pin-based compiler pass (Sec. IV: "We implemented ACR's
+ * compiler pass ... as a Pin tool").
+ *
+ * For every core and register the engine maintains the producer DAG of
+ * the current value: arithmetic instructions link to the nodes of their
+ * register operands; loads, tid reads and over-long chains become opaque
+ * leaves whose *values* are captured. When a store executes, the engine
+ * linearizes the DAG behind the stored value into a StaticSlice (arith
+ * ops only) plus captured input operands — or reports that no admissible
+ * Slice exists.
+ */
+
+#ifndef ACR_SLICE_ENGINE_HH
+#define ACR_SLICE_ENGINE_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cpu/exec_observer.hh"
+#include "isa/instruction.hh"
+#include "slice/policy.hh"
+#include "slice/static_slice.hh"
+
+namespace acr::slice
+{
+
+/** Result of linearizing a producer DAG. */
+struct BuiltSlice
+{
+    StaticSlice slice;
+    std::vector<Word> inputs;
+    /** The value the slice recomputes (== the stored value). */
+    Word value = 0;
+};
+
+/** Per-register producer tracking plus the slice builder. */
+class SliceEngine
+{
+  public:
+    /**
+     * @param num_cores  cores to track
+     * @param size_cap   producer chains whose (approximate) instruction
+     *                   count exceeds this become opaque leaves; bounds
+     *                   both tracking memory and builder work. Must be
+     *                   at least the largest threshold under study.
+     */
+    explicit SliceEngine(unsigned num_cores, unsigned size_cap = 128);
+
+    /** Feed one retired instruction (call for every instruction). */
+    void observe(const cpu::InstrEvent &event);
+
+    /**
+     * Build the Slice for the value a store wrote (the producer DAG of
+     * rs2 at the time of @p event).
+     * @return nullopt when the value has no admissible Slice under
+     *         @p limits (producer is a load, chain too long, too many
+     *         inputs).
+     */
+    std::optional<BuiltSlice>
+    buildForStore(const cpu::InstrEvent &event,
+                  const SlicePolicyConfig &policy) const;
+
+    /**
+     * Rollback support: producer chains for @p core are no longer valid;
+     * every register becomes an opaque leaf holding its restored value.
+     */
+    void resetCore(CoreId core, const std::array<Word, isa::kNumRegs> &regs);
+
+    unsigned sizeCap() const { return sizeCap_; }
+
+  private:
+    struct Node;
+    using NodePtr = std::shared_ptr<Node>;
+
+    /** A producer-DAG node. */
+    struct Node
+    {
+        bool arith = false;       ///< false: opaque leaf (capture value)
+        isa::Opcode op = isa::Opcode::kMovi;
+        SWord imm = 0;
+        Word value = 0;
+        NodePtr in1;
+        NodePtr in2;
+        std::uint32_t approxSize = 1;
+    };
+
+    static NodePtr leaf(Word value);
+
+    std::optional<BuiltSlice>
+    buildFromNode(const NodePtr &root,
+                  const SlicePolicyConfig &policy) const;
+
+    unsigned numCores_;
+    unsigned sizeCap_;
+    std::vector<std::array<NodePtr, isa::kNumRegs>> regNodes_;
+};
+
+} // namespace acr::slice
+
+#endif // ACR_SLICE_ENGINE_HH

@@ -1,0 +1,86 @@
+#include "slice/instance.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace acr::slice
+{
+
+bool
+OperandBufferAccounting::tryReserve(std::size_t words)
+{
+    if (live_ + words > capacity_) {
+        ++rejections_;
+        return false;
+    }
+    live_ += words;
+    peak_ = std::max(peak_, live_);
+    return true;
+}
+
+void
+OperandBufferAccounting::release(std::size_t words)
+{
+    ACR_ASSERT(words <= live_, "operand buffer accounting underflow");
+    live_ -= words;
+}
+
+std::shared_ptr<SliceInstance>
+SliceInstance::create(SliceId slice, std::vector<Word> inputs,
+                      OperandBufferAccounting &accounting)
+{
+    if (!accounting.tryReserve(inputs.size()))
+        return nullptr;
+    return std::shared_ptr<SliceInstance>(
+        new SliceInstance(slice, std::move(inputs), accounting));
+}
+
+SliceInstance::SliceInstance(SliceId slice, std::vector<Word> inputs,
+                             OperandBufferAccounting &accounting)
+    : slice_(slice), inputs_(std::move(inputs)), accounting_(accounting)
+{
+}
+
+SliceInstance::~SliceInstance()
+{
+    accounting_.release(inputs_.size());
+}
+
+Word
+SliceInstance::replay(const SliceRepository &repo, ReplayCost *cost) const
+{
+    const StaticSlice &slice = repo.get(slice_);
+    ACR_ASSERT(!slice.code.empty(), "replaying an empty slice");
+    ACR_ASSERT(slice.numInputs == inputs_.size(),
+               "instance has %zu inputs, slice expects %u",
+               inputs_.size(), slice.numInputs);
+
+    std::vector<Word> slots(slice.code.size(), 0);
+
+    auto fetch = [&](std::int32_t src) -> Word {
+        if (src == kNoSrc)
+            return 0;
+        if (isInputSrc(src)) {
+            if (cost)
+                ++cost->operandReads;
+            return inputs_[inputIndexOf(src)];
+        }
+        return slots[static_cast<std::size_t>(src)];
+    };
+
+    for (std::size_t i = 0; i < slice.code.size(); ++i) {
+        const SliceInstr &si = slice.code[i];
+        Word a = fetch(si.src1);
+        Word b = fetch(si.src2);
+        // tid never appears inside a slice (captured as an input), so
+        // the tid argument is irrelevant.
+        slots[i] = isa::evalArith(si.op, a, b, si.imm, 0);
+    }
+    if (cost)
+        cost->aluOps += slice.code.size();
+    return slots.back();
+}
+
+} // namespace acr::slice

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SliceInstance: one runtime activation of a StaticSlice — the slice id
+ * plus the input operand values captured when the associated store
+ * executed (Sec. II-B: "record the input operands and their mappings to
+ * corresponding Slices"). Instances occupy space in the bounded
+ * input-operand buffer; the accounting object enforces the capacity and
+ * reclaims space when an instance dies (its AddrMap entry expired and no
+ * retained checkpoint log references it).
+ */
+
+#ifndef ACR_SLICE_INSTANCE_HH
+#define ACR_SLICE_INSTANCE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "slice/repository.hh"
+
+namespace acr::slice
+{
+
+/** Bounded-capacity accounting for the input-operand buffer. */
+class OperandBufferAccounting
+{
+  public:
+    explicit OperandBufferAccounting(std::size_t capacity_words)
+        : capacity_(capacity_words)
+    {
+    }
+
+    /** Reserve @p words; false (no change) when it would overflow. */
+    bool tryReserve(std::size_t words);
+
+    /** Return @p words to the pool. */
+    void release(std::size_t words);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t liveWords() const { return live_; }
+    std::size_t peakWords() const { return peak_; }
+    std::uint64_t rejections() const { return rejections_; }
+
+  private:
+    std::size_t capacity_;
+    std::size_t live_ = 0;
+    std::size_t peak_ = 0;
+    std::uint64_t rejections_ = 0;
+};
+
+/** Cost of one slice replay, for timing/energy accounting. */
+struct ReplayCost
+{
+    std::uint64_t aluOps = 0;
+    std::uint64_t operandReads = 0;
+};
+
+/** A StaticSlice plus its captured input operands. */
+class SliceInstance
+{
+  public:
+    /**
+     * Create an instance, reserving operand-buffer space.
+     * @return null if the buffer cannot hold the inputs.
+     */
+    static std::shared_ptr<SliceInstance>
+    create(SliceId slice, std::vector<Word> inputs,
+           OperandBufferAccounting &accounting);
+
+    ~SliceInstance();
+
+    SliceInstance(const SliceInstance &) = delete;
+    SliceInstance &operator=(const SliceInstance &) = delete;
+
+    SliceId slice() const { return slice_; }
+    const std::vector<Word> &inputs() const { return inputs_; }
+
+    /**
+     * Recompute the value by executing the Slice on a scratch register
+     * set (the paper's scratchpad / pre-restore registerfile).
+     * @param repo  repository holding the static slice
+     * @param cost  accumulated replay cost (may be null)
+     */
+    Word replay(const SliceRepository &repo, ReplayCost *cost) const;
+
+  private:
+    SliceInstance(SliceId slice, std::vector<Word> inputs,
+                  OperandBufferAccounting &accounting);
+
+    SliceId slice_;
+    std::vector<Word> inputs_;
+    OperandBufferAccounting &accounting_;
+};
+
+} // namespace acr::slice
+
+#endif // ACR_SLICE_INSTANCE_HH

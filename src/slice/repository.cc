@@ -1,0 +1,58 @@
+#include "slice/repository.hh"
+
+#include "common/logging.hh"
+
+namespace acr::slice
+{
+
+std::size_t
+StaticSlice::hash() const
+{
+    std::size_t h = 0x9e3779b97f4a7c15ull ^ numInputs;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    for (const SliceInstr &si : code) {
+        mix(static_cast<std::uint64_t>(si.op));
+        mix(static_cast<std::uint64_t>(si.imm));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(si.src1)));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(si.src2)));
+    }
+    return h;
+}
+
+SliceId
+SliceRepository::intern(StaticSlice slice)
+{
+    const std::size_t h = slice.hash();
+    auto it = byHash_.find(h);
+    if (it != byHash_.end()) {
+        for (SliceId id : it->second) {
+            if (slices_[id] == slice)
+                return id;
+        }
+    }
+    ACR_ASSERT(slices_.size() < kInvalidSlice, "slice repository full");
+    SliceId id = static_cast<SliceId>(slices_.size());
+    totalInstrs_ += slice.code.size();
+    slices_.push_back(std::move(slice));
+    byHash_[h].push_back(id);
+    return id;
+}
+
+const StaticSlice &
+SliceRepository::get(SliceId id) const
+{
+    ACR_ASSERT(id < slices_.size(), "bad slice id %u", id);
+    return slices_[id];
+}
+
+void
+SliceRepository::clear()
+{
+    slices_.clear();
+    byHash_.clear();
+    totalInstrs_ = 0;
+}
+
+} // namespace acr::slice

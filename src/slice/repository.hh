@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SliceRepository: the "binary embedding" of Slices (Sec. III-A). The
+ * compiler pass interns every selected Slice here; identical shapes are
+ * deduplicated, and the repository's total instruction count models the
+ * static code-size overhead of embedding Slices into the binary (the
+ * paper reports < 2% for is).
+ */
+
+#ifndef ACR_SLICE_REPOSITORY_HH
+#define ACR_SLICE_REPOSITORY_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "slice/static_slice.hh"
+
+namespace acr::slice
+{
+
+/** Deduplicating store of StaticSlices. */
+class SliceRepository
+{
+  public:
+    /** Intern @p slice, returning the id of the canonical copy. */
+    SliceId intern(StaticSlice slice);
+
+    /** The slice with the given id. */
+    const StaticSlice &get(SliceId id) const;
+
+    /** Number of unique slices embedded. */
+    std::size_t uniqueSlices() const { return slices_.size(); }
+
+    /** Total instructions across unique slices (binary footprint). */
+    std::size_t totalInstrs() const { return totalInstrs_; }
+
+    /** Drop everything. */
+    void clear();
+
+  private:
+    std::deque<StaticSlice> slices_;
+    std::unordered_map<std::size_t, std::vector<SliceId>> byHash_;
+    std::size_t totalInstrs_ = 0;
+};
+
+} // namespace acr::slice
+
+#endif // ACR_SLICE_REPOSITORY_HH

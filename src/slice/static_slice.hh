@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Static representation of an ACR Slice (Sec. II-B / III-A of the paper):
+ * a straight-line sequence of arithmetic/logic instructions — no loads,
+ * no stores, no branches by construction — whose terminal operands come
+ * from the input-operand buffer. The final instruction produces the value
+ * a store wrote, so replaying the Slice regenerates that value during
+ * recovery.
+ */
+
+#ifndef ACR_SLICE_STATIC_SLICE_HH
+#define ACR_SLICE_STATIC_SLICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace acr::slice
+{
+
+/** Identifier of an interned StaticSlice in the SliceRepository. */
+using SliceId = std::uint32_t;
+
+/** Sentinel for "no such slice". */
+inline constexpr SliceId kInvalidSlice = ~SliceId{0};
+
+/** Operand slot marker: no second source (reg-imm forms). */
+inline constexpr std::int32_t kNoSrc = INT32_MIN;
+
+/**
+ * One instruction of a Slice. Sources are either the result of an
+ * earlier slice instruction (index >= 0) or a captured input operand
+ * (encoded as -1 - inputIndex).
+ */
+struct SliceInstr
+{
+    isa::Opcode op = isa::Opcode::kMovi;
+    SWord imm = 0;
+    std::int32_t src1 = kNoSrc;
+    std::int32_t src2 = kNoSrc;
+
+    bool operator==(const SliceInstr &other) const = default;
+};
+
+/** Encode "input operand k" as a source index. */
+constexpr std::int32_t
+inputSrc(std::uint32_t k)
+{
+    return -1 - static_cast<std::int32_t>(k);
+}
+
+/** True if a source index refers to a captured input operand. */
+constexpr bool
+isInputSrc(std::int32_t src)
+{
+    return src < 0 && src != kNoSrc;
+}
+
+/** Input index encoded by a source. */
+constexpr std::uint32_t
+inputIndexOf(std::int32_t src)
+{
+    return static_cast<std::uint32_t>(-1 - src);
+}
+
+/**
+ * A full Slice: instructions in dependence order (operands precede
+ * users); the last instruction produces the recomputed value.
+ */
+struct StaticSlice
+{
+    std::vector<SliceInstr> code;
+    std::uint32_t numInputs = 0;
+
+    std::size_t length() const { return code.size(); }
+
+    bool operator==(const StaticSlice &other) const = default;
+
+    /** Shape hash for repository dedup. */
+    std::size_t hash() const;
+};
+
+} // namespace acr::slice
+
+#endif // ACR_SLICE_STATIC_SLICE_HH

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Generic SPMD kernel builder: turns a KernelSpec into a Program.
+ *
+ * Every stored value is produced by a chain of exactly `chainLen`
+ * arithmetic instructions rooted at two leaf operands — a loaded seed
+ * word and the thread's memory-resident iteration counter — so the
+ * backward-slice length of each store is controlled precisely, which is
+ * what lets the kernels reproduce Table II's per-threshold behaviour.
+ * Loop counters are used only for control flow and address computation;
+ * they never feed stored values, mirroring induction-variable code the
+ * paper's loops would unroll away.
+ */
+
+#include "workloads/kernel_spec.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace acr::workloads
+{
+
+namespace
+{
+
+using isa::ProgramBuilder;
+using isa::Reg;
+
+// Register conventions (see also DESIGN.md §4).
+constexpr Reg rTid = 1;      ///< thread id
+constexpr Reg rT = 2;        ///< outer iteration
+constexpr Reg rI = 3;        ///< inner loop index
+constexpr Reg rAddr = 4;     ///< effective address scratch
+constexpr Reg rVal = 5;      ///< value under construction
+constexpr Reg rCnt = 6;      ///< per-iteration counter value (leaf)
+constexpr Reg rSeed = 7;     ///< loaded seed word (leaf)
+constexpr Reg rAcc = 8;      ///< communication accumulator
+constexpr Reg rLim = 9;      ///< inner loop limit
+constexpr Reg rLocal = 10;   ///< this thread's private region base
+constexpr Reg rShared = 11;  ///< this thread's padded shared slot
+constexpr Reg rSeedB = 12;   ///< seed table base
+constexpr Reg rTmp = 14;
+constexpr Reg rTmp2 = 15;
+constexpr Reg rMid = 16;     ///< burst iteration index
+constexpr Reg rOLim = 17;    ///< outer loop limit
+constexpr Reg rKey = 18;     ///< histogram key
+
+// Word-granular memory layout.
+constexpr Addr kLocalBase = Addr{1} << 20;
+constexpr Addr kThreadStride = Addr{1} << 16;
+constexpr Addr kSharedBase = Addr{1} << 23;
+constexpr Addr kSeedBase = (Addr{1} << 23) + 1024;
+constexpr unsigned kSeedWords = 16;
+
+constexpr SWord kBurstOffset = 32768;
+constexpr SWord kHistOffset = 49152;
+constexpr SWord kCntOffset = 57344;
+constexpr SWord kAuxOffset = 57352;
+
+/**
+ * Append exactly @p len dependent arithmetic instructions to @p reg,
+ * with operation mix and constants derived from @p salt.
+ */
+void
+emitChain(ProgramBuilder &b, Reg reg, unsigned len, std::uint64_t salt)
+{
+    Rng rng(salt);
+    for (unsigned k = 0; k < len; ++k) {
+        std::uint64_t c = rng.next();
+        switch (k % 3) {
+          case 0:
+            b.muli(reg, reg, static_cast<SWord>((c & 0xffff) | 1));
+            break;
+          case 1:
+            b.addi(reg, reg, static_cast<SWord>(c & 0xfffff));
+            break;
+          default:
+            b.xori(reg, reg, static_cast<SWord>(c & 0xffffffff));
+            break;
+        }
+    }
+}
+
+/**
+ * One store phase: `cells` stores whose values carry a backward slice of
+ * exactly `chain_len` instructions (1 xor + chain_len-1 chain ops),
+ * rooted at the loaded seed and counter leaves.
+ */
+void
+emitPhase(ProgramBuilder &b, const std::string &label, SWord base_offset,
+          unsigned cells, unsigned chain_len, unsigned reps,
+          std::uint64_t salt)
+{
+    ACR_ASSERT(chain_len >= 1, "phase chain length must be >= 1");
+    ACR_ASSERT(reps >= 1, "phase needs at least one update per cell");
+    b.movi(rLim, static_cast<SWord>(cells));
+    b.movi(rI, 0);
+    b.label(label);
+    b.add(rAddr, rLocal, rI);
+    // Each rep re-derives the value from the leaf operands, so every
+    // store's backward slice has exactly chain_len instructions; only
+    // the first store per interval enters the undo log.
+    for (unsigned r = 0; r < reps; ++r) {
+        // seed = seeds[i & 15] — address depends on i, the value does
+        // not (loads terminate slices; the seed is a captured leaf).
+        b.andi(rTmp, rI, kSeedWords - 1);
+        b.add(rTmp, rTmp, rSeedB);
+        b.load(rSeed, rTmp);
+        b.xor_(rVal, rSeed, rCnt);
+        emitChain(b, rVal, chain_len - 1, salt ^ (r * 0x51ceull));
+        b.store(rAddr, rVal, base_offset);
+    }
+    b.addi(rI, rI, 1);
+    b.bltu(rI, rLim, label);
+}
+
+/** is-style histogram: indirect read-modify-write over phase-0 cells. */
+void
+emitHistogram(ProgramBuilder &b, const std::string &label, unsigned cells)
+{
+    b.movi(rLim, static_cast<SWord>(cells));
+    b.movi(rI, 0);
+    b.label(label);
+    b.add(rAddr, rLocal, rI);
+    b.load(rKey, rAddr);
+    b.shri(rTmp, rKey, 3);
+    b.andi(rTmp, rTmp, 63);
+    b.add(rTmp, rTmp, rLocal);
+    b.load(rTmp2, rTmp, kHistOffset);
+    b.add(rVal, rTmp2, rKey);  // slice of length 1 over two leaves
+    b.store(rTmp, rVal, kHistOffset);
+    b.addi(rI, rI, 1);
+    b.bltu(rI, rLim, label);
+}
+
+/** Load one shared slot (thread @p partner's line-padded word) and fold
+ *  it into rAcc. The partner index must already be in rTmp. */
+void
+emitGatherSlot(ProgramBuilder &b)
+{
+    b.shli(rTmp, rTmp, 3);  // one cache line per slot
+    b.movi(rTmp2, static_cast<SWord>(kSharedBase));
+    b.add(rTmp, rTmp, rTmp2);
+    b.load(rTmp2, rTmp);
+    b.add(rAcc, rAcc, rTmp2);
+}
+
+/** The inter-thread exchange for one outer iteration. */
+void
+emitComm(ProgramBuilder &b, const KernelSpec &spec, unsigned threads,
+         const std::string &label)
+{
+    if (spec.comm == Comm::kNone)
+        return;
+
+    if (spec.commPeriod > 1) {
+        ACR_ASSERT((spec.commPeriod & (spec.commPeriod - 1)) == 0,
+                   "commPeriod must be a power of two");
+        b.andi(rTmp, rT, static_cast<SWord>(spec.commPeriod - 1));
+        b.bne(rTmp, 0, label + "_skip");
+    }
+
+    // Publish my value, rendezvous, then gather partners' values. The
+    // slots are line-padded so the directory sees exactly the intended
+    // sharing pattern.
+    b.barrier();
+    b.store(rShared, rVal);
+    b.barrier();
+    b.mov(rAcc, rVal);
+
+    switch (spec.comm) {
+      case Comm::kPair:
+        b.xori(rTmp, rTid, 1);
+        emitGatherSlot(b);
+        break;
+      case Comm::kRing:
+        b.addi(rTmp, rTid, 1);
+        b.movi(rTmp2, static_cast<SWord>(threads));
+        b.remu(rTmp, rTmp, rTmp2);
+        emitGatherSlot(b);
+        break;
+      case Comm::kQuad:
+        for (unsigned k = 1; k < 4; ++k) {
+            b.andi(rTmp, rTid, -4);
+            b.addi(rTmp2, rTid, static_cast<SWord>(k));
+            b.andi(rTmp2, rTmp2, 3);
+            b.or_(rTmp, rTmp, rTmp2);
+            emitGatherSlot(b);
+        }
+        break;
+      case Comm::kAllToAll: {
+        b.movi(rLim, static_cast<SWord>(threads));
+        b.movi(rI, 0);
+        b.label(label + "_gather");
+        b.mov(rTmp, rI);
+        emitGatherSlot(b);
+        b.addi(rI, rI, 1);
+        b.bltu(rI, rLim, label + "_gather");
+        break;
+      }
+      case Comm::kNone:
+        break;
+    }
+    b.store(rLocal, rAcc, kAuxOffset);
+
+    if (spec.commPeriod > 1)
+        b.label(label + "_skip");
+}
+
+} // namespace
+
+isa::Program
+buildKernel(const KernelSpec &spec, const WorkloadParams &params)
+{
+    ACR_ASSERT(params.threads >= 1 && params.threads <= 64,
+               "1..64 threads supported");
+    ACR_ASSERT(!spec.phases.empty(), "kernel '%s' has no phases",
+               spec.name.c_str());
+
+    ProgramBuilder b(spec.name);
+    Rng rng(params.seed);
+
+    // --- Data segment ---
+    for (unsigned s = 0; s < kSeedWords; ++s)
+        b.data(kSeedBase + s, rng.next());
+    for (unsigned t = 0; t < params.threads; ++t) {
+        Addr local = kLocalBase + t * kThreadStride;
+        b.data(local + static_cast<Addr>(kCntOffset),
+               0x1000 + t * 7919ull);
+    }
+
+    // --- Setup ---
+    b.tid(rTid);
+    b.shli(rTmp, rTid, 16);
+    b.movi(rLocal, static_cast<SWord>(kLocalBase));
+    b.add(rLocal, rLocal, rTmp);
+    b.shli(rTmp, rTid, 3);
+    b.movi(rShared, static_cast<SWord>(kSharedBase));
+    b.add(rShared, rShared, rTmp);
+    b.movi(rSeedB, static_cast<SWord>(kSeedBase));
+    b.movi(rMid, static_cast<SWord>(spec.outerIters / 2));
+    b.movi(rOLim, static_cast<SWord>(spec.outerIters));
+    b.movi(rT, 0);
+
+    // --- Outer (timestep) loop ---
+    b.label("outer");
+
+    // Memory-resident per-thread counter: the varying leaf every value
+    // chain starts from; its own store carries a length-1 slice.
+    b.load(rCnt, rLocal, kCntOffset);
+    b.addi(rVal, rCnt, 1);
+    b.store(rLocal, rVal, kCntOffset);
+
+    // Store phases, laid out back to back in the private region.
+    SWord offset = 0;
+    for (std::size_t p = 0; p < spec.phases.size(); ++p) {
+        const PhaseSpec &phase = spec.phases[p];
+        unsigned cells = phase.cells * params.scale;
+        emitPhase(b, csprintf("phase%zu", p), offset, cells,
+                  phase.chainLen, spec.reps,
+                  params.seed ^ (p * 0x9e37ull));
+        offset += static_cast<SWord>(cells);
+    }
+    ACR_ASSERT(offset < kBurstOffset,
+               "kernel '%s': phases overflow the cell region",
+               spec.name.c_str());
+
+    if (spec.histogram) {
+        emitHistogram(b, "hist",
+                      spec.phases.front().cells * params.scale);
+    }
+
+    // Burst around the middle iteration: concentrated stores whose
+    // recomputability is governed by burst.chainLen and whose old
+    // values' recomputability by the ramp shape (drives the Max column
+    // of Fig. 9 and the temporal variation of Fig. 10).
+    if (spec.burst.cells > 0) {
+        const unsigned ramp = std::max(1u, spec.burst.rampIters);
+        for (unsigned r = 0; r < ramp; ++r) {
+            std::string skip = csprintf("burst%u_skip", r);
+            b.movi(rTmp2, static_cast<SWord>(spec.outerIters / 2 + r));
+            b.cmpeq(rTmp, rT, rTmp2);
+            b.beq(rTmp, 0, skip);
+            unsigned covered =
+                spec.burst.cells * params.scale * (r + 1) / ramp;
+            emitPhase(b, csprintf("burst%u", r), kBurstOffset, covered,
+                      spec.burst.chainLen, 1,
+                      params.seed ^ 0xb1157ull);
+            b.label(skip);
+        }
+    }
+
+    // Thread-dependent extra work: (tid & 3) * imbalance spin
+    // iterations of pure arithmetic (no memory traffic).
+    if (spec.imbalance > 0) {
+        b.andi(rTmp, rTid, 3);
+        b.muli(rTmp, rTmp, static_cast<SWord>(spec.imbalance));
+        b.movi(rTmp2, 0);
+        b.label("imb_loop");
+        b.bgeu(rTmp2, rTmp, "imb_done");
+        b.addi(rTmp2, rTmp2, 1);
+        b.jmp("imb_loop");
+        b.label("imb_done");
+    }
+
+    emitComm(b, spec, params.threads, "comm");
+
+    // End-of-iteration rendezvous (BSP style), possibly sparse.
+    if (spec.barrierPeriod > 1) {
+        ACR_ASSERT((spec.barrierPeriod & (spec.barrierPeriod - 1)) == 0,
+                   "barrierPeriod must be a power of two");
+        b.andi(rTmp, rT, static_cast<SWord>(spec.barrierPeriod - 1));
+        b.bne(rTmp, 0, "bar_skip");
+        b.barrier();
+        b.label("bar_skip");
+    } else {
+        b.barrier();
+    }
+
+    b.addi(rT, rT, 1);
+    b.bltu(rT, rOLim, "outer");
+    b.halt();
+
+    return b.build();
+}
+
+} // namespace acr::workloads

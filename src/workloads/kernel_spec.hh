@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Declarative kernel description consumed by the generic kernel builder.
+ * Each NAS-signature kernel is a spec: store phases with exact backward-
+ * chain lengths, an optional one-shot burst phase (non-uniform
+ * recomputability over time, Sec. V-D1/Fig. 10), an optional
+ * histogram-style indirect-update phase (is), and a communication
+ * pattern that shapes the directory interaction graph (Sec. V-E).
+ */
+
+#ifndef ACR_WORKLOADS_KERNEL_SPEC_HH
+#define ACR_WORKLOADS_KERNEL_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "workloads/workload.hh"
+
+namespace acr::workloads
+{
+
+/** Inter-thread communication pattern per outer iteration. */
+enum class Comm
+{
+    kNone,      ///< fully independent threads
+    kPair,      ///< thread t exchanges with t ^ 1
+    kQuad,      ///< groups of four neighbouring threads
+    kRing,      ///< thread t reads (t + 1) mod T
+    kAllToAll,  ///< every thread reads every thread's slot
+};
+
+/** One store phase executed each outer iteration. */
+struct PhaseSpec
+{
+    /** Cells (distinct store addresses) per thread. */
+    unsigned cells = 0;
+
+    /**
+     * Exact backward-slice length of each store's value: the number of
+     * arithmetic instructions between the captured leaf operands (a
+     * loaded seed and the thread's memory-resident counter) and the
+     * store. Lengths above the slicer's size cap are never
+     * recomputable.
+     */
+    unsigned chainLen = 1;
+};
+
+/**
+ * Burst phase around the middle outer iteration. With rampIters == 1 it
+ * is one-shot: every store is a first write (old values are initial
+ * data, never recomputable — is's ranking phase, the tiny Max reduction
+ * of Fig. 9). With rampIters > 1 the coverage grows linearly over the
+ * ramp, so the biggest ramp interval mostly *rewrites* cells whose
+ * producers executed one interval earlier — a large and largely
+ * recomputable largest checkpoint (dc's 58.3% Max reduction).
+ */
+struct BurstSpec
+{
+    unsigned cells = 0;
+    unsigned chainLen = 1;
+    unsigned rampIters = 1;
+};
+
+/** The full kernel description. */
+struct KernelSpec
+{
+    std::string name;
+    unsigned outerIters = 30;
+    std::vector<PhaseSpec> phases;
+
+    /**
+     * Updates per cell per iteration. Only the first store to an
+     * address logs within a checkpoint interval, so reps scales the
+     * compute-to-logged-record ratio — how much useful work amortizes
+     * each undo-log record — without changing checkpoint sizes.
+     */
+    unsigned reps = 1;
+
+    /** is-style phase: indirect histogram updates over phase-0 cells. */
+    bool histogram = false;
+
+    BurstSpec burst{};
+
+    Comm comm = Comm::kAllToAll;
+
+    /** Exchange every commPeriod-th iteration (power of two). */
+    unsigned commPeriod = 1;
+
+    /** End-of-iteration barrier every Nth iteration (power of two).
+     *  Kernels with sparse barriers let threads drift, which is what
+     *  coordinated-local checkpointing capitalizes on (Fig. 13):
+     *  global establishment drags every core to the slowest one's
+     *  clock, local establishment only aligns communicating groups. */
+    unsigned barrierPeriod = 1;
+
+    /** Thread imbalance: (tid mod 4) * imbalance extra arithmetic
+     *  instructions per iteration (load imbalance between barriers). */
+    unsigned imbalance = 0;
+};
+
+/** Emit the SPMD program for @p spec. */
+isa::Program buildKernel(const KernelSpec &spec,
+                         const WorkloadParams &params);
+
+/** A Workload wrapping a KernelSpec. */
+class SpecWorkload : public Workload
+{
+  public:
+    explicit SpecWorkload(KernelSpec spec) : spec_(std::move(spec)) {}
+
+    const std::string &name() const override { return spec_.name; }
+
+    isa::Program
+    build(const WorkloadParams &params) const override
+    {
+        return buildKernel(spec_, params);
+    }
+
+    const KernelSpec &spec() const { return spec_; }
+
+  private:
+    KernelSpec spec_;
+};
+
+} // namespace acr::workloads
+
+#endif // ACR_WORKLOADS_KERNEL_SPEC_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The eight NAS-signature kernel specifications (Sec. IV of the paper;
+ * DESIGN.md §4 documents each substitution). Chain-length mixes are
+ * chosen so the per-threshold checkpoint-size reductions reproduce the
+ * qualitative shape of Table II; burst phases reproduce the Max-column
+ * behaviour of Fig. 9; communication patterns reproduce Fig. 13's
+ * local-coordination winners and losers.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/kernel_spec.hh"
+
+namespace acr::workloads
+{
+
+namespace
+{
+
+KernelSpec
+btSpec()
+{
+    // Block-tridiagonal solver: medium chains, all-to-all boundary
+    // exchange every iteration (no local-checkpointing benefit).
+    KernelSpec spec;
+    spec.name = "bt";
+    spec.phases = {{92, 7}, {23, 18}, {102, 27}, {13, 38}, {26, 80}};
+    spec.burst = {256, 27};
+    spec.comm = Comm::kAllToAll;
+    return spec;
+}
+
+KernelSpec
+cgSpec()
+{
+    // Conjugate gradient: sparse mat-vec rows with 8/12-element
+    // accumulations (chains of 16/24), a small scalar phase, all-to-all
+    // reductions. Scarcely sliceable at threshold 10, strongly at 20+.
+    KernelSpec spec;
+    spec.name = "cg";
+    spec.phases = {{12, 6}, {110, 16}, {34, 24}};
+    spec.reps = 5;  // many solver iterations per logged record: cg's
+                    // checkpoint overhead is the smallest (Sec. V-A)
+    spec.comm = Comm::kAllToAll;
+    return spec;
+}
+
+KernelSpec
+dcSpec()
+{
+    // Data cube: short aggregation chains, a large highly-recomputable
+    // mid-run cube-build burst (largest Max reduction in Fig. 9),
+    // rare pairwise communication (big local-mode gains).
+    KernelSpec spec;
+    spec.name = "dc";
+    spec.phases = {{154, 5}, {25, 9}, {77, 60}};
+    spec.burst = {1024, 6, 4};  // ramped cube build: the largest
+                                // checkpoint is mostly recomputable
+    spec.comm = Comm::kPair;
+    spec.commPeriod = 8;
+    spec.barrierPeriod = 8;
+    spec.imbalance = 400;
+    return spec;
+}
+
+KernelSpec
+ftSpec()
+{
+    // 3-D FFT: butterfly chains, double-size working set (largest
+    // checkpoint/recovery cost), transpose (all-to-all) every fourth
+    // iteration only — local checkpointing wins in between.
+    KernelSpec spec;
+    spec.name = "ft";
+    spec.outerIters = 26;
+    spec.phases = {{118, 8}, {240, 16}, {92, 26}, {62, 36}};
+    spec.comm = Comm::kAllToAll;
+    spec.commPeriod = 4;
+    spec.barrierPeriod = 4;
+    spec.imbalance = 500;
+    return spec;
+}
+
+KernelSpec
+isSpec()
+{
+    // Integer sort: LCG-style key generation in <= 8 ops (near-total
+    // recomputability at threshold 10, ~80% at the paper's threshold 5
+    // for is), histogram updates of slice length 1, and one giant
+    // non-recomputable ranking burst that forms the largest checkpoint
+    // (hence the tiny Max reduction of Fig. 9). Neighbour pairs only.
+    KernelSpec spec;
+    spec.name = "is";
+    spec.phases = {{205, 4}, {51, 8}};
+    spec.reps = 2;
+    spec.histogram = true;
+    spec.burst = {1024, 60};
+    spec.comm = Comm::kPair;
+    spec.commPeriod = 4;
+    spec.barrierPeriod = 4;
+    spec.imbalance = 400;
+    return spec;
+}
+
+KernelSpec
+luSpec()
+{
+    // LU factorisation: wavefront pipeline, spread-out chain lengths,
+    // neighbour-pair communication.
+    KernelSpec spec;
+    spec.name = "lu";
+    spec.phases = {{108, 8}, {13, 18}, {46, 28},
+                   {26, 38}, {15, 48}, {48, 70}};
+    spec.burst = {384, 8, 2};  // pivot-panel refactorization: a
+                               // partially recomputable peak interval
+    spec.comm = Comm::kPair;
+    spec.commPeriod = 4;
+    spec.barrierPeriod = 4;
+    spec.imbalance = 350;
+    return spec;
+}
+
+KernelSpec
+mgSpec()
+{
+    // Multigrid: 27-point-stencil-like chains dominate (sliceable only
+    // at threshold >= 30), four-thread block communication.
+    KernelSpec spec;
+    spec.name = "mg";
+    spec.phases = {{31, 9}, {20, 18}, {174, 26}, {5, 45}, {26, 75}};
+    spec.comm = Comm::kQuad;
+    spec.commPeriod = 4;
+    spec.barrierPeriod = 4;
+    spec.imbalance = 450;
+    return spec;
+}
+
+KernelSpec
+spSpec()
+{
+    // Scalar pentadiagonal: broad chain spectrum, all-to-all exchange
+    // every iteration.
+    KernelSpec spec;
+    spec.name = "sp";
+    spec.phases = {{96, 8}, {26, 17}, {61, 27},
+                   {56, 37}, {8, 46}, {9, 60}};
+    spec.comm = Comm::kAllToAll;
+    return spec;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bt", "cg", "dc", "ft", "is", "lu", "mg", "sp",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    KernelSpec spec;
+    if (name == "bt")
+        spec = btSpec();
+    else if (name == "cg")
+        spec = cgSpec();
+    else if (name == "dc")
+        spec = dcSpec();
+    else if (name == "ft")
+        spec = ftSpec();
+    else if (name == "is")
+        spec = isSpec();
+    else if (name == "lu")
+        spec = luSpec();
+    else if (name == "mg")
+        spec = mgSpec();
+    else if (name == "sp")
+        spec = spSpec();
+    else
+        fatal("unknown workload '%s'", name.c_str());
+    return std::make_unique<SpecWorkload>(std::move(spec));
+}
+
+} // namespace acr::workloads

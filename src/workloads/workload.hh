@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload interface and registry for the eight NAS-signature kernels
+ * (bt, cg, dc, ft, is, lu, mg, sp — the paper's benchmark set, Sec. IV).
+ *
+ * The real NAS binaries cannot run on this simulator, so each kernel is
+ * an SPMD program reproducing the *signature* that drives ACR's results
+ * (DESIGN.md §4): the distribution of backward-slice lengths behind its
+ * stores (Table II), the placement of non-recomputable bursts (Fig. 9's
+ * Max column), and the inter-thread communication pattern (Fig. 13).
+ */
+
+#ifndef ACR_WORKLOADS_WORKLOAD_HH
+#define ACR_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace acr::workloads
+{
+
+/** Knobs common to every kernel. */
+struct WorkloadParams
+{
+    /** SPMD thread count == core count. */
+    unsigned threads = 8;
+
+    /** Multiplies per-thread cell counts (problem "class"). */
+    unsigned scale = 1;
+
+    /** Seed for the kernel's deterministic data initialization. */
+    std::uint64_t seed = 0x5eed0acaULL;
+};
+
+/** A benchmark kernel. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Emit the SPMD program for the given parameters. */
+    virtual isa::Program build(const WorkloadParams &params) const = 0;
+};
+
+/** Names of all eight kernels, in the paper's order. */
+const std::vector<std::string> &allWorkloadNames();
+
+/** Factory; fatal() on an unknown name. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace acr::workloads
+
+#endif // ACR_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the textual assembler, including the disassemble→assemble
+ * round-trip property over every built-in kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace acr::isa
+{
+namespace
+{
+
+TEST(Assembler, BasicProgram)
+{
+    auto result = assemble(R"(
+        .name basic
+        .data 100 42
+        movi r1, 100
+        load r2, [r1]
+        addi r2, r2, 0x10
+        store [r1+1], r2
+        halt
+    )");
+    ASSERT_TRUE(result.ok()) << result.errors.front();
+    EXPECT_EQ(result.program.name(), "basic");
+    EXPECT_EQ(result.program.size(), 5u);
+    EXPECT_EQ(result.program.at(2).imm, 16);
+    EXPECT_EQ(result.program.data().words.size(), 1u);
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    auto result = assemble(R"(
+        movi r1, 0
+        movi r2, 5
+        loop:
+        addi r1, r1, 1
+        bltu r1, r2, loop
+        jmp end
+        movi r3, 99
+        end: halt
+    )");
+    ASSERT_TRUE(result.ok()) << result.errors.front();
+    EXPECT_EQ(result.program.at(3).imm, 2);  // loop
+    EXPECT_EQ(result.program.at(4).imm, 6);  // end
+}
+
+TEST(Assembler, AssocAddrCommentSetsTheHint)
+{
+    auto result = assemble(R"(
+        movi r1, 7
+        movi r2, 50
+        store [r2], r1   ; assoc-addr
+        store [r2+1], r1
+        halt
+    )");
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.program.at(2).sliceHint);
+    EXPECT_FALSE(result.program.at(3).sliceHint);
+}
+
+TEST(Assembler, NumericBranchTargets)
+{
+    auto result = assemble(R"(
+        movi r1, 1
+        beq r1, r0, 0
+        halt
+    )");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.program.at(1).imm, 0);
+}
+
+TEST(Assembler, ReportsErrorsWithLineNumbers)
+{
+    auto result = assemble("movi r1, 1\nfrobnicate r1\nhalt\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errors[0].find("line 2"), std::string::npos);
+    EXPECT_NE(result.errors[0].find("frobnicate"), std::string::npos);
+}
+
+TEST(Assembler, CatchesBadOperands)
+{
+    EXPECT_FALSE(assemble("movi r99, 1\nhalt\n").ok());
+    EXPECT_FALSE(assemble("addi r1, r2\nhalt\n").ok());
+    EXPECT_FALSE(assemble("load r1, r2\nhalt\n").ok());
+    EXPECT_FALSE(assemble("jmp nowhere\nhalt\n").ok());
+    EXPECT_FALSE(assemble("movi r1, xyz\nhalt\n").ok());
+    EXPECT_FALSE(assemble(".data 5\nhalt\n").ok());
+}
+
+TEST(Assembler, ValidationRunsOnTheResult)
+{
+    // Assembles fine syntactically, but writes r0.
+    auto result = assemble("addi r0, r1, 1\nhalt\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errors[0].find("r0"), std::string::npos);
+}
+
+TEST(Assembler, DuplicateLabelRejected)
+{
+    auto result = assemble("x: movi r1, 1\nx: halt\n");
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(Assembler, AssembledProgramExecutes)
+{
+    auto result = assemble(R"(
+        .name exec
+        tid r1
+        movi r2, 4096
+        add r2, r2, r1
+        movi r3, 0
+        movi r4, 10
+        loop:
+        addi r3, r3, 1
+        bltu r3, r4, loop
+        store [r2], r3
+        barrier
+        halt
+    )");
+    ASSERT_TRUE(result.ok()) << result.errors.front();
+    sim::MulticoreSystem sys(sim::MachineConfig::tableI(2),
+                             result.program);
+    sys.runToCompletion();
+    EXPECT_EQ(sys.memory().read(4096), 10u);
+    EXPECT_EQ(sys.memory().read(4097), 10u);
+}
+
+/** Disassemble → reassemble must reproduce the exact instruction
+ *  stream, hints included, for every built-in kernel. */
+class RoundTrip : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RoundTrip, DisassembleAssembleIsIdentity)
+{
+    workloads::WorkloadParams params;
+    params.threads = 4;
+    auto program = workloads::makeWorkload(GetParam())->build(params);
+    // Mark one store to exercise hint round-tripping.
+    for (auto &inst : program.code()) {
+        if (isStore(inst.op)) {
+            inst.sliceHint = true;
+            break;
+        }
+    }
+
+    std::ostringstream oss;
+    program.disassemble(oss);
+    auto result = assemble(oss.str(), program.name());
+    ASSERT_TRUE(result.ok()) << result.errors.front();
+    ASSERT_EQ(result.program.size(), program.size());
+    for (std::size_t pc = 0; pc < program.size(); ++pc) {
+        EXPECT_EQ(result.program.at(pc), program.at(pc))
+            << "pc " << pc << ": " << toString(program.at(pc));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, RoundTrip,
+                         testing::ValuesIn(workloads::allWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace acr::isa

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the BER substrate: undo-log semantics (log bit, first-update
+ * logging), checkpoint establishment and two-checkpoint retention,
+ * rollback correctness (bit-exact memory restoration), the Fig. 2
+ * suspect-checkpoint scenario, and group-local rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckpt/manager.hh"
+#include "isa/builder.hh"
+#include "sim/system.hh"
+
+namespace acr::ckpt
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// IntervalLog
+// ---------------------------------------------------------------------
+
+TEST(IntervalLog, AppendAndLogBit)
+{
+    IntervalLog log(3);
+    EXPECT_EQ(log.interval(), 3u);
+    EXPECT_FALSE(log.contains(10));
+    log.append({10, 99, 0, nullptr});
+    EXPECT_TRUE(log.contains(10));
+    EXPECT_EQ(log.totalRecords(), 1u);
+    EXPECT_EQ(log.normalRecords(), 1u);
+    EXPECT_EQ(log.loggedBytes(), kLogRecordBytes);
+    EXPECT_EQ(log.omittedBytes(), 0u);
+}
+
+TEST(IntervalLogDeathTest, DoubleLoggingAnAddressPanics)
+{
+    IntervalLog log(1);
+    log.append({10, 1, 0, nullptr});
+    EXPECT_DEATH(log.append({10, 2, 0, nullptr}), "already logged");
+}
+
+TEST(IntervalLog, RemoveWritersFiltersAndReindexes)
+{
+    IntervalLog log(1);
+    log.append({10, 1, 0, nullptr});
+    log.append({11, 2, 1, nullptr});
+    log.append({12, 3, 0, nullptr});
+    log.removeWriters(0b01);  // drop core 0's records
+    EXPECT_EQ(log.totalRecords(), 1u);
+    EXPECT_FALSE(log.contains(10));
+    EXPECT_TRUE(log.contains(11));
+    // Re-logging a removed address is legal again.
+    log.append({10, 5, 0, nullptr});
+    EXPECT_TRUE(log.contains(10));
+}
+
+// ---------------------------------------------------------------------
+// Manager rig: a 2-core program storing a counter sweep per iteration.
+// ---------------------------------------------------------------------
+
+isa::Program
+sweepProgram(unsigned iters, unsigned cells)
+{
+    // Per iteration: each core writes cells words (value = iter+1) into
+    // its own region at 1000 + tid*512, then barriers.
+    isa::ProgramBuilder b("sweep");
+    b.tid(1);
+    b.shli(2, 1, 9);
+    b.movi(3, 1000);
+    b.add(2, 2, 3);          // region base
+    b.movi(4, 0);            // t
+    b.movi(5, static_cast<SWord>(iters));
+    b.label("outer");
+    b.movi(6, 0);            // i
+    b.movi(7, static_cast<SWord>(cells));
+    b.addi(8, 4, 1);         // value = t + 1
+    b.label("inner");
+    b.add(9, 2, 6);
+    b.store(9, 8);
+    b.addi(6, 6, 1);
+    b.bltu(6, 7, "inner");
+    b.barrier();
+    b.addi(4, 4, 1);
+    b.bltu(4, 5, "outer");
+    b.halt();
+    return b.build();
+}
+
+struct Rig : cpu::ExecObserver
+{
+    explicit Rig(Coordination mode, unsigned iters = 6,
+                 unsigned cells = 32)
+        : program(sweepProgram(iters, cells)),
+          system(sim::MachineConfig::tableI(2), program),
+          manager(CheckpointManager::Config{mode}, system, nullptr,
+                  stats)
+    {
+        system.setObserver(this);
+        manager.initialCheckpoint();
+    }
+
+    void
+    onInstr(const cpu::InstrEvent &e) override
+    {
+        if (isa::isStore(e.inst->op))
+            manager.onStore(e.core, e.addr, e.oldValue);
+    }
+
+    /** Run until progress crosses @p target. */
+    void
+    runUntilProgress(std::uint64_t target)
+    {
+        while (system.progress() < target && !system.allHalted())
+            system.step();
+    }
+
+    StatSet stats;
+    isa::Program program;
+    sim::MulticoreSystem system;
+    CheckpointManager manager;
+};
+
+TEST(Manager, FirstUpdateLogsOnceAndKeepsOldValue)
+{
+    Rig rig(Coordination::kGlobal);
+    rig.runUntilProgress(400);
+    const IntervalLog &log = rig.manager.openLog();
+    // Each cell address appears exactly once even after repeated
+    // iterations; old values of first updates are the pre-run zeros.
+    EXPECT_GT(log.totalRecords(), 0u);
+    for (const LogRecord &record : log.records())
+        EXPECT_EQ(record.oldValue, 0u)
+            << "first update's old value is the initial state";
+}
+
+TEST(Manager, EstablishMovesTheLogAndStallsCores)
+{
+    Rig rig(Coordination::kGlobal);
+    rig.runUntilProgress(400);
+    auto records = rig.manager.openLog().totalRecords();
+    ASSERT_GT(records, 0u);
+    Cycle before = rig.system.maxCycle();
+
+    rig.manager.establish();
+    EXPECT_EQ(rig.manager.openLog().totalRecords(), 0u);
+    EXPECT_EQ(rig.manager.checkpointsEstablished(), 1u);
+    EXPECT_EQ(rig.manager.retained().back().log.totalRecords(), records);
+    EXPECT_GT(rig.system.maxCycle(), before)
+        << "establishment costs time";
+    EXPECT_EQ(rig.system.core(0).cycle(), rig.system.core(1).cycle())
+        << "global coordination aligns all cores";
+    EXPECT_DOUBLE_EQ(rig.stats.get("ckpt.establishments"), 1.0);
+    ASSERT_EQ(rig.manager.history().size(), 1u);
+    EXPECT_EQ(rig.manager.history()[0].records, records);
+}
+
+TEST(Manager, RetainsExactlyTwoCheckpoints)
+{
+    Rig rig(Coordination::kGlobal, 10);
+    for (int i = 0; i < 4; ++i) {
+        rig.runUntilProgress(rig.system.progress() + 200);
+        rig.manager.establish();
+    }
+    EXPECT_EQ(rig.manager.retained().size(), 2u);
+    EXPECT_EQ(rig.manager.retained().back().index, 4u);
+    EXPECT_EQ(rig.manager.retained().front().index, 3u);
+    EXPECT_EQ(rig.manager.history().size(), 4u) << "history is unbounded";
+}
+
+TEST(Manager, RollbackRestoresMemoryBitExact)
+{
+    Rig rig(Coordination::kGlobal, 8);
+    rig.runUntilProgress(300);
+    rig.manager.establish();
+    auto reference = rig.system.memory().image();
+    auto arch0 = rig.system.core(0).saveArch();
+
+    rig.runUntilProgress(rig.system.progress() + 400);
+    ASSERT_NE(rig.system.memory().image(), reference)
+        << "execution must have changed memory before rollback";
+
+    Cycle now = rig.system.maxCycle();
+    auto outcome = rig.manager.recover(0, now, now + 10);
+    EXPECT_EQ(outcome.targetIndex, 1u);
+    EXPECT_EQ(outcome.affected, 0b11u);
+    EXPECT_EQ(rig.system.memory().image(), reference);
+    EXPECT_EQ(rig.system.core(0).saveArch(), arch0);
+    EXPECT_GE(rig.system.core(0).cycle(), now + 10);
+    EXPECT_DOUBLE_EQ(rig.stats.get("rec.recoveries"), 1.0);
+}
+
+TEST(Manager, ReExecutionAfterRollbackReachesSameFinalState)
+{
+    // Golden run.
+    auto program = sweepProgram(6, 32);
+    sim::MulticoreSystem golden(sim::MachineConfig::tableI(2), program);
+    golden.runToCompletion();
+    auto golden_image = golden.memory().image();
+
+    Rig rig(Coordination::kGlobal, 6);
+    rig.runUntilProgress(200);
+    rig.manager.establish();
+    rig.runUntilProgress(500);
+    Cycle now = rig.system.maxCycle();
+    rig.manager.recover(1, now, now);
+    while (!rig.system.allHalted())
+        rig.system.step();
+    EXPECT_EQ(rig.system.memory().image(), golden_image);
+}
+
+TEST(Manager, Fig2SuspectCheckpointIsSkipped)
+{
+    Rig rig(Coordination::kGlobal, 10);
+    rig.runUntilProgress(300);
+    rig.manager.establish();  // ckpt 1 (safe)
+    auto safe_image = rig.system.memory().image();
+
+    rig.runUntilProgress(rig.system.progress() + 200);
+    Cycle error_time = rig.system.maxCycle();  // error occurs here
+
+    rig.runUntilProgress(rig.system.progress() + 100);
+    rig.manager.establish();  // ckpt 2: established after the error —
+                              // potentially corrupted (Fig. 2)
+    rig.runUntilProgress(rig.system.progress() + 100);
+
+    Cycle detect_time = rig.system.maxCycle();
+    auto outcome = rig.manager.recover(0, error_time, detect_time);
+    EXPECT_EQ(outcome.targetIndex, 1u)
+        << "rollback must skip the suspect checkpoint 2";
+    EXPECT_EQ(rig.system.memory().image(), safe_image);
+}
+
+TEST(Manager, RecoverToMostRecentWhenSafe)
+{
+    Rig rig(Coordination::kGlobal, 10);
+    rig.runUntilProgress(300);
+    rig.manager.establish();
+    rig.runUntilProgress(rig.system.progress() + 200);
+    rig.manager.establish();  // ckpt 2
+    auto image2 = rig.system.memory().image();
+    rig.runUntilProgress(rig.system.progress() + 150);
+
+    Cycle error_time = rig.system.maxCycle();  // after ckpt 2
+    auto outcome = rig.manager.recover(0, error_time, error_time + 5);
+    EXPECT_EQ(outcome.targetIndex, 2u);
+    EXPECT_EQ(rig.system.memory().image(), image2);
+}
+
+TEST(Manager, WasteAndRollbackStatsAccumulate)
+{
+    Rig rig(Coordination::kGlobal, 8);
+    rig.runUntilProgress(300);
+    rig.manager.establish();
+    rig.runUntilProgress(rig.system.progress() + 200);
+    Cycle now = rig.system.maxCycle();
+    rig.manager.recover(0, now, now + 50);
+    EXPECT_GT(rig.stats.get("rec.wasteCycles"), 0.0);
+    EXPECT_GT(rig.stats.get("rec.rollbackCycles"), 0.0);
+    EXPECT_GT(rig.stats.get("rec.restoredWords"), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Local coordination
+// ---------------------------------------------------------------------
+
+TEST(Manager, LocalModeRollsBackOnlyTheFailingGroup)
+{
+    // The sweep program's threads touch disjoint regions and never
+    // share lines, so each core is its own communication group.
+    Rig rig(Coordination::kLocal, 8);
+    rig.runUntilProgress(300);
+    rig.manager.establish();
+    rig.runUntilProgress(rig.system.progress() + 300);
+
+    auto arch1_before = rig.system.core(1).saveArch();
+    auto image_before = rig.system.memory().image();
+
+    Cycle now = rig.system.maxCycle();
+    auto outcome = rig.manager.recover(0, now, now);
+    EXPECT_EQ(outcome.affected, 0b01u) << "only core 0's group";
+    EXPECT_EQ(rig.system.core(1).saveArch(), arch1_before)
+        << "core 1 must be untouched";
+
+    // Core 1's region is untouched; core 0's region rolled back.
+    auto image_after = rig.system.memory().image();
+    for (Addr a = 1512; a < 1512 + 32; ++a) {
+        auto it_b = image_before.find(a);
+        auto it_a = image_after.find(a);
+        EXPECT_TRUE(it_b != image_before.end() &&
+                    it_a != image_after.end() &&
+                    it_b->second == it_a->second);
+    }
+}
+
+TEST(Manager, LocalModeCheckpointsPerGroup)
+{
+    Rig rig(Coordination::kLocal, 6);
+    rig.runUntilProgress(300);
+    rig.manager.establish();
+    // Two singleton groups coordinated independently.
+    EXPECT_DOUBLE_EQ(rig.stats.get("ckpt.coordinationGroups"), 2.0);
+}
+
+TEST(Manager, GlobalModeHasOneGroup)
+{
+    Rig rig(Coordination::kGlobal, 6);
+    rig.runUntilProgress(300);
+    rig.manager.establish();
+    EXPECT_DOUBLE_EQ(rig.stats.get("ckpt.coordinationGroups"), 1.0);
+}
+
+} // namespace
+} // namespace acr::ckpt

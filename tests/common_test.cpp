@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG determinism and uniformity,
+ * statistics registry, table printing, and option parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace acr
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        // Not a hard guarantee, but 100 consecutive collisions across
+        // different seeds would indicate a broken generator.
+        if (va != c.next())
+            return;
+    }
+    FAIL() << "seeds 42 and 43 produced identical streams";
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo = saw_lo || v == 5;
+        saw_hi = saw_hi || v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsRoughlyUniform)
+{
+    Rng rng(99);
+    double sum = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowOneIsZero)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Csprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(csprintf("%llu", 18446744073709551615ull),
+              "18446744073709551615");
+    EXPECT_EQ(csprintf("empty"), "empty");
+}
+
+TEST(StatSet, AddGetDefaults)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0.0);
+    EXPECT_FALSE(s.has("missing"));
+    s.add("a");
+    s.add("a", 2.5);
+    EXPECT_DOUBLE_EQ(s.get("a"), 3.5);
+    EXPECT_TRUE(s.has("a"));
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.add("a", 10);
+    s.set("a", 3);
+    EXPECT_DOUBLE_EQ(s.get("a"), 3.0);
+}
+
+TEST(StatSet, MergeAccumulates)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    a.add("y", 2);
+    b.add("y", 3);
+    b.add("z", 4);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 1);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5);
+    EXPECT_DOUBLE_EQ(a.get("z"), 4);
+}
+
+TEST(StatSet, DiffSubtractsPerName)
+{
+    StatSet a, b;
+    a.add("x", 10);
+    b.add("x", 4);
+    b.add("y", 1);
+    StatSet d = a.diff(b);
+    EXPECT_DOUBLE_EQ(d.get("x"), 6);
+    EXPECT_DOUBLE_EQ(d.get("y"), -1);
+}
+
+TEST(StatSet, ClearZeroesButKeepsNames)
+{
+    StatSet s;
+    s.add("x", 5);
+    s.clear();
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 0);
+}
+
+TEST(StatSet, DumpFiltersByPrefix)
+{
+    StatSet s;
+    s.add("ckpt.records", 3);
+    s.add("rec.waste", 7);
+    std::ostringstream oss;
+    s.dump(oss, "ckpt.");
+    EXPECT_NE(oss.str().find("ckpt.records"), std::string::npos);
+    EXPECT_EQ(oss.str().find("rec.waste"), std::string::npos);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(3.14159, 2);
+    t.row().cell("b").cell(static_cast<long long>(42));
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("alpha"), std::string::npos);
+    EXPECT_NE(oss.str().find("3.14"), std::string::npos);
+    EXPECT_NE(oss.str().find("42"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.row().cell("1").cell("2");
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(OptionParser, ParsesTypedOptions)
+{
+    OptionParser p("test");
+    p.addString("name", "def", "a string");
+    p.addInt("count", 3, "an int");
+    p.addDouble("ratio", 0.5, "a double");
+    p.addFlag("verbose", "a flag");
+
+    const char *argv[] = {"test", "--name=xyz", "--count=7",
+                          "--ratio=1.25", "--verbose"};
+    p.parse(5, argv);
+    EXPECT_EQ(p.getString("name"), "xyz");
+    EXPECT_EQ(p.getInt("count"), 7);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 1.25);
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(OptionParser, DefaultsApply)
+{
+    OptionParser p("test");
+    p.addInt("count", 3, "an int");
+    p.addFlag("verbose", "a flag");
+    const char *argv[] = {"test"};
+    p.parse(1, argv);
+    EXPECT_EQ(p.getInt("count"), 3);
+    EXPECT_FALSE(p.getFlag("verbose"));
+}
+
+TEST(OptionParserDeathTest, UnknownOptionIsFatal)
+{
+    OptionParser p("test");
+    const char *argv[] = {"test", "--nope=1"};
+    EXPECT_EXIT(p.parse(2, argv), testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(OptionParserDeathTest, BadIntIsFatal)
+{
+    OptionParser p("test");
+    p.addInt("count", 0, "an int");
+    const char *argv[] = {"test", "--count=abc"};
+    EXPECT_EXIT(p.parse(2, argv), testing::ExitedWithCode(1), "integer");
+}
+
+TEST(Types, LineGeometry)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(7), 0u);
+    EXPECT_EQ(lineOf(8), 1u);
+    EXPECT_EQ(lineBase(3), 24u);
+    EXPECT_EQ(lineOffset(13), 5u);
+    EXPECT_EQ(lineOf(lineBase(42)), 42u);
+}
+
+} // namespace
+} // namespace acr

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the CacheSystem: cross-hierarchy coherence actions, dirty
+ * line bookkeeping, checkpoint flushes, and the interaction patterns
+ * local checkpointing depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace acr::cache
+{
+namespace
+{
+
+CacheSystem
+makeSystem(unsigned cores = 4)
+{
+    HierarchyConfig hier;
+    mem::DramConfig dram;
+    dram.controllers = mem::DramConfig::controllersFor(cores);
+    return CacheSystem(cores, hier, dram);
+}
+
+TEST(CacheSystem, L1HitIsCheapMissPaysDram)
+{
+    auto sys = makeSystem();
+    Cycle miss = sys.dataAccess(0, 100, false, 0);
+    Cycle hit = sys.dataAccess(0, 100, false, miss) - miss;
+    EXPECT_GT(miss, sys.config().l2.latency);
+    EXPECT_EQ(hit, sys.config().l1d.latency);
+}
+
+TEST(CacheSystem, WriteDirtiesTheLine)
+{
+    auto sys = makeSystem();
+    sys.dataAccess(0, 100, true, 0);
+    EXPECT_EQ(sys.dirtyLineCount(0), 1u);
+    EXPECT_TRUE(sys.l1d(0).isDirty(lineOf(100)));
+}
+
+TEST(CacheSystem, RemoteWriteInvalidatesSharers)
+{
+    auto sys = makeSystem();
+    sys.dataAccess(0, 100, false, 0);
+    sys.dataAccess(1, 100, false, 0);
+    EXPECT_TRUE(sys.l1d(0).contains(lineOf(100)));
+
+    sys.dataAccess(2, 100, true, 0);
+    EXPECT_FALSE(sys.l1d(0).contains(lineOf(100)));
+    EXPECT_FALSE(sys.l1d(1).contains(lineOf(100)));
+    EXPECT_EQ(sys.directory().owner(lineOf(100)), 2u);
+}
+
+TEST(CacheSystem, RemoteReadDowngradesDirtyOwner)
+{
+    auto sys = makeSystem();
+    sys.dataAccess(0, 100, true, 0);
+    EXPECT_TRUE(sys.l1d(0).isDirty(lineOf(100)));
+
+    sys.dataAccess(1, 100, false, 0);
+    // Owner keeps a clean copy; reader has it too.
+    EXPECT_TRUE(sys.l1d(0).contains(lineOf(100)));
+    EXPECT_FALSE(sys.l1d(0).isDirty(lineOf(100)));
+    EXPECT_FALSE(sys.l2(0).isDirty(lineOf(100)));
+}
+
+TEST(CacheSystem, DirtyLinesUnionL1AndL2)
+{
+    auto sys = makeSystem();
+    // Dirty a lot of lines in one set region so some spill to L2 only.
+    for (Addr a = 0; a < 64 * kWordsPerLine; a += kWordsPerLine)
+        sys.dataAccess(0, a, true, 0);
+    auto dirty = sys.dirtyLines(0);
+    EXPECT_EQ(dirty.size(), 64u) << "every written line is dirty "
+                                    "somewhere in the hierarchy";
+}
+
+TEST(CacheSystem, FlushCleansAndCounts)
+{
+    auto sys = makeSystem();
+    sys.dataAccess(0, 0, true, 0);
+    sys.dataAccess(0, 8, true, 0);
+    sys.dataAccess(1, 16, true, 0);
+
+    auto flush = sys.flushCores(0b01, 100);
+    EXPECT_EQ(flush.lines, 2u);
+    EXPECT_GT(flush.done, 100u);
+    EXPECT_EQ(sys.dirtyLineCount(0), 0u);
+    EXPECT_EQ(sys.dirtyLineCount(1), 1u) << "core 1 not flushed";
+    // Clean copies remain resident.
+    EXPECT_TRUE(sys.l1d(0).contains(0));
+}
+
+TEST(CacheSystem, InvalidateCoresDropsEverything)
+{
+    auto sys = makeSystem();
+    sys.dataAccess(0, 0, true, 0);
+    sys.dataAccess(1, 8, true, 0);
+    sys.invalidateCores(0b01);
+    EXPECT_FALSE(sys.l1d(0).contains(0));
+    EXPECT_TRUE(sys.l1d(1).contains(1));
+    EXPECT_EQ(sys.directory().owner(0), kInvalidCore);
+    EXPECT_EQ(sys.directory().owner(1), 1u);
+}
+
+TEST(CacheSystem, FalseSharingCreatesInteractions)
+{
+    auto sys = makeSystem();
+    // Same line, different words: still an interaction (line granular).
+    sys.dataAccess(0, 0, true, 0);
+    sys.dataAccess(1, 1, false, 0);
+    EXPECT_TRUE(sys.directory().interactions(0) & 0b10u);
+}
+
+TEST(CacheSystem, PaddedSlotsKeepThreadsIndependent)
+{
+    auto sys = makeSystem();
+    // One line per core: no cross-core interactions.
+    for (CoreId c = 0; c < 4; ++c)
+        sys.dataAccess(c, c * kWordsPerLine, true, 0);
+    auto groups = sys.directory().communicationGroups();
+    EXPECT_EQ(groups.size(), 4u);
+}
+
+TEST(CacheSystem, ExportStatsAggregates)
+{
+    auto sys = makeSystem();
+    sys.dataAccess(0, 0, true, 0);
+    sys.dataAccess(0, 0, false, 0);
+    sys.fetch(0);
+    sys.fetch(1);
+    StatSet stats;
+    sys.exportStats(stats);
+    EXPECT_DOUBLE_EQ(stats.get("l1d.hits"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("l1d.misses"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("l1i.fetches"), 2.0);
+}
+
+TEST(CacheSystem, WriteMissFilledByRemoteDirtyCopyAvoidsDram)
+{
+    auto sys = makeSystem();
+    sys.dataAccess(0, 100, true, 0);
+    auto reads_before = sys.dram().counters().reads;
+    sys.dataAccess(1, 100, true, 0);  // cache-to-cache transfer
+    EXPECT_EQ(sys.dram().counters().reads, reads_before);
+}
+
+} // namespace
+} // namespace acr::cache

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for MainMemory (functional state) and the DRAM timing
+ * model (latency, per-controller bandwidth queues, interleaving).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/dram.hh"
+#include "mem/main_memory.hh"
+
+namespace acr::mem
+{
+namespace
+{
+
+TEST(MainMemory, UntouchedWordsReadZero)
+{
+    MainMemory m;
+    EXPECT_EQ(m.read(0), 0u);
+    EXPECT_EQ(m.read(123456789), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(MainMemory, WriteReturnsOldValue)
+{
+    MainMemory m;
+    EXPECT_EQ(m.write(10, 5), 0u);
+    EXPECT_EQ(m.write(10, 7), 5u);
+    EXPECT_EQ(m.read(10), 7u);
+}
+
+TEST(MainMemory, SparsePagesAllocateOnDemand)
+{
+    MainMemory m;
+    m.write(0, 1);
+    EXPECT_EQ(m.pageCount(), 1u);
+    m.write(MainMemory::kPageWords - 1, 1);
+    EXPECT_EQ(m.pageCount(), 1u);
+    m.write(MainMemory::kPageWords, 1);
+    EXPECT_EQ(m.pageCount(), 2u);
+    m.write(1ull << 40, 1);
+    EXPECT_EQ(m.pageCount(), 3u);
+}
+
+TEST(MainMemory, ImageSkipsZeros)
+{
+    MainMemory m;
+    m.write(5, 9);
+    m.write(6, 0);  // allocates but stays zero
+    auto image = m.image();
+    EXPECT_EQ(image.size(), 1u);
+    EXPECT_EQ(image.at(5), 9u);
+}
+
+TEST(MainMemory, FirstDifferenceFindsTheFirstMismatch)
+{
+    MainMemory a, b;
+    a.write(100, 1);
+    b.write(100, 1);
+    EXPECT_EQ(a.firstDifference(b), kInvalidAddr);
+
+    b.write(200, 5);
+    EXPECT_EQ(a.firstDifference(b), 200u);
+
+    // Zero-valued backed words compare equal to absent words.
+    MainMemory c, d;
+    c.write(300, 0);
+    EXPECT_EQ(c.firstDifference(d), kInvalidAddr);
+}
+
+TEST(MainMemory, RandomizedWriteReadAgainstReferenceModel)
+{
+    MainMemory m;
+    std::map<Addr, Word> reference;
+    Rng rng(2024);
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = rng.below(1 << 16) + (rng.below(4) << 30);
+        if (rng.chance(0.7)) {
+            Word value = rng.next();
+            Word expected_old = reference.count(addr) ? reference[addr]
+                                                      : 0;
+            EXPECT_EQ(m.write(addr, value), expected_old);
+            reference[addr] = value;
+        } else {
+            Word expected = reference.count(addr) ? reference[addr] : 0;
+            EXPECT_EQ(m.read(addr), expected);
+        }
+    }
+}
+
+TEST(Dram, ControllersForFollowsTableI)
+{
+    EXPECT_EQ(DramConfig::controllersFor(1), 1u);
+    EXPECT_EQ(DramConfig::controllersFor(4), 1u);
+    EXPECT_EQ(DramConfig::controllersFor(8), 2u);
+    EXPECT_EQ(DramConfig::controllersFor(16), 4u);
+    EXPECT_EQ(DramConfig::controllersFor(32), 8u);
+}
+
+TEST(Dram, SingleAccessPaysLatency)
+{
+    DramConfig config;
+    config.latency = 100;
+    config.bytesPerCycle = 64.0;
+    config.controllers = 1;
+    DramModel dram(config);
+    Cycle done = dram.lineRead(0, 1000);
+    // One line occupies one cycle of bandwidth at 64 B/cycle.
+    EXPECT_EQ(done, 1000 + 1 + 100);
+}
+
+TEST(Dram, BandwidthQueuesBackToBackAccesses)
+{
+    DramConfig config;
+    config.latency = 0;
+    config.bytesPerCycle = 6.4;  // 10 cycles per 64B line
+    config.controllers = 1;
+    DramModel dram(config);
+    Cycle t1 = dram.lineRead(0, 0);
+    Cycle t2 = dram.lineRead(1, 0);
+    EXPECT_GT(t2, t1) << "second access must queue behind the first";
+    EXPECT_GE(t2, 19u);
+    EXPECT_DOUBLE_EQ(dram.counters().queueDelayCycles, 10.0);
+}
+
+TEST(Dram, ControllersInterleaveAndDecouple)
+{
+    DramConfig config;
+    config.latency = 0;
+    config.bytesPerCycle = 6.4;
+    config.controllers = 2;
+    DramModel dram(config);
+    EXPECT_NE(dram.controllerOf(0), dram.controllerOf(1));
+    EXPECT_EQ(dram.controllerOf(0), dram.controllerOf(2));
+    // Lines on different controllers don't queue behind each other.
+    Cycle t1 = dram.lineRead(0, 0);
+    Cycle t2 = dram.lineRead(1, 0);
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(Dram, WordAccessesAreCheaperThanLines)
+{
+    DramConfig config;
+    config.latency = 0;
+    config.bytesPerCycle = 1.0;
+    config.controllers = 1;
+    DramModel dram(config);
+    Cycle word = dram.wordWrite(0, 0);
+    dram.reset();
+    Cycle line = dram.lineWrite(0, 0);
+    EXPECT_LT(word, line);
+}
+
+TEST(Dram, CountersTrackTraffic)
+{
+    DramModel dram(DramConfig{});
+    dram.lineRead(0, 0);
+    dram.lineWrite(1, 0);
+    dram.wordRead(16, 0);
+    EXPECT_EQ(dram.counters().reads, 2u);
+    EXPECT_EQ(dram.counters().writes, 1u);
+    EXPECT_EQ(dram.counters().bytes, 2 * kLineBytes + kWordBytes);
+
+    StatSet stats;
+    dram.exportStats(stats, "dram");
+    EXPECT_DOUBLE_EQ(stats.get("dram.reads"), 2.0);
+    EXPECT_DOUBLE_EQ(stats.get("dram.bytes"),
+                     static_cast<double>(2 * kLineBytes + kWordBytes));
+}
+
+TEST(Dram, ResetClearsQueuesButKeepsCounters)
+{
+    DramConfig config;
+    config.latency = 0;
+    config.bytesPerCycle = 1.0;
+    config.controllers = 1;
+    DramModel dram(config);
+    dram.lineRead(0, 0);
+    dram.reset();
+    Cycle t = dram.lineRead(0, 0);
+    EXPECT_EQ(t, kLineBytes);  // no residual queueing
+    EXPECT_EQ(dram.counters().reads, 2u);
+}
+
+} // namespace
+} // namespace acr::mem

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the hierarchical second-level checkpoint tier (Sec. II-A's
+ * "first level in a hierarchical checkpointing framework"): promotion
+ * cadence, snapshot contents, catastrophic restore, and integration
+ * with the BER runtime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckpt/secondary.hh"
+#include "harness/runner.hh"
+#include "isa/builder.hh"
+
+namespace acr::ckpt
+{
+namespace
+{
+
+isa::Program
+counterProgram(unsigned iters)
+{
+    isa::ProgramBuilder b("counter");
+    b.movi(1, 0);
+    b.movi(2, static_cast<SWord>(iters));
+    b.movi(3, 9000);
+    b.label("loop");
+    b.addi(1, 1, 1);
+    b.store(3, 1);
+    b.bltu(1, 2, "loop");
+    b.halt();
+    return b.build();
+}
+
+TEST(SecondaryTier, PromotionCadence)
+{
+    StatSet stats;
+    SecondaryConfig config;
+    config.promotionPeriod = 3;
+    SecondaryTier tier(config, stats);
+    EXPECT_FALSE(tier.duePromotion(0));
+    EXPECT_FALSE(tier.duePromotion(1));
+    EXPECT_FALSE(tier.duePromotion(2));
+    EXPECT_TRUE(tier.duePromotion(3));
+    EXPECT_FALSE(tier.duePromotion(4));
+    EXPECT_TRUE(tier.duePromotion(6));
+
+    config.promotionPeriod = 0;
+    SecondaryTier disabled(config, stats);
+    EXPECT_FALSE(disabled.duePromotion(4));
+}
+
+TEST(SecondaryTier, PromoteCapturesAConsistentSnapshot)
+{
+    StatSet stats;
+    SecondaryTier tier(SecondaryConfig{}, stats);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(2),
+                                counterProgram(100));
+    system.step();
+
+    Cycle done = tier.promote(system, 1, system.maxCycle());
+    EXPECT_GT(done, system.maxCycle()) << "storage writes take time";
+    ASSERT_NE(tier.latest(), nullptr);
+    EXPECT_EQ(tier.latest()->checkpointIndex, 1u);
+    EXPECT_EQ(tier.latest()->image, system.memory().image());
+    EXPECT_EQ(tier.latest()->arch.size(), 2u);
+    EXPECT_GT(tier.latest()->bytes(), 0u);
+    EXPECT_DOUBLE_EQ(stats.get("secondary.promotions"), 1.0);
+}
+
+TEST(SecondaryTier, RestoreWithoutPromotionFails)
+{
+    StatSet stats;
+    SecondaryTier tier(SecondaryConfig{}, stats);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(1),
+                                counterProgram(10));
+    EXPECT_FALSE(tier.restore(system, 0).has_value());
+}
+
+TEST(SecondaryTier, CatastrophicRestoreReproducesTheFinalState)
+{
+    // Golden run.
+    auto program = counterProgram(3000);
+    sim::MulticoreSystem golden(sim::MachineConfig::tableI(2), program);
+    golden.runToCompletion();
+    auto golden_image = golden.memory().image();
+
+    StatSet stats;
+    SecondaryTier tier(SecondaryConfig{}, stats);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(2), program);
+
+    // Run a while, promote, run further, then lose the node entirely.
+    for (int i = 0; i < 3; ++i)
+        system.step();
+    tier.promote(system, 1, system.maxCycle());
+    auto promoted_image = system.memory().image();
+    for (int i = 0; i < 4; ++i)
+        system.step();
+
+    // "Memory loss": scribble over everything.
+    system.memory().clear();
+    system.memory().write(9000, 0xdeadbeef);
+
+    auto resumed = tier.restore(system, system.maxCycle());
+    ASSERT_TRUE(resumed.has_value());
+    EXPECT_EQ(system.memory().image(), promoted_image);
+
+    system.runToCompletion();
+    EXPECT_EQ(system.memory().image(), golden_image)
+        << "re-execution from the storage snapshot reaches the "
+           "error-free final state";
+}
+
+TEST(SecondaryTier, RuntimeIntegrationPromotesOnSchedule)
+{
+    harness::Runner runner(4);
+    harness::ExperimentConfig config;
+    config.mode = harness::BerMode::kReCkpt;
+    config.numCheckpoints = 12;
+    config.secondaryPeriod = 4;
+    config.sliceThreshold = 0;
+    auto result = runner.run("dc", config);
+
+    double promotions = result.stats.get("secondary.promotions");
+    EXPECT_GE(promotions, 2.0);
+    EXPECT_LE(promotions,
+              static_cast<double>(result.checkpointsEstablished) / 4 + 1);
+    EXPECT_GT(result.stats.get("secondary.bytesWritten"), 0.0);
+}
+
+} // namespace
+} // namespace acr::ckpt

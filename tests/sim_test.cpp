@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the multicore system: SPMD execution, barrier rendezvous,
+ * epoch-based release after partial rollback, coordination helpers, and
+ * determinism of repeated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/system.hh"
+
+namespace acr::sim
+{
+namespace
+{
+
+/** Each thread stores tid at 1000 + tid, with a barrier in between. */
+isa::Program
+spmdProgram()
+{
+    isa::ProgramBuilder b("spmd");
+    b.tid(1);
+    b.movi(2, 1000);
+    b.add(2, 2, 1);
+    b.store(2, 1);
+    b.barrier();
+    // After the barrier, read the neighbour's slot.
+    b.tid(1);
+    b.addi(3, 1, 1);
+    b.movi(4, 1000);
+    b.add(4, 4, 3);
+    b.load(5, 4);
+    b.movi(6, 2000);
+    b.add(6, 6, 1);
+    b.store(6, 5);
+    b.halt();
+    return b.build();
+}
+
+TEST(System, SpmdRunsAllCores)
+{
+    auto program = spmdProgram();
+    MulticoreSystem sys(MachineConfig::tableI(4), program);
+    sys.runToCompletion();
+    EXPECT_TRUE(sys.allHalted());
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(sys.memory().read(1000 + c), c);
+    // Neighbour reads saw post-barrier values (core 2's slot was
+    // written before core 3 read... all writes precede the barrier).
+    EXPECT_EQ(sys.memory().read(2000), 1u);
+    EXPECT_EQ(sys.memory().read(2001), 2u);
+    EXPECT_EQ(sys.memory().read(2002), 3u);
+}
+
+TEST(System, BarrierAlignsClocks)
+{
+    // Thread 0 does extra work before the barrier; all cores resume at
+    // the same cycle.
+    isa::ProgramBuilder b("skew");
+    b.tid(1);
+    b.movi(2, 0);
+    b.bne(1, 0, "skip");
+    b.movi(3, 2000);
+    b.label("spin");
+    b.addi(2, 2, 1);
+    b.bltu(2, 3, "spin");
+    b.label("skip");
+    b.barrier();
+    b.halt();
+    MulticoreSystem sys(MachineConfig::tableI(2), b.build());
+    sys.runToCompletion();
+    EXPECT_EQ(sys.core(0).cycle(), sys.core(1).cycle());
+}
+
+TEST(System, ProgressSumsRetiredInstructions)
+{
+    auto program = spmdProgram();
+    MulticoreSystem sys(MachineConfig::tableI(2), program);
+    EXPECT_EQ(sys.progress(), 0u);
+    sys.runToCompletion();
+    EXPECT_EQ(sys.progress(), sys.core(0).instrsRetired() +
+                                  sys.core(1).instrsRetired());
+}
+
+TEST(System, DeterministicAcrossIdenticalRuns)
+{
+    auto program = spmdProgram();
+    MulticoreSystem a(MachineConfig::tableI(4), program);
+    MulticoreSystem b(MachineConfig::tableI(4), program);
+    a.runToCompletion();
+    b.runToCompletion();
+    EXPECT_EQ(a.maxCycle(), b.maxCycle());
+    EXPECT_EQ(a.progress(), b.progress());
+    EXPECT_EQ(a.memory().firstDifference(b.memory()), kInvalidAddr);
+}
+
+TEST(System, SyncCoresAlignsToMaxPlusLatency)
+{
+    auto program = spmdProgram();
+    MachineConfig config = MachineConfig::tableI(4);
+    MulticoreSystem sys(config, program);
+    sys.step();
+    Cycle max_before = sys.maxCycleOf(0b0011);
+    Cycle aligned = sys.syncCores(0b0011, 7);
+    EXPECT_EQ(aligned, max_before + config.syncLatency(2) + 7);
+    EXPECT_EQ(sys.core(0).cycle(), aligned);
+    EXPECT_EQ(sys.core(1).cycle(), aligned);
+}
+
+TEST(System, SyncLatencyGrowsLogarithmically)
+{
+    MachineConfig config;
+    EXPECT_EQ(config.syncLatency(1), 0u);
+    EXPECT_EQ(config.syncLatency(2), config.syncBaseCycles);
+    EXPECT_EQ(config.syncLatency(8), 3 * config.syncBaseCycles);
+    EXPECT_EQ(config.syncLatency(32), 5 * config.syncBaseCycles);
+}
+
+TEST(System, EpochReleaseLetsRolledBackCohortPass)
+{
+    // Program: barrier, then halt. Run to completion, then roll core 0
+    // back before the barrier; it must pass the barrier alone.
+    isa::ProgramBuilder b("epoch");
+    b.tid(1);
+    b.barrier();
+    b.movi(2, 3000);
+    b.add(2, 2, 1);
+    b.store(2, 1);
+    b.halt();
+    MulticoreSystem sys(MachineConfig::tableI(2), b.build());
+
+    cpu::ArchState initial = sys.core(0).saveArch();
+    sys.runToCompletion();
+    EXPECT_EQ(sys.core(0).barrierEpoch(), 1u);
+
+    sys.memory().write(3000, 999);
+    sys.core(0).restoreArch(initial);
+    EXPECT_EQ(sys.core(0).barrierEpoch(), 0u);
+    sys.runToCompletion();
+    EXPECT_EQ(sys.memory().read(3000), 0u)
+        << "core 0 re-ran past the barrier and re-stored its value";
+}
+
+TEST(SystemDeathTest, BarrierCountMismatchIsFatal)
+{
+    // Thread 0 hits a barrier thread 1 never reaches.
+    isa::ProgramBuilder b("mismatch");
+    b.tid(1);
+    b.bne(1, 0, "end");
+    b.barrier();
+    b.label("end");
+    b.halt();
+    auto program = b.build();
+    EXPECT_EXIT(
+        {
+            MulticoreSystem sys(MachineConfig::tableI(2), program);
+            sys.runToCompletion();
+        },
+        testing::ExitedWithCode(1), "barrier deadlock");
+}
+
+TEST(System, ExportStatsCoversCoresAndCaches)
+{
+    auto program = spmdProgram();
+    MulticoreSystem sys(MachineConfig::tableI(2), program);
+    sys.runToCompletion();
+    StatSet stats;
+    sys.exportStats(stats);
+    EXPECT_GT(stats.get("cores.instrs"), 0.0);
+    EXPECT_GT(stats.get("cores.stores"), 0.0);
+    EXPECT_GT(stats.get("l1i.fetches"), 0.0);
+    EXPECT_GT(stats.get("sim.maxCycle"), 0.0);
+}
+
+TEST(System, DataSegmentLoadedBeforeExecution)
+{
+    isa::ProgramBuilder b("data");
+    b.data(4000, 1234);
+    b.movi(1, 4000);
+    b.load(2, 1);
+    b.store(1, 2, 1);
+    b.halt();
+    MulticoreSystem sys(MachineConfig::tableI(1), b.build());
+    sys.runToCompletion();
+    EXPECT_EQ(sys.memory().read(4001), 1234u);
+}
+
+} // namespace
+} // namespace acr::sim

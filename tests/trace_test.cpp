@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the event-trace timeline and its runtime integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/trace.hh"
+#include "harness/runner.hh"
+
+namespace acr
+{
+namespace
+{
+
+TEST(EventTrace, RecordsSpansAndInstants)
+{
+    EventTrace trace;
+    trace.span("ckpt", "ckpt 1", 100, 150);
+    trace.instant("fault", "error", 120);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_FALSE(trace.events()[0].isInstant());
+    EXPECT_TRUE(trace.events()[1].isInstant());
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(EventTraceDeathTest, BackwardsSpanPanics)
+{
+    EventTrace trace;
+    EXPECT_DEATH(trace.span("x", "y", 10, 5), "ends before");
+}
+
+TEST(EventTrace, TimelineIsSortedByStart)
+{
+    EventTrace trace;
+    trace.span("b", "second", 200, 210);
+    trace.span("a", "first", 100, 110);
+    std::ostringstream oss;
+    trace.writeTimeline(oss);
+    auto text = oss.str();
+    EXPECT_LT(text.find("first"), text.find("second"));
+}
+
+TEST(EventTrace, ChromeJsonIsWellFormedEnough)
+{
+    EventTrace trace;
+    trace.span("ckpt", "ckpt \"1\"", 0, 10);
+    trace.instant("fault", "err", 5);
+    std::ostringstream oss;
+    trace.writeChromeJson(oss);
+    auto text = oss.str();
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(text.find("\\\"1\\\""), std::string::npos)
+        << "quotes must be escaped";
+    EXPECT_NE(text.find("\"dur\": 10"), std::string::npos);
+}
+
+TEST(EventTrace, RuntimeRecordsCheckpointsAndRecoveries)
+{
+    harness::Runner runner(4);
+    EventTrace trace;
+    harness::ExperimentConfig config;
+    config.mode = harness::BerMode::kReCkpt;
+    config.numCheckpoints = 8;
+    config.numErrors = 1;
+    config.sliceThreshold = 0;
+    config.trace = &trace;
+    auto result = runner.run("is", config);
+
+    unsigned checkpoints = 0, recoveries = 0, faults = 0;
+    for (const auto &event : trace.events()) {
+        if (event.category == "checkpoint")
+            ++checkpoints;
+        else if (event.category == "recovery")
+            ++recoveries;
+        else if (event.category == "fault")
+            ++faults;
+    }
+    EXPECT_EQ(checkpoints, result.checkpointsEstablished);
+    EXPECT_EQ(recoveries, result.recoveries);
+    EXPECT_EQ(faults, 2u) << "one error instant + one detection instant";
+}
+
+} // namespace
+} // namespace acr

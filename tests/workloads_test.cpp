@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the kernel generators: all eight benchmarks build and
+ * validate, execute deterministically, exhibit their designed
+ * communication patterns, and respect the chain-length contract the
+ * Table II reproduction depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "acr/slice_pass.hh"
+#include "sim/system.hh"
+#include "workloads/kernel_spec.hh"
+#include "workloads/workload.hh"
+
+namespace acr::workloads
+{
+namespace
+{
+
+class EveryKernel : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryKernel, BuildsAndValidates)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    auto workload = makeWorkload(GetParam());
+    EXPECT_EQ(workload->name(), GetParam());
+    isa::Program program = workload->build(params);
+    EXPECT_EQ(program.validate(), "");
+    EXPECT_GT(program.size(), 50u);
+    EXPECT_FALSE(program.data().words.empty());
+}
+
+TEST_P(EveryKernel, RunsToCompletionOnFourCores)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    auto program = makeWorkload(GetParam())->build(params);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(4), program);
+    system.runToCompletion();
+    EXPECT_TRUE(system.allHalted());
+    EXPECT_GT(system.progress(), 10000u);
+    EXPECT_FALSE(system.memory().image().empty());
+}
+
+TEST_P(EveryKernel, DeterministicImage)
+{
+    WorkloadParams params;
+    params.threads = 2;
+    auto program = makeWorkload(GetParam())->build(params);
+    sim::MulticoreSystem a(sim::MachineConfig::tableI(2), program);
+    sim::MulticoreSystem b(sim::MachineConfig::tableI(2), program);
+    a.runToCompletion();
+    b.runToCompletion();
+    EXPECT_EQ(a.memory().firstDifference(b.memory()), kInvalidAddr);
+    EXPECT_EQ(a.maxCycle(), b.maxCycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, EveryKernel,
+                         testing::ValuesIn(allWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(Workloads, RegistryListsEightKernels)
+{
+    EXPECT_EQ(allWorkloadNames().size(), 8u);
+}
+
+TEST(WorkloadsDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)makeWorkload("nope"), testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Workloads, AllToAllKernelsConnectEveryCore)
+{
+    // bt/cg/sp: "practically all cores communicate with one another"
+    // (Sec. V-E).
+    for (const char *name : {"bt", "cg", "sp"}) {
+        WorkloadParams params;
+        params.threads = 4;
+        auto program = makeWorkload(name)->build(params);
+        sim::MulticoreSystem system(sim::MachineConfig::tableI(4),
+                                    program);
+        for (int i = 0; i < 2000 && !system.allHalted(); ++i)
+            system.step();
+        auto groups =
+            system.caches().directory().communicationGroups();
+        EXPECT_EQ(groups.size(), 1u)
+            << name << " must form a single communication group";
+    }
+}
+
+TEST(Workloads, PairKernelFormsPairGroups)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    auto program = makeWorkload("is")->build(params);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(4), program);
+    system.runToCompletion();
+    auto groups = system.caches().directory().communicationGroups();
+    // Interactions cleared never: cumulative groups = {0,1}, {2,3}.
+    EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Workloads, QuadKernelFormsQuadGroups)
+{
+    WorkloadParams params;
+    params.threads = 8;
+    auto program = makeWorkload("mg")->build(params);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(8), program);
+    system.runToCompletion();
+    auto groups = system.caches().directory().communicationGroups();
+    EXPECT_EQ(groups.size(), 2u) << "two quads on eight threads";
+}
+
+TEST(Workloads, ScaleGrowsTheProblem)
+{
+    WorkloadParams small, big;
+    small.threads = big.threads = 2;
+    small.scale = 1;
+    big.scale = 2;
+    auto workload = makeWorkload("dc");
+    auto ps = workload->build(small);
+    auto pb = workload->build(big);
+    sim::MulticoreSystem a(sim::MachineConfig::tableI(2), ps);
+    sim::MulticoreSystem b(sim::MachineConfig::tableI(2), pb);
+    a.runToCompletion();
+    b.runToCompletion();
+    EXPECT_GT(b.progress(), a.progress() * 3 / 2);
+}
+
+TEST(Workloads, ChainLengthContractHoldsUnderThePass)
+{
+    // A two-phase kernel with lengths 6 and 30: at threshold 10 only
+    // phase 0's store (plus the counter store) is sliceable; at 35 both.
+    KernelSpec spec;
+    spec.name = "contract";
+    spec.outerIters = 3;
+    spec.phases = {{8, 6}, {8, 30}};
+    spec.comm = Comm::kNone;
+    WorkloadParams params;
+    params.threads = 1;
+    auto program = buildKernel(spec, params);
+
+    slice::SlicePolicyConfig at10;
+    at10.lengthThreshold = 10;
+    auto r10 = amnesic::SlicePass::run(
+        program, sim::MachineConfig::tableI(1), at10);
+
+    slice::SlicePolicyConfig at35;
+    at35.lengthThreshold = 35;
+    auto r35 = amnesic::SlicePass::run(
+        program, sim::MachineConfig::tableI(1), at35);
+
+    EXPECT_EQ(r10.hintedStores + 1, r35.hintedStores)
+        << "exactly the length-30 phase store joins at threshold 35";
+}
+
+TEST(Workloads, BurstPhaseRunsExactlyOnce)
+{
+    KernelSpec with_burst;
+    with_burst.name = "burst";
+    with_burst.outerIters = 4;
+    with_burst.phases = {{4, 3}};
+    with_burst.burst = {16, 3};
+    with_burst.comm = Comm::kNone;
+
+    KernelSpec without = with_burst;
+    without.name = "noburst";
+    without.burst = {};
+
+    WorkloadParams params;
+    params.threads = 1;
+    sim::MulticoreSystem a(sim::MachineConfig::tableI(1),
+                           buildKernel(with_burst, params));
+    sim::MulticoreSystem b(sim::MachineConfig::tableI(1),
+                           buildKernel(without, params));
+    a.runToCompletion();
+    b.runToCompletion();
+    // 16 burst cells, each (1 load + chain 3 + store + addr + loop ~4).
+    auto delta = a.progress() - b.progress();
+    EXPECT_GT(delta, 16u * 5u);
+    EXPECT_LT(delta, 16u * 20u);
+}
+
+} // namespace
+} // namespace acr::workloads
