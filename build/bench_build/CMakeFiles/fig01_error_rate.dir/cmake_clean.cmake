@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_error_rate"
+  "../bench/fig01_error_rate.pdb"
+  "CMakeFiles/fig01_error_rate.dir/fig01_error_rate.cpp.o"
+  "CMakeFiles/fig01_error_rate.dir/fig01_error_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

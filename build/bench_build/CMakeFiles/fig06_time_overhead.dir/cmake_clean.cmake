@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_time_overhead"
+  "../bench/fig06_time_overhead.pdb"
+  "CMakeFiles/fig06_time_overhead.dir/fig06_time_overhead.cpp.o"
+  "CMakeFiles/fig06_time_overhead.dir/fig06_time_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_time_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

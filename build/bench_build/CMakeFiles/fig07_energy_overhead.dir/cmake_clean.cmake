@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_energy_overhead"
+  "../bench/fig07_energy_overhead.pdb"
+  "CMakeFiles/fig07_energy_overhead.dir/fig07_energy_overhead.cpp.o"
+  "CMakeFiles/fig07_energy_overhead.dir/fig07_energy_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_energy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_edp_reduction"
+  "../bench/fig08_edp_reduction.pdb"
+  "CMakeFiles/fig08_edp_reduction.dir/fig08_edp_reduction.cpp.o"
+  "CMakeFiles/fig08_edp_reduction.dir/fig08_edp_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_edp_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_temporal"
+  "../bench/fig10_temporal.pdb"
+  "CMakeFiles/fig10_temporal.dir/fig10_temporal.cpp.o"
+  "CMakeFiles/fig10_temporal.dir/fig10_temporal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_ckpt_freq"
+  "../bench/fig12_ckpt_freq.pdb"
+  "CMakeFiles/fig12_ckpt_freq.dir/fig12_ckpt_freq.cpp.o"
+  "CMakeFiles/fig12_ckpt_freq.dir/fig12_ckpt_freq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ckpt_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

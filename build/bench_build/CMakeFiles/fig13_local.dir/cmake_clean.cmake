@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_local"
+  "../bench/fig13_local.pdb"
+  "CMakeFiles/fig13_local.dir/fig13_local.cpp.o"
+  "CMakeFiles/fig13_local.dir/fig13_local.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

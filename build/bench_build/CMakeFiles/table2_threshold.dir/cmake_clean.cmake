@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_threshold"
+  "../bench/table2_threshold.pdb"
+  "CMakeFiles/table2_threshold.dir/table2_threshold.cpp.o"
+  "CMakeFiles/table2_threshold.dir/table2_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/acrsim.cpp" "examples/CMakeFiles/acrsim.dir/acrsim.cpp.o" "gcc" "examples/CMakeFiles/acrsim.dir/acrsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/acr_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/acr_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/acr/CMakeFiles/acr_acr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/acr_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/slice/CMakeFiles/acr_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/acr_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/acr_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/acr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/acr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/acr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/acr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

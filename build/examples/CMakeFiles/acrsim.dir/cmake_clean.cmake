@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acrsim.dir/acrsim.cpp.o"
+  "CMakeFiles/acrsim.dir/acrsim.cpp.o.d"
+  "acrsim"
+  "acrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for acrsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_kernel.dir/dsl_kernel.cpp.o"
+  "CMakeFiles/dsl_kernel.dir/dsl_kernel.cpp.o.d"
+  "dsl_kernel"
+  "dsl_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

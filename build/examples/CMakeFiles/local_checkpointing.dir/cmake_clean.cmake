@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_checkpointing.dir/local_checkpointing.cpp.o"
+  "CMakeFiles/local_checkpointing.dir/local_checkpointing.cpp.o.d"
+  "local_checkpointing"
+  "local_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("frontend")
+subdirs("mem")
+subdirs("cache")
+subdirs("cpu")
+subdirs("energy")
+subdirs("sim")
+subdirs("slice")
+subdirs("ckpt")
+subdirs("acr")
+subdirs("fault")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acr/acr_engine.cc" "src/acr/CMakeFiles/acr_acr.dir/acr_engine.cc.o" "gcc" "src/acr/CMakeFiles/acr_acr.dir/acr_engine.cc.o.d"
+  "/root/repo/src/acr/addr_map.cc" "src/acr/CMakeFiles/acr_acr.dir/addr_map.cc.o" "gcc" "src/acr/CMakeFiles/acr_acr.dir/addr_map.cc.o.d"
+  "/root/repo/src/acr/slice_pass.cc" "src/acr/CMakeFiles/acr_acr.dir/slice_pass.cc.o" "gcc" "src/acr/CMakeFiles/acr_acr.dir/slice_pass.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckpt/CMakeFiles/acr_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/slice/CMakeFiles/acr_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/acr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/acr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/acr_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

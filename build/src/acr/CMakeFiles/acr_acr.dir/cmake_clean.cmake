@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_acr.dir/acr_engine.cc.o"
+  "CMakeFiles/acr_acr.dir/acr_engine.cc.o.d"
+  "CMakeFiles/acr_acr.dir/addr_map.cc.o"
+  "CMakeFiles/acr_acr.dir/addr_map.cc.o.d"
+  "CMakeFiles/acr_acr.dir/slice_pass.cc.o"
+  "CMakeFiles/acr_acr.dir/slice_pass.cc.o.d"
+  "libacr_acr.a"
+  "libacr_acr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_acr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

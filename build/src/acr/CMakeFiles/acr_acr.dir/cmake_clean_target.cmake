@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacr_acr.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_cache.dir/cache.cc.o"
+  "CMakeFiles/acr_cache.dir/cache.cc.o.d"
+  "CMakeFiles/acr_cache.dir/directory.cc.o"
+  "CMakeFiles/acr_cache.dir/directory.cc.o.d"
+  "CMakeFiles/acr_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/acr_cache.dir/hierarchy.cc.o.d"
+  "libacr_cache.a"
+  "libacr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

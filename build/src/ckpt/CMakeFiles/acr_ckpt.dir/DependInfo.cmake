@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/log.cc" "src/ckpt/CMakeFiles/acr_ckpt.dir/log.cc.o" "gcc" "src/ckpt/CMakeFiles/acr_ckpt.dir/log.cc.o.d"
+  "/root/repo/src/ckpt/manager.cc" "src/ckpt/CMakeFiles/acr_ckpt.dir/manager.cc.o" "gcc" "src/ckpt/CMakeFiles/acr_ckpt.dir/manager.cc.o.d"
+  "/root/repo/src/ckpt/secondary.cc" "src/ckpt/CMakeFiles/acr_ckpt.dir/secondary.cc.o" "gcc" "src/ckpt/CMakeFiles/acr_ckpt.dir/secondary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/acr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/slice/CMakeFiles/acr_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/acr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/acr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/acr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

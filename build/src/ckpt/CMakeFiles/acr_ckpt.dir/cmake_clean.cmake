@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_ckpt.dir/log.cc.o"
+  "CMakeFiles/acr_ckpt.dir/log.cc.o.d"
+  "CMakeFiles/acr_ckpt.dir/manager.cc.o"
+  "CMakeFiles/acr_ckpt.dir/manager.cc.o.d"
+  "CMakeFiles/acr_ckpt.dir/secondary.cc.o"
+  "CMakeFiles/acr_ckpt.dir/secondary.cc.o.d"
+  "libacr_ckpt.a"
+  "libacr_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

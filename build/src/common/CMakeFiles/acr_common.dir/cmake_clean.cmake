@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_common.dir/logging.cc.o"
+  "CMakeFiles/acr_common.dir/logging.cc.o.d"
+  "CMakeFiles/acr_common.dir/options.cc.o"
+  "CMakeFiles/acr_common.dir/options.cc.o.d"
+  "CMakeFiles/acr_common.dir/stats.cc.o"
+  "CMakeFiles/acr_common.dir/stats.cc.o.d"
+  "CMakeFiles/acr_common.dir/table.cc.o"
+  "CMakeFiles/acr_common.dir/table.cc.o.d"
+  "CMakeFiles/acr_common.dir/trace.cc.o"
+  "CMakeFiles/acr_common.dir/trace.cc.o.d"
+  "libacr_common.a"
+  "libacr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

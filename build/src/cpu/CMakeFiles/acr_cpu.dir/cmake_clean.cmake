@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_cpu.dir/core.cc.o"
+  "CMakeFiles/acr_cpu.dir/core.cc.o.d"
+  "libacr_cpu.a"
+  "libacr_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

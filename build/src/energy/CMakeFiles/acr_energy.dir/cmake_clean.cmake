@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_energy.dir/energy_model.cc.o"
+  "CMakeFiles/acr_energy.dir/energy_model.cc.o.d"
+  "libacr_energy.a"
+  "libacr_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_fault.dir/injector.cc.o"
+  "CMakeFiles/acr_fault.dir/injector.cc.o.d"
+  "libacr_fault.a"
+  "libacr_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_frontend.dir/function.cc.o"
+  "CMakeFiles/acr_frontend.dir/function.cc.o.d"
+  "libacr_frontend.a"
+  "libacr_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

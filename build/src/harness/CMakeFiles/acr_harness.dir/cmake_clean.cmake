@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_harness.dir/ber_runtime.cc.o"
+  "CMakeFiles/acr_harness.dir/ber_runtime.cc.o.d"
+  "CMakeFiles/acr_harness.dir/runner.cc.o"
+  "CMakeFiles/acr_harness.dir/runner.cc.o.d"
+  "libacr_harness.a"
+  "libacr_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

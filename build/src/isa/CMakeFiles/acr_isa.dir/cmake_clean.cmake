@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_isa.dir/assembler.cc.o"
+  "CMakeFiles/acr_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/acr_isa.dir/builder.cc.o"
+  "CMakeFiles/acr_isa.dir/builder.cc.o.d"
+  "CMakeFiles/acr_isa.dir/instruction.cc.o"
+  "CMakeFiles/acr_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/acr_isa.dir/program.cc.o"
+  "CMakeFiles/acr_isa.dir/program.cc.o.d"
+  "libacr_isa.a"
+  "libacr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_mem.dir/dram.cc.o"
+  "CMakeFiles/acr_mem.dir/dram.cc.o.d"
+  "CMakeFiles/acr_mem.dir/main_memory.cc.o"
+  "CMakeFiles/acr_mem.dir/main_memory.cc.o.d"
+  "libacr_mem.a"
+  "libacr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

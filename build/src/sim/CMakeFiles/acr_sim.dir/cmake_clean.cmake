@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_sim.dir/system.cc.o"
+  "CMakeFiles/acr_sim.dir/system.cc.o.d"
+  "libacr_sim.a"
+  "libacr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

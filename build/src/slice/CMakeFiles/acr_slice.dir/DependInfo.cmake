@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slice/engine.cc" "src/slice/CMakeFiles/acr_slice.dir/engine.cc.o" "gcc" "src/slice/CMakeFiles/acr_slice.dir/engine.cc.o.d"
+  "/root/repo/src/slice/instance.cc" "src/slice/CMakeFiles/acr_slice.dir/instance.cc.o" "gcc" "src/slice/CMakeFiles/acr_slice.dir/instance.cc.o.d"
+  "/root/repo/src/slice/repository.cc" "src/slice/CMakeFiles/acr_slice.dir/repository.cc.o" "gcc" "src/slice/CMakeFiles/acr_slice.dir/repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/acr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/acr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/acr_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_slice.dir/engine.cc.o"
+  "CMakeFiles/acr_slice.dir/engine.cc.o.d"
+  "CMakeFiles/acr_slice.dir/instance.cc.o"
+  "CMakeFiles/acr_slice.dir/instance.cc.o.d"
+  "CMakeFiles/acr_slice.dir/repository.cc.o"
+  "CMakeFiles/acr_slice.dir/repository.cc.o.d"
+  "libacr_slice.a"
+  "libacr_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

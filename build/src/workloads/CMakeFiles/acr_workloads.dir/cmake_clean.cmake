@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_workloads.dir/kernel_builder.cc.o"
+  "CMakeFiles/acr_workloads.dir/kernel_builder.cc.o.d"
+  "CMakeFiles/acr_workloads.dir/kernels.cc.o"
+  "CMakeFiles/acr_workloads.dir/kernels.cc.o.d"
+  "libacr_workloads.a"
+  "libacr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acr_test.cpp" "tests/CMakeFiles/acr_tests.dir/acr_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/acr_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/acr_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/assembler_test.cpp" "tests/CMakeFiles/acr_tests.dir/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/assembler_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/acr_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/ckpt_test.cpp" "tests/CMakeFiles/acr_tests.dir/ckpt_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/ckpt_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/acr_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/cpu_test.cpp" "tests/CMakeFiles/acr_tests.dir/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/cpu_test.cpp.o.d"
+  "/root/repo/tests/edge_test.cpp" "tests/CMakeFiles/acr_tests.dir/edge_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/edge_test.cpp.o.d"
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/acr_tests.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/energy_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/acr_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/acr_tests.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/frontend_test.cpp.o.d"
+  "/root/repo/tests/hierarchy_test.cpp" "tests/CMakeFiles/acr_tests.dir/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/acr_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/acr_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/mem_test.cpp" "tests/CMakeFiles/acr_tests.dir/mem_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/mem_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/acr_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/acr_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/secondary_test.cpp" "tests/CMakeFiles/acr_tests.dir/secondary_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/secondary_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/acr_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/slice_test.cpp" "tests/CMakeFiles/acr_tests.dir/slice_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/slice_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/acr_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/acr_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/acr_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/acr_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/acr/CMakeFiles/acr_acr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/acr_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/slice/CMakeFiles/acr_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/acr_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/acr_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/acr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/acr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/acr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/acr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
