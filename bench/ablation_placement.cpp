@@ -15,33 +15,38 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "ablation_placement");
     harness::Runner runner(kDefaultThreads);
 
     std::cout << "Ablation: uniform vs recomputation-aware checkpoint "
                  "placement (ReCkpt_NE)\n\n";
 
+    auto uniform_cfg = makeConfig(BerMode::kReCkpt);
+    auto aware_cfg = uniform_cfg;
+    aware_cfg.placement = harness::PlacementPolicy::kRecomputeAware;
+    const std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kNoCkpt), uniform_cfg, aware_cfg};
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
     Table table({"bench", "uniform stored KB", "aware stored KB",
                  "stored red. %", "uniform ovh %", "aware ovh %",
                  "deferrals"});
 
-    for (const auto &name : workloads::allWorkloadNames()) {
-        const auto &base = runner.noCkpt(name);
-
-        auto uniform_cfg = makeConfig(BerMode::kReCkpt);
-        auto uniform = runner.run(name, uniform_cfg);
-
-        auto aware_cfg = uniform_cfg;
-        aware_cfg.placement = harness::PlacementPolicy::kRecomputeAware;
-        auto aware = runner.run(name, aware_cfg);
+    const auto &names = workloads::allWorkloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto *row = &results[w * configs.size()];
+        const auto &base = row[0];
+        const auto &uniform = row[1];
+        const auto &aware = row[2];
 
         table.row()
-            .cell(name)
+            .cell(names[w])
             .cell(static_cast<double>(uniform.ckptBytesStored) / 1024.0)
             .cell(static_cast<double>(aware.ckptBytesStored) / 1024.0)
             .cell(overallSizeReductionPct(uniform, aware))

@@ -14,43 +14,47 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "ablation_selection");
     harness::Runner runner(kDefaultThreads);
 
     std::cout << "Ablation: greedy threshold-10 vs cost-model slice "
                  "selection (ReCkpt_E, 1 error)\n\n";
 
+    auto greedy_cfg = makeConfig(BerMode::kReCkpt, 1);
+    auto cost_cfg = greedy_cfg;
+    cost_cfg.policy = slice::SelectionPolicy::kCostModel;
+    const std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kNoCkpt), greedy_cfg, cost_cfg};
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
     Table table({"bench", "greedy omit %", "cost omit %",
                  "greedy ovh %", "cost ovh %", "greedy replay ops",
                  "cost replay ops"});
 
-    for (const auto &name : workloads::allWorkloadNames()) {
-        const auto &base = runner.noCkpt(name);
+    auto omit_pct = [](const harness::ExperimentResult &r) {
+        double total = static_cast<double>(r.ckptBytesStored +
+                                           r.ckptBytesOmitted);
+        return total == 0.0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(r.ckptBytesOmitted) /
+                         total;
+    };
 
-        auto greedy_cfg = makeConfig(BerMode::kReCkpt, 1);
-        auto greedy = runner.run(name, greedy_cfg);
-
-        auto cost_cfg = greedy_cfg;
-        cost_cfg.policy = slice::SelectionPolicy::kCostModel;
-        auto cost = runner.run(name, cost_cfg);
-
-        auto omit_pct = [](const harness::ExperimentResult &r) {
-            double total = static_cast<double>(r.ckptBytesStored +
-                                               r.ckptBytesOmitted);
-            return total == 0.0
-                       ? 0.0
-                       : 100.0 *
-                             static_cast<double>(r.ckptBytesOmitted) /
-                             total;
-        };
+    const auto &names = workloads::allWorkloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto *row = &results[w * configs.size()];
+        const auto &base = row[0];
+        const auto &greedy = row[1];
+        const auto &cost = row[2];
 
         table.row()
-            .cell(name)
+            .cell(names[w])
             .cell(omit_pct(greedy))
             .cell(omit_pct(cost))
             .cell(greedy.timeOverheadPct(base.cycles))

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/options.hh"
 #include "common/table.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workload.hh"
 
 namespace acr::bench
@@ -24,6 +26,54 @@ namespace acr::bench
 /** The paper's default evaluation point (Sec. IV). */
 inline constexpr unsigned kDefaultCheckpoints = 25;
 inline constexpr unsigned kDefaultThreads = 8;
+
+/**
+ * Parse the standard bench command line: --jobs=N selects the sweep
+ * worker count (0, the default, falls back to ACR_JOBS and then to
+ * hardware concurrency).
+ */
+inline unsigned
+parseJobs(int argc, const char *const *argv,
+          const std::string &program_name)
+{
+    OptionParser parser(program_name);
+    parser.addInt("jobs", 0,
+                  "sweep worker threads (0: ACR_JOBS, then hardware "
+                  "concurrency)");
+    parser.parse(argc, argv);
+    long long jobs = parser.getInt("jobs");
+    if (jobs < 0)
+        fatal("--jobs must be >= 0, got %lld", jobs);
+    return jobs > 0 ? static_cast<unsigned>(jobs)
+                    : harness::Sweep::defaultJobs();
+}
+
+/**
+ * One sweep point per (workload × config), workload-major: the result
+ * for workload w, config c lands at index w * configs.size() + c —
+ * the same order the serial benches used to visit the grid.
+ */
+inline std::vector<harness::SweepPoint>
+crossWorkloads(const std::vector<harness::ExperimentConfig> &configs)
+{
+    std::vector<harness::SweepPoint> points;
+    points.reserve(workloads::allWorkloadNames().size() * configs.size());
+    for (const auto &name : workloads::allWorkloadNames())
+        for (const auto &config : configs)
+            points.push_back({name, config});
+    return points;
+}
+
+/** Fan @p points out over @p jobs workers and report host timing. */
+inline std::vector<harness::ExperimentResult>
+runSweep(harness::Runner &runner, unsigned jobs,
+         const std::vector<harness::SweepPoint> &points)
+{
+    harness::Sweep sweep(runner, jobs);
+    auto results = sweep.run(points);
+    sweep.reportTiming(std::cout);
+    return results;
+}
 
 inline harness::ExperimentConfig
 makeConfig(harness::BerMode mode, unsigned errors = 0,

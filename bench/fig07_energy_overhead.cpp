@@ -11,32 +11,41 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "fig07_energy_overhead");
     harness::Runner runner(kDefaultThreads);
 
     std::cout << "Figure 7: energy overhead of checkpointing and "
                  "recovery (% vs NoCkpt)\n\n";
 
+    const std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kNoCkpt),
+        makeConfig(BerMode::kCkpt),
+        makeConfig(BerMode::kCkpt, 1),
+        makeConfig(BerMode::kReCkpt),
+        makeConfig(BerMode::kReCkpt, 1),
+    };
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
     Table table({"bench", "Ckpt_NE", "Ckpt_E", "ReCkpt_NE", "ReCkpt_E",
                  "NE red.%", "E red.%"});
     Summary ne_reduction, e_reduction;
 
-    for (const auto &name : workloads::allWorkloadNames()) {
-        const auto &base = runner.noCkpt(name);
-        auto ckpt_ne = runner.run(name, makeConfig(BerMode::kCkpt));
-        auto ckpt_e = runner.run(name, makeConfig(BerMode::kCkpt, 1));
-        auto reckpt_ne = runner.run(name, makeConfig(BerMode::kReCkpt));
-        auto reckpt_e = runner.run(name, makeConfig(BerMode::kReCkpt, 1));
+    const auto &names = workloads::allWorkloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const auto *row = &results[w * configs.size()];
+        const auto &base = row[0];
 
-        double o_ckpt_ne = ckpt_ne.energyOverheadPct(base.energyPj);
-        double o_ckpt_e = ckpt_e.energyOverheadPct(base.energyPj);
-        double o_reckpt_ne = reckpt_ne.energyOverheadPct(base.energyPj);
-        double o_reckpt_e = reckpt_e.energyOverheadPct(base.energyPj);
+        double o_ckpt_ne = row[1].energyOverheadPct(base.energyPj);
+        double o_ckpt_e = row[2].energyOverheadPct(base.energyPj);
+        double o_reckpt_ne = row[3].energyOverheadPct(base.energyPj);
+        double o_reckpt_e = row[4].energyOverheadPct(base.energyPj);
 
         double ne_red = reductionPct(o_ckpt_ne, o_reckpt_ne);
         double e_red = reductionPct(o_ckpt_e, o_reckpt_e);

@@ -11,28 +11,36 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "fig08_edp_reduction");
     harness::Runner runner(kDefaultThreads);
 
     std::cout << "Figure 8: EDP reduction of ReCkpt_{NE,E} w.r.t. "
                  "Ckpt_{NE,E} (%)\n\n";
 
+    const std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kCkpt),
+        makeConfig(BerMode::kCkpt, 1),
+        makeConfig(BerMode::kReCkpt),
+        makeConfig(BerMode::kReCkpt, 1),
+    };
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
     Table table({"bench", "EDP red. NE %", "EDP red. E %"});
     Summary ne_reduction, e_reduction;
 
-    for (const auto &name : workloads::allWorkloadNames()) {
-        auto ckpt_ne = runner.run(name, makeConfig(BerMode::kCkpt));
-        auto ckpt_e = runner.run(name, makeConfig(BerMode::kCkpt, 1));
-        auto reckpt_ne = runner.run(name, makeConfig(BerMode::kReCkpt));
-        auto reckpt_e = runner.run(name, makeConfig(BerMode::kReCkpt, 1));
+    const auto &names = workloads::allWorkloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const auto *row = &results[w * configs.size()];
 
-        double ne_red = reckpt_ne.edpReductionPct(ckpt_ne.edp);
-        double e_red = reckpt_e.edpReductionPct(ckpt_e.edp);
+        double ne_red = row[2].edpReductionPct(row[0].edp);
+        double e_red = row[3].edpReductionPct(row[1].edp);
         ne_reduction.add(name, ne_red);
         e_reduction.add(name, e_red);
         table.row().cell(name).cell(ne_red).cell(e_red);

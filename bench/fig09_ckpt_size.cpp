@@ -13,24 +13,33 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "fig09_ckpt_size");
     harness::Runner runner(kDefaultThreads);
 
     std::cout << "Figure 9: checkpoint size reduction under ReCkpt_NE "
                  "(%)\n\n";
 
+    const std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kCkpt),
+        makeConfig(BerMode::kReCkpt),
+    };
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
     Table table({"bench", "Overall %", "Max %", "stored KB", "omitted KB",
                  "binary growth %"});
     Summary overall, max_red;
 
-    for (const auto &name : workloads::allWorkloadNames()) {
-        auto ckpt = runner.run(name, makeConfig(BerMode::kCkpt));
-        auto reckpt = runner.run(name, makeConfig(BerMode::kReCkpt));
+    const auto &names = workloads::allWorkloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const auto &ckpt = results[w * configs.size()];
+        const auto &reckpt = results[w * configs.size() + 1];
         const auto &pass = runner.profile(name);
 
         double o = overallSizeReductionPct(ckpt, reckpt);

@@ -12,12 +12,13 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "fig10_temporal");
     harness::Runner runner(kDefaultThreads);
     const std::vector<unsigned> thresholds = {10, 20, 30, 40, 50};
     const std::string name = "bt";
@@ -25,14 +26,16 @@ main()
     std::cout << "Figure 10: impact of Slice length on checkpoint size "
                  "over time for bt (% reduction per interval)\n\n";
 
-    auto baseline = runner.run(name, makeConfig(BerMode::kCkpt));
-
-    std::vector<harness::ExperimentResult> results;
+    // Point 0 is the Ckpt baseline; point i+1 is ReCkpt at thresholds[i].
+    std::vector<harness::SweepPoint> points;
+    points.push_back({name, makeConfig(BerMode::kCkpt)});
     for (unsigned threshold : thresholds) {
         auto cfg = makeConfig(BerMode::kReCkpt);
         cfg.sliceThreshold = threshold;
-        results.push_back(runner.run(name, cfg));
+        points.push_back({name, cfg});
     }
+    auto results = runSweep(runner, jobs, points);
+    const auto &baseline = results[0];
 
     std::vector<std::string> headers = {"interval", "base KB"};
     for (unsigned t : thresholds)
@@ -40,8 +43,8 @@ main()
     Table table(headers);
 
     std::size_t intervals = baseline.history.size();
-    for (const auto &r : results)
-        intervals = std::min(intervals, r.history.size());
+    for (std::size_t r = 1; r < results.size(); ++r)
+        intervals = std::min(intervals, results[r].history.size());
 
     for (std::size_t i = 0; i < intervals; ++i) {
         table.row()
@@ -49,10 +52,11 @@ main()
             .cell(static_cast<double>(
                       baseline.history[i].storedBytes()) /
                   1024.0);
-        for (const auto &r : results) {
+        for (std::size_t r = 1; r < results.size(); ++r) {
             table.cell(reductionPct(
                 static_cast<double>(baseline.history[i].storedBytes()),
-                static_cast<double>(r.history[i].storedBytes())));
+                static_cast<double>(
+                    results[r].history[i].storedBytes())));
         }
     }
     table.print(std::cout);

@@ -12,27 +12,39 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "fig11_error_sweep");
     harness::Runner runner(kDefaultThreads);
+    constexpr unsigned kMaxErrors = 5;
 
     std::cout << "Figure 11: time overhead (% vs NoCkpt) under "
                  "increasing error counts\n\n";
 
-    for (unsigned errors = 1; errors <= 5; ++errors) {
+    // Per workload: NoCkpt, then (Ckpt_E, ReCkpt_E) per error count.
+    std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kNoCkpt)};
+    for (unsigned errors = 1; errors <= kMaxErrors; ++errors) {
+        configs.push_back(makeConfig(BerMode::kCkpt, errors));
+        configs.push_back(makeConfig(BerMode::kReCkpt, errors));
+    }
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
+    const auto &names = workloads::allWorkloadNames();
+    for (unsigned errors = 1; errors <= kMaxErrors; ++errors) {
         Table table({"bench", "Ckpt_E %", "ReCkpt_E %", "time red. %",
                      "EDP red. %"});
         Summary time_red, edp_red;
-        for (const auto &name : workloads::allWorkloadNames()) {
-            const auto &base = runner.noCkpt(name);
-            auto ckpt = runner.run(name,
-                                   makeConfig(BerMode::kCkpt, errors));
-            auto reckpt =
-                runner.run(name, makeConfig(BerMode::kReCkpt, errors));
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::string &name = names[w];
+            const auto *row = &results[w * configs.size()];
+            const auto &base = row[0];
+            const auto &ckpt = row[1 + 2 * (errors - 1)];
+            const auto &reckpt = row[2 + 2 * (errors - 1)];
 
             double o_ckpt = ckpt.timeOverheadPct(base.cycles);
             double o_reckpt = reckpt.timeOverheadPct(base.cycles);

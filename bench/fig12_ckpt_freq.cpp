@@ -12,31 +12,43 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "fig12_ckpt_freq");
     harness::Runner runner(kDefaultThreads);
+    const std::vector<unsigned> counts = {25, 50, 75, 100};
 
     std::cout << "Figure 12: time overhead (% vs NoCkpt) under "
                  "increasing checkpoint counts\n\n";
 
-    for (unsigned checkpoints : {25u, 50u, 75u, 100u}) {
+    // Per workload: NoCkpt, then (Ckpt_NE, ReCkpt_NE) per count.
+    std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kNoCkpt)};
+    for (unsigned checkpoints : counts) {
+        configs.push_back(makeConfig(BerMode::kCkpt, 0,
+                                     ckpt::Coordination::kGlobal,
+                                     checkpoints));
+        configs.push_back(makeConfig(BerMode::kReCkpt, 0,
+                                     ckpt::Coordination::kGlobal,
+                                     checkpoints));
+    }
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
+    const auto &names = workloads::allWorkloadNames();
+    for (std::size_t c = 0; c < counts.size(); ++c) {
         Table table({"bench", "Ckpt_NE %", "ReCkpt_NE %", "time red. %",
                      "EDP red. %"});
         Summary time_red, edp_red;
-        for (const auto &name : workloads::allWorkloadNames()) {
-            const auto &base = runner.noCkpt(name);
-            auto ckpt = runner.run(
-                name, makeConfig(BerMode::kCkpt, 0,
-                                 ckpt::Coordination::kGlobal,
-                                 checkpoints));
-            auto reckpt = runner.run(
-                name, makeConfig(BerMode::kReCkpt, 0,
-                                 ckpt::Coordination::kGlobal,
-                                 checkpoints));
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::string &name = names[w];
+            const auto *row = &results[w * configs.size()];
+            const auto &base = row[0];
+            const auto &ckpt = row[1 + 2 * c];
+            const auto &reckpt = row[2 + 2 * c];
 
             double o_ckpt = ckpt.timeOverheadPct(base.cycles);
             double o_reckpt = reckpt.timeOverheadPct(base.cycles);
@@ -52,7 +64,7 @@ main()
                 .cell(t_red)
                 .cell(e_red);
         }
-        std::cout << "--- " << checkpoints << " checkpoints ---\n";
+        std::cout << "--- " << counts[c] << " checkpoints ---\n";
         table.print(std::cout);
         time_red.print(std::cout, "time overhead reduction");
         edp_red.print(std::cout, "EDP reduction");

@@ -12,49 +12,51 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
     using ckpt::Coordination;
 
+    const unsigned jobs = parseJobs(argc, argv, "fig13_local");
     harness::Runner runner(kDefaultThreads);
 
     std::cout << "Figure 13: normalized execution time of local "
                  "coordinated checkpointing (vs global counterpart)\n\n";
 
+    // Global four, then their local counterparts in the same order.
+    const std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kCkpt),
+        makeConfig(BerMode::kCkpt, 1),
+        makeConfig(BerMode::kReCkpt),
+        makeConfig(BerMode::kReCkpt, 1),
+        makeConfig(BerMode::kCkpt, 0, Coordination::kLocal),
+        makeConfig(BerMode::kCkpt, 1, Coordination::kLocal),
+        makeConfig(BerMode::kReCkpt, 0, Coordination::kLocal),
+        makeConfig(BerMode::kReCkpt, 1, Coordination::kLocal),
+    };
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
     Table table({"bench", "Ckpt_NE,Loc", "Ckpt_E,Loc", "ReCkpt_NE,Loc",
                  "ReCkpt_E,Loc", "EDP red. NE,Loc %"});
 
-    for (const auto &name : workloads::allWorkloadNames()) {
-        auto g_ckpt_ne = runner.run(name, makeConfig(BerMode::kCkpt));
-        auto g_ckpt_e = runner.run(name, makeConfig(BerMode::kCkpt, 1));
-        auto g_re_ne = runner.run(name, makeConfig(BerMode::kReCkpt));
-        auto g_re_e = runner.run(name, makeConfig(BerMode::kReCkpt, 1));
+    auto norm = [](const harness::ExperimentResult &local,
+                   const harness::ExperimentResult &global) {
+        return static_cast<double>(local.cycles) /
+               static_cast<double>(global.cycles);
+    };
 
-        auto l_ckpt_ne = runner.run(
-            name, makeConfig(BerMode::kCkpt, 0, Coordination::kLocal));
-        auto l_ckpt_e = runner.run(
-            name, makeConfig(BerMode::kCkpt, 1, Coordination::kLocal));
-        auto l_re_ne = runner.run(
-            name, makeConfig(BerMode::kReCkpt, 0, Coordination::kLocal));
-        auto l_re_e = runner.run(
-            name, makeConfig(BerMode::kReCkpt, 1, Coordination::kLocal));
-
-        auto norm = [](const harness::ExperimentResult &local,
-                       const harness::ExperimentResult &global) {
-            return static_cast<double>(local.cycles) /
-                   static_cast<double>(global.cycles);
-        };
-
+    const auto &names = workloads::allWorkloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto *row = &results[w * configs.size()];
         table.row()
-            .cell(name)
-            .cell(norm(l_ckpt_ne, g_ckpt_ne), 3)
-            .cell(norm(l_ckpt_e, g_ckpt_e), 3)
-            .cell(norm(l_re_ne, g_re_ne), 3)
-            .cell(norm(l_re_e, g_re_e), 3)
-            .cell(l_re_ne.edpReductionPct(g_re_ne.edp));
+            .cell(names[w])
+            .cell(norm(row[4], row[0]), 3)
+            .cell(norm(row[5], row[1]), 3)
+            .cell(norm(row[6], row[2]), 3)
+            .cell(norm(row[7], row[3]), 3)
+            .cell(row[6].edpReductionPct(row[2].edp));
     }
     table.print(std::cout);
 

@@ -6,6 +6,10 @@
  * at 8/16/32 threads; ReCkpt_NE reduces it by up to 28.81% (is, 8t),
  * 17.78% (is, 16t) and 19.12% (mg, 32t), with EDP reductions up to
  * 47.98%/31.81%/33.8%.
+ *
+ * Doubles as the host-parallelism smoke test: the closing [sweep]
+ * timing lines make the --jobs speedup observable (run with --jobs=1
+ * and --jobs=N to compare wall clock).
  */
 
 #include <iostream>
@@ -13,27 +17,40 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "scalability");
+
     std::cout << "Scalability (Sec. V-D4): checkpoint overhead and ACR "
                  "reductions at 8/16/32 threads\n\n";
 
+    const std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kNoCkpt),
+        makeConfig(BerMode::kCkpt),
+        makeConfig(BerMode::kReCkpt),
+    };
+    const auto &names = workloads::allWorkloadNames();
+
     for (unsigned threads : {8u, 16u, 32u}) {
         harness::Runner runner(threads);
+        auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
         Table table({"bench", "Ckpt_NE ovh %", "ReCkpt_NE ovh %",
                      "time red. %", "EDP red. %"});
         Summary time_red, edp_red;
         double overhead_sum = 0;
         double overhead_min = 1e300;
 
-        for (const auto &name : workloads::allWorkloadNames()) {
-            const auto &base = runner.noCkpt(name);
-            auto ckpt = runner.run(name, makeConfig(BerMode::kCkpt));
-            auto reckpt = runner.run(name, makeConfig(BerMode::kReCkpt));
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::string &name = names[w];
+            const auto *row = &results[w * configs.size()];
+            const auto &base = row[0];
+            const auto &ckpt = row[1];
+            const auto &reckpt = row[2];
 
             double o_ckpt = ckpt.timeOverheadPct(base.cycles);
             double o_reckpt = reckpt.timeOverheadPct(base.cycles);
@@ -55,10 +72,7 @@ main()
         std::cout << "--- " << threads << " threads ---\n";
         table.print(std::cout);
         std::cout << "checkpointing overhead: min " << overhead_min
-                  << "%, avg "
-                  << overhead_sum /
-                         workloads::allWorkloadNames().size()
-                  << "%\n";
+                  << "%, avg " << overhead_sum / names.size() << "%\n";
         time_red.print(std::cout, "ReCkpt_NE overhead reduction");
         edp_red.print(std::cout, "EDP reduction");
         std::cout << "\n";

@@ -12,34 +12,40 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace acr;
     using namespace acr::bench;
     using harness::BerMode;
 
+    const unsigned jobs = parseJobs(argc, argv, "table2_threshold");
     harness::Runner runner(kDefaultThreads);
     const std::vector<unsigned> thresholds = {5, 10, 20, 30, 40, 50};
 
     std::cout << "Table II: total checkpoint size reduction (%) vs "
                  "Slice length threshold\n\n";
 
+    // Per workload: the Ckpt baseline, then ReCkpt per threshold.
+    std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kCkpt)};
+    for (unsigned threshold : thresholds) {
+        auto cfg = makeConfig(BerMode::kReCkpt);
+        cfg.sliceThreshold = threshold;
+        configs.push_back(cfg);
+    }
+    auto results = runSweep(runner, jobs, crossWorkloads(configs));
+
     std::vector<std::string> headers = {"bench"};
     for (unsigned t : thresholds)
         headers.push_back(csprintf("thr %u", t));
     Table table(headers);
 
-    for (const auto &name : workloads::allWorkloadNames()) {
-        auto base_cfg = makeConfig(BerMode::kCkpt);
-        auto baseline = runner.run(name, base_cfg);
-
-        table.row().cell(name);
-        for (unsigned threshold : thresholds) {
-            auto cfg = makeConfig(BerMode::kReCkpt);
-            cfg.sliceThreshold = threshold;
-            auto result = runner.run(name, cfg);
-            table.cell(overallSizeReductionPct(baseline, result));
-        }
+    const auto &names = workloads::allWorkloadNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto *row = &results[w * configs.size()];
+        table.row().cell(names[w]);
+        for (std::size_t t = 0; t < thresholds.size(); ++t)
+            table.cell(overallSizeReductionPct(row[0], row[1 + t]));
     }
     table.print(std::cout);
 

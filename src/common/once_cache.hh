@@ -1,0 +1,107 @@
+/**
+ * @file
+ * OnceCache: a key → value cache safe for concurrent use. Each value is
+ * computed exactly once — concurrent requesters for the same key block
+ * on a per-key mutex until the first computation finishes — and is
+ * immutable afterwards, so readers share it without further locking.
+ * The map itself is guarded by a shared_mutex (hits take only a shared
+ * lock). References returned stay valid for the cache's lifetime: slots
+ * are heap-allocated and the map is node-based, so neither rehashing
+ * nor later insertions move a published value.
+ */
+
+#ifndef ACR_COMMON_ONCE_CACHE_HH
+#define ACR_COMMON_ONCE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+namespace acr
+{
+
+template <typename Key, typename Value>
+class OnceCache
+{
+  public:
+    /**
+     * The value for @p key, running @p compute (nullary, returning
+     * Value) to fill it on first request. The computation runs outside
+     * the map lock, so distinct keys compute concurrently and @p compute
+     * may itself use this or other OnceCaches (as long as the key
+     * dependency graph is acyclic).
+     */
+    template <typename Compute>
+    const Value &
+    getOrCompute(const Key &key, Compute &&compute)
+    {
+        Slot *slot = nullptr;
+        {
+            std::shared_lock lock(mapMutex_);
+            auto it = slots_.find(key);
+            if (it != slots_.end())
+                slot = it->second.get();
+        }
+        if (!slot) {
+            std::unique_lock lock(mapMutex_);
+            slot = slots_.try_emplace(key, std::make_unique<Slot>())
+                       .first->second.get();
+        }
+        if (!slot->ready.load(std::memory_order_acquire)) {
+            std::scoped_lock lock(slot->mutex);
+            if (!slot->ready.load(std::memory_order_relaxed)) {
+                slot->value.emplace(compute());
+                computes_.fetch_add(1, std::memory_order_relaxed);
+                slot->ready.store(true, std::memory_order_release);
+            }
+        }
+        return *slot->value;
+    }
+
+    /** The value for @p key if already computed, else nullptr. */
+    const Value *
+    find(const Key &key) const
+    {
+        std::shared_lock lock(mapMutex_);
+        auto it = slots_.find(key);
+        if (it == slots_.end() ||
+            !it->second->ready.load(std::memory_order_acquire))
+            return nullptr;
+        return &*it->second->value;
+    }
+
+    /** Number of distinct keys ever requested. */
+    std::size_t
+    size() const
+    {
+        std::shared_lock lock(mapMutex_);
+        return slots_.size();
+    }
+
+    /** Number of computations actually run (the exactly-once audit). */
+    std::uint64_t
+    computes() const
+    {
+        return computes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Slot
+    {
+        std::mutex mutex;
+        std::atomic<bool> ready{false};
+        std::optional<Value> value;
+    };
+
+    mutable std::shared_mutex mapMutex_;
+    std::map<Key, std::unique_ptr<Slot>> slots_;
+    std::atomic<std::uint64_t> computes_{0};
+};
+
+} // namespace acr
+
+#endif // ACR_COMMON_ONCE_CACHE_HH

@@ -15,12 +15,10 @@ Runner::Runner(unsigned threads, unsigned scale)
 const isa::Program &
 Runner::baseProgram(const std::string &workload)
 {
-    auto it = programs_.find(workload);
-    if (it == programs_.end()) {
+    return programs_.getOrCompute(workload, [&] {
         auto kernel = workloads::makeWorkload(workload);
-        it = programs_.emplace(workload, kernel->build(params_)).first;
-    }
-    return it->second;
+        return kernel->build(params_);
+    });
 }
 
 const amnesic::SlicePassResult &
@@ -29,16 +27,13 @@ Runner::profileAt(const std::string &workload, unsigned threshold,
 {
     auto key = std::make_tuple(workload, threshold,
                                static_cast<int>(policy));
-    auto it = passes_.find(key);
-    if (it == passes_.end()) {
+    return passes_.getOrCompute(key, [&] {
         slice::SlicePolicyConfig policy_config;
         policy_config.policy = policy;
         policy_config.lengthThreshold = threshold;
-        auto result = amnesic::SlicePass::run(baseProgram(workload),
-                                              machine_, policy_config);
-        it = passes_.emplace(key, std::move(result)).first;
-    }
-    return it->second;
+        return amnesic::SlicePass::run(baseProgram(workload), machine_,
+                                       policy_config);
+    });
 }
 
 const amnesic::SlicePassResult &
@@ -50,13 +45,11 @@ Runner::profile(const std::string &workload)
 const ExperimentResult &
 Runner::noCkpt(const std::string &workload)
 {
-    auto it = noCkpt_.find(workload);
-    if (it == noCkpt_.end()) {
+    return noCkpt_.getOrCompute(workload, [&] {
         ExperimentConfig config;
         config.mode = BerMode::kNoCkpt;
-        it = noCkpt_.emplace(workload, run(workload, config)).first;
-    }
-    return it->second;
+        return run(workload, config);
+    });
 }
 
 ExperimentResult

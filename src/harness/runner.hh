@@ -3,16 +3,29 @@
  * Runner: benchmark-level orchestration used by every bench and example.
  * Caches base programs, slice-pass results (per workload × threshold ×
  * policy), and NoCkpt baselines so sweeps don't repeat work.
+ *
+ * Thread-safety contract (the substrate of harness::Sweep): one Runner
+ * may be shared by any number of threads. The three caches are
+ * OnceCaches — each entry is computed exactly once (concurrent
+ * requesters for the same key block until the first finishes) and is
+ * immutable afterwards, so the references returned by baseProgram(),
+ * profileAt(), and noCkpt() stay valid and safe to read concurrently
+ * for the Runner's lifetime. run() itself touches no Runner state
+ * beyond those caches and the immutable machine/params members; every
+ * mutable experiment object (system, StatSet, Rng, checkpoint
+ * substrate) lives inside BerRuntime::run's frame, owned by the calling
+ * thread. Given that, results are bit-identical no matter how calls are
+ * interleaved.
  */
 
 #ifndef ACR_HARNESS_RUNNER_HH
 #define ACR_HARNESS_RUNNER_HH
 
-#include <map>
 #include <string>
 #include <tuple>
 
 #include "acr/slice_pass.hh"
+#include "common/once_cache.hh"
 #include "harness/ber_runtime.hh"
 #include "harness/experiment.hh"
 #include "sim/machine_config.hh"
@@ -62,15 +75,21 @@ class Runner
     ExperimentResult run(const std::string &workload,
                          ExperimentConfig config);
 
+    // Exactly-once audit counters (concurrency tests): how many times
+    // each cache actually computed an entry.
+    std::uint64_t programBuilds() const { return programs_.computes(); }
+    std::uint64_t slicePassRuns() const { return passes_.computes(); }
+    std::uint64_t noCkptRuns() const { return noCkpt_.computes(); }
+
   private:
     sim::MachineConfig machine_;
     workloads::WorkloadParams params_;
 
-    std::map<std::string, isa::Program> programs_;
-    std::map<std::tuple<std::string, unsigned, int>,
-             amnesic::SlicePassResult>
+    OnceCache<std::string, isa::Program> programs_;
+    OnceCache<std::tuple<std::string, unsigned, int>,
+              amnesic::SlicePassResult>
         passes_;
-    std::map<std::string, ExperimentResult> noCkpt_;
+    OnceCache<std::string, ExperimentResult> noCkpt_;
 };
 
 } // namespace acr::harness

@@ -1,0 +1,108 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace acr::harness
+{
+
+namespace
+{
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+Sweep::Sweep(Runner &runner, unsigned jobs)
+    : runner_(runner), jobs_(jobs > 0 ? jobs : defaultJobs())
+{
+}
+
+unsigned
+Sweep::defaultJobs()
+{
+    if (const char *env = std::getenv("ACR_JOBS")) {
+        char *end = nullptr;
+        long value = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && value > 0)
+            return static_cast<unsigned>(value);
+        warn("ignoring ACR_JOBS='%s' (want a positive integer)", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<ExperimentResult>
+Sweep::run(const std::vector<SweepPoint> &points)
+{
+    std::vector<ExperimentResult> results(points.size());
+    std::vector<double> point_millis(points.size(), 0.0);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // Workers pull the next unclaimed index; each index's result lands
+    // in its own pre-allocated slot, so submission order is preserved
+    // without any post-hoc sorting and the only cross-thread traffic is
+    // the claim counter and the Runner's internal caches.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            const auto point_start = std::chrono::steady_clock::now();
+            results[i] = runner_.run(points[i].workload,
+                                     points[i].config);
+            point_millis[i] = millisSince(point_start);
+        }
+    };
+
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        jobs_, points.empty() ? 1 : points.size()));
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    hostStats_.clear();
+    hostStats_.set("sweep.jobs", static_cast<double>(jobs_));
+    hostStats_.set("sweep.points", static_cast<double>(points.size()));
+    hostStats_.set("sweep.wallMillis", millisSince(wall_start));
+    double work = 0.0;
+    for (std::size_t i = 0; i < point_millis.size(); ++i) {
+        hostStats_.set(csprintf("sweep.point.%03zu.millis", i),
+                       point_millis[i]);
+        work += point_millis[i];
+    }
+    hostStats_.set("sweep.workMillis", work);
+    return results;
+}
+
+void
+Sweep::reportTiming(std::ostream &os) const
+{
+    const double wall = hostStats_.get("sweep.wallMillis");
+    const double work = hostStats_.get("sweep.workMillis");
+    os << "[sweep] " << hostStats_.get("sweep.points") << " points on "
+       << jobs_ << " job(s): " << wall << " ms wall, " << work
+       << " ms of work (parallelism "
+       << (wall > 0.0 ? work / wall : 0.0) << "x)\n";
+}
+
+} // namespace acr::harness

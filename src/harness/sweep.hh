@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sweep: a host-thread-pool experiment executor. A sweep is an ordered
+ * list of (workload, ExperimentConfig) points; run() fans independent
+ * points out across worker threads sharing one Runner and returns the
+ * results in submission order, bit-identical to a serial execution
+ * regardless of scheduling (see the Runner thread-safety contract:
+ * shared state is computed once and then immutable; everything mutable
+ * is per-experiment).
+ *
+ * Host-side timing is deliberately kept OUT of ExperimentResult —
+ * wall-clock depends on scheduling, and results must not — and exposed
+ * via hostStats() instead.
+ */
+
+#ifndef ACR_HARNESS_SWEEP_HH
+#define ACR_HARNESS_SWEEP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+
+namespace acr::harness
+{
+
+/** One point of a sweep: a workload plus its configuration. */
+struct SweepPoint
+{
+    std::string workload;
+    ExperimentConfig config;
+};
+
+/** Parallel executor for independent experiment points. */
+class Sweep
+{
+  public:
+    /**
+     * @param runner shared experiment driver; not owned
+     * @param jobs   worker threads (0: defaultJobs())
+     */
+    explicit Sweep(Runner &runner, unsigned jobs = 0);
+
+    /** The --jobs default: ACR_JOBS if set to a positive integer, else
+     *  std::thread::hardware_concurrency(). */
+    static unsigned defaultJobs();
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute every point; results come back in submission order.
+     * Points must be independent: in particular, any non-null
+     * config.trace sink must not be shared between points (trace
+     * sinks are not synchronized — give each point its own, or use
+     * jobs=1).
+     */
+    std::vector<ExperimentResult> run(const std::vector<SweepPoint> &points);
+
+    /**
+     * Host-side timing of the most recent run(): sweep.jobs,
+     * sweep.points, sweep.wallMillis, sweep.workMillis (sum of
+     * per-point times — the serial-equivalent cost), and
+     * sweep.point.<index>.millis per point.
+     */
+    const StatSet &hostStats() const { return hostStats_; }
+
+    /** One-line wall/work/parallelism summary of the last run(). */
+    void reportTiming(std::ostream &os) const;
+
+  private:
+    Runner &runner_;
+    unsigned jobs_;
+    StatSet hostStats_;
+};
+
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_SWEEP_HH
