@@ -10,8 +10,6 @@
  * to a slack bound).
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -21,45 +19,52 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "ablation_placement");
-    harness::Runner runner(kDefaultThreads);
-
-    std::cout << "Ablation: uniform vs recomputation-aware checkpoint "
-                 "placement (ReCkpt_NE)\n\n";
-
     auto uniform_cfg = makeConfig(BerMode::kReCkpt);
     auto aware_cfg = uniform_cfg;
     aware_cfg.placement = harness::PlacementPolicy::kRecomputeAware;
     const std::vector<harness::ExperimentConfig> configs = {
         makeConfig(BerMode::kNoCkpt), uniform_cfg, aware_cfg};
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    Table table({"bench", "uniform stored KB", "aware stored KB",
-                 "stored red. %", "uniform ovh %", "aware ovh %",
-                 "deferrals"});
+    harness::BenchSpec spec;
+    spec.name = "ablation_placement";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Ablation: uniform vs recomputation-aware checkpoint "
+                 "placement (ReCkpt_NE)\n\n");
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t w = 0; w < names.size(); ++w) {
-        const auto *row = &results[w * configs.size()];
-        const auto &base = row[0];
-        const auto &uniform = row[1];
-        const auto &aware = row[2];
+        Table table({"bench", "uniform stored KB", "aware stored KB",
+                     "stored red. %", "uniform ovh %", "aware ovh %",
+                     "deferrals"});
 
-        table.row()
-            .cell(names[w])
-            .cell(static_cast<double>(uniform.ckptBytesStored) / 1024.0)
-            .cell(static_cast<double>(aware.ckptBytesStored) / 1024.0)
-            .cell(overallSizeReductionPct(uniform, aware))
-            .cell(uniform.timeOverheadPct(base.cycles))
-            .cell(aware.timeOverheadPct(base.cycles))
-            .cell(static_cast<long long>(
-                aware.stats.get("ckpt.placementDeferrals")));
-    }
-    table.print(std::cout);
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const auto *row = &results[w * configs.size()];
+            const auto &base = row[0];
+            const auto &uniform = row[1];
+            const auto &aware = row[2];
 
-    std::cout << "\nDeferring checkpoints into recomputation-rich "
+            table.row()
+                .cell(names[w])
+                .cell(static_cast<double>(uniform.ckptBytesStored) /
+                      1024.0)
+                .cell(static_cast<double>(aware.ckptBytesStored) /
+                      1024.0)
+                .cell(overallSizeReductionPct(uniform, aware))
+                .cell(uniform.timeOverheadPct(base.cycles))
+                .cell(aware.timeOverheadPct(base.cycles))
+                .cell(static_cast<long long>(
+                    aware.stats.get("ckpt.placementDeferrals")));
+        }
+        ctx.emit(table);
+
+        ctx.note("\nDeferring checkpoints into recomputation-rich "
                  "regions shrinks stored checkpoints further on the "
-                 "kernels with bursty non-recomputable phases (is, dc), "
-                 "at unchanged recovery guarantees.\n";
-    return 0;
+                 "kernels with bursty non-recomputable phases (is, "
+                 "dc), at unchanged recovery guarantees.\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

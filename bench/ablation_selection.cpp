@@ -9,8 +9,6 @@
  * checkpoints.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -20,56 +18,62 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "ablation_selection");
-    harness::Runner runner(kDefaultThreads);
-
-    std::cout << "Ablation: greedy threshold-10 vs cost-model slice "
-                 "selection (ReCkpt_E, 1 error)\n\n";
-
     auto greedy_cfg = makeConfig(BerMode::kReCkpt, 1);
     auto cost_cfg = greedy_cfg;
     cost_cfg.policy = slice::SelectionPolicy::kCostModel;
     const std::vector<harness::ExperimentConfig> configs = {
         makeConfig(BerMode::kNoCkpt), greedy_cfg, cost_cfg};
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    Table table({"bench", "greedy omit %", "cost omit %",
-                 "greedy ovh %", "cost ovh %", "greedy replay ops",
-                 "cost replay ops"});
-
-    auto omit_pct = [](const harness::ExperimentResult &r) {
-        double total = static_cast<double>(r.ckptBytesStored +
-                                           r.ckptBytesOmitted);
-        return total == 0.0
-                   ? 0.0
-                   : 100.0 * static_cast<double>(r.ckptBytesOmitted) /
-                         total;
+    harness::BenchSpec spec;
+    spec.name = "ablation_selection";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
     };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Ablation: greedy threshold-10 vs cost-model slice "
+                 "selection (ReCkpt_E, 1 error)\n\n");
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t w = 0; w < names.size(); ++w) {
-        const auto *row = &results[w * configs.size()];
-        const auto &base = row[0];
-        const auto &greedy = row[1];
-        const auto &cost = row[2];
+        Table table({"bench", "greedy omit %", "cost omit %",
+                     "greedy ovh %", "cost ovh %", "greedy replay ops",
+                     "cost replay ops"});
 
-        table.row()
-            .cell(names[w])
-            .cell(omit_pct(greedy))
-            .cell(omit_pct(cost))
-            .cell(greedy.timeOverheadPct(base.cycles))
-            .cell(cost.timeOverheadPct(base.cycles))
-            .cell(static_cast<long long>(
-                greedy.stats.get("acr.replayAluOps")))
-            .cell(static_cast<long long>(
-                cost.stats.get("acr.replayAluOps")));
-    }
-    table.print(std::cout);
+        auto omit_pct = [](const harness::ExperimentResult &r) {
+            double total = static_cast<double>(r.ckptBytesStored +
+                                               r.ckptBytesOmitted);
+            return total == 0.0
+                       ? 0.0
+                       : 100.0 *
+                             static_cast<double>(r.ckptBytesOmitted) /
+                             total;
+        };
 
-    std::cout << "\nThe cost model omits at least as much as the greedy "
-                 "threshold everywhere (it accepts every slice the "
-                 "threshold accepts, plus longer ones that still beat a "
-                 "DRAM restore), at the price of more replay work "
-                 "during recovery.\n";
-    return 0;
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const auto *row = &results[w * configs.size()];
+            const auto &base = row[0];
+            const auto &greedy = row[1];
+            const auto &cost = row[2];
+
+            table.row()
+                .cell(names[w])
+                .cell(omit_pct(greedy))
+                .cell(omit_pct(cost))
+                .cell(greedy.timeOverheadPct(base.cycles))
+                .cell(cost.timeOverheadPct(base.cycles))
+                .cell(static_cast<long long>(
+                    greedy.stats.get("acr.replayAluOps")))
+                .cell(static_cast<long long>(
+                    cost.stats.get("acr.replayAluOps")));
+        }
+        ctx.emit(table);
+
+        ctx.note("\nThe cost model omits at least as much as the "
+                 "greedy threshold everywhere (it accepts every slice "
+                 "the threshold accepts, plus longer ones that still "
+                 "beat a DRAM restore), at the price of more replay "
+                 "work during recovery.\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

@@ -10,12 +10,13 @@
 
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
-#include "common/options.hh"
 #include "common/table.hh"
+#include "harness/bench_main.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "workloads/workload.hh"
@@ -26,27 +27,6 @@ namespace acr::bench
 /** The paper's default evaluation point (Sec. IV). */
 inline constexpr unsigned kDefaultCheckpoints = 25;
 inline constexpr unsigned kDefaultThreads = 8;
-
-/**
- * Parse the standard bench command line: --jobs=N selects the sweep
- * worker count (0, the default, falls back to ACR_JOBS and then to
- * hardware concurrency).
- */
-inline unsigned
-parseJobs(int argc, const char *const *argv,
-          const std::string &program_name)
-{
-    OptionParser parser(program_name);
-    parser.addInt("jobs", 0,
-                  "sweep worker threads (0: ACR_JOBS, then hardware "
-                  "concurrency)");
-    parser.parse(argc, argv);
-    long long jobs = parser.getInt("jobs");
-    if (jobs < 0)
-        fatal("--jobs must be >= 0, got %lld", jobs);
-    return jobs > 0 ? static_cast<unsigned>(jobs)
-                    : harness::Sweep::defaultJobs();
-}
 
 /**
  * One sweep point per (workload × config), workload-major: the result
@@ -64,15 +44,22 @@ crossWorkloads(const std::vector<harness::ExperimentConfig> &configs)
     return points;
 }
 
-/** Fan @p points out over @p jobs workers and report host timing. */
-inline std::vector<harness::ExperimentResult>
-runSweep(harness::Runner &runner, unsigned jobs,
-         const std::vector<harness::SweepPoint> &points)
+/**
+ * The BenchMain grid equivalent of crossWorkloads: (workload × config),
+ * workload-major over the context's selected workloads, every point on
+ * a @p threads-core simulated machine.
+ */
+inline std::vector<harness::GridPoint>
+crossGrid(const std::vector<std::string> &names,
+          const std::vector<harness::ExperimentConfig> &configs,
+          unsigned threads = kDefaultThreads)
 {
-    harness::Sweep sweep(runner, jobs);
-    auto results = sweep.run(points);
-    sweep.reportTiming(std::cout);
-    return results;
+    std::vector<harness::GridPoint> points;
+    points.reserve(names.size() * configs.size());
+    for (const auto &name : names)
+        for (const auto &config : configs)
+            points.push_back({name, config, threads});
+    return points;
 }
 
 inline harness::ExperimentConfig
@@ -147,11 +134,20 @@ struct Summary
 
     double avg() const { return count ? sum / count : 0.0; }
 
+    /** The one-line summary, for BenchContext::note(). */
+    std::string
+    text(const std::string &what) const
+    {
+        std::ostringstream oss;
+        oss << what << ": up to " << best << "% (for " << bestName
+            << "), " << avg() << "% on average\n";
+        return oss.str();
+    }
+
     void
     print(std::ostream &os, const std::string &what) const
     {
-        os << what << ": up to " << best << "% (for " << bestName
-           << "), " << avg() << "% on average\n";
+        os << text(what);
     }
 };
 

@@ -9,8 +9,6 @@
  * ReCkpt_E vs Ckpt_E: up to 26.68% for is, 12.39% on average).
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -20,14 +18,6 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "fig06_time_overhead");
-    harness::Runner runner(kDefaultThreads);
-
-    std::cout << "Figure 6: execution time overhead of checkpointing "
-                 "and recovery (% vs NoCkpt)\n"
-              << kDefaultThreads << " threads, " << kDefaultCheckpoints
-              << " checkpoints, 1 error in the _E configurations\n\n";
-
     const std::vector<harness::ExperimentConfig> configs = {
         makeConfig(BerMode::kNoCkpt),
         makeConfig(BerMode::kCkpt),
@@ -35,49 +25,64 @@ main(int argc, char **argv)
         makeConfig(BerMode::kReCkpt),
         makeConfig(BerMode::kReCkpt, 1),
     };
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    Table table({"bench", "Ckpt_NE", "Ckpt_E", "ReCkpt_NE", "ReCkpt_E",
-                 "NE red.%", "E red.%"});
-    Summary ne_reduction, e_reduction;
+    harness::BenchSpec spec;
+    spec.name = "fig06_time_overhead";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note(csprintf(
+            "Figure 6: execution time overhead of checkpointing "
+            "and recovery (%% vs NoCkpt)\n%u threads, %u "
+            "checkpoints, 1 error in the _E configurations\n\n",
+            kDefaultThreads, kDefaultCheckpoints));
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t w = 0; w < names.size(); ++w) {
-        const std::string &name = names[w];
-        const auto *row = &results[w * configs.size()];
-        const auto &base = row[0];
-        const auto &ckpt_ne = row[1];
-        const auto &ckpt_e = row[2];
-        const auto &reckpt_ne = row[3];
-        const auto &reckpt_e = row[4];
+        Table table({"bench", "Ckpt_NE", "Ckpt_E", "ReCkpt_NE",
+                     "ReCkpt_E", "NE red.%", "E red.%"});
+        Summary ne_reduction, e_reduction;
 
-        double o_ckpt_ne = ckpt_ne.timeOverheadPct(base.cycles);
-        double o_ckpt_e = ckpt_e.timeOverheadPct(base.cycles);
-        double o_reckpt_ne = reckpt_ne.timeOverheadPct(base.cycles);
-        double o_reckpt_e = reckpt_e.timeOverheadPct(base.cycles);
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::string &name = names[w];
+            const auto *row = &results[w * configs.size()];
+            const auto &base = row[0];
+            const auto &ckpt_ne = row[1];
+            const auto &ckpt_e = row[2];
+            const auto &reckpt_ne = row[3];
+            const auto &reckpt_e = row[4];
 
-        double ne_red = reductionPct(o_ckpt_ne, o_reckpt_ne);
-        double e_red = reductionPct(o_ckpt_e, o_reckpt_e);
-        ne_reduction.add(name, ne_red);
-        e_reduction.add(name, e_red);
+            double o_ckpt_ne = ckpt_ne.timeOverheadPct(base.cycles);
+            double o_ckpt_e = ckpt_e.timeOverheadPct(base.cycles);
+            double o_reckpt_ne =
+                reckpt_ne.timeOverheadPct(base.cycles);
+            double o_reckpt_e = reckpt_e.timeOverheadPct(base.cycles);
 
-        table.row()
-            .cell(name)
-            .cell(o_ckpt_ne)
-            .cell(o_ckpt_e)
-            .cell(o_reckpt_ne)
-            .cell(o_reckpt_e)
-            .cell(ne_red)
-            .cell(e_red);
-    }
-    table.print(std::cout);
+            double ne_red = reductionPct(o_ckpt_ne, o_reckpt_ne);
+            double e_red = reductionPct(o_ckpt_e, o_reckpt_e);
+            ne_reduction.add(name, ne_red);
+            e_reduction.add(name, e_red);
 
-    std::cout << "\n";
-    ne_reduction.print(std::cout,
-                       "ReCkpt_NE reduces Ckpt_NE's time overhead");
-    e_reduction.print(std::cout,
-                      "ReCkpt_E reduces Ckpt_E's time overhead");
-    std::cout << "(paper: up to 28.81% / 11.92% avg error-free; up to "
-                 "26.68% / 12.39% avg with an error)\n";
-    return 0;
+            table.row()
+                .cell(name)
+                .cell(o_ckpt_ne)
+                .cell(o_ckpt_e)
+                .cell(o_reckpt_ne)
+                .cell(o_reckpt_e)
+                .cell(ne_red)
+                .cell(e_red);
+        }
+        ctx.emit(table);
+
+        ctx.note("\n");
+        ctx.note(ne_reduction.text(
+            "ReCkpt_NE reduces Ckpt_NE's time overhead"));
+        ctx.note(e_reduction.text(
+            "ReCkpt_E reduces Ckpt_E's time overhead"));
+        ctx.note("(paper: up to 28.81% / 11.92% avg error-free; up to "
+                 "26.68% / 12.39% avg with an error)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

@@ -6,8 +6,6 @@
  * avg).
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -17,12 +15,6 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "fig07_energy_overhead");
-    harness::Runner runner(kDefaultThreads);
-
-    std::cout << "Figure 7: energy overhead of checkpointing and "
-                 "recovery (% vs NoCkpt)\n\n";
-
     const std::vector<harness::ExperimentConfig> configs = {
         makeConfig(BerMode::kNoCkpt),
         makeConfig(BerMode::kCkpt),
@@ -30,45 +22,57 @@ main(int argc, char **argv)
         makeConfig(BerMode::kReCkpt),
         makeConfig(BerMode::kReCkpt, 1),
     };
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    Table table({"bench", "Ckpt_NE", "Ckpt_E", "ReCkpt_NE", "ReCkpt_E",
-                 "NE red.%", "E red.%"});
-    Summary ne_reduction, e_reduction;
+    harness::BenchSpec spec;
+    spec.name = "fig07_energy_overhead";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Figure 7: energy overhead of checkpointing and "
+                 "recovery (% vs NoCkpt)\n\n");
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t w = 0; w < names.size(); ++w) {
-        const std::string &name = names[w];
-        const auto *row = &results[w * configs.size()];
-        const auto &base = row[0];
+        Table table({"bench", "Ckpt_NE", "Ckpt_E", "ReCkpt_NE",
+                     "ReCkpt_E", "NE red.%", "E red.%"});
+        Summary ne_reduction, e_reduction;
 
-        double o_ckpt_ne = row[1].energyOverheadPct(base.energyPj);
-        double o_ckpt_e = row[2].energyOverheadPct(base.energyPj);
-        double o_reckpt_ne = row[3].energyOverheadPct(base.energyPj);
-        double o_reckpt_e = row[4].energyOverheadPct(base.energyPj);
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::string &name = names[w];
+            const auto *row = &results[w * configs.size()];
+            const auto &base = row[0];
 
-        double ne_red = reductionPct(o_ckpt_ne, o_reckpt_ne);
-        double e_red = reductionPct(o_ckpt_e, o_reckpt_e);
-        ne_reduction.add(name, ne_red);
-        e_reduction.add(name, e_red);
+            double o_ckpt_ne = row[1].energyOverheadPct(base.energyPj);
+            double o_ckpt_e = row[2].energyOverheadPct(base.energyPj);
+            double o_reckpt_ne =
+                row[3].energyOverheadPct(base.energyPj);
+            double o_reckpt_e = row[4].energyOverheadPct(base.energyPj);
 
-        table.row()
-            .cell(name)
-            .cell(o_ckpt_ne)
-            .cell(o_ckpt_e)
-            .cell(o_reckpt_ne)
-            .cell(o_reckpt_e)
-            .cell(ne_red)
-            .cell(e_red);
-    }
-    table.print(std::cout);
+            double ne_red = reductionPct(o_ckpt_ne, o_reckpt_ne);
+            double e_red = reductionPct(o_ckpt_e, o_reckpt_e);
+            ne_reduction.add(name, ne_red);
+            e_reduction.add(name, e_red);
 
-    std::cout << "\n";
-    ne_reduction.print(std::cout,
-                       "ReCkpt_NE reduces Ckpt_NE's energy overhead");
-    e_reduction.print(std::cout,
-                      "ReCkpt_E reduces Ckpt_E's energy overhead");
-    std::cout << "(paper: up to 26.93% / 12.53% avg error-free; up to "
-                 "30% / 13.47% avg with an error)\n";
-    return 0;
+            table.row()
+                .cell(name)
+                .cell(o_ckpt_ne)
+                .cell(o_ckpt_e)
+                .cell(o_reckpt_ne)
+                .cell(o_reckpt_e)
+                .cell(ne_red)
+                .cell(e_red);
+        }
+        ctx.emit(table);
+
+        ctx.note("\n");
+        ctx.note(ne_reduction.text(
+            "ReCkpt_NE reduces Ckpt_NE's energy overhead"));
+        ctx.note(e_reduction.text(
+            "ReCkpt_E reduces Ckpt_E's energy overhead"));
+        ctx.note("(paper: up to 26.93% / 12.53% avg error-free; up to "
+                 "30% / 13.47% avg with an error)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

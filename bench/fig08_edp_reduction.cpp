@@ -6,8 +6,6 @@
  * an error).
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -17,40 +15,45 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "fig08_edp_reduction");
-    harness::Runner runner(kDefaultThreads);
-
-    std::cout << "Figure 8: EDP reduction of ReCkpt_{NE,E} w.r.t. "
-                 "Ckpt_{NE,E} (%)\n\n";
-
     const std::vector<harness::ExperimentConfig> configs = {
         makeConfig(BerMode::kCkpt),
         makeConfig(BerMode::kCkpt, 1),
         makeConfig(BerMode::kReCkpt),
         makeConfig(BerMode::kReCkpt, 1),
     };
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    Table table({"bench", "EDP red. NE %", "EDP red. E %"});
-    Summary ne_reduction, e_reduction;
+    harness::BenchSpec spec;
+    spec.name = "fig08_edp_reduction";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Figure 8: EDP reduction of ReCkpt_{NE,E} w.r.t. "
+                 "Ckpt_{NE,E} (%)\n\n");
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t w = 0; w < names.size(); ++w) {
-        const std::string &name = names[w];
-        const auto *row = &results[w * configs.size()];
+        Table table({"bench", "EDP red. NE %", "EDP red. E %"});
+        Summary ne_reduction, e_reduction;
 
-        double ne_red = row[2].edpReductionPct(row[0].edp);
-        double e_red = row[3].edpReductionPct(row[1].edp);
-        ne_reduction.add(name, ne_red);
-        e_reduction.add(name, e_red);
-        table.row().cell(name).cell(ne_red).cell(e_red);
-    }
-    table.print(std::cout);
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::string &name = names[w];
+            const auto *row = &results[w * configs.size()];
 
-    std::cout << "\n";
-    ne_reduction.print(std::cout, "ReCkpt_NE EDP reduction");
-    e_reduction.print(std::cout, "ReCkpt_E EDP reduction");
-    std::cout << "(paper: up to 47.98% / 22.47% avg error-free; up to "
-                 "48.07% / 23.41% avg with an error)\n";
-    return 0;
+            double ne_red = row[2].edpReductionPct(row[0].edp);
+            double e_red = row[3].edpReductionPct(row[1].edp);
+            ne_reduction.add(name, ne_red);
+            e_reduction.add(name, e_red);
+            table.row().cell(name).cell(ne_red).cell(e_red);
+        }
+        ctx.emit(table);
+
+        ctx.note("\n");
+        ctx.note(ne_reduction.text("ReCkpt_NE EDP reduction"));
+        ctx.note(e_reduction.text("ReCkpt_E EDP reduction"));
+        ctx.note("(paper: up to 47.98% / 22.47% avg error-free; up to "
+                 "48.07% / 23.41% avg with an error)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

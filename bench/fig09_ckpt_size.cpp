@@ -8,8 +8,6 @@
  * 58.3%; ft's Max is ~0; the Overall average is 38.31%.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -19,48 +17,55 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "fig09_ckpt_size");
-    harness::Runner runner(kDefaultThreads);
-
-    std::cout << "Figure 9: checkpoint size reduction under ReCkpt_NE "
-                 "(%)\n\n";
-
     const std::vector<harness::ExperimentConfig> configs = {
         makeConfig(BerMode::kCkpt),
         makeConfig(BerMode::kReCkpt),
     };
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    Table table({"bench", "Overall %", "Max %", "stored KB", "omitted KB",
-                 "binary growth %"});
-    Summary overall, max_red;
+    harness::BenchSpec spec;
+    spec.name = "fig09_ckpt_size";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Figure 9: checkpoint size reduction under ReCkpt_NE "
+                 "(%)\n\n");
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t w = 0; w < names.size(); ++w) {
-        const std::string &name = names[w];
-        const auto &ckpt = results[w * configs.size()];
-        const auto &reckpt = results[w * configs.size() + 1];
-        const auto &pass = runner.profile(name);
+        Table table({"bench", "Overall %", "Max %", "stored KB",
+                     "omitted KB", "binary growth %"});
+        Summary overall, max_red;
 
-        double o = overallSizeReductionPct(ckpt, reckpt);
-        double m = maxSizeReductionPct(ckpt, reckpt);
-        overall.add(name, o);
-        max_red.add(name, m);
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::string &name = names[w];
+            const auto &ckpt = results[w * configs.size()];
+            const auto &reckpt = results[w * configs.size() + 1];
+            const auto &pass = ctx.runner().profile(name);
 
-        table.row()
-            .cell(name)
-            .cell(o)
-            .cell(m)
-            .cell(static_cast<double>(reckpt.ckptBytesStored) / 1024.0)
-            .cell(static_cast<double>(reckpt.ckptBytesOmitted) / 1024.0)
-            .cell(pass.binaryGrowthPct);
-    }
-    table.print(std::cout);
+            double o = overallSizeReductionPct(ckpt, reckpt);
+            double m = maxSizeReductionPct(ckpt, reckpt);
+            overall.add(name, o);
+            max_red.add(name, m);
 
-    std::cout << "\n";
-    overall.print(std::cout, "Overall checkpoint size reduction");
-    max_red.print(std::cout, "Max (largest checkpoint) reduction");
-    std::cout << "(paper: Overall up to 75.74% for is, 38.31% avg; Max "
-                 "up to 58.3% for dc, ~2% for is, ~0% for ft)\n";
-    return 0;
+            table.row()
+                .cell(name)
+                .cell(o)
+                .cell(m)
+                .cell(static_cast<double>(reckpt.ckptBytesStored) /
+                      1024.0)
+                .cell(static_cast<double>(reckpt.ckptBytesOmitted) /
+                      1024.0)
+                .cell(pass.binaryGrowthPct);
+        }
+        ctx.emit(table);
+
+        ctx.note("\n");
+        ctx.note(overall.text("Overall checkpoint size reduction"));
+        ctx.note(max_red.text("Max (largest checkpoint) reduction"));
+        ctx.note("(paper: Overall up to 75.74% for is, 38.31% avg; Max "
+                 "up to 58.3% for dc, ~2% for is, ~0% for ft)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

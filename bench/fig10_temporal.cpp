@@ -7,8 +7,6 @@
  * recompute-aware placement ablation exploits.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -18,51 +16,67 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "fig10_temporal");
-    harness::Runner runner(kDefaultThreads);
     const std::vector<unsigned> thresholds = {10, 20, 30, 40, 50};
-    const std::string name = "bt";
 
-    std::cout << "Figure 10: impact of Slice length on checkpoint size "
-                 "over time for bt (% reduction per interval)\n\n";
-
-    // Point 0 is the Ckpt baseline; point i+1 is ReCkpt at thresholds[i].
-    std::vector<harness::SweepPoint> points;
-    points.push_back({name, makeConfig(BerMode::kCkpt)});
+    // Config 0 is the Ckpt baseline; config i+1 is ReCkpt at
+    // thresholds[i].
+    std::vector<harness::ExperimentConfig> configs;
+    configs.push_back(makeConfig(BerMode::kCkpt));
     for (unsigned threshold : thresholds) {
         auto cfg = makeConfig(BerMode::kReCkpt);
         cfg.sliceThreshold = threshold;
-        points.push_back({name, cfg});
+        configs.push_back(cfg);
     }
-    auto results = runSweep(runner, jobs, points);
-    const auto &baseline = results[0];
 
-    std::vector<std::string> headers = {"interval", "base KB"};
-    for (unsigned t : thresholds)
-        headers.push_back(csprintf("thr %u", t));
-    Table table(headers);
+    harness::BenchSpec spec;
+    spec.name = "fig10_temporal";
+    spec.defaultWorkloads = {"bt"};
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            ctx.note(csprintf(
+                "Figure 10: impact of Slice length on checkpoint size "
+                "over time for %s (%% reduction per interval)\n\n",
+                names[w].c_str()));
 
-    std::size_t intervals = baseline.history.size();
-    for (std::size_t r = 1; r < results.size(); ++r)
-        intervals = std::min(intervals, results[r].history.size());
+            const auto *row = &results[w * configs.size()];
+            const auto &baseline = row[0];
 
-    for (std::size_t i = 0; i < intervals; ++i) {
-        table.row()
-            .cell(static_cast<long long>(i + 1))
-            .cell(static_cast<double>(
-                      baseline.history[i].storedBytes()) /
-                  1024.0);
-        for (std::size_t r = 1; r < results.size(); ++r) {
-            table.cell(reductionPct(
-                static_cast<double>(baseline.history[i].storedBytes()),
-                static_cast<double>(
-                    results[r].history[i].storedBytes())));
+            std::vector<std::string> headers = {"interval", "base KB"};
+            for (unsigned t : thresholds)
+                headers.push_back(csprintf("thr %u", t));
+            Table table(headers);
+
+            std::size_t intervals = baseline.history.size();
+            for (std::size_t r = 1; r < configs.size(); ++r)
+                intervals =
+                    std::min(intervals, row[r].history.size());
+
+            for (std::size_t i = 0; i < intervals; ++i) {
+                table.row()
+                    .cell(static_cast<long long>(i + 1))
+                    .cell(static_cast<double>(
+                              baseline.history[i].storedBytes()) /
+                          1024.0);
+                for (std::size_t r = 1; r < configs.size(); ++r) {
+                    table.cell(reductionPct(
+                        static_cast<double>(
+                            baseline.history[i].storedBytes()),
+                        static_cast<double>(
+                            row[r].history[i].storedBytes())));
+                }
+            }
+            ctx.emit(table);
         }
-    }
-    table.print(std::cout);
 
-    std::cout << "\nNote the burst interval in the middle of the run: "
+        ctx.note("\nNote the burst interval in the middle of the run: "
                  "its reduction depends strongly on the threshold, "
-                 "reproducing the temporal variation of Fig. 10.\n";
-    return 0;
+                 "reproducing the temporal variation of Fig. 10.\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

@@ -7,8 +7,6 @@
  * average and EDP reductions of ~18-24%.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -18,12 +16,7 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "fig11_error_sweep");
-    harness::Runner runner(kDefaultThreads);
     constexpr unsigned kMaxErrors = 5;
-
-    std::cout << "Figure 11: time overhead (% vs NoCkpt) under "
-                 "increasing error counts\n\n";
 
     // Per workload: NoCkpt, then (Ckpt_E, ReCkpt_E) per error count.
     std::vector<harness::ExperimentConfig> configs = {
@@ -32,43 +25,54 @@ main(int argc, char **argv)
         configs.push_back(makeConfig(BerMode::kCkpt, errors));
         configs.push_back(makeConfig(BerMode::kReCkpt, errors));
     }
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    const auto &names = workloads::allWorkloadNames();
-    for (unsigned errors = 1; errors <= kMaxErrors; ++errors) {
-        Table table({"bench", "Ckpt_E %", "ReCkpt_E %", "time red. %",
-                     "EDP red. %"});
-        Summary time_red, edp_red;
-        for (std::size_t w = 0; w < names.size(); ++w) {
-            const std::string &name = names[w];
-            const auto *row = &results[w * configs.size()];
-            const auto &base = row[0];
-            const auto &ckpt = row[1 + 2 * (errors - 1)];
-            const auto &reckpt = row[2 + 2 * (errors - 1)];
+    harness::BenchSpec spec;
+    spec.name = "fig11_error_sweep";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Figure 11: time overhead (% vs NoCkpt) under "
+                 "increasing error counts\n\n");
 
-            double o_ckpt = ckpt.timeOverheadPct(base.cycles);
-            double o_reckpt = reckpt.timeOverheadPct(base.cycles);
-            double t_red = reductionPct(o_ckpt, o_reckpt);
-            double e_red = reckpt.edpReductionPct(ckpt.edp);
-            time_red.add(name, t_red);
-            edp_red.add(name, e_red);
+        const auto &names = ctx.workloads();
+        for (unsigned errors = 1; errors <= kMaxErrors; ++errors) {
+            Table table({"bench", "Ckpt_E %", "ReCkpt_E %",
+                         "time red. %", "EDP red. %"});
+            Summary time_red, edp_red;
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const std::string &name = names[w];
+                const auto *row = &results[w * configs.size()];
+                const auto &base = row[0];
+                const auto &ckpt = row[1 + 2 * (errors - 1)];
+                const auto &reckpt = row[2 + 2 * (errors - 1)];
 
-            table.row()
-                .cell(name)
-                .cell(o_ckpt)
-                .cell(o_reckpt)
-                .cell(t_red)
-                .cell(e_red);
+                double o_ckpt = ckpt.timeOverheadPct(base.cycles);
+                double o_reckpt = reckpt.timeOverheadPct(base.cycles);
+                double t_red = reductionPct(o_ckpt, o_reckpt);
+                double e_red = reckpt.edpReductionPct(ckpt.edp);
+                time_red.add(name, t_red);
+                edp_red.add(name, e_red);
+
+                table.row()
+                    .cell(name)
+                    .cell(o_ckpt)
+                    .cell(o_reckpt)
+                    .cell(t_red)
+                    .cell(e_red);
+            }
+            ctx.note(csprintf("--- %u error(s) ---\n", errors));
+            ctx.emit(table);
+            ctx.note(time_red.text("time overhead reduction"));
+            ctx.note(edp_red.text("EDP reduction"));
+            ctx.note("\n");
         }
-        std::cout << "--- " << errors << " error(s) ---\n";
-        table.print(std::cout);
-        time_red.print(std::cout, "time overhead reduction");
-        edp_red.print(std::cout, "EDP reduction");
-        std::cout << "\n";
-    }
 
-    std::cout << "(paper: time reduction up to 26.68% at 1 error down "
+        ctx.note("(paper: time reduction up to 26.68% at 1 error down "
                  "to 19.92% at 5; avg 9-12%; EDP reduction avg "
-                 "18-24%)\n";
-    return 0;
+                 "18-24%)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

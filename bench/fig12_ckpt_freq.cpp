@@ -7,8 +7,6 @@
  * at 75 checkpoints), and EDP reductions of ~20-26%.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -18,12 +16,7 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "fig12_ckpt_freq");
-    harness::Runner runner(kDefaultThreads);
     const std::vector<unsigned> counts = {25, 50, 75, 100};
-
-    std::cout << "Figure 12: time overhead (% vs NoCkpt) under "
-                 "increasing checkpoint counts\n\n";
 
     // Per workload: NoCkpt, then (Ckpt_NE, ReCkpt_NE) per count.
     std::vector<harness::ExperimentConfig> configs = {
@@ -36,42 +29,53 @@ main(int argc, char **argv)
                                      ckpt::Coordination::kGlobal,
                                      checkpoints));
     }
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t c = 0; c < counts.size(); ++c) {
-        Table table({"bench", "Ckpt_NE %", "ReCkpt_NE %", "time red. %",
-                     "EDP red. %"});
-        Summary time_red, edp_red;
-        for (std::size_t w = 0; w < names.size(); ++w) {
-            const std::string &name = names[w];
-            const auto *row = &results[w * configs.size()];
-            const auto &base = row[0];
-            const auto &ckpt = row[1 + 2 * c];
-            const auto &reckpt = row[2 + 2 * c];
+    harness::BenchSpec spec;
+    spec.name = "fig12_ckpt_freq";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Figure 12: time overhead (% vs NoCkpt) under "
+                 "increasing checkpoint counts\n\n");
 
-            double o_ckpt = ckpt.timeOverheadPct(base.cycles);
-            double o_reckpt = reckpt.timeOverheadPct(base.cycles);
-            double t_red = reductionPct(o_ckpt, o_reckpt);
-            double e_red = reckpt.edpReductionPct(ckpt.edp);
-            time_red.add(name, t_red);
-            edp_red.add(name, e_red);
+        const auto &names = ctx.workloads();
+        for (std::size_t c = 0; c < counts.size(); ++c) {
+            Table table({"bench", "Ckpt_NE %", "ReCkpt_NE %",
+                         "time red. %", "EDP red. %"});
+            Summary time_red, edp_red;
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const std::string &name = names[w];
+                const auto *row = &results[w * configs.size()];
+                const auto &base = row[0];
+                const auto &ckpt = row[1 + 2 * c];
+                const auto &reckpt = row[2 + 2 * c];
 
-            table.row()
-                .cell(name)
-                .cell(o_ckpt)
-                .cell(o_reckpt)
-                .cell(t_red)
-                .cell(e_red);
+                double o_ckpt = ckpt.timeOverheadPct(base.cycles);
+                double o_reckpt = reckpt.timeOverheadPct(base.cycles);
+                double t_red = reductionPct(o_ckpt, o_reckpt);
+                double e_red = reckpt.edpReductionPct(ckpt.edp);
+                time_red.add(name, t_red);
+                edp_red.add(name, e_red);
+
+                table.row()
+                    .cell(name)
+                    .cell(o_ckpt)
+                    .cell(o_reckpt)
+                    .cell(t_red)
+                    .cell(e_red);
+            }
+            ctx.note(csprintf("--- %u checkpoints ---\n", counts[c]));
+            ctx.emit(table);
+            ctx.note(time_red.text("time overhead reduction"));
+            ctx.note(edp_red.text("EDP reduction"));
+            ctx.note("\n");
         }
-        std::cout << "--- " << counts[c] << " checkpoints ---\n";
-        table.print(std::cout);
-        time_red.print(std::cout, "time overhead reduction");
-        edp_red.print(std::cout, "EDP reduction");
-        std::cout << "\n";
-    }
 
-    std::cout << "(paper: reductions up to 28.81%/25.3%/50.86%/43.52% "
-                 "at 25/50/75/100 checkpoints, avg 10-14%)\n";
-    return 0;
+        ctx.note("(paper: reductions up to 28.81%/25.3%/50.86%/43.52% "
+                 "at 25/50/75/100 checkpoints, avg 10-14%)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

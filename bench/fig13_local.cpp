@@ -7,8 +7,6 @@
  * least as effective under local coordination.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -18,12 +16,6 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
     using ckpt::Coordination;
-
-    const unsigned jobs = parseJobs(argc, argv, "fig13_local");
-    harness::Runner runner(kDefaultThreads);
-
-    std::cout << "Figure 13: normalized execution time of local "
-                 "coordinated checkpointing (vs global counterpart)\n\n";
 
     // Global four, then their local counterparts in the same order.
     const std::vector<harness::ExperimentConfig> configs = {
@@ -36,33 +28,46 @@ main(int argc, char **argv)
         makeConfig(BerMode::kReCkpt, 0, Coordination::kLocal),
         makeConfig(BerMode::kReCkpt, 1, Coordination::kLocal),
     };
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    Table table({"bench", "Ckpt_NE,Loc", "Ckpt_E,Loc", "ReCkpt_NE,Loc",
-                 "ReCkpt_E,Loc", "EDP red. NE,Loc %"});
-
-    auto norm = [](const harness::ExperimentResult &local,
-                   const harness::ExperimentResult &global) {
-        return static_cast<double>(local.cycles) /
-               static_cast<double>(global.cycles);
+    harness::BenchSpec spec;
+    spec.name = "fig13_local";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
     };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Figure 13: normalized execution time of local "
+                 "coordinated checkpointing (vs global "
+                 "counterpart)\n\n");
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t w = 0; w < names.size(); ++w) {
-        const auto *row = &results[w * configs.size()];
-        table.row()
-            .cell(names[w])
-            .cell(norm(row[4], row[0]), 3)
-            .cell(norm(row[5], row[1]), 3)
-            .cell(norm(row[6], row[2]), 3)
-            .cell(norm(row[7], row[3]), 3)
-            .cell(row[6].edpReductionPct(row[2].edp));
-    }
-    table.print(std::cout);
+        Table table({"bench", "Ckpt_NE,Loc", "Ckpt_E,Loc",
+                     "ReCkpt_NE,Loc", "ReCkpt_E,Loc",
+                     "EDP red. NE,Loc %"});
 
-    std::cout << "\n(paper: bt/cg/sp ~1.0 — all cores communicate; "
-                 "ft/dc/is/mg/lu < 1.0, e.g. Ckpt_NE,Loc ~0.58 for ft; "
-                 "ACR stays at least as effective under local "
-                 "coordination)\n";
-    return 0;
+        auto norm = [](const harness::ExperimentResult &local,
+                       const harness::ExperimentResult &global) {
+            return static_cast<double>(local.cycles) /
+                   static_cast<double>(global.cycles);
+        };
+
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const auto *row = &results[w * configs.size()];
+            table.row()
+                .cell(names[w])
+                .cell(norm(row[4], row[0]), 3)
+                .cell(norm(row[5], row[1]), 3)
+                .cell(norm(row[6], row[2]), 3)
+                .cell(norm(row[7], row[3]), 3)
+                .cell(row[6].edpReductionPct(row[2].edp));
+        }
+        ctx.emit(table);
+
+        ctx.note("\n(paper: bt/cg/sp ~1.0 — all cores communicate; "
+                 "ft/dc/is/mg/lu < 1.0, e.g. Ckpt_NE,Loc ~0.58 for "
+                 "ft; ACR stays at least as effective under local "
+                 "coordination)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

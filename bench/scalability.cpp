@@ -8,11 +8,9 @@
  * 47.98%/31.81%/33.8%.
  *
  * Doubles as the host-parallelism smoke test: the closing [sweep]
- * timing lines make the --jobs speedup observable (run with --jobs=1
- * and --jobs=N to compare wall clock).
+ * timing lines (now on stderr) make the --jobs/--forks speedup
+ * observable (run with --jobs=1 and --jobs=N to compare wall clock).
  */
-
-#include <iostream>
 
 #include "bench_util.hh"
 
@@ -23,63 +21,80 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "scalability");
-
-    std::cout << "Scalability (Sec. V-D4): checkpoint overhead and ACR "
-                 "reductions at 8/16/32 threads\n\n";
-
+    const std::vector<unsigned> machines = {8, 16, 32};
     const std::vector<harness::ExperimentConfig> configs = {
         makeConfig(BerMode::kNoCkpt),
         makeConfig(BerMode::kCkpt),
         makeConfig(BerMode::kReCkpt),
     };
-    const auto &names = workloads::allWorkloadNames();
 
-    for (unsigned threads : {8u, 16u, 32u}) {
-        harness::Runner runner(threads);
-        auto results = runSweep(runner, jobs, crossWorkloads(configs));
+    harness::BenchSpec spec;
+    spec.name = "scalability";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        // One (workload x config) block per simulated machine size.
+        std::vector<harness::GridPoint> points;
+        for (unsigned threads : machines) {
+            auto block = crossGrid(ctx.workloads(), configs, threads);
+            points.insert(points.end(), block.begin(), block.end());
+        }
+        return points;
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Scalability (Sec. V-D4): checkpoint overhead and "
+                 "ACR reductions at 8/16/32 threads\n\n");
 
-        Table table({"bench", "Ckpt_NE ovh %", "ReCkpt_NE ovh %",
-                     "time red. %", "EDP red. %"});
-        Summary time_red, edp_red;
-        double overhead_sum = 0;
-        double overhead_min = 1e300;
+        const auto &names = ctx.workloads();
+        const std::size_t block = names.size() * configs.size();
+        for (std::size_t m = 0; m < machines.size(); ++m) {
+            Table table({"bench", "Ckpt_NE ovh %", "ReCkpt_NE ovh %",
+                         "time red. %", "EDP red. %"});
+            Summary time_red, edp_red;
+            double overhead_sum = 0;
+            double overhead_min = 1e300;
 
-        for (std::size_t w = 0; w < names.size(); ++w) {
-            const std::string &name = names[w];
-            const auto *row = &results[w * configs.size()];
-            const auto &base = row[0];
-            const auto &ckpt = row[1];
-            const auto &reckpt = row[2];
+            for (std::size_t w = 0; w < names.size(); ++w) {
+                const std::string &name = names[w];
+                const auto *row =
+                    &results[m * block + w * configs.size()];
+                const auto &base = row[0];
+                const auto &ckpt = row[1];
+                const auto &reckpt = row[2];
 
-            double o_ckpt = ckpt.timeOverheadPct(base.cycles);
-            double o_reckpt = reckpt.timeOverheadPct(base.cycles);
-            overhead_sum += o_ckpt;
-            overhead_min = std::min(overhead_min, o_ckpt);
-            double t_red = reductionPct(o_ckpt, o_reckpt);
-            double e_red = reckpt.edpReductionPct(ckpt.edp);
-            time_red.add(name, t_red);
-            edp_red.add(name, e_red);
+                double o_ckpt = ckpt.timeOverheadPct(base.cycles);
+                double o_reckpt = reckpt.timeOverheadPct(base.cycles);
+                overhead_sum += o_ckpt;
+                overhead_min = std::min(overhead_min, o_ckpt);
+                double t_red = reductionPct(o_ckpt, o_reckpt);
+                double e_red = reckpt.edpReductionPct(ckpt.edp);
+                time_red.add(name, t_red);
+                edp_red.add(name, e_red);
 
-            table.row()
-                .cell(name)
-                .cell(o_ckpt)
-                .cell(o_reckpt)
-                .cell(t_red)
-                .cell(e_red);
+                table.row()
+                    .cell(name)
+                    .cell(o_ckpt)
+                    .cell(o_reckpt)
+                    .cell(t_red)
+                    .cell(e_red);
+            }
+
+            ctx.note(csprintf("--- %u threads ---\n", machines[m]));
+            ctx.emit(table);
+            std::ostringstream overhead;
+            overhead << "checkpointing overhead: min " << overhead_min
+                     << "%, avg " << overhead_sum / names.size()
+                     << "%\n";
+            ctx.note(overhead.str());
+            ctx.note(
+                time_red.text("ReCkpt_NE overhead reduction"));
+            ctx.note(edp_red.text("EDP reduction"));
+            ctx.note("\n");
         }
 
-        std::cout << "--- " << threads << " threads ---\n";
-        table.print(std::cout);
-        std::cout << "checkpointing overhead: min " << overhead_min
-                  << "%, avg " << overhead_sum / names.size() << "%\n";
-        time_red.print(std::cout, "ReCkpt_NE overhead reduction");
-        edp_red.print(std::cout, "EDP reduction");
-        std::cout << "\n";
-    }
-
-    std::cout << "(paper: overhead >9% always, avg ~45/55/60% at "
-                 "8/16/32 threads; reductions up to 28.81/17.78/19.12%)"
-                 "\n";
-    return 0;
+        ctx.note("(paper: overhead >9% always, avg ~45/55/60% at "
+                 "8/16/32 threads; reductions up to "
+                 "28.81/17.78/19.12%)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

@@ -7,8 +7,6 @@
  * jumps sharply between 10 and 30, is is near-saturated already at 10.
  */
 
-#include <iostream>
-
 #include "bench_util.hh"
 
 int
@@ -18,12 +16,7 @@ main(int argc, char **argv)
     using namespace acr::bench;
     using harness::BerMode;
 
-    const unsigned jobs = parseJobs(argc, argv, "table2_threshold");
-    harness::Runner runner(kDefaultThreads);
     const std::vector<unsigned> thresholds = {5, 10, 20, 30, 40, 50};
-
-    std::cout << "Table II: total checkpoint size reduction (%) vs "
-                 "Slice length threshold\n\n";
 
     // Per workload: the Ckpt baseline, then ReCkpt per threshold.
     std::vector<harness::ExperimentConfig> configs = {
@@ -33,26 +26,38 @@ main(int argc, char **argv)
         cfg.sliceThreshold = threshold;
         configs.push_back(cfg);
     }
-    auto results = runSweep(runner, jobs, crossWorkloads(configs));
 
-    std::vector<std::string> headers = {"bench"};
-    for (unsigned t : thresholds)
-        headers.push_back(csprintf("thr %u", t));
-    Table table(headers);
+    harness::BenchSpec spec;
+    spec.name = "table2_threshold";
+    spec.grid = [&](harness::BenchContext &ctx) {
+        return crossGrid(ctx.workloads(), configs);
+    };
+    spec.render = [&](harness::BenchContext &ctx,
+                      const std::vector<harness::ExperimentResult>
+                          &results) {
+        ctx.note("Table II: total checkpoint size reduction (%) vs "
+                 "Slice length threshold\n\n");
 
-    const auto &names = workloads::allWorkloadNames();
-    for (std::size_t w = 0; w < names.size(); ++w) {
-        const auto *row = &results[w * configs.size()];
-        table.row().cell(names[w]);
-        for (std::size_t t = 0; t < thresholds.size(); ++t)
-            table.cell(overallSizeReductionPct(row[0], row[1 + t]));
-    }
-    table.print(std::cout);
+        std::vector<std::string> headers = {"bench"};
+        for (unsigned t : thresholds)
+            headers.push_back(csprintf("thr %u", t));
+        Table table(headers);
 
-    std::cout << "\n(paper at threshold 10/30/50: bt 36.5/85.4/89.9, "
+        const auto &names = ctx.workloads();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const auto *row = &results[w * configs.size()];
+            table.row().cell(names[w]);
+            for (std::size_t t = 0; t < thresholds.size(); ++t)
+                table.cell(
+                    overallSizeReductionPct(row[0], row[1 + t]));
+        }
+        ctx.emit(table);
+
+        ctx.note("\n(paper at threshold 10/30/50: bt 36.5/85.4/89.9, "
                  "cg 7.0/89.7/89.8, ft 23.3/88.5/99.7, is 97.4/99.5/"
                  "99.5, lu 42.7/64.4/81.1, mg 11.6/88.0/90.2, sp "
                  "37.4/71.8/96.1; reductions must be monotone in the "
-                 "threshold)\n";
-    return 0;
+                 "threshold)\n");
+    };
+    return harness::benchMain(argc, argv, spec);
 }

@@ -1,0 +1,557 @@
+#include "common/serde.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace acr::serde
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &message)
+{
+    throw SerdeError("serde: " + message);
+}
+
+const char *
+kindName(Json::Kind kind)
+{
+    switch (kind) {
+      case Json::Kind::kNull: return "null";
+      case Json::Kind::kBool: return "bool";
+      case Json::Kind::kUint: return "uint";
+      case Json::Kind::kInt: return "int";
+      case Json::Kind::kDouble: return "double";
+      case Json::Kind::kString: return "string";
+      case Json::Kind::kArray: return "array";
+      case Json::Kind::kObject: return "object";
+    }
+    return "?";
+}
+
+void
+writeEscaped(std::ostream &os, const std::string &text)
+{
+    os << '"';
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Recursive-descent parser over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json
+    document()
+    {
+        Json value = this->value();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail(csprintf("trailing characters at offset %zu", pos_));
+        return value;
+    }
+
+  private:
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    take()
+    {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        if (take() != c)
+            fail(csprintf("expected '%c' at offset %zu", c, pos_ - 1));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            fail(csprintf("bad literal at offset %zu", pos_));
+        pos_ += word.size();
+    }
+
+    Json
+    value()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Json(string());
+          case 't': literal("true"); return Json(true);
+          case 'f': literal("false"); return Json(false);
+          case 'n': literal("null"); return Json(nullptr);
+          default: return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json result = Json::object();
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return result;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = string();
+            if (result.find(key))
+                fail("duplicate object key '" + key + "'");
+            skipSpace();
+            expect(':');
+            result.set(key, value());
+            skipSpace();
+            char c = take();
+            if (c == '}')
+                return result;
+            if (c != ',')
+                fail(csprintf("expected ',' or '}' at offset %zu",
+                              pos_ - 1));
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json result = Json::array();
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return result;
+        }
+        while (true) {
+            result.push(value());
+            skipSpace();
+            char c = take();
+            if (c == ']')
+                return result;
+            if (c != ',')
+                fail(csprintf("expected ',' or ']' at offset %zu",
+                              pos_ - 1));
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = take();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char esc = take();
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += unicodeEscape(); break;
+              default:
+                fail(csprintf("bad escape '\\%c'", esc));
+            }
+        }
+    }
+
+    std::string
+    unicodeEscape()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = take();
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        // Encode the (BMP-only) code point as UTF-8; surrogate halves
+        // never appear in the wire schema's ASCII identifiers.
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+        return out;
+    }
+
+    Json
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        std::string_view token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-")
+            fail(csprintf("bad number at offset %zu", start));
+
+        const bool integral =
+            token.find_first_of(".eE") == std::string_view::npos;
+        const char *first = token.data();
+        const char *last = token.data() + token.size();
+        if (integral && token[0] != '-') {
+            std::uint64_t value = 0;
+            auto [ptr, ec] = std::from_chars(first, last, value);
+            if (ec == std::errc() && ptr == last)
+                return Json(value);
+        } else if (integral) {
+            std::int64_t value = 0;
+            auto [ptr, ec] = std::from_chars(first, last, value);
+            if (ec == std::errc() && ptr == last)
+                return Json(value);
+        } else {
+            double value = 0.0;
+            auto [ptr, ec] = std::from_chars(first, last, value);
+            if (ec == std::errc() && ptr == last)
+                return Json(value);
+        }
+        fail(csprintf("bad number '%s'",
+                      std::string(token).c_str()));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+formatDouble(double value)
+{
+    if (!std::isfinite(value))
+        fail("cannot encode a non-finite number");
+    if (value == 0.0)
+        return "0";  // normalize -0.0: sign bits don't survive the wire
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    if (ec != std::errc())
+        fail("double format overflow");
+    return std::string(buf, ptr);
+}
+
+Json::Json(std::int64_t value)
+{
+    if (value >= 0) {
+        kind_ = Kind::kUint;
+        uint_ = static_cast<std::uint64_t>(value);
+    } else {
+        kind_ = Kind::kInt;
+        int_ = value;
+    }
+}
+
+Json
+Json::object()
+{
+    Json json;
+    json.kind_ = Kind::kObject;
+    return json;
+}
+
+Json
+Json::array()
+{
+    Json json;
+    json.kind_ = Kind::kArray;
+    return json;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    ACR_ASSERT(kind_ == Kind::kObject, "set() on a non-object");
+    ACR_ASSERT(find(key) == nullptr, "duplicate key '%s'", key.c_str());
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    ACR_ASSERT(kind_ == Kind::kArray, "push() on a non-array");
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+bool
+Json::asBool() const
+{
+    if (kind_ != Kind::kBool)
+        fail(csprintf("expected bool, got %s", kindName(kind_)));
+    return bool_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (kind_ != Kind::kUint)
+        fail(csprintf("expected unsigned integer, got %s",
+                      kindName(kind_)));
+    return uint_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (kind_ == Kind::kInt)
+        return int_;
+    if (kind_ == Kind::kUint) {
+        if (uint_ > static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int64_t>::max()))
+            fail("integer does not fit in int64");
+        return static_cast<std::int64_t>(uint_);
+    }
+    fail(csprintf("expected integer, got %s", kindName(kind_)));
+}
+
+double
+Json::asDouble() const
+{
+    switch (kind_) {
+      case Kind::kDouble: return double_;
+      case Kind::kUint: return static_cast<double>(uint_);
+      case Kind::kInt: return static_cast<double>(int_);
+      default:
+        fail(csprintf("expected number, got %s", kindName(kind_)));
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    if (kind_ != Kind::kString)
+        fail(csprintf("expected string, got %s", kindName(kind_)));
+    return string_;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    if (kind_ != Kind::kArray)
+        fail(csprintf("expected array, got %s", kindName(kind_)));
+    return items_;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    if (kind_ != Kind::kObject)
+        fail(csprintf("expected object, got %s", kindName(kind_)));
+    return members_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::kObject)
+        fail(csprintf("expected object, got %s", kindName(kind_)));
+    for (const auto &[name, value] : members_)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+void
+Json::write(std::ostream &os) const
+{
+    switch (kind_) {
+      case Kind::kNull:
+        os << "null";
+        break;
+      case Kind::kBool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::kUint:
+        os << uint_;
+        break;
+      case Kind::kInt:
+        os << int_;
+        break;
+      case Kind::kDouble:
+        os << formatDouble(double_);
+        break;
+      case Kind::kString:
+        writeEscaped(os, string_);
+        break;
+      case Kind::kArray: {
+        os << '[';
+        bool first = true;
+        for (const auto &item : items_) {
+            if (!first)
+                os << ',';
+            first = false;
+            item.write(os);
+        }
+        os << ']';
+        break;
+      }
+      case Kind::kObject: {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, value] : members_) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeEscaped(os, key);
+            os << ':';
+            value.write(os);
+        }
+        os << '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::ostringstream oss;
+    write(oss);
+    return oss.str();
+}
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+ObjectReader::ObjectReader(const Json &object, std::string what)
+    : object_(object), what_(std::move(what))
+{
+    for (const auto &[key, value] : object_.members())
+        consumed_[key] = false;
+}
+
+const Json &
+ObjectReader::require(const std::string &key)
+{
+    const Json *value = object_.find(key);
+    if (!value)
+        fail(what_ + ": missing key '" + key + "'");
+    consumed_[key] = true;
+    return *value;
+}
+
+const Json *
+ObjectReader::optional(const std::string &key)
+{
+    const Json *value = object_.find(key);
+    if (value)
+        consumed_[key] = true;
+    return value;
+}
+
+bool
+ObjectReader::requireBool(const std::string &key)
+{
+    return require(key).asBool();
+}
+
+std::uint64_t
+ObjectReader::requireUint(const std::string &key)
+{
+    return require(key).asUint();
+}
+
+double
+ObjectReader::requireDouble(const std::string &key)
+{
+    return require(key).asDouble();
+}
+
+std::string
+ObjectReader::requireString(const std::string &key)
+{
+    return require(key).asString();
+}
+
+void
+ObjectReader::finish()
+{
+    for (const auto &[key, used] : consumed_)
+        if (!used)
+            fail(what_ + ": unknown key '" + key +
+                 "' (wire version mismatch?)");
+}
+
+} // namespace acr::serde

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * acr::serde — the self-describing value layer under the experiment
+ * wire format (DESIGN.md §8). A `Json` is an immutable-after-build
+ * JSON document with a *canonical* byte encoding: objects keep
+ * insertion order, numbers are written in their shortest round-trip
+ * form, and no whitespace is emitted — so encode(decode(encode(x)))
+ * == encode(x) byte-for-byte, the property the sharded sweep's
+ * merge-determinism guarantee rests on.
+ *
+ * Decoding is strict: malformed input, trailing garbage, and (via
+ * ObjectReader) unknown object keys all raise SerdeError rather than
+ * being ignored — a record from a newer schema must fail loudly, not
+ * half-parse (the forward-compatibility rule: unknown keys rejected,
+ * version bump on any field change).
+ */
+
+#ifndef ACR_COMMON_SERDE_HH
+#define ACR_COMMON_SERDE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace acr::serde
+{
+
+/** Strict decode/encode failure (bad syntax, type mismatch, unknown
+ *  key, unsupported value). */
+class SerdeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Shortest round-trip decimal form of a finite double ("-0" is
+ *  normalized to "0"); throws SerdeError on NaN/infinity, which JSON
+ *  cannot represent. */
+std::string formatDouble(double value);
+
+/**
+ * One JSON value. Integers keep full 64-bit precision (distinct from
+ * doubles), so cycle counts and seeds survive a process boundary
+ * exactly.
+ */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        kNull,
+        kBool,
+        kUint,    ///< non-negative integer literal
+        kInt,     ///< negative integer literal
+        kDouble,  ///< literal with a fraction or exponent
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+    Json(std::uint64_t value) : kind_(Kind::kUint), uint_(value) {}
+    Json(std::int64_t value);
+    Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+    Json(unsigned value) : Json(static_cast<std::uint64_t>(value)) {}
+    Json(double value) : kind_(Kind::kDouble), double_(value) {}
+    Json(std::string value)
+        : kind_(Kind::kString), string_(std::move(value))
+    {
+    }
+    Json(const char *value) : Json(std::string(value)) {}
+
+    static Json object();
+    static Json array();
+
+    Kind kind() const { return kind_; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::kUint || kind_ == Kind::kInt ||
+               kind_ == Kind::kDouble;
+    }
+
+    // --- Building (object members keep insertion order) ---
+
+    /** Append a member to an object; duplicate keys are a bug. */
+    Json &set(const std::string &key, Json value);
+
+    /** Append an element to an array. */
+    Json &push(Json value);
+
+    // --- Strict accessors (throw SerdeError on kind mismatch) ---
+
+    bool asBool() const;
+    /** Any number representable as uint64 (rejects negatives and
+     *  fractions). */
+    std::uint64_t asUint() const;
+    std::int64_t asInt() const;
+    /** Any number, widened to double. */
+    double asDouble() const;
+    const std::string &asString() const;
+    const std::vector<Json> &items() const;
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Member lookup on an object; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+
+    // --- Canonical encoding / strict decoding ---
+
+    /** Canonical single-line encoding (no whitespace). */
+    void write(std::ostream &os) const;
+    std::string dump() const;
+
+    /** Parse exactly one document; trailing non-whitespace throws. */
+    static Json parse(std::string_view text);
+
+  private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/**
+ * Schema-checking view of one Json object: every member must be
+ * consumed by require()/optional() before finish(), so a record
+ * carrying keys this build does not know about is rejected instead of
+ * silently dropped.
+ */
+class ObjectReader
+{
+  public:
+    /** @param what  context for error messages ("ExperimentConfig"). */
+    ObjectReader(const Json &object, std::string what);
+
+    /** Consume a mandatory member. */
+    const Json &require(const std::string &key);
+    /** Consume an optional member; nullptr when absent. */
+    const Json *optional(const std::string &key);
+
+    bool requireBool(const std::string &key);
+    std::uint64_t requireUint(const std::string &key);
+    double requireDouble(const std::string &key);
+    std::string requireString(const std::string &key);
+
+    /** Throws SerdeError if any member was never consumed. */
+    void finish();
+
+  private:
+    const Json &object_;
+    std::string what_;
+    std::map<std::string, bool> consumed_;
+};
+
+} // namespace acr::serde
+
+#endif // ACR_COMMON_SERDE_HH

@@ -5,9 +5,23 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/serde.hh"
 
 namespace acr
 {
+
+TableFormat
+parseTableFormat(const std::string &name)
+{
+    if (name == "table")
+        return TableFormat::kTable;
+    if (name == "csv")
+        return TableFormat::kCsv;
+    if (name == "json")
+        return TableFormat::kJson;
+    fatal("unknown --format '%s' (want table, csv, or json)",
+          name.c_str());
+}
 
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))
@@ -23,13 +37,19 @@ Table::row()
 }
 
 Table &
-Table::cell(const std::string &value)
+Table::pushCell(std::string text, bool numeric)
 {
     ACR_ASSERT(!rows_.empty(), "cell() before row()");
     ACR_ASSERT(rows_.back().size() < headers_.size(),
                "row has more cells than headers");
-    rows_.back().push_back(value);
+    rows_.back().push_back(Cell{std::move(text), numeric});
     return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    return pushCell(value, false);
 }
 
 Table &
@@ -37,13 +57,13 @@ Table::cell(double value, int precision)
 {
     std::ostringstream oss;
     oss << std::fixed << std::setprecision(precision) << value;
-    return cell(oss.str());
+    return pushCell(oss.str(), true);
 }
 
 Table &
 Table::cell(long long value)
 {
-    return cell(std::to_string(value));
+    return pushCell(std::to_string(value), true);
 }
 
 void
@@ -54,41 +74,80 @@ Table::print(std::ostream &os) const
         widths[c] = headers_[c].size();
     for (const auto &r : rows_)
         for (std::size_t c = 0; c < r.size(); ++c)
-            widths[c] = std::max(widths[c], r[c].size());
+            widths[c] = std::max(widths[c], r[c].text.size());
 
-    auto print_row = [&](const std::vector<std::string> &cells) {
+    auto print_row = [&](auto get_cell) {
         for (std::size_t c = 0; c < headers_.size(); ++c) {
-            const std::string &v = c < cells.size() ? cells[c]
-                                                    : std::string();
             os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
-               << v;
+               << get_cell(c);
         }
         os << "\n";
     };
 
-    print_row(headers_);
+    print_row([&](std::size_t c) { return headers_[c]; });
     std::size_t total = 0;
     for (auto w : widths)
         total += w + 2;
     os << std::string(total, '-') << "\n";
     for (const auto &r : rows_)
-        print_row(r);
+        print_row([&](std::size_t c) {
+            return c < r.size() ? r[c].text : std::string();
+        });
 }
 
 void
 Table::printCsv(std::ostream &os) const
 {
-    auto print_row = [&](const std::vector<std::string> &cells) {
-        for (std::size_t c = 0; c < cells.size(); ++c) {
+    auto print_row = [&](std::size_t columns, auto get_cell) {
+        for (std::size_t c = 0; c < columns; ++c) {
             if (c)
                 os << ",";
-            os << cells[c];
+            os << get_cell(c);
         }
         os << "\n";
     };
-    print_row(headers_);
+    print_row(headers_.size(),
+              [&](std::size_t c) { return headers_[c]; });
     for (const auto &r : rows_)
-        print_row(r);
+        print_row(r.size(),
+                  [&](std::size_t c) { return r[c].text; });
+}
+
+void
+Table::printJson(std::ostream &os) const
+{
+    // The row objects are assembled by hand because numeric cells are
+    // already formatted at the table's precision; only strings need
+    // the serde escaper.
+    for (const auto &r : rows_) {
+        os << '{';
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                os << ',';
+            os << serde::Json(headers_[c]).dump() << ':';
+            if (r[c].numeric)
+                os << r[c].text;
+            else
+                os << serde::Json(r[c].text).dump();
+        }
+        os << "}\n";
+    }
+}
+
+void
+Table::emit(std::ostream &os, TableFormat format) const
+{
+    switch (format) {
+      case TableFormat::kTable:
+        print(os);
+        break;
+      case TableFormat::kCsv:
+        printCsv(os);
+        break;
+      case TableFormat::kJson:
+        printJson(os);
+        break;
+    }
 }
 
 } // namespace acr

@@ -1,7 +1,11 @@
 /**
  * @file
- * Console table and CSV emission used by every bench binary to print the
- * rows/series the paper's tables and figures report.
+ * Console table emission used by every bench binary to print the
+ * rows/series the paper's tables and figures report. A table renders
+ * through a pluggable emitter (TableFormat): aligned console text,
+ * CSV, or line-delimited JSON objects written with the acr::serde
+ * writer so sweep output can be piped into the BENCH_*.json
+ * trajectory tooling.
  */
 
 #ifndef ACR_COMMON_TABLE_HH
@@ -14,9 +18,21 @@
 namespace acr
 {
 
+/** Output shape of Table::emit (the benches' --format flag). */
+enum class TableFormat
+{
+    kTable,  ///< aligned console columns with a header rule
+    kCsv,    ///< comma-separated, header row first
+    kJson,   ///< one JSON object per row, keyed by header
+};
+
+/** Parse "table" | "csv" | "json"; fatal() on anything else. */
+TableFormat parseTableFormat(const std::string &name);
+
 /**
- * A simple column-aligned table. Cells are strings; numeric helpers format
- * with a fixed precision.
+ * A simple table. Cells are formatted strings; the numeric overloads
+ * remember that the cell is a number so the JSON emitter can write it
+ * unquoted.
  */
 class Table
 {
@@ -45,9 +61,24 @@ class Table
     /** Print as CSV (comma-separated, header first). */
     void printCsv(std::ostream &os) const;
 
+    /** One serde-encoded JSON object per row ({"header": cell, ...}),
+     *  numeric cells unquoted, in line-delimited form. */
+    void printJson(std::ostream &os) const;
+
+    /** Render via the emitter selected by @p format. */
+    void emit(std::ostream &os, TableFormat format) const;
+
   private:
+    struct Cell
+    {
+        std::string text;
+        bool numeric = false;
+    };
+
+    Table &pushCell(std::string text, bool numeric);
+
     std::vector<std::string> headers_;
-    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::vector<Cell>> rows_;
 };
 
 } // namespace acr

@@ -1,0 +1,287 @@
+#include "harness/bench_main.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "harness/sweep.hh"
+#include "workloads/workload.hh"
+
+namespace acr::harness
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCommaList(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::stringstream stream(text);
+    std::string part;
+    while (std::getline(stream, part, ','))
+        if (!part.empty())
+            parts.push_back(part);
+    return parts;
+}
+
+std::vector<std::string>
+resolveWorkloads(const std::string &flag, const BenchSpec &spec)
+{
+    std::vector<std::string> selected = splitCommaList(flag);
+    if (selected.empty())
+        selected = spec.defaultWorkloads;
+    if (selected.empty())
+        selected = workloads::allWorkloadNames();
+    const auto &known = workloads::allWorkloadNames();
+    for (const auto &name : selected)
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            fatal("unknown workload '%s' (have: %s)", name.c_str(),
+                  [&] {
+                      std::string all;
+                      for (const auto &k : known)
+                          all += (all.empty() ? "" : ", ") + k;
+                      return all;
+                  }()
+                      .c_str());
+    return selected;
+}
+
+BenchOptions
+parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
+{
+    OptionParser parser(spec.name);
+    parser.addInt("jobs", 0,
+                  "sweep worker threads (0: ACR_JOBS, then hardware "
+                  "concurrency)");
+    parser.addInt("forks", 0,
+                  "local worker processes (fork/exec of this binary "
+                  "with --worker; 0: in-process threads)");
+    parser.addString("shard", "",
+                     "run only shard i of N ('i/N') and emit wire "
+                     "records instead of rendering");
+    parser.addString("merge", "",
+                     "comma-separated shard record files to merge and "
+                     "render");
+    parser.addFlag("worker",
+                   "wire-protocol worker: read point records on stdin, "
+                   "write result records to stdout");
+    parser.addString("format", "table",
+                     "output format: table, csv, or json");
+    parser.addString("workloads", "",
+                     "comma-separated workload subset (default: all)");
+    parser.parse(argc, argv);
+
+    BenchOptions options;
+    const long long jobs = parser.getInt("jobs");
+    if (jobs < 0)
+        fatal("--jobs must be >= 0, got %lld", jobs);
+    options.jobs = static_cast<unsigned>(jobs);
+    const long long forks = parser.getInt("forks");
+    if (forks < 0)
+        fatal("--forks must be >= 0, got %lld", forks);
+    options.forks = static_cast<unsigned>(forks);
+    const std::string shard = parser.getString("shard");
+    if (!shard.empty()) {
+        options.shardMode = true;
+        options.shard = ShardedSweep::parseShard(shard);
+    }
+    options.mergeFiles = splitCommaList(parser.getString("merge"));
+    options.workerMode = parser.getFlag("worker");
+    options.format = parseTableFormat(parser.getString("format"));
+    options.workloads =
+        resolveWorkloads(parser.getString("workloads"), spec);
+
+    if (options.shardMode && !options.mergeFiles.empty())
+        fatal("--shard and --merge are mutually exclusive");
+    if (options.workerMode &&
+        (options.shardMode || !options.mergeFiles.empty()))
+        fatal("--worker does not combine with --shard/--merge");
+    return options;
+}
+
+/**
+ * Load shard record files, verify they are a complete, disjoint cover
+ * of exactly this grid (same point count, same gridHash, every shard
+ * of the declared partition present once), and return the results in
+ * grid order.
+ */
+std::vector<ExperimentResult>
+mergeShardFiles(const BenchSpec &spec,
+                const std::vector<GridPoint> &grid,
+                const std::vector<std::string> &files)
+{
+    const std::uint64_t expect_hash = wire::gridHash(grid);
+    std::vector<ExperimentResult> results(grid.size());
+    std::vector<bool> filled(grid.size(), false);
+    std::set<std::uint64_t> shards_seen;
+    std::uint64_t shard_count = 0;
+
+    for (const auto &file : files) {
+        std::ifstream in(file);
+        if (!in)
+            fatal("cannot open shard file '%s'", file.c_str());
+        std::string line;
+        bool have_manifest = false;
+        std::uint64_t file_shard = 0;
+        std::size_t line_number = 0;
+        while (std::getline(in, line)) {
+            ++line_number;
+            if (line.empty())
+                continue;
+            wire::Record record;
+            try {
+                record = wire::decodeLine(line);
+            } catch (const serde::SerdeError &error) {
+                fatal("%s:%zu: %s", file.c_str(), line_number,
+                      error.what());
+            }
+            if (record.type == wire::Record::Type::kManifest) {
+                const auto &manifest = record.manifest;
+                if (have_manifest)
+                    fatal("%s: second manifest record", file.c_str());
+                have_manifest = true;
+                if (manifest.bench != spec.name)
+                    fatal("%s: records belong to bench '%s', not "
+                          "'%s'",
+                          file.c_str(), manifest.bench.c_str(),
+                          spec.name.c_str());
+                if (manifest.gridPoints != grid.size() ||
+                    manifest.gridHash != expect_hash)
+                    fatal("%s: shard was produced from a different "
+                          "grid (points %llu vs %zu; check that "
+                          "--workloads and bench flags match)",
+                          file.c_str(),
+                          static_cast<unsigned long long>(
+                              manifest.gridPoints),
+                          grid.size());
+                if (shard_count == 0)
+                    shard_count = manifest.shardCount;
+                else if (shard_count != manifest.shardCount)
+                    fatal("%s: shard declares 1/%llu but earlier "
+                          "files declared 1/%llu",
+                          file.c_str(),
+                          static_cast<unsigned long long>(
+                              manifest.shardCount),
+                          static_cast<unsigned long long>(
+                              shard_count));
+                if (!shards_seen.insert(manifest.shard).second)
+                    fatal("%s: shard %llu appears twice",
+                          file.c_str(),
+                          static_cast<unsigned long long>(
+                              manifest.shard));
+                file_shard = manifest.shard;
+                continue;
+            }
+            if (record.type != wire::Record::Type::kResult)
+                fatal("%s:%zu: unexpected record type", file.c_str(),
+                      line_number);
+            if (!have_manifest)
+                fatal("%s: result record before the manifest",
+                      file.c_str());
+            const std::uint64_t index = record.result.index;
+            if (index >= grid.size())
+                fatal("%s:%zu: result index %llu out of range",
+                      file.c_str(), line_number,
+                      static_cast<unsigned long long>(index));
+            if (index % shard_count != file_shard)
+                fatal("%s:%zu: result index %llu does not belong to "
+                      "shard %llu/%llu",
+                      file.c_str(), line_number,
+                      static_cast<unsigned long long>(index),
+                      static_cast<unsigned long long>(file_shard),
+                      static_cast<unsigned long long>(shard_count));
+            if (filled[index])
+                fatal("%s:%zu: duplicate result for index %llu",
+                      file.c_str(), line_number,
+                      static_cast<unsigned long long>(index));
+            results[index] = std::move(record.result.result);
+            filled[index] = true;
+        }
+        if (!have_manifest)
+            fatal("%s: no manifest record", file.c_str());
+    }
+
+    for (std::uint64_t shard = 0; shard < shard_count; ++shard)
+        if (!shards_seen.count(shard))
+            fatal("shard %llu/%llu is missing from --merge",
+                  static_cast<unsigned long long>(shard),
+                  static_cast<unsigned long long>(shard_count));
+    for (std::size_t i = 0; i < filled.size(); ++i)
+        if (!filled[i])
+            fatal("no result for grid point %zu (workload '%s', "
+                  "config %s)",
+                  i, grid[i].workload.c_str(),
+                  grid[i].config.label().c_str());
+    return results;
+}
+
+} // namespace
+
+int
+benchMain(int argc, const char *const *argv, const BenchSpec &spec)
+{
+    ACR_ASSERT(spec.grid && spec.render, "incomplete BenchSpec");
+    const BenchOptions options = parseOptions(argc, argv, spec);
+
+    RunnerPool pool;
+    if (options.workerMode)
+        return ShardedSweep::workerLoop(pool, std::cin, std::cout);
+
+    BenchContext context(spec.name, options, pool, std::cout);
+    const std::vector<GridPoint> grid = spec.grid(context);
+    ACR_ASSERT(!grid.empty(), "bench grid is empty");
+
+    if (!options.mergeFiles.empty()) {
+        const auto results =
+            mergeShardFiles(spec, grid, options.mergeFiles);
+        spec.render(context, results);
+        return 0;
+    }
+
+    ShardedSweep sweep(pool, options.jobs);
+    const std::vector<std::string> worker_cmd = {
+        ShardedSweep::selfExecutable(argc > 0 ? argv[0] : spec.name),
+        "--worker"};
+
+    if (options.shardMode) {
+        // Emit this shard's slice as wire records: a manifest line,
+        // then one result line per owned point, streamed in grid
+        // order as results land.
+        wire::ManifestRecord manifest;
+        manifest.bench = spec.name;
+        manifest.shard = options.shard.index;
+        manifest.shardCount = options.shard.count;
+        manifest.gridPoints = grid.size();
+        manifest.gridHash = wire::gridHash(grid);
+        std::cout << wire::encodeManifestLine(manifest) << "\n"
+                  << std::flush;
+        auto emit = [&](std::size_t index,
+                        const ExperimentResult &result) {
+            std::cout << wire::encodeResultLine({index, result}) << "\n"
+                      << std::flush;
+        };
+        if (options.forks > 0)
+            sweep.runForked(grid, options.forks, worker_cmd,
+                            options.shard, emit);
+        else
+            sweep.run(grid, options.shard, emit);
+        sweep.reportTiming(std::cerr);
+        return 0;
+    }
+
+    std::vector<ExperimentResult> results;
+    if (options.forks > 0)
+        results = sweep.runForked(grid, options.forks, worker_cmd);
+    else
+        results = sweep.run(grid);
+    sweep.reportTiming(std::cerr);
+    spec.render(context, results);
+    return 0;
+}
+
+} // namespace acr::harness

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * BenchMain: the one experiment-facing front-end shared by every
+ * sweeping bench binary. A bench declares a BenchSpec — how to
+ * enumerate its grid and how to render results — and main() is one
+ * call to benchMain(), which owns the common command line:
+ *
+ *   --jobs=N        in-process sweep worker threads
+ *   --forks=N       local multi-process mode: fork/exec N `--worker`
+ *                   children of this same binary
+ *   --shard=i/N     static machine-level sharding: run only this
+ *                   shard's grid points and emit wire records
+ *                   (manifest + results) instead of rendering
+ *   --merge=a,b,... read shard record files, verify they cover this
+ *                   exact grid, and render the normal output
+ *   --worker        wire-protocol worker (stdin points, stdout
+ *                   results); used by --forks
+ *   --format=F      table | csv | json rendering
+ *   --workloads=a,b restrict the workload axis
+ *
+ * Determinism contract: for a fixed grid, the rendered output of
+ * `--jobs=1`, `--jobs=N`, `--forks=N`, and `--shard`-then-`--merge`
+ * is byte-identical (host timing goes to stderr).
+ */
+
+#ifndef ACR_HARNESS_BENCH_MAIN_HH
+#define ACR_HARNESS_BENCH_MAIN_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/sharded_sweep.hh"
+
+namespace acr::harness
+{
+
+/** Parsed common command line of a bench binary. */
+struct BenchOptions
+{
+    unsigned jobs = 0;   ///< 0: Sweep::defaultJobs()
+    unsigned forks = 0;  ///< >0: local fork/exec worker processes
+    ShardedSweep::Shard shard{};
+    bool shardMode = false;   ///< --shard given: emit wire records
+    bool workerMode = false;  ///< --worker
+    TableFormat format = TableFormat::kTable;
+    std::vector<std::string> workloads;   ///< resolved selection
+    std::vector<std::string> mergeFiles;  ///< --merge given: render
+};
+
+/** Everything a bench's grid/render callbacks may touch. */
+class BenchContext
+{
+  public:
+    BenchContext(std::string name, const BenchOptions &options,
+                 RunnerPool &runners, std::ostream &out)
+        : name_(std::move(name)), options_(options), runners_(runners),
+          out_(out)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    const BenchOptions &options() const { return options_; }
+
+    /** The selected workload axis (--workloads, else the spec's
+     *  default, else every workload). */
+    const std::vector<std::string> &workloads() const
+    {
+        return options_.workloads;
+    }
+
+    RunnerPool &runners() { return runners_; }
+    Runner &runner(unsigned threads = 8) { return runners_.at(threads); }
+
+    std::ostream &out() { return out_; }
+
+    /** Prose line around tables; suppressed under csv/json so machine
+     *  formats stay parseable. */
+    void
+    note(const std::string &text)
+    {
+        if (options_.format == TableFormat::kTable)
+            out_ << text;
+    }
+
+    /** Render a table in the selected format. */
+    void emit(const Table &table) { table.emit(out_, options_.format); }
+
+  private:
+    std::string name_;
+    const BenchOptions &options_;
+    RunnerPool &runners_;
+    std::ostream &out_;
+};
+
+/** A bench binary, declaratively. */
+struct BenchSpec
+{
+    /** Program name (usage text, shard manifests). */
+    std::string name;
+
+    /** Workload axis when --workloads is absent; empty means every
+     *  workload (workloads::allWorkloadNames()). */
+    std::vector<std::string> defaultWorkloads;
+
+    /** Enumerate the experiment grid, in submission (= output) order. */
+    std::function<std::vector<GridPoint>(BenchContext &)> grid;
+
+    /** Render results; results[i] belongs to grid point i. Must be a
+     *  pure function of the results and the (deterministic) Runner
+     *  caches so merged/sharded output stays byte-identical. */
+    std::function<void(BenchContext &,
+                       const std::vector<ExperimentResult> &)>
+        render;
+};
+
+/** Run a bench binary: parse the common flags, execute the requested
+ *  mode, return the process exit code. */
+int benchMain(int argc, const char *const *argv, const BenchSpec &spec);
+
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_BENCH_MAIN_HH

@@ -52,26 +52,6 @@ class DriverObserver : public cpu::ExecObserver
 
 } // namespace
 
-std::string
-ExperimentConfig::label() const
-{
-    std::string base;
-    switch (mode) {
-      case BerMode::kNoCkpt:
-        return "NoCkpt";
-      case BerMode::kCkpt:
-        base = "Ckpt";
-        break;
-      case BerMode::kReCkpt:
-        base = "ReCkpt";
-        break;
-    }
-    base += numErrors > 0 ? "_E" : "_NE";
-    if (coordination == ckpt::Coordination::kLocal)
-        base += ",Loc";
-    return base;
-}
-
 ExperimentResult
 BerRuntime::run(const isa::Program &program,
                 const sim::MachineConfig &machine,

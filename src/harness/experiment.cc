@@ -1,0 +1,57 @@
+#include "harness/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace acr::harness
+{
+
+std::string
+ExperimentConfig::label() const
+{
+    std::string base;
+    switch (mode) {
+      case BerMode::kNoCkpt:
+        return "NoCkpt";
+      case BerMode::kCkpt:
+        base = "Ckpt";
+        break;
+      case BerMode::kReCkpt:
+        base = "ReCkpt";
+        break;
+    }
+    base += numErrors > 0 ? "_E" : "_NE";
+    if (coordination == ckpt::Coordination::kLocal)
+        base += ",Loc";
+    return base;
+}
+
+std::string
+ExperimentConfig::validate() const
+{
+    if (detectionLatencyFraction < 0.0 || detectionLatencyFraction > 1.0)
+        return csprintf("detectionLatencyFraction must be in [0, 1] "
+                        "(Sec. II-A: detection within one checkpoint "
+                        "period), got %g",
+                        detectionLatencyFraction);
+    if (placement == PlacementPolicy::kRecomputeAware &&
+        mode != BerMode::kReCkpt)
+        return csprintf("placement == kRecomputeAware requires "
+                        "mode == kReCkpt (deferral decisions need the "
+                        "slice profile), got mode %s",
+                        label().c_str());
+    if (sliceThreshold == 0)
+        return "sliceThreshold must be nonzero (0 is only a request "
+               "for the per-workload default, which Runner::run "
+               "resolves before validation)";
+    if (numErrors > 0 && mode == BerMode::kNoCkpt)
+        return csprintf("numErrors > 0 requires a checkpointing mode "
+                        "(NoCkpt cannot recover), got numErrors = %u",
+                        numErrors);
+    if (placementSlack < 0.0 || placementSlack > 1.0)
+        return csprintf("placementSlack must be in [0, 1] (a fraction "
+                        "of the checkpoint period), got %g",
+                        placementSlack);
+    return "";
+}
+
+} // namespace acr::harness

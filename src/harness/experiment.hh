@@ -98,6 +98,18 @@ struct ExperimentConfig
 
     /** Human-readable label ("ReCkpt_E,Loc" etc.). */
     std::string label() const;
+
+    /**
+     * Check the configuration's internal consistency. Returns an empty
+     * string when valid, else a descriptive error naming the offending
+     * field. Runner::run calls this (after defaulting
+     * sliceThreshold == 0 to the workload's threshold) and fatal()s on
+     * the message, so invalid combinations fail at the API boundary
+     * instead of deep inside BerRuntime — or worse, silently
+     * mis-measuring (e.g. a detection latency longer than the
+     * checkpoint period).
+     */
+    std::string validate() const;
 };
 
 /** Measurements from one run. */

@@ -58,6 +58,10 @@ Runner::run(const std::string &workload, ExperimentConfig config)
     if (config.sliceThreshold == 0)
         config.sliceThreshold = defaultThreshold(workload);
 
+    if (std::string error = config.validate(); !error.empty())
+        fatal("invalid ExperimentConfig for workload '%s': %s",
+              workload.c_str(), error.c_str());
+
     const amnesic::SlicePassResult &pass =
         profileAt(workload, config.sliceThreshold, config.policy);
 

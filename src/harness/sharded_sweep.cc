@@ -1,0 +1,436 @@
+#include "harness/sharded_sweep.hh"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "harness/sweep.hh"
+
+namespace acr::harness
+{
+
+namespace
+{
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Blocking line reader over a raw pipe fd. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /** False on EOF with no pending bytes. */
+    bool
+    readLine(std::string &line)
+    {
+        line.clear();
+        while (true) {
+            auto newline = buffer_.find('\n');
+            if (newline != std::string::npos) {
+                line = buffer_.substr(0, newline);
+                buffer_.erase(0, newline + 1);
+                return true;
+            }
+            char chunk[4096];
+            ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("reading from sweep worker: %s",
+                      std::strerror(errno));
+            }
+            if (n == 0) {
+                if (buffer_.empty())
+                    return false;
+                line = std::move(buffer_);
+                buffer_.clear();
+                return true;
+            }
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string buffer_;
+};
+
+void
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("writing to sweep worker: %s", std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/** Ascending-order result merger: slots fill in any order, the sink
+ *  fires strictly in order as the completed prefix grows. */
+class OrderedMerger
+{
+  public:
+    explicit OrderedMerger(std::size_t size)
+        : results_(size), done_(size, false)
+    {
+    }
+
+    void
+    deliver(std::size_t slot, ExperimentResult result)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ACR_ASSERT(!done_[slot], "slot %zu delivered twice", slot);
+        results_[slot] = std::move(result);
+        done_[slot] = true;
+        ready_.notify_all();
+    }
+
+    /** Wait for every slot, draining the sink in ascending order. */
+    std::vector<ExperimentResult>
+    collect(const std::vector<std::size_t> &grid_indices,
+            const ShardedSweep::OrderedSink &sink)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (std::size_t slot = 0; slot < results_.size(); ++slot) {
+            ready_.wait(lock, [&] { return done_[slot]; });
+            if (sink)
+                sink(grid_indices[slot], results_[slot]);
+        }
+        return std::move(results_);
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::vector<ExperimentResult> results_;
+    std::vector<bool> done_;
+};
+
+} // namespace
+
+Runner &
+RunnerPool::at(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = runners_[threads];
+    if (!slot)
+        slot = std::make_unique<Runner>(threads, scale_);
+    return *slot;
+}
+
+ShardedSweep::ShardedSweep(RunnerPool &pool, unsigned jobs)
+    : pool_(pool), jobs_(jobs > 0 ? jobs : Sweep::defaultJobs())
+{
+}
+
+std::vector<std::size_t>
+ShardedSweep::shardIndices(std::size_t total, Shard shard)
+{
+    ACR_ASSERT(shard.count > 0 && shard.index < shard.count,
+               "bad shard %u/%u", shard.index, shard.count);
+    std::vector<std::size_t> indices;
+    for (std::size_t i = shard.index; i < total; i += shard.count)
+        indices.push_back(i);
+    return indices;
+}
+
+ShardedSweep::Shard
+ShardedSweep::parseShard(const std::string &spec)
+{
+    const auto slash = spec.find('/');
+    char *end = nullptr;
+    long index = -1, count = -1;
+    if (slash != std::string::npos) {
+        index = std::strtol(spec.c_str(), &end, 10);
+        if (end != spec.c_str() + slash)
+            index = -1;
+        count = std::strtol(spec.c_str() + slash + 1, &end, 10);
+        if (*end != '\0')
+            count = -1;
+    }
+    if (index < 0 || count <= 0 || index >= count)
+        fatal("bad --shard '%s' (want i/N with 0 <= i < N)",
+              spec.c_str());
+    return Shard{static_cast<unsigned>(index),
+                 static_cast<unsigned>(count)};
+}
+
+std::vector<ExperimentResult>
+ShardedSweep::run(const std::vector<GridPoint> &points, Shard shard,
+                  const OrderedSink &sink)
+{
+    const auto indices = shardIndices(points.size(), shard);
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<double> point_millis(indices.size(), 0.0);
+
+    std::vector<ExperimentResult> results;
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, indices.empty() ? 1
+                                                     : indices.size()));
+    if (workers <= 1) {
+        results.resize(indices.size());
+        for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+            const GridPoint &point = points[indices[slot]];
+            const auto point_start = std::chrono::steady_clock::now();
+            results[slot] = pool_.at(point.threads)
+                                .run(point.workload, point.config);
+            point_millis[slot] = millisSince(point_start);
+            if (sink)
+                sink(indices[slot], results[slot]);
+        }
+    } else {
+        OrderedMerger merger(indices.size());
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            while (true) {
+                const std::size_t slot = next.fetch_add(1);
+                if (slot >= indices.size())
+                    return;
+                const GridPoint &point = points[indices[slot]];
+                const auto point_start =
+                    std::chrono::steady_clock::now();
+                auto result = pool_.at(point.threads)
+                                  .run(point.workload, point.config);
+                point_millis[slot] = millisSince(point_start);
+                merger.deliver(slot, std::move(result));
+            }
+        };
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            threads.emplace_back(worker);
+        results = merger.collect(indices, sink);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    hostStats_.clear();
+    hostStats_.set("sweep.jobs", static_cast<double>(jobs_));
+    hostStats_.set("sweep.points", static_cast<double>(indices.size()));
+    hostStats_.set("sweep.wallMillis", millisSince(wall_start));
+    double work = 0.0;
+    for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+        hostStats_.set(csprintf("sweep.point.%03zu.millis",
+                                indices[slot]),
+                       point_millis[slot]);
+        work += point_millis[slot];
+    }
+    hostStats_.set("sweep.workMillis", work);
+    return results;
+}
+
+std::vector<ExperimentResult>
+ShardedSweep::runForked(const std::vector<GridPoint> &points,
+                        unsigned workers,
+                        const std::vector<std::string> &workerCmd,
+                        Shard shard, const OrderedSink &sink)
+{
+    ACR_ASSERT(!workerCmd.empty(), "empty worker command");
+    for (const auto &point : points)
+        if (point.config.trace != nullptr)
+            fatal("GridPoint trace sinks cannot cross a process "
+                  "boundary; use the in-process executor");
+
+    const auto indices = shardIndices(points.size(), shard);
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // A dead child must surface as a read error, not a SIGPIPE kill.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    const unsigned live = static_cast<unsigned>(std::min<std::size_t>(
+        workers == 0 ? 1 : workers, indices.size()));
+
+    // Slot s (ascending grid index) is owned by worker s % live; the
+    // merged order is independent of the deal.
+    std::vector<std::vector<std::size_t>> slots_of(live);
+    for (std::size_t slot = 0; slot < indices.size(); ++slot)
+        slots_of[slot % live].push_back(slot);
+
+    OrderedMerger merger(indices.size());
+    std::vector<std::thread> services;
+    std::vector<pid_t> children(live, -1);
+
+    for (unsigned w = 0; w < live; ++w) {
+        int to_child[2], from_child[2];
+        if (::pipe(to_child) != 0 || ::pipe(from_child) != 0)
+            fatal("pipe: %s", std::strerror(errno));
+
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            // Child: stdin/stdout onto the pipes, stderr inherited,
+            // then become the --worker process.
+            ::dup2(to_child[0], STDIN_FILENO);
+            ::dup2(from_child[1], STDOUT_FILENO);
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            ::close(from_child[0]);
+            ::close(from_child[1]);
+            std::vector<char *> argv;
+            argv.reserve(workerCmd.size() + 1);
+            for (const auto &arg : workerCmd)
+                argv.push_back(const_cast<char *>(arg.c_str()));
+            argv.push_back(nullptr);
+            ::execv(argv[0], argv.data());
+            std::fprintf(stderr, "execv %s: %s\n", argv[0],
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+        children[w] = pid;
+        ::close(to_child[0]);
+        ::close(from_child[1]);
+
+        const int in_fd = to_child[1];
+        const int out_fd = from_child[0];
+        // Per-child service thread: stream points in, results out,
+        // keeping a small send window so the child never starves
+        // waiting for its next assignment.
+        services.emplace_back([&, w, in_fd, out_fd] {
+            const auto &mine = slots_of[w];
+            LineReader reader(out_fd);
+            constexpr std::size_t kWindow = 2;
+            std::size_t sent = 0;
+            std::string line;
+            for (std::size_t received = 0; received < mine.size();
+                 ++received) {
+                while (sent < mine.size() &&
+                       sent - received < kWindow) {
+                    const std::size_t grid_index = indices[mine[sent]];
+                    writeAll(in_fd,
+                             wire::encodePointLine(
+                                 {grid_index, points[grid_index]}) +
+                                 "\n");
+                    ++sent;
+                }
+                if (!reader.readLine(line))
+                    fatal("sweep worker %u exited after %zu of %zu "
+                          "results",
+                          w, received, mine.size());
+                wire::Record record;
+                try {
+                    record = wire::decodeLine(line);
+                } catch (const serde::SerdeError &error) {
+                    fatal("sweep worker %u: %s", w, error.what());
+                }
+                if (record.type != wire::Record::Type::kResult)
+                    fatal("sweep worker %u sent a non-result record",
+                          w);
+                const std::size_t expect = indices[mine[received]];
+                if (record.result.index != expect)
+                    fatal("sweep worker %u answered point %llu out of "
+                          "order (expected %zu)",
+                          w,
+                          static_cast<unsigned long long>(
+                              record.result.index),
+                          expect);
+                merger.deliver(mine[received],
+                               std::move(record.result.result));
+            }
+            ::close(in_fd);
+            ::close(out_fd);
+        });
+    }
+
+    auto results = merger.collect(indices, sink);
+    for (auto &service : services)
+        service.join();
+    for (unsigned w = 0; w < live; ++w) {
+        int status = 0;
+        if (::waitpid(children[w], &status, 0) < 0)
+            fatal("waitpid: %s", std::strerror(errno));
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            fatal("sweep worker %u exited abnormally (status %d)", w,
+                  status);
+    }
+
+    hostStats_.clear();
+    hostStats_.set("sweep.forkedWorkers", static_cast<double>(live));
+    hostStats_.set("sweep.points", static_cast<double>(indices.size()));
+    hostStats_.set("sweep.wallMillis", millisSince(wall_start));
+    return results;
+}
+
+int
+ShardedSweep::workerLoop(RunnerPool &pool, std::istream &in,
+                         std::ostream &out)
+{
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        wire::Record record;
+        try {
+            record = wire::decodeLine(line);
+        } catch (const serde::SerdeError &error) {
+            std::fprintf(stderr, "sweep worker: %s\n", error.what());
+            return 1;
+        }
+        if (record.type != wire::Record::Type::kPoint) {
+            std::fprintf(stderr,
+                         "sweep worker: expected a point record\n");
+            return 1;
+        }
+        const GridPoint &point = record.point.point;
+        ExperimentResult result =
+            pool.at(point.threads).run(point.workload, point.config);
+        out << wire::encodeResultLine(
+                   {record.point.index, std::move(result)})
+            << "\n"
+            << std::flush;
+    }
+    return 0;
+}
+
+std::string
+ShardedSweep::selfExecutable(const std::string &argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0)
+        return std::string(buf, static_cast<std::size_t>(n));
+    return argv0;
+}
+
+void
+ShardedSweep::reportTiming(std::ostream &os) const
+{
+    const double wall = hostStats_.get("sweep.wallMillis");
+    os << "[sweep] " << hostStats_.get("sweep.points") << " points";
+    if (hostStats_.has("sweep.forkedWorkers")) {
+        os << " on " << hostStats_.get("sweep.forkedWorkers")
+           << " forked worker(s): " << wall << " ms wall\n";
+        return;
+    }
+    const double work = hostStats_.get("sweep.workMillis");
+    os << " on " << jobs_ << " job(s): " << wall << " ms wall, " << work
+       << " ms of work (parallelism "
+       << (wall > 0.0 ? work / wall : 0.0) << "x)\n";
+}
+
+} // namespace acr::harness

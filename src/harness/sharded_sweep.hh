@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ShardedSweep: the multi-process successor of harness::Sweep. A
+ * coordinator enumerates an experiment grid (std::vector<GridPoint>),
+ * partitions it deterministically — `--shard=i/N` carves out every
+ * N-th point for static machine-level sharding, and a local mode
+ * fork/execs `--worker` child processes of the same bench binary —
+ * and merges results back **in submission order**, so the rendered
+ * output is bit-identical to a `--jobs=1` single-process run no
+ * matter how the work was spread.
+ *
+ * Workers speak the wire format (harness/wire.hh): the coordinator
+ * streams PointRecords to a worker's stdin and reads ResultRecords
+ * from its stdout as line-delimited JSON, one flushed line per
+ * finished experiment, so results arrive (and the ordered sink fires)
+ * as they land rather than at an end-of-sweep barrier.
+ *
+ * Simulated results never contain host timing (see Sweep); wall-clock
+ * observations live in hostStats().
+ */
+
+#ifndef ACR_HARNESS_SHARDED_SWEEP_HH
+#define ACR_HARNESS_SHARDED_SWEEP_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "harness/runner.hh"
+#include "harness/wire.hh"
+
+namespace acr::harness
+{
+
+/**
+ * Lazily constructed Runners, one per simulated-machine core count
+ * (GridPoint::threads). Thread-safe; references stay valid for the
+ * pool's lifetime (each Runner is heap-allocated and itself
+ * shareable across threads).
+ */
+class RunnerPool
+{
+  public:
+    explicit RunnerPool(unsigned scale = 1) : scale_(scale) {}
+
+    Runner &at(unsigned threads);
+
+  private:
+    std::mutex mutex_;
+    unsigned scale_;
+    std::map<unsigned, std::unique_ptr<Runner>> runners_;
+};
+
+/** Multi-process/multi-thread sweep executor over one RunnerPool. */
+class ShardedSweep
+{
+  public:
+    /** A static partition: this invocation owns every point whose grid
+     *  index i satisfies i % count == index. */
+    struct Shard
+    {
+        unsigned index;
+        unsigned count;
+
+        // An explicit constructor (not member initializers) so the
+        // whole-grid default Shard() can appear in the enclosing
+        // class's default arguments.
+        constexpr Shard(unsigned index_ = 0, unsigned count_ = 1)
+            : index(index_), count(count_)
+        {
+        }
+    };
+
+    /**
+     * Ordered streaming sink: invoked with (grid index, result) in
+     * strictly ascending grid-index order, each as soon as every
+     * earlier owned point has completed — no end-of-run barrier.
+     */
+    using OrderedSink =
+        std::function<void(std::size_t, const ExperimentResult &)>;
+
+    /**
+     * @param pool shared Runner cache; not owned
+     * @param jobs in-process worker threads (0: Sweep::defaultJobs())
+     */
+    explicit ShardedSweep(RunnerPool &pool, unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Grid indices owned by @p shard, ascending. */
+    static std::vector<std::size_t> shardIndices(std::size_t total,
+                                                 Shard shard);
+
+    /** Parse "i/N" (0 <= i < N); fatal() on malformed input. */
+    static Shard parseShard(const std::string &spec);
+
+    /**
+     * Execute this shard's slice of @p points on the in-process thread
+     * pool. Returns the owned results in ascending grid-index order
+     * (all of them when shard is the default whole-grid 0/1).
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<GridPoint> &points, Shard shard = {},
+        const OrderedSink &sink = {});
+
+    /**
+     * Execute this shard's slice on @p workers forked child processes
+     * running @p workerCmd (argv of a `--worker` invocation of the
+     * same bench binary; resolve via selfExecutable()). Points are
+     * dealt round-robin; each child computes sequentially, so total
+     * parallelism equals the process count.
+     */
+    std::vector<ExperimentResult>
+    runForked(const std::vector<GridPoint> &points, unsigned workers,
+              const std::vector<std::string> &workerCmd,
+              Shard shard = {}, const OrderedSink &sink = {});
+
+    /**
+     * The `--worker` side: read PointRecord lines from @p in until
+     * EOF, execute each against @p pool, and write one flushed
+     * ResultRecord line to @p out per point. Returns a process exit
+     * code (nonzero after a malformed record).
+     */
+    static int workerLoop(RunnerPool &pool, std::istream &in,
+                          std::ostream &out);
+
+    /** Path of the running binary (/proc/self/exe), for workerCmd;
+     *  falls back to @p argv0. */
+    static std::string selfExecutable(const std::string &argv0);
+
+    /** Host-side timing of the most recent run()/runForked():
+     *  sweep.jobs or sweep.forkedWorkers, sweep.points,
+     *  sweep.wallMillis, and for in-process runs sweep.workMillis
+     *  plus sweep.point.<index>.millis. */
+    const StatSet &hostStats() const { return hostStats_; }
+
+    /** One-line wall/work summary of the last run. */
+    void reportTiming(std::ostream &os) const;
+
+  private:
+    RunnerPool &pool_;
+    unsigned jobs_;
+    StatSet hostStats_;
+};
+
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_SHARDED_SWEEP_HH

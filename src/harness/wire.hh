@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The experiment wire format (DESIGN.md §8): versioned, schema-checked
+ * JSON encodings of ExperimentConfig, ExperimentResult (StatSet and
+ * history included), and the shard records the multi-process sweep
+ * exchanges — the "checkpoint state must survive a process boundary"
+ * discipline applied to the harness's own data.
+ *
+ * Records travel as line-delimited JSON ("ndjson"): one record per
+ * line, each carrying the wire version (`v`) and a `type` tag so a
+ * stream is self-describing. Decoding rejects unknown keys and
+ * mismatched versions outright (forward-compatibility rule: any field
+ * change bumps kVersion).
+ */
+
+#ifndef ACR_HARNESS_WIRE_HH
+#define ACR_HARNESS_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.hh"
+#include "harness/experiment.hh"
+
+namespace acr::harness
+{
+
+/** One point of a (possibly multi-machine) sweep grid: a workload, its
+ *  configuration, and the simulated-machine core count it runs on. */
+struct GridPoint
+{
+    std::string workload;
+    ExperimentConfig config;
+    unsigned threads = 8;
+};
+
+namespace wire
+{
+
+/** Bump on ANY schema change (field added/removed/renamed/retyped). */
+inline constexpr std::uint64_t kVersion = 1;
+
+// --- Value encodings (no version envelope; record lines add it) ---
+
+/** Encode a config. The trace sink is host memory and cannot cross a
+ *  process boundary: non-null trace throws SerdeError. */
+serde::Json encodeConfig(const ExperimentConfig &config);
+ExperimentConfig decodeConfig(const serde::Json &json);
+
+serde::Json encodeStats(const StatSet &stats);
+StatSet decodeStats(const serde::Json &json);
+
+serde::Json encodeResult(const ExperimentResult &result);
+ExperimentResult decodeResult(const serde::Json &json);
+
+// --- Record lines ---
+
+/** Work sent to a worker: grid index + the point itself. */
+struct PointRecord
+{
+    std::uint64_t index = 0;
+    GridPoint point;
+};
+
+/** A finished experiment travelling back to the coordinator. */
+struct ResultRecord
+{
+    std::uint64_t index = 0;
+    ExperimentResult result;
+};
+
+/**
+ * First line of a shard's output: which slice of which grid this
+ * stream holds, so merging can verify the shards are disjoint,
+ * complete, and come from the same grid (gridHash covers every
+ * point's full encoding).
+ */
+struct ManifestRecord
+{
+    std::string bench;
+    std::uint64_t shard = 0;
+    std::uint64_t shardCount = 1;
+    std::uint64_t gridPoints = 0;
+    std::uint64_t gridHash = 0;
+};
+
+std::string encodePointLine(const PointRecord &record);
+std::string encodeResultLine(const ResultRecord &record);
+std::string encodeManifestLine(const ManifestRecord &record);
+
+/** One decoded record line (tagged union over the three types). */
+struct Record
+{
+    enum class Type
+    {
+        kPoint,
+        kResult,
+        kManifest,
+    };
+    Type type = Type::kPoint;
+    PointRecord point;
+    ResultRecord result;
+    ManifestRecord manifest;
+};
+
+/** Decode any record line; throws SerdeError on bad version/type/keys. */
+Record decodeLine(const std::string &line);
+
+/** FNV-1a over the canonical point-record encodings: two invocations
+ *  agree iff they enumerated the identical grid. */
+std::uint64_t gridHash(const std::vector<GridPoint> &points);
+
+} // namespace wire
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_WIRE_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * acr::serde unit tests: canonical encoding (insertion order, shortest
+ * round-trip numbers, no whitespace), strict parsing (trailing garbage,
+ * duplicate keys, bad escapes all throw), the number-kind taxonomy that
+ * keeps 64-bit integers exact, and ObjectReader's unknown-key
+ * rejection — the substrate of the wire-format guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/serde.hh"
+
+namespace
+{
+
+using acr::serde::Json;
+using acr::serde::ObjectReader;
+using acr::serde::SerdeError;
+using acr::serde::formatDouble;
+
+TEST(SerdeFormatDouble, ShortestRoundTrip)
+{
+    EXPECT_EQ(formatDouble(0.0), "0");
+    EXPECT_EQ(formatDouble(-0.0), "0");
+    EXPECT_EQ(formatDouble(1.0), "1");
+    EXPECT_EQ(formatDouble(0.1), "0.1");
+    EXPECT_EQ(formatDouble(-2.5), "-2.5");
+    // 2^53: still exactly representable.
+    EXPECT_EQ(formatDouble(9007199254740992.0), "9007199254740992");
+    EXPECT_THROW(formatDouble(std::numeric_limits<double>::infinity()),
+                 SerdeError);
+    EXPECT_THROW(formatDouble(std::numeric_limits<double>::quiet_NaN()),
+                 SerdeError);
+}
+
+TEST(SerdeJson, ScalarDump)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(std::uint64_t{0}).dump(), "0");
+    EXPECT_EQ(Json(std::numeric_limits<std::uint64_t>::max()).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+    EXPECT_EQ(Json(std::numeric_limits<std::int64_t>::min()).dump(),
+              "-9223372036854775808");
+    EXPECT_EQ(Json(2.5).dump(), "2.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(SerdeJson, StringEscapes)
+{
+    EXPECT_EQ(Json("a\"b\\c\n\t\x01").dump(),
+              "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+    Json parsed = Json::parse("\"a\\u0041\\n\"");
+    EXPECT_EQ(parsed.asString(), "aA\n");
+}
+
+TEST(SerdeJson, ObjectKeepsInsertionOrder)
+{
+    Json object = Json::object();
+    object.set("zebra", 1).set("apple", 2).set("mango", 3);
+    EXPECT_EQ(object.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(SerdeJson, ArrayAndNesting)
+{
+    Json array = Json::array();
+    array.push(1).push("two").push(Json::object().set("k", 3.5));
+    EXPECT_EQ(array.dump(), "[1,\"two\",{\"k\":3.5}]");
+}
+
+TEST(SerdeJson, ParseDumpStability)
+{
+    const std::string text =
+        "{\"b\":true,\"n\":null,\"u\":18446744073709551615,"
+        "\"i\":-7,\"d\":0.25,\"s\":\"x\",\"a\":[1,2,3],\"o\":{}}";
+    Json parsed = Json::parse(text);
+    EXPECT_EQ(parsed.dump(), text);
+    // encode(decode(encode(x))) == encode(x).
+    EXPECT_EQ(Json::parse(parsed.dump()).dump(), text);
+}
+
+TEST(SerdeJson, NumberKinds)
+{
+    EXPECT_EQ(Json::parse("25").kind(), Json::Kind::kUint);
+    EXPECT_EQ(Json::parse("-25").kind(), Json::Kind::kInt);
+    EXPECT_EQ(Json::parse("25.0").kind(), Json::Kind::kDouble);
+    EXPECT_EQ(Json::parse("2e1").kind(), Json::Kind::kDouble);
+
+    // asDouble widens any number; asUint stays exact and strict.
+    EXPECT_EQ(Json::parse("25").asDouble(), 25.0);
+    EXPECT_EQ(Json::parse("18446744073709551615").asUint(),
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_THROW(Json::parse("-1").asUint(), SerdeError);
+    EXPECT_THROW(Json::parse("2.5").asUint(), SerdeError);
+    EXPECT_THROW(Json::parse("\"1\"").asUint(), SerdeError);
+}
+
+TEST(SerdeJson, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse(""), SerdeError);
+    EXPECT_THROW(Json::parse("{"), SerdeError);
+    EXPECT_THROW(Json::parse("[1,]"), SerdeError);
+    EXPECT_THROW(Json::parse("{\"a\":1,}"), SerdeError);
+    EXPECT_THROW(Json::parse("{'a':1}"), SerdeError);
+    EXPECT_THROW(Json::parse("nul"), SerdeError);
+    EXPECT_THROW(Json::parse("\"\\q\""), SerdeError);
+    EXPECT_THROW(Json::parse("1 2"), SerdeError);    // trailing garbage
+    EXPECT_THROW(Json::parse("{} x"), SerdeError);
+    EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), SerdeError);
+}
+
+TEST(SerdeJson, AccessorKindMismatchThrows)
+{
+    EXPECT_THROW(Json(1.5).asString(), SerdeError);
+    EXPECT_THROW(Json("x").asBool(), SerdeError);
+    EXPECT_THROW(Json(true).asDouble(), SerdeError);
+    EXPECT_THROW(Json().items(), SerdeError);
+    EXPECT_THROW(Json().members(), SerdeError);
+}
+
+TEST(SerdeObjectReader, ConsumesAndFinishes)
+{
+    Json object = Json::parse("{\"a\":1,\"b\":\"x\",\"c\":true}");
+    ObjectReader reader(object, "test");
+    EXPECT_EQ(reader.requireUint("a"), 1u);
+    EXPECT_EQ(reader.requireString("b"), "x");
+    EXPECT_TRUE(reader.requireBool("c"));
+    EXPECT_NO_THROW(reader.finish());
+}
+
+TEST(SerdeObjectReader, UnknownKeyRejected)
+{
+    Json object = Json::parse("{\"a\":1,\"surprise\":2}");
+    ObjectReader reader(object, "test");
+    reader.requireUint("a");
+    try {
+        reader.finish();
+        FAIL() << "finish() accepted an unknown key";
+    } catch (const SerdeError &error) {
+        EXPECT_NE(std::string(error.what()).find("surprise"),
+                  std::string::npos);
+    }
+}
+
+TEST(SerdeObjectReader, MissingKeyAndOptional)
+{
+    Json object = Json::parse("{\"a\":1}");
+    ObjectReader reader(object, "test");
+    EXPECT_EQ(reader.optional("absent"), nullptr);
+    EXPECT_THROW(reader.require("also-absent"), SerdeError);
+    reader.requireUint("a");
+    EXPECT_NO_THROW(reader.finish());
+}
+
+} // namespace

@@ -1,0 +1,59 @@
+# End-to-end sharding determinism check, run as a ctest (and mirrored
+# by the CI sharded-smoke job). Given a bench binary (-DBENCH=...) and
+# a workload subset (-DWORKLOADS=...), verifies the BenchMain
+# determinism contract: the rendered stdout of
+#
+#   --jobs=1                                (reference)
+#   --shard=0/2 + --shard=1/2 --> --merge   (static sharding)
+#   --forks=2                               (forked local workers)
+#
+# is byte-identical. Invoke with
+#   cmake -DBENCH=<path> -DWORKLOADS=<a,b> -DOUT=<scratch dir>
+#         -P shard_smoke.cmake
+
+foreach(var BENCH WORKLOADS OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "shard_smoke.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+function(run_bench output)
+    execute_process(
+        COMMAND "${BENCH}" "--workloads=${WORKLOADS}" ${ARGN}
+        OUTPUT_FILE "${output}"
+        ERROR_VARIABLE stderr
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+                "${BENCH} ${ARGN} failed (${status}):\n${stderr}")
+    endif()
+endfunction()
+
+function(expect_identical reference candidate what)
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${reference}" "${candidate}"
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        message(FATAL_ERROR
+                "${what} output differs from the --jobs=1 reference "
+                "(${reference} vs ${candidate})")
+    endif()
+endfunction()
+
+run_bench("${OUT}/reference.txt" --jobs=1)
+
+run_bench("${OUT}/shard0.ndjson" --shard=0/2 --jobs=2)
+run_bench("${OUT}/shard1.ndjson" --shard=1/2 --jobs=2)
+run_bench("${OUT}/merged.txt"
+          "--merge=${OUT}/shard0.ndjson,${OUT}/shard1.ndjson")
+expect_identical("${OUT}/reference.txt" "${OUT}/merged.txt"
+                 "sharded (--shard + --merge)")
+
+run_bench("${OUT}/forked.txt" --forks=2)
+expect_identical("${OUT}/reference.txt" "${OUT}/forked.txt"
+                 "forked (--forks=2)")
+
+message(STATUS "shard smoke: sharded and forked output byte-identical")

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * ShardedSweep tests: the static partition is disjoint and covering,
+ * "i/N" parsing is strict, the ordered sink fires in ascending grid
+ * order even under parallel execution, shards executed in separate
+ * pools merge to exactly the unsharded results (the wire encodings are
+ * compared byte-for-byte), and the --worker loop speaks the wire
+ * protocol over plain streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "harness/sharded_sweep.hh"
+#include "harness/wire.hh"
+
+namespace
+{
+
+using namespace acr;
+using namespace acr::harness;
+
+std::vector<GridPoint>
+smallGrid()
+{
+    // is on a 2-core machine is the cheapest sweep point; vary the
+    // config axis so every result differs.
+    std::vector<GridPoint> points;
+    ExperimentConfig config;
+    config.mode = BerMode::kNoCkpt;
+    points.push_back({"is", config, 2});
+    config.mode = BerMode::kCkpt;
+    points.push_back({"is", config, 2});
+    config.mode = BerMode::kReCkpt;
+    points.push_back({"is", config, 2});
+    config.numErrors = 1;
+    points.push_back({"is", config, 2});
+    config.mode = BerMode::kCkpt;
+    points.push_back({"is", config, 2});
+    return points;
+}
+
+std::vector<std::string>
+encodeAll(const std::vector<ExperimentResult> &results)
+{
+    std::vector<std::string> lines;
+    for (const auto &result : results)
+        lines.push_back(wire::encodeResult(result).dump());
+    return lines;
+}
+
+TEST(ShardIndices, DisjointAndCovering)
+{
+    for (std::size_t total : {0u, 1u, 7u, 16u}) {
+        for (unsigned count : {1u, 2u, 3u, 5u}) {
+            std::set<std::size_t> seen;
+            for (unsigned shard = 0; shard < count; ++shard) {
+                const auto owned = ShardedSweep::shardIndices(
+                    total, {shard, count});
+                EXPECT_TRUE(
+                    std::is_sorted(owned.begin(), owned.end()));
+                for (std::size_t index : owned) {
+                    EXPECT_EQ(index % count, shard);
+                    EXPECT_LT(index, total);
+                    EXPECT_TRUE(seen.insert(index).second)
+                        << "index " << index << " owned twice";
+                }
+            }
+            EXPECT_EQ(seen.size(), total);
+        }
+    }
+}
+
+TEST(ShardParse, AcceptsAndRejects)
+{
+    const auto shard = ShardedSweep::parseShard("1/3");
+    EXPECT_EQ(shard.index, 1u);
+    EXPECT_EQ(shard.count, 3u);
+
+    for (const char *bad : {"", "/", "1", "3/3", "4/3", "a/2", "1/b",
+                            "-1/2", "1/0", "1/2x"}) {
+        EXPECT_EXIT(ShardedSweep::parseShard(bad),
+                    testing::ExitedWithCode(1), "shard")
+            << "accepted '" << bad << "'";
+    }
+}
+
+TEST(ShardedSweepRun, MatchesAcrossJobCountsAndSinkIsOrdered)
+{
+    const auto grid = smallGrid();
+
+    RunnerPool serial_pool;
+    ShardedSweep serial(serial_pool, 1);
+    const auto reference = encodeAll(serial.run(grid));
+    ASSERT_EQ(reference.size(), grid.size());
+
+    RunnerPool parallel_pool;
+    ShardedSweep parallel(parallel_pool, 4);
+    std::vector<std::size_t> order;
+    const auto results = parallel.run(
+        grid, {},
+        [&](std::size_t index, const ExperimentResult &) {
+            order.push_back(index);
+        });
+    EXPECT_EQ(encodeAll(results), reference);
+
+    // The sink saw every grid index, in ascending order.
+    std::vector<std::size_t> expected(grid.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        expected[i] = i;
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ShardedSweepRun, ShardsMergeToTheUnshardedResults)
+{
+    const auto grid = smallGrid();
+
+    RunnerPool reference_pool;
+    const auto reference =
+        encodeAll(ShardedSweep(reference_pool, 1).run(grid));
+
+    // Each shard in its own pool: nothing shared but the wire format,
+    // exactly like two machines.
+    std::vector<std::string> merged(grid.size());
+    for (unsigned shard = 0; shard < 2; ++shard) {
+        RunnerPool pool;
+        ShardedSweep sweep(pool, 2);
+        const auto owned =
+            ShardedSweep::shardIndices(grid.size(), {shard, 2});
+        const auto results = sweep.run(grid, {shard, 2});
+        ASSERT_EQ(results.size(), owned.size());
+        for (std::size_t i = 0; i < owned.size(); ++i)
+            merged[owned[i]] = wire::encodeResult(results[i]).dump();
+    }
+    EXPECT_EQ(merged, reference);
+}
+
+TEST(WorkerLoop, SpeaksTheWireProtocol)
+{
+    const auto grid = smallGrid();
+
+    RunnerPool reference_pool;
+    const auto reference =
+        encodeAll(ShardedSweep(reference_pool, 1).run(grid));
+
+    // Feed the points out of order to prove the worker echoes indices
+    // rather than renumbering.
+    std::ostringstream request;
+    for (std::size_t index : {2UL, 0UL, 4UL})
+        request << wire::encodePointLine(
+                       {index, grid[index]})
+                << "\n";
+
+    RunnerPool worker_pool;
+    std::istringstream in(request.str());
+    std::ostringstream out;
+    EXPECT_EQ(ShardedSweep::workerLoop(worker_pool, in, out), 0);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<std::uint64_t> indices;
+    while (std::getline(lines, line)) {
+        const auto record = wire::decodeLine(line);
+        ASSERT_EQ(record.type, wire::Record::Type::kResult);
+        indices.push_back(record.result.index);
+        EXPECT_EQ(wire::encodeResult(record.result.result).dump(),
+                  reference[record.result.index]);
+    }
+    EXPECT_EQ(indices, (std::vector<std::uint64_t>{2, 0, 4}));
+}
+
+TEST(WorkerLoop, RejectsGarbageWithNonzeroStatus)
+{
+    RunnerPool pool;
+    std::istringstream in("{\"v\":1,\"type\":\"result\"}\n");
+    std::ostringstream out;
+    EXPECT_NE(ShardedSweep::workerLoop(pool, in, out), 0);
+
+    std::istringstream garbage("not a record\n");
+    std::ostringstream out2;
+    EXPECT_NE(ShardedSweep::workerLoop(pool, garbage, out2), 0);
+}
+
+} // namespace
