@@ -1,6 +1,7 @@
 #include "common/table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -55,6 +56,12 @@ Table::cell(const std::string &value)
 Table &
 Table::cell(double value, int precision)
 {
+    // A non-finite value marks a metric poisoned by a quarantined
+    // sweep point (ExperimentResult::quarantined): every emitter
+    // renders it as a visible FAILED cell (a string, so the JSON
+    // emitter stays valid JSON — bare nan/inf would not parse).
+    if (!std::isfinite(value))
+        return pushCell("FAILED", false);
     std::ostringstream oss;
     oss << std::fixed << std::setprecision(precision) << value;
     return pushCell(oss.str(), true);

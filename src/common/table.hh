@@ -46,7 +46,9 @@ class Table
     /** Append a string cell to the current row. */
     Table &cell(const std::string &value);
 
-    /** Append a numeric cell with @p precision decimal places. */
+    /** Append a numeric cell with @p precision decimal places. A
+     *  non-finite value renders as a "FAILED" string cell in every
+     *  emitter (the quarantined-sweep-point marker). */
     Table &cell(double value, int precision = 2);
 
     /** Append an integral cell. */

@@ -1,6 +1,9 @@
 #include "harness/bench_main.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -8,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "common/options.hh"
+#include "harness/supervisor.hh"
 #include "harness/sweep.hh"
 #include "workloads/workload.hh"
 
@@ -74,6 +78,19 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
                      "output format: table, csv, or json");
     parser.addString("workloads", "",
                      "comma-separated workload subset (default: all)");
+    parser.addInt("retries", 2,
+                  "retry a failed point this many times on fresh "
+                  "workers before quarantining it (forked mode)");
+    parser.addDouble("point-timeout", 0.0,
+                     "per-point watchdog in seconds: SIGKILL and retry "
+                     "a worker wedged longer than this (0: off)");
+    parser.addString("journal", "",
+                     "append each completed point to this file as "
+                     "fsync'd wire records (progress log + result "
+                     "cache)");
+    parser.addFlag("resume",
+                   "serve points already completed in --journal "
+                   "instead of re-simulating them");
     parser.parse(argc, argv);
 
     BenchOptions options;
@@ -95,12 +112,28 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
     options.format = parseTableFormat(parser.getString("format"));
     options.workloads =
         resolveWorkloads(parser.getString("workloads"), spec);
+    const long long retries = parser.getInt("retries");
+    if (retries < 0)
+        fatal("--retries must be >= 0, got %lld", retries);
+    options.retries = static_cast<unsigned>(retries);
+    options.pointTimeout = parser.getDouble("point-timeout");
+    if (options.pointTimeout < 0)
+        fatal("--point-timeout must be >= 0, got %g",
+              options.pointTimeout);
+    options.journal = parser.getString("journal");
+    options.resume = parser.getFlag("resume");
 
     if (options.shardMode && !options.mergeFiles.empty())
         fatal("--shard and --merge are mutually exclusive");
     if (options.workerMode &&
         (options.shardMode || !options.mergeFiles.empty()))
         fatal("--worker does not combine with --shard/--merge");
+    if (options.resume && options.journal.empty())
+        fatal("--resume needs --journal");
+    if (!options.journal.empty() &&
+        (options.workerMode || !options.mergeFiles.empty()))
+        fatal("--journal only applies when this invocation sweeps "
+              "(not --worker/--merge)");
     return options;
 }
 
@@ -177,13 +210,22 @@ mergeShardFiles(const BenchSpec &spec,
                 file_shard = manifest.shard;
                 continue;
             }
-            if (record.type != wire::Record::Type::kResult)
+            // A shard stream carries its quarantined points as
+            // explicit `failed` records; merging turns them back into
+            // quarantine placeholders so the rendered table shows
+            // FAILED cells instead of the merge aborting.
+            const bool quarantine =
+                record.type == wire::Record::Type::kFailed;
+            if (record.type != wire::Record::Type::kResult &&
+                !quarantine)
                 fatal("%s:%zu: unexpected record type", file.c_str(),
                       line_number);
             if (!have_manifest)
                 fatal("%s: result record before the manifest",
                       file.c_str());
-            const std::uint64_t index = record.result.index;
+            const std::uint64_t index = quarantine
+                                            ? record.failed.index
+                                            : record.result.index;
             if (index >= grid.size())
                 fatal("%s:%zu: result index %llu out of range",
                       file.c_str(), line_number,
@@ -199,7 +241,12 @@ mergeShardFiles(const BenchSpec &spec,
                 fatal("%s:%zu: duplicate result for index %llu",
                       file.c_str(), line_number,
                       static_cast<unsigned long long>(index));
-            results[index] = std::move(record.result.result);
+            if (quarantine)
+                results[index] = ExperimentResult::quarantined(
+                    static_cast<unsigned>(record.failed.attempts),
+                    record.failed.reason);
+            else
+                results[index] = std::move(record.result.result);
             filled[index] = true;
         }
         if (!have_manifest)
@@ -218,6 +265,37 @@ mergeShardFiles(const BenchSpec &spec,
                   i, grid[i].workload.c_str(),
                   grid[i].config.label().c_str());
     return results;
+}
+
+/**
+ * Report quarantined points (results[slot] belongs to grid index
+ * indices[slot]) to stderr and pick the process exit code: 0 for a
+ * clean sweep, 3 when any point failed every attempt.
+ */
+int
+quarantineExit(const std::vector<GridPoint> &grid,
+               const std::vector<std::size_t> &indices,
+               const std::vector<ExperimentResult> &results)
+{
+    std::size_t failures = 0;
+    for (std::size_t slot = 0; slot < results.size(); ++slot) {
+        if (!results[slot].failed)
+            continue;
+        ++failures;
+        const std::size_t index = indices[slot];
+        std::cerr << "[sweep] FAILED point " << index << " ("
+                  << grid[index].workload << ", "
+                  << grid[index].config.label() << ") after "
+                  << results[slot].attempts
+                  << " attempt(s): " << results[slot].failReason
+                  << "\n";
+    }
+    if (failures == 0)
+        return 0;
+    std::cerr << "[sweep] " << failures << " of " << results.size()
+              << " point(s) quarantined; treat rendered output as "
+                 "partial (NaN-derived columns show FAILED)\n";
+    return 3;
 }
 
 } // namespace
@@ -240,7 +318,9 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
         const auto results =
             mergeShardFiles(spec, grid, options.mergeFiles);
         spec.render(context, results);
-        return 0;
+        return quarantineExit(
+            grid, ShardedSweep::shardIndices(grid.size(), {}),
+            results);
     }
 
     ShardedSweep sweep(pool, options.jobs);
@@ -248,10 +328,49 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
         ShardedSweep::selfExecutable(argc > 0 ? argv[0] : spec.name),
         "--worker"};
 
+    const ShardedSweep::Shard shard =
+        options.shardMode ? options.shard : ShardedSweep::Shard{};
+    const auto owned =
+        ShardedSweep::shardIndices(grid.size(), shard);
+
+    Journal journal;
+    if (!options.journal.empty())
+        journal.open(options.journal, options.resume, spec.name,
+                     shard.index, shard.count, grid);
+
+    // Test hook: _exit abruptly after this many journal appends —
+    // simulates a coordinator SIGKILLed mid-sweep for the --resume
+    // tests. Inert unless the environment sets it.
+    const char *exit_env = std::getenv("ACR_TEST_COORD_EXIT_AFTER");
+    const unsigned long long exit_after =
+        exit_env != nullptr && *exit_env != '\0'
+            ? std::strtoull(exit_env, nullptr, 10)
+            : 0;
+
+    ShardedSweep::SweepControls controls;
+    controls.supervise.retries = options.retries;
+    controls.supervise.pointTimeoutSec = options.pointTimeout;
+    if (journal.isOpen()) {
+        controls.cache = &journal.entries();
+        controls.completed = [&journal, exit_after](
+                                 std::size_t index,
+                                 const ExperimentResult &result) {
+            journal.record(index, result);
+            if (exit_after != 0 && journal.appended() >= exit_after)
+                ::_exit(7);
+        };
+        std::size_t hits = 0;
+        for (const auto index : owned)
+            hits += journal.entries().count(index);
+        std::cerr << "[sweep] journal: served " << hits << " of "
+                  << owned.size() << " owned point(s) from '"
+                  << options.journal << "'\n";
+    }
+
     if (options.shardMode) {
         // Emit this shard's slice as wire records: a manifest line,
-        // then one result line per owned point, streamed in grid
-        // order as results land.
+        // then one result (or failed) line per owned point, streamed
+        // in grid order as results land.
         wire::ManifestRecord manifest;
         manifest.bench = spec.name;
         manifest.shard = options.shard.index;
@@ -260,28 +379,29 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
         manifest.gridHash = wire::gridHash(grid);
         std::cout << wire::encodeManifestLine(manifest) << "\n"
                   << std::flush;
-        auto emit = [&](std::size_t index,
-                        const ExperimentResult &result) {
-            std::cout << wire::encodeResultLine({index, result}) << "\n"
+        controls.sink = [&](std::size_t index,
+                            const ExperimentResult &result) {
+            std::cout << (result.failed
+                              ? wire::encodeFailedLine(
+                                    {index, result.attempts,
+                                     result.failReason})
+                              : wire::encodeResultLine(
+                                    {index, result}))
+                      << "\n"
                       << std::flush;
         };
-        if (options.forks > 0)
-            sweep.runForked(grid, options.forks, worker_cmd,
-                            options.shard, emit);
-        else
-            sweep.run(grid, options.shard, emit);
-        sweep.reportTiming(std::cerr);
-        return 0;
     }
 
     std::vector<ExperimentResult> results;
     if (options.forks > 0)
-        results = sweep.runForked(grid, options.forks, worker_cmd);
+        results = sweep.runForked(grid, options.forks, worker_cmd,
+                                  shard, controls);
     else
-        results = sweep.run(grid);
+        results = sweep.run(grid, shard, controls);
     sweep.reportTiming(std::cerr);
-    spec.render(context, results);
-    return 0;
+    if (!options.shardMode)
+        spec.render(context, results);
+    return quarantineExit(grid, owned, results);
 }
 
 } // namespace acr::harness

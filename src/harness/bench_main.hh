@@ -18,9 +18,23 @@
  *   --format=F      table | csv | json rendering
  *   --workloads=a,b restrict the workload axis
  *
+ * Fault tolerance (DESIGN.md §10):
+ *
+ *   --retries=N       retry a failed point N times on fresh workers
+ *                     before quarantining it (forked mode; default 2)
+ *   --point-timeout=S per-point wall-clock watchdog: SIGKILL + retry
+ *                     a worker wedged longer than S seconds (0: off)
+ *   --journal=FILE    append every completed point to FILE as fsync'd
+ *                     wire records (crash-safe progress log + result
+ *                     cache)
+ *   --resume          load --journal and serve already-completed
+ *                     points from it instead of re-simulating
+ *
  * Determinism contract: for a fixed grid, the rendered output of
  * `--jobs=1`, `--jobs=N`, `--forks=N`, and `--shard`-then-`--merge`
- * is byte-identical (host timing goes to stderr).
+ * is byte-identical (host timing goes to stderr) — including when
+ * points were retried after worker crashes or served from a journal.
+ * A sweep with quarantined points renders FAILED cells and exits 3.
  */
 
 #ifndef ACR_HARNESS_BENCH_MAIN_HH
@@ -48,6 +62,11 @@ struct BenchOptions
     TableFormat format = TableFormat::kTable;
     std::vector<std::string> workloads;   ///< resolved selection
     std::vector<std::string> mergeFiles;  ///< --merge given: render
+
+    unsigned retries = 2;       ///< --retries (forked mode)
+    double pointTimeout = 0.0;  ///< --point-timeout seconds (0: off)
+    std::string journal;        ///< --journal path ("" : none)
+    bool resume = false;        ///< --resume (needs --journal)
 };
 
 /** Everything a bench's grid/render callbacks may touch. */

@@ -10,6 +10,7 @@
 #ifndef ACR_HARNESS_EXPERIMENT_HH
 #define ACR_HARNESS_EXPERIMENT_HH
 
+#include <limits>
 #include <map>
 #include <string>
 
@@ -129,10 +130,40 @@ struct ExperimentResult
     StatSet stats;
     std::vector<ckpt::IntervalSizes> history;
 
+    /**
+     * Quarantine marker: the sweep supervisor exhausted every retry
+     * for this grid point, so the slot holds a placeholder instead of
+     * a measurement. The numeric payload is NaN-poisoned so every
+     * derived metric a bench computes from it renders as a FAILED
+     * table cell; the wire layer refuses to encode it as a `result`
+     * record (it travels as an explicit `failed` record instead).
+     */
+    bool failed = false;
+    /** Worker attempts consumed (meaningful when failed). */
+    unsigned attempts = 1;
+    /** Why the last attempt died (meaningful when failed). */
+    std::string failReason;
+
+    /** The quarantine placeholder for a point that failed every
+     *  attempt. */
+    static ExperimentResult
+    quarantined(unsigned attempts, std::string reason)
+    {
+        ExperimentResult result;
+        result.failed = true;
+        result.attempts = attempts;
+        result.failReason = std::move(reason);
+        result.energyPj = std::numeric_limits<double>::quiet_NaN();
+        result.edp = std::numeric_limits<double>::quiet_NaN();
+        return result;
+    }
+
     /** % overhead of this run w.r.t. a NoCkpt reference. */
     double
     timeOverheadPct(Cycle no_ckpt_cycles) const
     {
+        if (failed)
+            return std::numeric_limits<double>::quiet_NaN();
         return 100.0 *
                (static_cast<double>(cycles) -
                 static_cast<double>(no_ckpt_cycles)) /

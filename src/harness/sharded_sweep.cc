@@ -1,17 +1,12 @@
 #include "harness/sharded_sweep.hh"
 
-#include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
-#include <cerrno>
 #include <chrono>
 #include <condition_variable>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <istream>
 #include <ostream>
 #include <thread>
@@ -33,61 +28,14 @@ millisSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** Blocking line reader over a raw pipe fd. */
-class LineReader
+/** Parse a numeric environment variable (0 when unset/empty). */
+unsigned long long
+envCount(const char *name)
 {
-  public:
-    explicit LineReader(int fd) : fd_(fd) {}
-
-    /** False on EOF with no pending bytes. */
-    bool
-    readLine(std::string &line)
-    {
-        line.clear();
-        while (true) {
-            auto newline = buffer_.find('\n');
-            if (newline != std::string::npos) {
-                line = buffer_.substr(0, newline);
-                buffer_.erase(0, newline + 1);
-                return true;
-            }
-            char chunk[4096];
-            ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                fatal("reading from sweep worker: %s",
-                      std::strerror(errno));
-            }
-            if (n == 0) {
-                if (buffer_.empty())
-                    return false;
-                line = std::move(buffer_);
-                buffer_.clear();
-                return true;
-            }
-            buffer_.append(chunk, static_cast<std::size_t>(n));
-        }
-    }
-
-  private:
-    int fd_;
-    std::string buffer_;
-};
-
-void
-writeAll(int fd, const std::string &bytes)
-{
-    std::size_t off = 0;
-    while (off < bytes.size()) {
-        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            fatal("writing to sweep worker: %s", std::strerror(errno));
-        }
-        off += static_cast<std::size_t>(n);
-    }
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return 0;
+    return std::strtoull(value, nullptr, 10);
 }
 
 /** Ascending-order result merger: slots fill in any order, the sink
@@ -184,9 +132,27 @@ std::vector<ExperimentResult>
 ShardedSweep::run(const std::vector<GridPoint> &points, Shard shard,
                   const OrderedSink &sink)
 {
+    SweepControls controls;
+    controls.sink = sink;
+    return run(points, shard, controls);
+}
+
+std::vector<ExperimentResult>
+ShardedSweep::run(const std::vector<GridPoint> &points, Shard shard,
+                  const SweepControls &controls)
+{
     const auto indices = shardIndices(points.size(), shard);
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<double> point_millis(indices.size(), 0.0);
+
+    auto cached =
+        [&](std::size_t grid_index) -> const ExperimentResult * {
+        if (controls.cache == nullptr)
+            return nullptr;
+        const auto hit = controls.cache->find(grid_index);
+        return hit == controls.cache->end() ? nullptr : &hit->second;
+    };
+    double journal_hits = 0.0;
 
     std::vector<ExperimentResult> results;
     const unsigned workers = static_cast<unsigned>(
@@ -195,28 +161,51 @@ ShardedSweep::run(const std::vector<GridPoint> &points, Shard shard,
     if (workers <= 1) {
         results.resize(indices.size());
         for (std::size_t slot = 0; slot < indices.size(); ++slot) {
-            const GridPoint &point = points[indices[slot]];
-            const auto point_start = std::chrono::steady_clock::now();
-            results[slot] = pool_.at(point.threads)
-                                .run(point.workload, point.config);
-            point_millis[slot] = millisSince(point_start);
-            if (sink)
-                sink(indices[slot], results[slot]);
+            const std::size_t grid_index = indices[slot];
+            if (const auto *hit = cached(grid_index)) {
+                results[slot] = *hit;
+                ++journal_hits;
+            } else {
+                const GridPoint &point = points[grid_index];
+                const auto point_start =
+                    std::chrono::steady_clock::now();
+                results[slot] = pool_.at(point.threads)
+                                    .run(point.workload, point.config);
+                point_millis[slot] = millisSince(point_start);
+                if (controls.completed)
+                    controls.completed(grid_index, results[slot]);
+            }
+            if (controls.sink)
+                controls.sink(grid_index, results[slot]);
         }
     } else {
         OrderedMerger merger(indices.size());
+        // Serve journal hits up front; the worker threads skip those
+        // slots (from_cache is read-only once they start).
+        std::vector<bool> from_cache(indices.size(), false);
+        for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+            if (const auto *hit = cached(indices[slot])) {
+                from_cache[slot] = true;
+                ++journal_hits;
+                merger.deliver(slot, *hit);
+            }
+        }
         std::atomic<std::size_t> next{0};
         auto worker = [&] {
             while (true) {
                 const std::size_t slot = next.fetch_add(1);
                 if (slot >= indices.size())
                     return;
+                if (from_cache[slot])
+                    continue;
                 const GridPoint &point = points[indices[slot]];
                 const auto point_start =
                     std::chrono::steady_clock::now();
                 auto result = pool_.at(point.threads)
                                   .run(point.workload, point.config);
                 point_millis[slot] = millisSince(point_start);
+                if (controls.completed)
+                    controls.completed(indices[slot], result);
                 merger.deliver(slot, std::move(result));
             }
         };
@@ -224,7 +213,7 @@ ShardedSweep::run(const std::vector<GridPoint> &points, Shard shard,
         threads.reserve(workers);
         for (unsigned w = 0; w < workers; ++w)
             threads.emplace_back(worker);
-        results = merger.collect(indices, sink);
+        results = merger.collect(indices, controls.sink);
         for (auto &thread : threads)
             thread.join();
     }
@@ -241,6 +230,8 @@ ShardedSweep::run(const std::vector<GridPoint> &points, Shard shard,
         work += point_millis[slot];
     }
     hostStats_.set("sweep.workMillis", work);
+    if (controls.cache != nullptr)
+        hostStats_.set("sweep.journalHits", journal_hits);
     return results;
 }
 
@@ -249,6 +240,17 @@ ShardedSweep::runForked(const std::vector<GridPoint> &points,
                         unsigned workers,
                         const std::vector<std::string> &workerCmd,
                         Shard shard, const OrderedSink &sink)
+{
+    SweepControls controls;
+    controls.sink = sink;
+    return runForked(points, workers, workerCmd, shard, controls);
+}
+
+std::vector<ExperimentResult>
+ShardedSweep::runForked(const std::vector<GridPoint> &points,
+                        unsigned workers,
+                        const std::vector<std::string> &workerCmd,
+                        Shard shard, const SweepControls &controls)
 {
     ACR_ASSERT(!workerCmd.empty(), "empty worker command");
     for (const auto &point : points)
@@ -259,120 +261,71 @@ ShardedSweep::runForked(const std::vector<GridPoint> &points,
     const auto indices = shardIndices(points.size(), shard);
     const auto wall_start = std::chrono::steady_clock::now();
 
-    // A dead child must surface as a read error, not a SIGPIPE kill.
-    std::signal(SIGPIPE, SIG_IGN);
-
-    const unsigned live = static_cast<unsigned>(std::min<std::size_t>(
-        workers == 0 ? 1 : workers, indices.size()));
-
-    // Slot s (ascending grid index) is owned by worker s % live; the
-    // merged order is independent of the deal.
-    std::vector<std::vector<std::size_t>> slots_of(live);
-    for (std::size_t slot = 0; slot < indices.size(); ++slot)
-        slots_of[slot % live].push_back(slot);
-
-    OrderedMerger merger(indices.size());
-    std::vector<std::thread> services;
-    std::vector<pid_t> children(live, -1);
-
-    for (unsigned w = 0; w < live; ++w) {
-        int to_child[2], from_child[2];
-        if (::pipe(to_child) != 0 || ::pipe(from_child) != 0)
-            fatal("pipe: %s", std::strerror(errno));
-
-        const pid_t pid = ::fork();
-        if (pid < 0)
-            fatal("fork: %s", std::strerror(errno));
-        if (pid == 0) {
-            // Child: stdin/stdout onto the pipes, stderr inherited,
-            // then become the --worker process.
-            ::dup2(to_child[0], STDIN_FILENO);
-            ::dup2(from_child[1], STDOUT_FILENO);
-            ::close(to_child[0]);
-            ::close(to_child[1]);
-            ::close(from_child[0]);
-            ::close(from_child[1]);
-            std::vector<char *> argv;
-            argv.reserve(workerCmd.size() + 1);
-            for (const auto &arg : workerCmd)
-                argv.push_back(const_cast<char *>(arg.c_str()));
-            argv.push_back(nullptr);
-            ::execv(argv[0], argv.data());
-            std::fprintf(stderr, "execv %s: %s\n", argv[0],
-                         std::strerror(errno));
-            ::_exit(127);
+    // The supervisor delivers in completion order; the ordered sink
+    // fires here as the completed prefix grows, so rendered output
+    // stays byte-identical to a --jobs=1 run regardless of crashes,
+    // retries, or journal hits.
+    std::vector<ExperimentResult> results(indices.size());
+    std::vector<bool> done(indices.size(), false);
+    std::size_t next_emit = 0;
+    auto flushReady = [&] {
+        while (next_emit < indices.size() && done[next_emit]) {
+            if (controls.sink)
+                controls.sink(indices[next_emit], results[next_emit]);
+            ++next_emit;
         }
-        children[w] = pid;
-        ::close(to_child[0]);
-        ::close(from_child[1]);
+    };
 
-        const int in_fd = to_child[1];
-        const int out_fd = from_child[0];
-        // Per-child service thread: stream points in, results out,
-        // keeping a small send window so the child never starves
-        // waiting for its next assignment.
-        services.emplace_back([&, w, in_fd, out_fd] {
-            const auto &mine = slots_of[w];
-            LineReader reader(out_fd);
-            constexpr std::size_t kWindow = 2;
-            std::size_t sent = 0;
-            std::string line;
-            for (std::size_t received = 0; received < mine.size();
-                 ++received) {
-                while (sent < mine.size() &&
-                       sent - received < kWindow) {
-                    const std::size_t grid_index = indices[mine[sent]];
-                    writeAll(in_fd,
-                             wire::encodePointLine(
-                                 {grid_index, points[grid_index]}) +
-                                 "\n");
-                    ++sent;
-                }
-                if (!reader.readLine(line))
-                    fatal("sweep worker %u exited after %zu of %zu "
-                          "results",
-                          w, received, mine.size());
-                wire::Record record;
-                try {
-                    record = wire::decodeLine(line);
-                } catch (const serde::SerdeError &error) {
-                    fatal("sweep worker %u: %s", w, error.what());
-                }
-                if (record.type != wire::Record::Type::kResult)
-                    fatal("sweep worker %u sent a non-result record",
-                          w);
-                const std::size_t expect = indices[mine[received]];
-                if (record.result.index != expect)
-                    fatal("sweep worker %u answered point %llu out of "
-                          "order (expected %zu)",
-                          w,
-                          static_cast<unsigned long long>(
-                              record.result.index),
-                          expect);
-                merger.deliver(mine[received],
-                               std::move(record.result.result));
-            }
-            ::close(in_fd);
-            ::close(out_fd);
-        });
+    double journal_hits = 0.0;
+    std::vector<Supervisor::Task> tasks;
+    for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+        const std::size_t grid_index = indices[slot];
+        const ExperimentResult *hit = nullptr;
+        if (controls.cache != nullptr) {
+            const auto found = controls.cache->find(grid_index);
+            if (found != controls.cache->end())
+                hit = &found->second;
+        }
+        if (hit != nullptr) {
+            results[slot] = *hit;
+            done[slot] = true;
+            ++journal_hits;
+        } else {
+            tasks.push_back({slot, grid_index, &points[grid_index]});
+        }
     }
+    flushReady();
 
-    auto results = merger.collect(indices, sink);
-    for (auto &service : services)
-        service.join();
-    for (unsigned w = 0; w < live; ++w) {
-        int status = 0;
-        if (::waitpid(children[w], &status, 0) < 0)
-            fatal("waitpid: %s", std::strerror(errno));
-        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
-            fatal("sweep worker %u exited abnormally (status %d)", w,
-                  status);
+    StatSet supervision;
+    if (!tasks.empty()) {
+        Supervisor::Options options = controls.supervise;
+        options.workers = workers == 0 ? 1 : workers;
+        Supervisor supervisor(workerCmd, options);
+        supervisor.run(
+            tasks,
+            [&](const Supervisor::Task &task, ExperimentResult result) {
+                if (controls.completed)
+                    controls.completed(task.gridIndex, result);
+                results[task.slot] = std::move(result);
+                done[task.slot] = true;
+                flushReady();
+            },
+            supervision);
     }
+    ACR_ASSERT(next_emit == indices.size(),
+               "supervised sweep finished with %zu of %zu slots",
+               next_emit, indices.size());
 
     hostStats_.clear();
-    hostStats_.set("sweep.forkedWorkers", static_cast<double>(live));
+    hostStats_.set("sweep.forkedWorkers",
+                   static_cast<double>(std::min<std::size_t>(
+                       workers == 0 ? 1 : workers,
+                       tasks.empty() ? 1 : tasks.size())));
     hostStats_.set("sweep.points", static_cast<double>(indices.size()));
     hostStats_.set("sweep.wallMillis", millisSince(wall_start));
+    if (controls.cache != nullptr)
+        hostStats_.set("sweep.journalHits", journal_hits);
+    hostStats_.merge(supervision);
     return results;
 }
 
@@ -380,6 +333,15 @@ int
 ShardedSweep::workerLoop(RunnerPool &pool, std::istream &in,
                          std::ostream &out)
 {
+    // Fault-injection hooks for the supervisor tests (doc on the
+    // declaration); all inert unless the environment sets them.
+    const bool respawned =
+        std::getenv("ACR_TEST_RESPAWNED") != nullptr;
+    const unsigned long long crash_at = envCount("ACR_TEST_CRASH_AT");
+    const unsigned long long wedge_at = envCount("ACR_TEST_WEDGE_AT");
+    const char *crash_index = std::getenv("ACR_TEST_CRASH_INDEX");
+    unsigned long long processed = 0;
+
     std::string line;
     while (std::getline(in, line)) {
         if (line.empty())
@@ -396,6 +358,17 @@ ShardedSweep::workerLoop(RunnerPool &pool, std::istream &in,
                          "sweep worker: expected a point record\n");
             return 1;
         }
+        ++processed;
+        if (!respawned && crash_at != 0 && processed == crash_at)
+            ::_exit(42);
+        if (!respawned && wedge_at != 0 && processed == wedge_at) {
+            while (true)
+                ::pause();
+        }
+        if (crash_index != nullptr &&
+            record.point.index ==
+                std::strtoull(crash_index, nullptr, 10))
+            ::_exit(43);
         const GridPoint &point = record.point.point;
         ExperimentResult result =
             pool.at(point.threads).run(point.workload, point.config);
@@ -425,6 +398,17 @@ ShardedSweep::reportTiming(std::ostream &os) const
     if (hostStats_.has("sweep.forkedWorkers")) {
         os << " on " << hostStats_.get("sweep.forkedWorkers")
            << " forked worker(s): " << wall << " ms wall\n";
+        const double crashes = hostStats_.get("sweep.workerCrashes");
+        const double kills = hostStats_.get("sweep.watchdogKills");
+        if (crashes > 0 || kills > 0) {
+            os << "[sweep] supervision: " << crashes
+               << " worker crash(es), " << kills
+               << " watchdog kill(s), "
+               << hostStats_.get("sweep.retries") << " retr(y/ies), "
+               << hostStats_.get("sweep.respawns") << " respawn(s), "
+               << hostStats_.get("sweep.quarantined")
+               << " quarantined\n";
+        }
         return;
     }
     const double work = hostStats_.get("sweep.workMillis");

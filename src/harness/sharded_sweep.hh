@@ -32,6 +32,7 @@
 
 #include "common/stats.hh"
 #include "harness/runner.hh"
+#include "harness/supervisor.hh"
 #include "harness/wire.hh"
 
 namespace acr::harness
@@ -85,6 +86,42 @@ class ShardedSweep
         std::function<void(std::size_t, const ExperimentResult &)>;
 
     /**
+     * Completion-order sink: fires once per point *as it finishes*
+     * (no ordering guarantee), before the ordered sink sees it — the
+     * journal's append hook. In-process multi-job sweeps invoke it
+     * from worker threads; callers must make it thread-safe
+     * (Journal::record is).
+     */
+    using CompletionSink =
+        std::function<void(std::size_t, const ExperimentResult &)>;
+
+    /**
+     * Everything a fault-tolerant sweep threads through the executor
+     * beyond the grid itself. Plain run()/runForked() overloads
+     * taking an OrderedSink forward here with the defaults.
+     */
+    struct SweepControls
+    {
+        /** Ascending-grid-index streaming sink (may be empty). */
+        OrderedSink sink;
+
+        /** Completion-order journal hook (may be empty). */
+        CompletionSink completed;
+
+        /**
+         * Already-completed results by grid index (a loaded
+         * Journal's entries()); owned points found here are served
+         * without re-simulation and never reach `completed`. Not
+         * owned; may be null.
+         */
+        const std::map<std::size_t, ExperimentResult> *cache = nullptr;
+
+        /** Retry/backoff/watchdog knobs for the forked executor
+         *  (workers is overridden by runForked's argument). */
+        Supervisor::Options supervise;
+    };
+
+    /**
      * @param pool shared Runner cache; not owned
      * @param jobs in-process worker threads (0: Sweep::defaultJobs())
      */
@@ -108,23 +145,48 @@ class ShardedSweep
     run(const std::vector<GridPoint> &points, Shard shard = {},
         const OrderedSink &sink = {});
 
+    /** As above, with the full fault-tolerance controls (journal
+     *  cache + completion hook; supervision options are unused on the
+     *  in-process path, which cannot crash partially). */
+    std::vector<ExperimentResult>
+    run(const std::vector<GridPoint> &points, Shard shard,
+        const SweepControls &controls);
+
     /**
-     * Execute this shard's slice on @p workers forked child processes
-     * running @p workerCmd (argv of a `--worker` invocation of the
-     * same bench binary; resolve via selfExecutable()). Points are
-     * dealt round-robin; each child computes sequentially, so total
-     * parallelism equals the process count.
+     * Execute this shard's slice on up to @p workers forked child
+     * processes running @p workerCmd (argv of a `--worker` invocation
+     * of the same bench binary; resolve via selfExecutable()),
+     * supervised by harness::Supervisor: points are assigned
+     * one-at-a-time to idle workers, a crashed or wedged worker is
+     * replaced and its in-flight point retried with backoff, and a
+     * point that exhausts its retries is delivered as an
+     * ExperimentResult::quarantined placeholder.
      */
     std::vector<ExperimentResult>
     runForked(const std::vector<GridPoint> &points, unsigned workers,
               const std::vector<std::string> &workerCmd,
               Shard shard = {}, const OrderedSink &sink = {});
 
+    /** As above, with the full fault-tolerance controls. */
+    std::vector<ExperimentResult>
+    runForked(const std::vector<GridPoint> &points, unsigned workers,
+              const std::vector<std::string> &workerCmd, Shard shard,
+              const SweepControls &controls);
+
     /**
      * The `--worker` side: read PointRecord lines from @p in until
      * EOF, execute each against @p pool, and write one flushed
      * ResultRecord line to @p out per point. Returns a process exit
      * code (nonzero after a malformed record).
+     *
+     * Fault-injection hooks for the supervisor tests (inert unless
+     * the environment variables are set): ACR_TEST_CRASH_AT=k
+     * _exit(42)s before answering the k-th point this process reads;
+     * ACR_TEST_WEDGE_AT=k blocks forever there instead (watchdog
+     * bait). Both are suppressed when ACR_TEST_RESPAWNED is set (the
+     * supervisor marks replacement workers), so a retry succeeds.
+     * ACR_TEST_CRASH_INDEX=g is sticky: every worker _exit(43)s on
+     * grid index g, forcing quarantine.
      */
     static int workerLoop(RunnerPool &pool, std::istream &in,
                           std::ostream &out);
@@ -136,7 +198,10 @@ class ShardedSweep
     /** Host-side timing of the most recent run()/runForked():
      *  sweep.jobs or sweep.forkedWorkers, sweep.points,
      *  sweep.wallMillis, and for in-process runs sweep.workMillis
-     *  plus sweep.point.<index>.millis. */
+     *  plus sweep.point.<index>.millis. With a journal cache,
+     *  sweep.journalHits; forked runs add the Supervisor counters
+     *  (sweep.respawns, sweep.retries, sweep.workerCrashes,
+     *  sweep.watchdogKills, sweep.quarantined). */
     const StatSet &hostStats() const { return hostStats_; }
 
     /** One-line wall/work summary of the last run. */

@@ -1,0 +1,674 @@
+#include "harness/supervisor.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <optional>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace acr::harness
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration
+secondsDuration(double seconds)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+/** write(2) the whole buffer, retrying on EINTR; fatal() on error
+ *  (used for the journal — worker pipes go through the nonblocking
+ *  path below). */
+void
+writeAllFd(int fd, const std::string &bytes, const char *what)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("writing %s: %s", what, std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+describeStatus(int status)
+{
+    if (WIFEXITED(status))
+        return csprintf("exited with status %d", WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return csprintf("killed by signal %d", WTERMSIG(status));
+    return csprintf("ended with wait status %d", status);
+}
+
+/** One attempt of one task, with its backoff gate. */
+struct Attempt
+{
+    Supervisor::Task task;
+    unsigned tries = 0;  ///< failed attempts so far
+    Clock::time_point readyAt;
+};
+
+/** A live worker child and its nonblocking pipe state. */
+struct Worker
+{
+    pid_t pid = -1;
+    int in = -1;   ///< parent → child stdin (point lines)
+    int out = -1;  ///< child stdout → parent (result lines)
+    std::string rbuf;
+    std::string wbuf;
+    bool busy = false;
+    Attempt attempt;  ///< valid while busy
+    Clock::time_point deadline;  ///< valid while busy w/ watchdog
+    std::optional<int> reapedStatus;  ///< set by the WNOHANG sweep
+};
+
+void
+setNonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatal("fcntl(O_NONBLOCK): %s", std::strerror(errno));
+}
+
+} // namespace
+
+Supervisor::Supervisor(std::vector<std::string> workerCmd,
+                       Options options)
+    : workerCmd_(std::move(workerCmd)), options_(options)
+{
+    ACR_ASSERT(!workerCmd_.empty(), "empty worker command");
+}
+
+double
+Supervisor::backoffSeconds(const Options &options, unsigned tries,
+                           std::size_t gridIndex)
+{
+    const unsigned exponent = tries > 0 ? tries - 1 : 0;
+    double delay = options.backoffBaseSec *
+                   std::ldexp(1.0, static_cast<int>(
+                                       std::min(exponent, 20u)));
+    delay = std::min(delay, options.backoffCapSec);
+    // Deterministic jitter in [0.5, 1.5)x: spreads retries without
+    // making runs irreproducible (timing only; results are merged by
+    // grid index regardless).
+    Rng rng(options.jitterSeed ^
+            (static_cast<std::uint64_t>(gridIndex) *
+             0x9e3779b97f4a7c15ULL) ^
+            tries);
+    return delay * (0.5 + rng.uniform());
+}
+
+void
+Supervisor::run(const std::vector<Task> &tasks, const Deliver &deliver,
+                StatSet &stats)
+{
+    ACR_ASSERT(deliver, "supervisor needs a delivery sink");
+
+    // A write to a just-died worker must surface as EPIPE (triggering
+    // a retry), not kill the whole sweep.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    double respawns = 0, retries = 0, crashes = 0, watchdog_kills = 0,
+           quarantined = 0;
+
+    std::deque<Attempt> queue;
+    for (const auto &task : tasks)
+        queue.push_back({task, 0, Clock::now()});
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::size_t remaining = tasks.size();
+    const std::size_t initial_fleet = std::min<std::size_t>(
+        std::max(1u, options_.workers), tasks.size());
+    std::size_t total_spawned = 0;
+
+    auto spawn = [&]() {
+        int to_child[2], from_child[2];
+        if (::pipe2(to_child, O_CLOEXEC) != 0 ||
+            ::pipe2(from_child, O_CLOEXEC) != 0)
+            fatal("pipe2: %s", std::strerror(errno));
+        const bool respawn = total_spawned >= initial_fleet;
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            // Child: stdin/stdout onto the pipes (dup2 clears
+            // O_CLOEXEC, so every other parent-held fd — including
+            // sibling workers' pipes — closes across exec; a dead
+            // sibling's pipe EOF therefore stays observable).
+            ::dup2(to_child[0], STDIN_FILENO);
+            ::dup2(from_child[1], STDOUT_FILENO);
+            if (respawn)
+                ::setenv("ACR_TEST_RESPAWNED", "1", 1);
+            std::vector<char *> argv;
+            argv.reserve(workerCmd_.size() + 1);
+            for (const auto &arg : workerCmd_)
+                argv.push_back(const_cast<char *>(arg.c_str()));
+            argv.push_back(nullptr);
+            ::execv(argv[0], argv.data());
+            std::fprintf(stderr, "execv %s: %s\n", argv[0],
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+        ::close(to_child[0]);
+        ::close(from_child[1]);
+        setNonblocking(to_child[1]);
+        setNonblocking(from_child[0]);
+        auto worker = std::make_unique<Worker>();
+        worker->pid = pid;
+        worker->in = to_child[1];
+        worker->out = from_child[0];
+        workers.push_back(std::move(worker));
+        ++total_spawned;
+        if (respawn)
+            ++respawns;
+    };
+
+    auto eraseWorker = [&](Worker *worker) {
+        workers.erase(
+            std::find_if(workers.begin(), workers.end(),
+                         [&](const std::unique_ptr<Worker> &w) {
+                             return w.get() == worker;
+                         }));
+    };
+
+    // Tear the worker down and retry or quarantine its in-flight
+    // point. Invalidates `worker`.
+    auto failWorker = [&](Worker *worker, const std::string &reason) {
+        if (!worker->reapedStatus) {
+            ::kill(worker->pid, SIGKILL);
+            int status = 0;
+            while (::waitpid(worker->pid, &status, 0) < 0) {
+                if (errno != EINTR) {
+                    status = -1;
+                    break;
+                }
+            }
+        }
+        ::close(worker->in);
+        ::close(worker->out);
+        if (worker->busy) {
+            Attempt attempt = worker->attempt;
+            ++attempt.tries;
+            const std::size_t index = attempt.task.gridIndex;
+            if (attempt.tries > options_.retries) {
+                ++quarantined;
+                std::fprintf(stderr,
+                             "[sweep] quarantining point %zu after %u "
+                             "attempt(s): %s\n",
+                             index, attempt.tries, reason.c_str());
+                deliver(attempt.task,
+                        ExperimentResult::quarantined(attempt.tries,
+                                                      reason));
+                --remaining;
+            } else {
+                ++retries;
+                const double delay = backoffSeconds(
+                    options_, attempt.tries, index);
+                std::fprintf(stderr,
+                             "[sweep] point %zu failed (%s); retry "
+                             "%u/%u on a fresh worker in %.2fs\n",
+                             index, reason.c_str(), attempt.tries,
+                             options_.retries, delay);
+                attempt.readyAt =
+                    Clock::now() + secondsDuration(delay);
+                queue.push_back(attempt);
+            }
+        }
+        eraseWorker(worker);
+    };
+
+    // Flush wbuf opportunistically; on a hard write error rely on the
+    // read side (EOF) for the authoritative failure unless the error
+    // is immediate (EPIPE: the child is already gone).
+    auto flushWrites = [&](Worker *worker) -> bool {
+        while (!worker->wbuf.empty()) {
+            const ssize_t n =
+                ::write(worker->in, worker->wbuf.data(),
+                        worker->wbuf.size());
+            if (n > 0) {
+                worker->wbuf.erase(0, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                return true;
+            failWorker(worker,
+                       csprintf("write to worker failed: %s",
+                                std::strerror(errno)));
+            return false;
+        }
+        return true;
+    };
+
+    // Drain readable result lines; returns false once the worker has
+    // been failed (crash, EOF, protocol violation).
+    auto drainReads = [&](Worker *worker) -> bool {
+        while (true) {
+            char chunk[65536];
+            const ssize_t n =
+                ::read(worker->out, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    return true;
+                failWorker(worker,
+                           csprintf("read from worker failed: %s",
+                                    std::strerror(errno)));
+                return false;
+            }
+            if (n == 0) {
+                // EOF: the child is gone; report how it died.
+                ++crashes;
+                int status = 0;
+                std::string how = "pipe closed";
+                if (worker->reapedStatus) {
+                    how = describeStatus(*worker->reapedStatus);
+                } else {
+                    pid_t reaped;
+                    while ((reaped = ::waitpid(worker->pid, &status,
+                                               WNOHANG)) < 0 &&
+                           errno == EINTR) {
+                    }
+                    if (reaped == worker->pid) {
+                        worker->reapedStatus = status;
+                        how = describeStatus(status);
+                    }
+                }
+                failWorker(worker, "worker " + how);
+                return false;
+            }
+            worker->rbuf.append(chunk, static_cast<std::size_t>(n));
+            std::size_t newline;
+            while ((newline = worker->rbuf.find('\n')) !=
+                   std::string::npos) {
+                const std::string line =
+                    worker->rbuf.substr(0, newline);
+                worker->rbuf.erase(0, newline + 1);
+                wire::Record record;
+                try {
+                    record = wire::decodeLine(line);
+                } catch (const serde::SerdeError &error) {
+                    failWorker(worker,
+                               csprintf("protocol error: %s",
+                                        error.what()));
+                    return false;
+                }
+                if (record.type != wire::Record::Type::kResult ||
+                    !worker->busy ||
+                    record.result.index !=
+                        worker->attempt.task.gridIndex) {
+                    failWorker(worker,
+                               "protocol error: unexpected record");
+                    return false;
+                }
+                deliver(worker->attempt.task,
+                        std::move(record.result.result));
+                worker->busy = false;
+                --remaining;
+            }
+        }
+    };
+
+    while (remaining > 0) {
+        // Reap crashed children (crash detection half 1; the pipe EOF
+        // is half 2 and carries the retry).
+        while (true) {
+            int status = 0;
+            const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+            if (pid <= 0) {
+                if (pid < 0 && errno == EINTR)
+                    continue;
+                break;
+            }
+            for (auto &worker : workers)
+                if (worker->pid == pid)
+                    worker->reapedStatus = status;
+        }
+
+        // Keep the fleet at strength: one live worker per outstanding
+        // point, capped at --forks.
+        while (workers.size() <
+               std::min<std::size_t>(std::max(1u, options_.workers),
+                                     remaining))
+            spawn();
+
+        // Hand ready work to idle workers.
+        const auto now = Clock::now();
+        for (auto &worker : workers) {
+            if (worker->busy || queue.empty())
+                continue;
+            const auto ready = std::find_if(
+                queue.begin(), queue.end(), [&](const Attempt &a) {
+                    return a.readyAt <= now;
+                });
+            if (ready == queue.end())
+                break;
+            worker->attempt = *ready;
+            queue.erase(ready);
+            worker->busy = true;
+            worker->wbuf += wire::encodePointLine(
+                                {worker->attempt.task.gridIndex,
+                                 *worker->attempt.task.point}) +
+                            "\n";
+            if (options_.pointTimeoutSec > 0)
+                worker->deadline =
+                    now + secondsDuration(options_.pointTimeoutSec);
+        }
+
+        // Nearest wakeup: a watchdog deadline or a backoff expiry.
+        int timeout_ms = -1;
+        auto wakeAt = [&](Clock::time_point when) {
+            const auto delta =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    when - now)
+                    .count();
+            const int ms =
+                static_cast<int>(std::max<long long>(0, delta));
+            timeout_ms =
+                timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+        };
+        for (const auto &worker : workers)
+            if (worker->busy && options_.pointTimeoutSec > 0)
+                wakeAt(worker->deadline);
+        for (const auto &attempt : queue)
+            wakeAt(attempt.readyAt);
+
+        std::vector<pollfd> fds;
+        std::vector<std::pair<pid_t, bool>> owners;  // pid, is_out
+        fds.reserve(workers.size() * 2);
+        for (const auto &worker : workers) {
+            fds.push_back({worker->out, POLLIN, 0});
+            owners.emplace_back(worker->pid, true);
+            if (!worker->wbuf.empty()) {
+                fds.push_back({worker->in, POLLOUT, 0});
+                owners.emplace_back(worker->pid, false);
+            }
+        }
+        const int rc =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   timeout_ms);
+        if (rc < 0 && errno != EINTR)
+            fatal("poll: %s", std::strerror(errno));
+
+        auto findWorker = [&](pid_t pid) -> Worker * {
+            for (auto &worker : workers)
+                if (worker->pid == pid)
+                    return worker.get();
+            return nullptr;
+        };
+
+        if (rc > 0) {
+            for (std::size_t i = 0; i < fds.size(); ++i) {
+                if (fds[i].revents == 0)
+                    continue;
+                // The worker may have been failed (and erased) while
+                // handling an earlier fd this round.
+                Worker *worker = findWorker(owners[i].first);
+                if (worker == nullptr)
+                    continue;
+                if (owners[i].second)
+                    drainReads(worker);
+                else
+                    flushWrites(worker);
+            }
+        }
+
+        // Watchdog: SIGKILL a worker that has sat on one point past
+        // --point-timeout.
+        if (options_.pointTimeoutSec > 0) {
+            const auto check = Clock::now();
+            for (std::size_t i = 0; i < workers.size();) {
+                Worker *worker = workers[i].get();
+                if (worker->busy && check >= worker->deadline) {
+                    ++watchdog_kills;
+                    failWorker(
+                        worker,
+                        csprintf("point exceeded --point-timeout=%g s",
+                                 options_.pointTimeoutSec));
+                    // failWorker erased the worker; don't advance.
+                    continue;
+                }
+                ++i;
+            }
+        }
+    }
+
+    // Graceful shutdown: stdin EOF ends each worker loop.
+    for (const auto &worker : workers) {
+        ::close(worker->in);
+        ::close(worker->out);
+    }
+    for (const auto &worker : workers) {
+        int status = 0;
+        while (::waitpid(worker->pid, &status, 0) < 0) {
+            if (errno != EINTR)
+                break;
+        }
+    }
+    workers.clear();
+
+    stats.set("sweep.respawns", respawns);
+    stats.set("sweep.retries", retries);
+    stats.set("sweep.workerCrashes", crashes);
+    stats.set("sweep.watchdogKills", watchdog_kills);
+    stats.set("sweep.quarantined", quarantined);
+}
+
+// --- Journal ---
+
+Journal::~Journal()
+{
+    close();
+}
+
+void
+Journal::open(const std::string &path, bool resume,
+              const std::string &bench, std::uint64_t shard_index,
+              std::uint64_t shard_count,
+              const std::vector<GridPoint> &grid)
+{
+    ACR_ASSERT(fd_ < 0, "journal already open");
+    path_ = path;
+    const std::uint64_t expect_hash = wire::gridHash(grid);
+
+    std::vector<std::string> lines;
+    // Byte offset one past each parsed line's newline; used to chop
+    // dropped tail bytes off the file so a resumed append never glues
+    // onto a torn partial record.
+    std::vector<std::size_t> line_ends;
+    std::size_t durable_bytes = 0;
+    if (resume) {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            std::string content(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            std::size_t start = 0;
+            while (start < content.size()) {
+                const std::size_t newline =
+                    content.find('\n', start);
+                if (newline == std::string::npos) {
+                    // Torn tail: the coordinator died mid-append;
+                    // that point simply reruns.
+                    warn("journal '%s': dropping torn final line",
+                         path.c_str());
+                    break;
+                }
+                lines.push_back(
+                    content.substr(start, newline - start));
+                start = newline + 1;
+                line_ends.push_back(start);
+            }
+            durable_bytes = line_ends.empty() ? 0 : line_ends.back();
+        }
+    }
+
+    if (!lines.empty()) {
+        // Validate the header against the grid this invocation is
+        // about to sweep.
+        wire::Record header;
+        try {
+            header = wire::decodeLine(lines.front());
+        } catch (const serde::SerdeError &error) {
+            fatal("journal '%s': bad header: %s", path.c_str(),
+                  error.what());
+        }
+        if (header.type != wire::Record::Type::kManifest)
+            fatal("journal '%s' does not start with a manifest record",
+                  path.c_str());
+        const auto &manifest = header.manifest;
+        if (manifest.bench != bench)
+            fatal("journal '%s' belongs to bench '%s', not '%s'",
+                  path.c_str(), manifest.bench.c_str(),
+                  bench.c_str());
+        if (manifest.shard != shard_index ||
+            manifest.shardCount != shard_count)
+            fatal("journal '%s' was written for shard %llu/%llu, not "
+                  "%llu/%llu",
+                  path.c_str(),
+                  static_cast<unsigned long long>(manifest.shard),
+                  static_cast<unsigned long long>(
+                      manifest.shardCount),
+                  static_cast<unsigned long long>(shard_index),
+                  static_cast<unsigned long long>(shard_count));
+        if (manifest.gridPoints != grid.size() ||
+            manifest.gridHash != expect_hash)
+            fatal("journal '%s' was produced from a different grid "
+                  "(points %llu vs %zu; check --workloads and bench "
+                  "flags)",
+                  path.c_str(),
+                  static_cast<unsigned long long>(
+                      manifest.gridPoints),
+                  grid.size());
+
+        for (std::size_t i = 1; i < lines.size(); ++i) {
+            wire::Record record;
+            try {
+                record = wire::decodeLine(lines[i]);
+            } catch (const serde::SerdeError &error) {
+                if (i + 1 == lines.size()) {
+                    // fsync-per-line makes this nearly impossible,
+                    // but a torn-but-newline-terminated final record
+                    // is still recoverable: drop it.
+                    warn("journal '%s': dropping unreadable final "
+                         "record: %s",
+                         path.c_str(), error.what());
+                    durable_bytes = line_ends[i - 1];
+                    break;
+                }
+                fatal("journal '%s' record %zu is corrupt: %s",
+                      path.c_str(), i + 1, error.what());
+            }
+            if (record.type == wire::Record::Type::kResult) {
+                if (record.result.index >= grid.size())
+                    fatal("journal '%s': result index %llu out of "
+                          "range",
+                          path.c_str(),
+                          static_cast<unsigned long long>(
+                              record.result.index));
+                entries_[record.result.index] =
+                    std::move(record.result.result);
+            } else if (record.type == wire::Record::Type::kFailed) {
+                // Quarantined points are not served from the journal:
+                // a resume is the natural moment to retry them.
+            } else {
+                fatal("journal '%s' record %zu has unexpected type",
+                      path.c_str(), i + 1);
+            }
+        }
+
+        fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+        if (fd_ < 0)
+            fatal("cannot reopen journal '%s': %s", path.c_str(),
+                  std::strerror(errno));
+        // Chop any dropped tail bytes so the next append starts on a
+        // clean line boundary instead of extending the torn remnant.
+        while (::ftruncate(fd_, static_cast<off_t>(durable_bytes)) <
+               0) {
+            if (errno != EINTR)
+                fatal("truncate journal '%s': %s", path.c_str(),
+                      std::strerror(errno));
+        }
+        return;
+    }
+
+    // Fresh journal (no --resume, missing file, or nothing durable in
+    // it): truncate and write the identifying header.
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0)
+        fatal("cannot create journal '%s': %s", path.c_str(),
+              std::strerror(errno));
+    wire::ManifestRecord manifest;
+    manifest.bench = bench;
+    manifest.shard = shard_index;
+    manifest.shardCount = shard_count;
+    manifest.gridPoints = grid.size();
+    manifest.gridHash = expect_hash;
+    writeAllFd(fd_, wire::encodeManifestLine(manifest) + "\n",
+               "journal");
+    while (::fsync(fd_) < 0) {
+        if (errno != EINTR)
+            fatal("fsync journal '%s': %s", path.c_str(),
+                  std::strerror(errno));
+    }
+}
+
+void
+Journal::record(std::size_t gridIndex, const ExperimentResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ACR_ASSERT(fd_ >= 0, "journal not open");
+    const std::string line =
+        (result.failed
+             ? wire::encodeFailedLine({gridIndex, result.attempts,
+                                       result.failReason})
+             : wire::encodeResultLine({gridIndex, result})) +
+        "\n";
+    writeAllFd(fd_, line, "journal");
+    while (::fsync(fd_) < 0) {
+        if (errno != EINTR)
+            fatal("fsync journal '%s': %s", path_.c_str(),
+                  std::strerror(errno));
+    }
+    ++appended_;
+}
+
+void
+Journal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace acr::harness

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Fault-tolerant execution layer under harness::ShardedSweep — the
+ * paper's checkpoint/recovery discipline applied to the harness's own
+ * long-running sweeps (DESIGN.md §10). Two pieces:
+ *
+ * `Supervisor` drives a fleet of forked `--worker` processes through a
+ * single-threaded poll() event loop: nonblocking wire I/O, crash
+ * detection via waitpid(WNOHANG) + pipe EOF, an optional per-point
+ * wall-clock watchdog that SIGKILLs a wedged child, and automatic
+ * respawn of replacement workers. A failed point is retried on a fresh
+ * worker with jittered exponential backoff; a point that exhausts its
+ * retries is *quarantined* — delivered as an
+ * `ExperimentResult::quarantined` placeholder (a `failed` wire record
+ * downstream) so the sweep completes around it instead of aborting.
+ *
+ * `Journal` is the crash-safe completion log behind `--journal` /
+ * `--resume`: each completed point is appended as one fsync'd
+ * canonical ndjson record, and a reload validates the header against
+ * the current grid (bench, shard, gridHash), tolerates a torn final
+ * line (dropped), and serves already-completed points without
+ * re-simulating them — which doubles as a result cache across repeated
+ * bench invocations.
+ *
+ * Determinism contract: a result is byte-identical whether it came
+ * from a first-try worker, a retried worker, or the journal; only
+ * host-side timing (stderr) differs.
+ */
+
+#ifndef ACR_HARNESS_SUPERVISOR_HH
+#define ACR_HARNESS_SUPERVISOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "harness/wire.hh"
+
+namespace acr::harness
+{
+
+/** Forked-worker supervision: retry/backoff/watchdog/quarantine. */
+class Supervisor
+{
+  public:
+    struct Options
+    {
+        /** Target live worker processes (clamped to the task count). */
+        unsigned workers = 1;
+
+        /** Retries after a point's first failed attempt; a point that
+         *  fails 1 + retries attempts is quarantined. */
+        unsigned retries = 2;
+
+        /** Per-point wall-clock watchdog in seconds; a worker that
+         *  holds a point longer is SIGKILLed and the point retried.
+         *  0 disables the watchdog. */
+        double pointTimeoutSec = 0.0;
+
+        /** First retry delay; doubles per subsequent attempt. */
+        double backoffBaseSec = 0.05;
+
+        /** Backoff growth cap. */
+        double backoffCapSec = 2.0;
+
+        /** Seed for the backoff jitter (timing only — results are
+         *  unaffected). */
+        std::uint64_t jitterSeed = 0x5eed;
+    };
+
+    /** One unit of supervised work. */
+    struct Task
+    {
+        std::size_t slot = 0;       ///< caller's merge slot
+        std::size_t gridIndex = 0;  ///< index the worker echoes back
+        const GridPoint *point = nullptr;
+    };
+
+    /**
+     * Fires once per task, in completion order, with either the
+     * decoded worker result or the quarantine placeholder
+     * (`result.failed`). The callback runs on the supervising thread.
+     */
+    using Deliver =
+        std::function<void(const Task &, ExperimentResult)>;
+
+    /** @param workerCmd argv of a `--worker` invocation of this very
+     *  binary (see ShardedSweep::selfExecutable). */
+    Supervisor(std::vector<std::string> workerCmd, Options options);
+
+    /**
+     * Run every task to completion (success or quarantine). Writes
+     * supervision counters into @p stats: sweep.respawns,
+     * sweep.retries, sweep.workerCrashes, sweep.watchdogKills,
+     * sweep.quarantined.
+     */
+    void run(const std::vector<Task> &tasks, const Deliver &deliver,
+             StatSet &stats);
+
+    /** Backoff before attempt @p tries+1 of @p gridIndex, in seconds:
+     *  capped exponential with deterministic jitter in [0.5, 1.5)x.
+     *  Exposed for tests. */
+    static double backoffSeconds(const Options &options, unsigned tries,
+                                 std::size_t gridIndex);
+
+  private:
+    std::vector<std::string> workerCmd_;
+    Options options_;
+};
+
+/**
+ * Crash-safe sweep completion log: a manifest header identifying the
+ * grid, then one fsync'd `result`/`failed` ndjson record per completed
+ * point, appended in completion order.
+ */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open @p path for the sweep @p bench is about to run over
+     * @p grid (shard @p shard of it). With @p resume, an existing
+     * journal is validated — bench name, shard, grid size, and
+     * gridHash must match, else fatal() — and its completed results
+     * load into entries(); a torn final line (no trailing newline or
+     * unparseable tail) is dropped, and `failed` records are skipped
+     * so quarantined points rerun. Without @p resume, or when the
+     * file is missing/empty, the journal starts fresh with a new
+     * header. fatal()s on I/O errors or a corrupt (non-tail) record.
+     */
+    void open(const std::string &path, bool resume,
+              const std::string &bench, std::uint64_t shard_index,
+              std::uint64_t shard_count,
+              const std::vector<GridPoint> &grid);
+
+    /** Completed points loaded from the journal, by grid index. */
+    const std::map<std::size_t, ExperimentResult> &entries() const
+    {
+        return entries_;
+    }
+
+    /** True after open(). */
+    bool isOpen() const { return fd_ >= 0; }
+
+    /**
+     * Append one completed point (fsync'd before returning), as a
+     * `result` record — or a `failed` record when
+     * @p result.failed. Thread-safe: in-process sweeps append from
+     * worker threads.
+     */
+    void record(std::size_t gridIndex, const ExperimentResult &result);
+
+    /** Records appended by this process (excludes loaded entries). */
+    std::uint64_t appended() const { return appended_; }
+
+    void close();
+
+  private:
+    std::mutex mutex_;
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t appended_ = 0;
+    std::map<std::size_t, ExperimentResult> entries_;
+};
+
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_SUPERVISOR_HH

@@ -242,6 +242,9 @@ decodeStats(const Json &json)
 Json
 encodeResult(const ExperimentResult &result)
 {
+    if (result.failed)
+        throw SerdeError("a quarantined result travels as a 'failed' "
+                         "record, not a 'result' record");
     Json history = Json::array();
     for (const auto &interval : result.history)
         history.push(encodeInterval(interval));
@@ -309,6 +312,16 @@ encodeManifestLine(const ManifestRecord &record)
     return json.dump();
 }
 
+std::string
+encodeFailedLine(const FailedRecord &record)
+{
+    Json json = envelope("failed");
+    json.set("index", record.index)
+        .set("attempts", record.attempts)
+        .set("reason", record.reason);
+    return json.dump();
+}
+
 Record
 decodeLine(const std::string &line)
 {
@@ -333,6 +346,11 @@ decodeLine(const std::string &line)
         record.type = Record::Type::kResult;
         record.result.index = reader.requireUint("index");
         record.result.result = decodeResult(reader.require("result"));
+    } else if (type == "failed") {
+        record.type = Record::Type::kFailed;
+        record.failed.index = reader.requireUint("index");
+        record.failed.attempts = reader.requireUint("attempts");
+        record.failed.reason = reader.requireString("reason");
     } else if (type == "manifest") {
         record.type = Record::Type::kManifest;
         record.manifest.bench = reader.requireString("bench");

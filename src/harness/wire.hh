@@ -38,8 +38,9 @@ struct GridPoint
 namespace wire
 {
 
-/** Bump on ANY schema change (field added/removed/renamed/retyped). */
-inline constexpr std::uint64_t kVersion = 1;
+/** Bump on ANY schema change (field added/removed/renamed/retyped).
+ *  v2: added the `failed` record type (quarantined sweep points). */
+inline constexpr std::uint64_t kVersion = 2;
 
 // --- Value encodings (no version envelope; record lines add it) ---
 
@@ -71,6 +72,19 @@ struct ResultRecord
 };
 
 /**
+ * A point the supervisor quarantined after exhausting its retries:
+ * the sweep completed around it, and the failure travels through the
+ * result stream (shard files, journals) as an explicit record instead
+ * of aborting the whole run.
+ */
+struct FailedRecord
+{
+    std::uint64_t index = 0;
+    std::uint64_t attempts = 0;
+    std::string reason;
+};
+
+/**
  * First line of a shard's output: which slice of which grid this
  * stream holds, so merging can verify the shards are disjoint,
  * complete, and come from the same grid (gridHash covers every
@@ -88,8 +102,9 @@ struct ManifestRecord
 std::string encodePointLine(const PointRecord &record);
 std::string encodeResultLine(const ResultRecord &record);
 std::string encodeManifestLine(const ManifestRecord &record);
+std::string encodeFailedLine(const FailedRecord &record);
 
-/** One decoded record line (tagged union over the three types). */
+/** One decoded record line (tagged union over the four types). */
 struct Record
 {
     enum class Type
@@ -97,11 +112,13 @@ struct Record
         kPoint,
         kResult,
         kManifest,
+        kFailed,
     };
     Type type = Type::kPoint;
     PointRecord point;
     ResultRecord result;
     ManifestRecord manifest;
+    FailedRecord failed;
 };
 
 /** Decode any record line; throws SerdeError on bad version/type/keys. */

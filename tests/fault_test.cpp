@@ -156,5 +156,102 @@ TEST(Injector, NoErrorsMeansImmediatelyDone)
     EXPECT_TRUE(injector.done());
 }
 
+TEST(Injector, ForceDetectionDropsAnArmedErrorExactlyOnce)
+{
+    auto program = spinProgram(5000);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(2), program);
+    auto plan = FaultPlan::uniform(1, 10000, 100, 9);
+    StatSet stats;
+    ErrorInjector injector(plan, stats);
+
+    // Reach the trigger, then poll once: the corruption is armed on a
+    // victim core but not yet applied.
+    while (system.progress() < plan.events[0].progressTrigger)
+        system.step();
+    EXPECT_FALSE(injector.poll(system).has_value());
+    ASSERT_EQ(injector.injected(), 0u) << "must still be armed";
+    EXPECT_FALSE(injector.done());
+
+    // The watchdog path drops an armed (never-applied) error: no
+    // detection, dropped_ bumps exactly once, and the injector
+    // converges to done().
+    EXPECT_FALSE(injector.forceDetection(system).has_value());
+    EXPECT_EQ(injector.dropped(), 1u);
+    EXPECT_EQ(injector.detected(), 0u);
+    EXPECT_TRUE(injector.done());
+    EXPECT_DOUBLE_EQ(stats.get("fault.dropped"), 1.0);
+
+    // Idempotent once idle: a second force must not double-count.
+    EXPECT_FALSE(injector.forceDetection(system).has_value());
+    EXPECT_EQ(injector.dropped(), 1u);
+    EXPECT_DOUBLE_EQ(stats.get("fault.dropped"), 1.0);
+    EXPECT_TRUE(injector.done());
+}
+
+TEST(Injector, ForceDetectionSurfacesALatentError)
+{
+    auto program = spinProgram(5000);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(2), program);
+    // Latency far beyond the run: without forcing, detection would
+    // only fire at halt.
+    auto plan = FaultPlan::uniform(1, 10000, 1u << 30, 9);
+    StatSet stats;
+    ErrorInjector injector(plan, stats);
+
+    // Run until the corruption is applied (latent). A step is a whole
+    // scheduling quantum, so the corrupted victim may halt within the
+    // same poll that applies the corruption — in which case poll
+    // itself surfaces the detection (halted + latent).
+    std::optional<DetectionEvent> detection;
+    while (injector.injected() == 0 && !detection) {
+        ASSERT_FALSE(system.allHalted());
+        system.step();
+        detection = injector.poll(system);
+    }
+
+    // The watchdog path surfaces the latent error without waiting out
+    // the (enormous) detection latency.
+    if (!detection)
+        detection = injector.forceDetection(system);
+    ASSERT_TRUE(detection.has_value());
+    EXPECT_GE(detection->detectTime, detection->errorTime);
+    EXPECT_EQ(injector.detected(), 1u);
+    EXPECT_EQ(injector.dropped(), 0u);
+    EXPECT_TRUE(injector.done());
+    EXPECT_DOUBLE_EQ(stats.get("fault.detected"), 1.0);
+
+    // Idle injector: a second force is a no-op, nothing double-counts.
+    EXPECT_FALSE(injector.forceDetection(system).has_value());
+    EXPECT_EQ(injector.detected(), 1u);
+    EXPECT_DOUBLE_EQ(stats.get("fault.detected"), 1.0);
+}
+
+TEST(Injector, DoneConvergesWhenTheLastEventCanNeverFire)
+{
+    auto program = spinProgram(50);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(1), program);
+    // One event triggered far past the short program's total progress:
+    // it can never occur.
+    auto plan = FaultPlan::uniform(1, 1u << 30, 10, 9);
+    StatSet stats;
+    ErrorInjector injector(plan, stats);
+
+    while (!system.allHalted()) {
+        system.step();
+        EXPECT_FALSE(injector.poll(system).has_value());
+    }
+    // The poll on the halted system (in-loop above on the final step)
+    // accounts the unreachable event as dropped; the injector
+    // converges instead of spinning, and further polls on the idle
+    // injector must not double-count.
+    EXPECT_FALSE(injector.poll(system).has_value());
+    EXPECT_TRUE(injector.done());
+    EXPECT_EQ(injector.dropped(), 1u);
+    EXPECT_DOUBLE_EQ(stats.get("fault.dropped"), 1.0);
+    EXPECT_FALSE(injector.poll(system).has_value());
+    EXPECT_EQ(injector.dropped(), 1u);
+    EXPECT_DOUBLE_EQ(stats.get("fault.dropped"), 1.0);
+}
+
 } // namespace
 } // namespace acr::fault

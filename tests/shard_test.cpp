@@ -176,7 +176,7 @@ TEST(WorkerLoop, SpeaksTheWireProtocol)
 TEST(WorkerLoop, RejectsGarbageWithNonzeroStatus)
 {
     RunnerPool pool;
-    std::istringstream in("{\"v\":1,\"type\":\"result\"}\n");
+    std::istringstream in("{\"v\":2,\"type\":\"result\"}\n");
     std::ostringstream out;
     EXPECT_NE(ShardedSweep::workerLoop(pool, in, out), 0);
 

@@ -249,7 +249,7 @@ TEST(WireRecords, VersionAndTypeEnforced)
     const std::string line = wire::encodePointLine({0, {"bt", {}, 8}});
 
     std::string wrong_version = line;
-    const std::string v = "{\"v\":1";
+    const std::string v = "{\"v\":2";
     wrong_version.replace(wrong_version.find(v), v.size(),
                           "{\"v\":999");
     EXPECT_THROW(wire::decodeLine(wrong_version), SerdeError);
