@@ -1,5 +1,8 @@
 #include "common/options.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -8,6 +11,71 @@
 
 namespace acr
 {
+
+namespace
+{
+
+/** strto* skip leading whitespace; a strict parse does not. */
+bool
+startsWithSpace(const std::string &text)
+{
+    return !text.empty() &&
+           std::isspace(static_cast<unsigned char>(text[0])) != 0;
+}
+
+} // namespace
+
+bool
+parseStrictInt(const std::string &text, long long &out)
+{
+    if (text.empty() || startsWithSpace(text))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseStrictUint(const std::string &text, unsigned long long &out)
+{
+    if (text.empty() || startsWithSpace(text))
+        return false;
+    // strtoull silently negates "-1"; reject any sign character so a
+    // negative (or explicitly signed) count can't alias a huge value.
+    if (text[0] == '-' || text[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseStrictDouble(const std::string &text, double &out)
+{
+    if (text.empty() || startsWithSpace(text))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    // ERANGE covers both overflow (±HUGE_VAL) and underflow (a
+    // denormal or zero). Underflowed values are still usable
+    // approximations; only overflow is a lie worth rejecting.
+    if (errno == ERANGE && std::abs(value) == HUGE_VAL)
+        return false;
+    out = value;
+    return true;
+}
 
 OptionParser::OptionParser(std::string program_name)
     : programName_(std::move(program_name))
@@ -83,16 +151,16 @@ OptionParser::parse(int argc, const char *const *argv)
         if (!has_value)
             fatal("option '--%s' requires =value", name.c_str());
         if (opt.kind == Kind::kInt) {
-            char *end = nullptr;
-            (void)std::strtoll(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0')
-                fatal("option '--%s' expects an integer, got '%s'",
+            long long parsed = 0;
+            if (!parseStrictInt(value, parsed))
+                fatal("option '--%s' expects an in-range integer, got "
+                      "'%s'",
                       name.c_str(), value.c_str());
         } else if (opt.kind == Kind::kDouble) {
-            char *end = nullptr;
-            (void)std::strtod(value.c_str(), &end);
-            if (end == value.c_str() || *end != '\0')
-                fatal("option '--%s' expects a number, got '%s'",
+            double parsed = 0.0;
+            if (!parseStrictDouble(value, parsed))
+                fatal("option '--%s' expects an in-range number, got "
+                      "'%s'",
                       name.c_str(), value.c_str());
         }
         opt.value = value;
@@ -119,13 +187,21 @@ OptionParser::getString(const std::string &name) const
 long long
 OptionParser::getInt(const std::string &name) const
 {
-    return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+    long long value = 0;
+    if (!parseStrictInt(find(name, Kind::kInt).value, value))
+        fatal("option '--%s' holds an unparseable integer '%s'",
+              name.c_str(), find(name, Kind::kInt).value.c_str());
+    return value;
 }
 
 double
 OptionParser::getDouble(const std::string &name) const
 {
-    return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+    double value = 0.0;
+    if (!parseStrictDouble(find(name, Kind::kDouble).value, value))
+        fatal("option '--%s' holds an unparseable number '%s'",
+              name.c_str(), find(name, Kind::kDouble).value.c_str());
+    return value;
 }
 
 bool

@@ -15,6 +15,18 @@
 namespace acr
 {
 
+/**
+ * Strict numeric parsing shared by every flag and environment-variable
+ * code path: the whole string must be one base-10 value, in range for
+ * the target type. Empty input, leading/trailing garbage (including
+ * whitespace), and overflow/underflow (ERANGE) all return false — so
+ * "--retries=99999999999999999999" or ACR_JOBS="4x" fail loudly
+ * instead of silently clamping or truncating.
+ */
+bool parseStrictInt(const std::string &text, long long &out);
+bool parseStrictUint(const std::string &text, unsigned long long &out);
+bool parseStrictDouble(const std::string &text, double &out);
+
 /** Declarative command-line option parser. */
 class OptionParser
 {

@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "common/options.hh"
+#include "harness/result_cache.hh"
 #include "harness/supervisor.hh"
 #include "harness/sweep.hh"
 #include "workloads/workload.hh"
@@ -91,6 +92,11 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
     parser.addFlag("resume",
                    "serve points already completed in --journal "
                    "instead of re-simulating them");
+    parser.addString("cache", "",
+                     "content-addressed cross-bench result cache "
+                     "file: serve identical (workload, config, "
+                     "threads) points from it instead of simulating, "
+                     "and append fresh results (default: $ACR_CACHE)");
     parser.parse(argc, argv);
 
     BenchOptions options;
@@ -122,6 +128,7 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
               options.pointTimeout);
     options.journal = parser.getString("journal");
     options.resume = parser.getFlag("resume");
+    options.cachePath = parser.getString("cache");
 
     if (options.shardMode && !options.mergeFiles.empty())
         fatal("--shard and --merge are mutually exclusive");
@@ -134,6 +141,17 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
         (options.workerMode || !options.mergeFiles.empty()))
         fatal("--journal only applies when this invocation sweeps "
               "(not --worker/--merge)");
+    if (!options.cachePath.empty() &&
+        (options.workerMode || !options.mergeFiles.empty()))
+        fatal("--cache only applies when this invocation sweeps "
+              "(not --worker/--merge)");
+    // ACR_CACHE is only a default for sweeping invocations: forked
+    // --worker children inherit the environment, but lookups are
+    // coordinator-side by design (cached points are never dealt out).
+    if (options.cachePath.empty() && !options.workerMode &&
+        options.mergeFiles.empty())
+        if (const char *env = std::getenv("ACR_CACHE"))
+            options.cachePath = env;
     return options;
 }
 
@@ -338,33 +356,58 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
         journal.open(options.journal, options.resume, spec.name,
                      shard.index, shard.count, grid);
 
+    ResultCache cache;
+    if (!options.cachePath.empty())
+        cache.open(options.cachePath);
+
     // Test hook: _exit abruptly after this many journal appends —
     // simulates a coordinator SIGKILLed mid-sweep for the --resume
     // tests. Inert unless the environment sets it.
     const char *exit_env = std::getenv("ACR_TEST_COORD_EXIT_AFTER");
-    const unsigned long long exit_after =
-        exit_env != nullptr && *exit_env != '\0'
-            ? std::strtoull(exit_env, nullptr, 10)
-            : 0;
+    unsigned long long exit_after = 0;
+    if (exit_env != nullptr && *exit_env != '\0' &&
+        !parseStrictUint(exit_env, exit_after))
+        fatal("ACR_TEST_COORD_EXIT_AFTER='%s' is not an unsigned "
+              "integer",
+              exit_env);
 
     ShardedSweep::SweepControls controls;
     controls.supervise.retries = options.retries;
     controls.supervise.pointTimeoutSec = options.pointTimeout;
+
+    // Coordinator-side serving map, by grid index: the journal's
+    // grid-keyed completions plus content-addressed cache hits. Both
+    // feed SweepControls::cache, so a served point is never dealt to
+    // a worker — in-process, forked, or sharded mode alike.
+    std::map<std::size_t, ExperimentResult> served;
     if (journal.isOpen()) {
-        controls.cache = &journal.entries();
-        controls.completed = [&journal, exit_after](
-                                 std::size_t index,
-                                 const ExperimentResult &result) {
-            journal.record(index, result);
-            if (exit_after != 0 && journal.appended() >= exit_after)
-                ::_exit(7);
-        };
+        served = journal.entries();
         std::size_t hits = 0;
         for (const auto index : owned)
             hits += journal.entries().count(index);
         std::cerr << "[sweep] journal: served " << hits << " of "
                   << owned.size() << " owned point(s) from '"
                   << options.journal << "'\n";
+    }
+    if (cache.isOpen())
+        for (const auto index : owned)
+            if (!served.count(index))
+                if (const auto *hit = cache.find(grid[index]))
+                    served.emplace(index, *hit);
+    if (journal.isOpen() || cache.isOpen()) {
+        controls.cache = &served;
+        controls.completed = [&journal, &cache, &grid, exit_after](
+                                 std::size_t index,
+                                 const ExperimentResult &result) {
+            if (journal.isOpen()) {
+                journal.record(index, result);
+                if (exit_after != 0 &&
+                    journal.appended() >= exit_after)
+                    ::_exit(7);
+            }
+            if (cache.isOpen())
+                cache.insert(grid[index], result);
+        };
     }
 
     if (options.shardMode) {
@@ -399,6 +442,11 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
     else
         results = sweep.run(grid, shard, controls);
     sweep.reportTiming(std::cerr);
+    if (cache.isOpen())
+        std::cerr << "[sweep] cache: " << cache.hits() << " hit(s), "
+                  << cache.misses() << " miss(es), "
+                  << cache.inserts() << " insert(s) in '"
+                  << options.cachePath << "'\n";
     if (!options.shardMode)
         spec.render(context, results);
     return quarantineExit(grid, owned, results);

@@ -29,11 +29,22 @@
  *                     cache)
  *   --resume          load --journal and serve already-completed
  *                     points from it instead of re-simulating
+ *   --cache=FILE      content-addressed cross-bench result cache
+ *                     (DESIGN.md §11; default $ACR_CACHE): identical
+ *                     (workload, config, threads) points — from any
+ *                     bench, at any grid position — are served from
+ *                     FILE instead of simulating, and fresh results
+ *                     are appended fsync'd. Lookups are
+ *                     coordinator-side in every mode, so cached
+ *                     points are never dealt to --forks workers.
+ *                     Quarantined points are never cached (they
+ *                     retry). Hit/miss/insert counters go to stderr.
  *
  * Determinism contract: for a fixed grid, the rendered output of
  * `--jobs=1`, `--jobs=N`, `--forks=N`, and `--shard`-then-`--merge`
  * is byte-identical (host timing goes to stderr) — including when
- * points were retried after worker crashes or served from a journal.
+ * points were retried after worker crashes or served from a journal
+ * or the content-addressed result cache.
  * A sweep with quarantined points renders FAILED cells and exits 3.
  */
 
@@ -67,6 +78,7 @@ struct BenchOptions
     double pointTimeout = 0.0;  ///< --point-timeout seconds (0: off)
     std::string journal;        ///< --journal path ("" : none)
     bool resume = false;        ///< --resume (needs --journal)
+    std::string cachePath;      ///< --cache / $ACR_CACHE ("" : none)
 };
 
 /** Everything a bench's grid/render callbacks may touch. */

@@ -1,0 +1,245 @@
+#include "harness/result_cache.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace acr::harness
+{
+
+namespace
+{
+
+/** write(2) the whole buffer, retrying on EINTR; fatal() on error. */
+void
+writeAllFd(int fd, const std::string &bytes, const char *what)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("writing %s: %s", what, std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+fsyncOrDie(int fd, const std::string &path)
+{
+    while (::fsync(fd) < 0) {
+        if (errno != EINTR)
+            fatal("fsync cache '%s': %s", path.c_str(),
+                  std::strerror(errno));
+    }
+}
+
+std::string
+headerLine()
+{
+    serde::Json json = serde::Json::object();
+    json.set("type", "acr-cache")
+        .set("cachev", ResultCache::kCacheVersion)
+        .set("wirev", wire::kVersion);
+    return json.dump();
+}
+
+std::string
+entryLine(const std::string &point_dump, std::uint64_t key,
+          const ExperimentResult &result)
+{
+    serde::Json json = serde::Json::object();
+    json.set("type", "entry")
+        .set("key", key)
+        .set("point", serde::Json::parse(point_dump))
+        .set("result", wire::encodeResult(result));
+    return json.dump();
+}
+
+} // namespace
+
+ResultCache::~ResultCache()
+{
+    close();
+}
+
+void
+ResultCache::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ACR_ASSERT(fd_ < 0, "cache already open");
+    path_ = path;
+
+    std::vector<std::string> lines;
+    std::size_t durable_bytes = 0;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            std::string content((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+            std::size_t start = 0;
+            while (start < content.size()) {
+                const std::size_t newline = content.find('\n', start);
+                if (newline == std::string::npos) {
+                    // Torn tail: a writer died mid-append. The entry
+                    // is simply recomputed next time it is needed.
+                    warn("cache '%s': dropping torn final line",
+                         path.c_str());
+                    break;
+                }
+                lines.push_back(content.substr(start, newline - start));
+                start = newline + 1;
+                durable_bytes = start;
+            }
+        }
+    }
+
+    // Validate the header. Anything unrecognized — garbage, a future
+    // cache schema, records encoded under a different wire version —
+    // makes the whole file cold: every lookup misses, the sweep
+    // recomputes, and the file is re-headed for this build.
+    bool cold = lines.empty();
+    if (!cold) {
+        try {
+            serde::Json json = serde::Json::parse(lines.front());
+            serde::ObjectReader reader(json, "cache header");
+            const std::string type = reader.requireString("type");
+            const std::uint64_t cachev = reader.requireUint("cachev");
+            const std::uint64_t wirev = reader.requireUint("wirev");
+            reader.finish();
+            if (type != "acr-cache" || cachev != kCacheVersion) {
+                warn("cache '%s': unrecognized header; starting cold",
+                     path.c_str());
+                cold = true;
+            } else if (wirev != wire::kVersion) {
+                warn("cache '%s': entries use wire v%llu but this "
+                     "build speaks v%llu; starting cold",
+                     path.c_str(),
+                     static_cast<unsigned long long>(wirev),
+                     static_cast<unsigned long long>(wire::kVersion));
+                cold = true;
+            }
+        } catch (const serde::SerdeError &error) {
+            warn("cache '%s': unreadable header (%s); starting cold",
+                 path.c_str(), error.what());
+            cold = true;
+        }
+    }
+
+    if (cold) {
+        fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd_ < 0)
+            fatal("cannot create cache '%s': %s", path.c_str(),
+                  std::strerror(errno));
+        writeAllFd(fd_, headerLine() + "\n", "cache");
+        fsyncOrDie(fd_, path_);
+        return;
+    }
+
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        // One bad entry (flipped byte, schema drift, key/point
+        // mismatch) is a miss for that experiment, not a dead cache.
+        try {
+            serde::Json json = serde::Json::parse(lines[i]);
+            serde::ObjectReader reader(json, "cache entry");
+            if (reader.requireString("type") != "entry")
+                throw serde::SerdeError("not an entry record");
+            const std::uint64_t key = reader.requireUint("key");
+            const GridPoint point =
+                wire::decodePoint(reader.require("point"));
+            ExperimentResult result =
+                wire::decodeResult(reader.require("result"));
+            reader.finish();
+            if (key != wire::pointHash(point))
+                throw serde::SerdeError(
+                    "key does not match the point encoding");
+            entries_[wire::encodePoint(point).dump()] =
+                std::move(result);
+        } catch (const serde::SerdeError &error) {
+            warn("cache '%s': skipping unreadable entry %zu: %s",
+                 path.c_str(), i, error.what());
+        }
+    }
+
+    fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd_ < 0)
+        fatal("cannot reopen cache '%s': %s", path.c_str(),
+              std::strerror(errno));
+    // Chop dropped tail bytes so the next append starts on a clean
+    // line boundary instead of extending the torn remnant.
+    while (::ftruncate(fd_, static_cast<off_t>(durable_bytes)) < 0) {
+        if (errno != EINTR)
+            fatal("truncate cache '%s': %s", path.c_str(),
+                  std::strerror(errno));
+    }
+}
+
+const ExperimentResult *
+ResultCache::find(const GridPoint &point)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ACR_ASSERT(fd_ >= 0, "cache not open");
+    if (point.config.trace != nullptr) {
+        // A host-memory trace sink cannot be serialized, so the point
+        // was never cached; don't try to encode it.
+        ++misses_;
+        return nullptr;
+    }
+    const auto it = entries_.find(wire::encodePoint(point).dump());
+    if (it == entries_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+}
+
+void
+ResultCache::insert(const GridPoint &point,
+                    const ExperimentResult &result)
+{
+    // Quarantined points are not cached: retrying on the next run is
+    // the natural resume semantic, matching the journal.
+    if (result.failed || point.config.trace != nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ACR_ASSERT(fd_ >= 0, "cache not open");
+    const std::string dump = wire::encodePoint(point).dump();
+    if (entries_.count(dump))
+        return;
+    writeAllFd(fd_,
+               entryLine(dump, wire::pointHash(point), result) + "\n",
+               "cache");
+    fsyncOrDie(fd_, path_);
+    entries_[dump] = result;
+    ++inserts_;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+ResultCache::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace acr::harness

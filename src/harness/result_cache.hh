@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ResultCache: the persistent, content-addressed, cross-bench result
+ * store (DESIGN.md §11) — the second half of the paper's "never
+ * regenerate what you already have durable" discipline applied to the
+ * harness's own sweeps.
+ *
+ * Where the Journal (supervisor.hh) keys completed points by *grid
+ * index* and is therefore bound to one bench invocation's exact grid,
+ * the ResultCache keys them by *content*: the FNV-1a hash of the
+ * canonical serde encoding of the GridPoint itself (workload + full
+ * ExperimentConfig + threads, wire::pointHash). Any bench that
+ * enumerates the same experiment — at any grid position, under any
+ * sharding — is served the stored result instead of re-simulating.
+ *
+ * On disk the cache is one ndjson file with the Journal's durability
+ * discipline: a versioned header line (cache schema version plus the
+ * wire::kVersion its records were encoded under), then one fsync'd
+ * entry per result, appended as they complete. Every corruption mode
+ * degrades to recompute, never to a crash or a wrong table:
+ *
+ *   - unknown/garbled header, stale cache version, or a wirev that
+ *     does not match this build  → the whole file is cold (truncated
+ *     and re-headed; every lookup misses);
+ *   - a torn final line (no trailing newline)  → dropped and the file
+ *     truncated to the durable prefix, like the journal;
+ *   - an unreadable entry line (flipped byte, key/point mismatch,
+ *     schema drift)  → that entry alone is skipped (served as a miss).
+ *
+ * Quarantined results are never cached: a failed point's natural
+ * resume semantic is retry, exactly as in the journal.
+ *
+ * Thread-safety: find() and insert() take an internal mutex; the
+ * in-process sweep calls insert() from worker threads. Returned
+ * pointers stay valid for the cache's lifetime (std::map nodes are
+ * stable under insertion).
+ */
+
+#ifndef ACR_HARNESS_RESULT_CACHE_HH
+#define ACR_HARNESS_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "harness/wire.hh"
+
+namespace acr::harness
+{
+
+/** Content-addressed cross-bench experiment result cache. */
+class ResultCache
+{
+  public:
+    /** Bump on any change to the cache file schema (header or entry
+     *  layout). Distinct from wire::kVersion, which covers the record
+     *  payload encodings and is checked separately via the header's
+     *  `wirev` field. */
+    static constexpr std::uint64_t kCacheVersion = 1;
+
+    ResultCache() = default;
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Open (creating if absent) the cache file at @p path and load
+     * every readable entry. Corrupt content is never fatal — see the
+     * file comment for the degradation ladder. fatal()s only on real
+     * I/O errors (unopenable path, failed fsync).
+     */
+    void open(const std::string &path);
+
+    /** True after open(). */
+    bool isOpen() const { return fd_ >= 0; }
+
+    /**
+     * Look up @p point by content; nullptr on miss. Counts into
+     * hits()/misses(). A point carrying a host-memory trace sink is
+     * uncacheable and always misses.
+     */
+    const ExperimentResult *find(const GridPoint &point);
+
+    /**
+     * Append @p result under @p point's content key (fsync'd before
+     * returning). No-op for quarantined results (retry semantics),
+     * uncacheable points, and keys already present. Thread-safe.
+     */
+    void insert(const GridPoint &point, const ExperimentResult &result);
+
+    /** Entries currently loaded/inserted. */
+    std::size_t size() const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    /** Entries appended by this process (excludes loaded ones). */
+    std::uint64_t inserts() const { return inserts_; }
+
+    const std::string &path() const { return path_; }
+
+    void close();
+
+  private:
+    mutable std::mutex mutex_;
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t inserts_ = 0;
+
+    /** Canonical point encoding (wire::encodePoint dump) → result.
+     *  Keyed by the full encoding rather than its hash so even a
+     *  64-bit FNV collision cannot serve the wrong experiment. */
+    std::map<std::string, ExperimentResult> entries_;
+};
+
+} // namespace acr::harness
+
+#endif // ACR_HARNESS_RESULT_CACHE_HH

@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/options.hh"
 #include "harness/sweep.hh"
 
 namespace acr::harness
@@ -28,14 +30,18 @@ millisSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** Parse a numeric environment variable (0 when unset/empty). */
+/** Parse a numeric environment variable (0 when unset/empty);
+ *  fatal() on garbage — "4x" must not silently mean 4. */
 unsigned long long
 envCount(const char *name)
 {
     const char *value = std::getenv(name);
     if (value == nullptr || *value == '\0')
         return 0;
-    return std::strtoull(value, nullptr, 10);
+    unsigned long long parsed = 0;
+    if (!parseStrictUint(value, parsed))
+        fatal("%s='%s' is not an unsigned integer", name, value);
+    return parsed;
 }
 
 /** Ascending-order result merger: slots fill in any order, the sink
@@ -110,19 +116,30 @@ ShardedSweep::shardIndices(std::size_t total, Shard shard)
 ShardedSweep::Shard
 ShardedSweep::parseShard(const std::string &spec)
 {
+    // Canonical "digits/digits" only. CI templating stamps these out
+    // mechanically, and strtol's leniency ("+1/4", " 1/4", "01/4")
+    // would let non-canonical spellings silently alias a shard.
+    auto canonical = [](const std::string &text) {
+        if (text.empty())
+            return false;
+        for (const char c : text)
+            if (c < '0' || c > '9')
+                return false;
+        return text.size() == 1 || text[0] != '0';
+    };
     const auto slash = spec.find('/');
-    char *end = nullptr;
-    long index = -1, count = -1;
-    if (slash != std::string::npos) {
-        index = std::strtol(spec.c_str(), &end, 10);
-        if (end != spec.c_str() + slash)
-            index = -1;
-        count = std::strtol(spec.c_str() + slash + 1, &end, 10);
-        if (*end != '\0')
-            count = -1;
+    unsigned long long index = 0, count = 0;
+    bool ok = slash != std::string::npos;
+    if (ok) {
+        const std::string left = spec.substr(0, slash);
+        const std::string right = spec.substr(slash + 1);
+        ok = canonical(left) && canonical(right) &&
+             parseStrictUint(left, index) &&
+             parseStrictUint(right, count);
     }
-    if (index < 0 || count <= 0 || index >= count)
-        fatal("bad --shard '%s' (want i/N with 0 <= i < N)",
+    if (!ok || count == 0 || index >= count ||
+        count > std::numeric_limits<unsigned>::max())
+        fatal("bad --shard '%s' (want canonical i/N with 0 <= i < N)",
               spec.c_str());
     return Shard{static_cast<unsigned>(index),
                  static_cast<unsigned>(count)};
@@ -339,7 +356,12 @@ ShardedSweep::workerLoop(RunnerPool &pool, std::istream &in,
         std::getenv("ACR_TEST_RESPAWNED") != nullptr;
     const unsigned long long crash_at = envCount("ACR_TEST_CRASH_AT");
     const unsigned long long wedge_at = envCount("ACR_TEST_WEDGE_AT");
-    const char *crash_index = std::getenv("ACR_TEST_CRASH_INDEX");
+    const char *crash_index_env = std::getenv("ACR_TEST_CRASH_INDEX");
+    const bool have_crash_index =
+        crash_index_env != nullptr && *crash_index_env != '\0';
+    // 0 is a valid grid index, so presence (not value) arms the hook.
+    const unsigned long long crash_index =
+        have_crash_index ? envCount("ACR_TEST_CRASH_INDEX") : 0;
     unsigned long long processed = 0;
 
     std::string line;
@@ -365,9 +387,7 @@ ShardedSweep::workerLoop(RunnerPool &pool, std::istream &in,
             while (true)
                 ::pause();
         }
-        if (crash_index != nullptr &&
-            record.point.index ==
-                std::strtoull(crash_index, nullptr, 10))
+        if (have_crash_index && record.point.index == crash_index)
             ::_exit(43);
         const GridPoint &point = record.point.point;
         ExperimentResult result =

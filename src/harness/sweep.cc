@@ -3,9 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/options.hh"
 
 namespace acr::harness
 {
@@ -32,9 +34,9 @@ unsigned
 Sweep::defaultJobs()
 {
     if (const char *env = std::getenv("ACR_JOBS")) {
-        char *end = nullptr;
-        long value = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && value > 0)
+        long long value = 0;
+        if (parseStrictInt(env, value) && value > 0 &&
+            value <= std::numeric_limits<unsigned>::max())
             return static_cast<unsigned>(value);
         warn("ignoring ACR_JOBS='%s' (want a positive integer)", env);
     }

@@ -130,28 +130,6 @@ decodeInterval(const Json &json)
     return sizes;
 }
 
-Json
-encodeGridPoint(const GridPoint &point)
-{
-    Json json = Json::object();
-    json.set("workload", point.workload)
-        .set("threads", point.threads)
-        .set("config", encodeConfig(point.config));
-    return json;
-}
-
-GridPoint
-decodeGridPoint(const Json &json)
-{
-    ObjectReader reader(json, "GridPoint");
-    GridPoint point;
-    point.workload = reader.requireString("workload");
-    point.threads = asUnsigned(reader.require("threads"), "threads");
-    point.config = decodeConfig(reader.require("config"));
-    reader.finish();
-    return point;
-}
-
 /** The `{"v":N,"type":T,...}` envelope shared by every record line. */
 Json
 envelope(const char *type)
@@ -282,12 +260,45 @@ decodeResult(const Json &json)
     return result;
 }
 
+Json
+encodePoint(const GridPoint &point)
+{
+    Json json = Json::object();
+    json.set("workload", point.workload)
+        .set("threads", point.threads)
+        .set("config", encodeConfig(point.config));
+    return json;
+}
+
+GridPoint
+decodePoint(const Json &json)
+{
+    ObjectReader reader(json, "GridPoint");
+    GridPoint point;
+    point.workload = reader.requireString("workload");
+    point.threads = asUnsigned(reader.require("threads"), "threads");
+    point.config = decodeConfig(reader.require("config"));
+    reader.finish();
+    return point;
+}
+
+std::uint64_t
+pointHash(const GridPoint &point)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+    for (unsigned char c : encodePoint(point).dump()) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
 std::string
 encodePointLine(const PointRecord &record)
 {
     Json json = envelope("point");
     json.set("index", record.index)
-        .set("point", encodeGridPoint(record.point));
+        .set("point", encodePoint(record.point));
     return json.dump();
 }
 
@@ -341,7 +352,7 @@ decodeLine(const std::string &line)
     if (type == "point") {
         record.type = Record::Type::kPoint;
         record.point.index = reader.requireUint("index");
-        record.point.point = decodeGridPoint(reader.require("point"));
+        record.point.point = decodePoint(reader.require("point"));
     } else if (type == "result") {
         record.type = Record::Type::kResult;
         record.result.index = reader.requireUint("index");

@@ -55,6 +55,16 @@ StatSet decodeStats(const serde::Json &json);
 serde::Json encodeResult(const ExperimentResult &result);
 ExperimentResult decodeResult(const serde::Json &json);
 
+/** Canonical encoding of one grid point (workload + full config +
+ *  threads) — position-independent, the ResultCache's key material. */
+serde::Json encodePoint(const GridPoint &point);
+GridPoint decodePoint(const serde::Json &json);
+
+/** FNV-1a over encodePoint(point).dump(): two points hash equal iff
+ *  they are the same experiment, regardless of which bench enumerated
+ *  them or where in its grid they sit. */
+std::uint64_t pointHash(const GridPoint &point);
+
 // --- Record lines ---
 
 /** Work sent to a worker: grid index + the point itself. */

@@ -213,6 +213,55 @@ TEST(OptionParserDeathTest, BadIntIsFatal)
     EXPECT_EXIT(p.parse(2, argv), testing::ExitedWithCode(1), "integer");
 }
 
+TEST(OptionParserDeathTest, OverflowingIntIsFatalAndNamesTheFlag)
+{
+    // strtoll clamps out-of-range input to LLONG_MAX and reports via
+    // ERANGE; ignoring errno would silently accept the clamp.
+    OptionParser p("test");
+    p.addInt("retries", 0, "an int");
+    const char *argv[] = {"test", "--retries=99999999999999999999"};
+    EXPECT_EXIT(p.parse(2, argv), testing::ExitedWithCode(1),
+                "retries.*integer");
+}
+
+TEST(OptionParserDeathTest, OverflowingDoubleIsFatal)
+{
+    OptionParser p("test");
+    p.addDouble("ratio", 0.0, "a double");
+    const char *argv[] = {"test", "--ratio=1e999"};
+    EXPECT_EXIT(p.parse(2, argv), testing::ExitedWithCode(1),
+                "ratio.*number");
+}
+
+TEST(StrictParsers, RejectGarbageOverflowAndSigns)
+{
+    long long ll = 0;
+    EXPECT_TRUE(parseStrictInt("-42", ll));
+    EXPECT_EQ(ll, -42);
+    EXPECT_FALSE(parseStrictInt("", ll));
+    EXPECT_FALSE(parseStrictInt("4x", ll));     // trailing garbage
+    EXPECT_FALSE(parseStrictInt(" 4", ll));     // strtoll skips this
+    EXPECT_FALSE(parseStrictInt("99999999999999999999", ll));
+
+    unsigned long long ull = 0;
+    EXPECT_TRUE(parseStrictUint("18446744073709551615", ull));
+    EXPECT_EQ(ull, 18446744073709551615ull);
+    // strtoull silently negates "-1" to ULLONG_MAX; sign chars must
+    // be rejected outright.
+    EXPECT_FALSE(parseStrictUint("-1", ull));
+    EXPECT_FALSE(parseStrictUint("+1", ull));
+    EXPECT_FALSE(parseStrictUint("1x", ull));
+    EXPECT_FALSE(parseStrictUint("18446744073709551616", ull));
+
+    double d = 0.0;
+    EXPECT_TRUE(parseStrictDouble("2.5e-3", d));
+    EXPECT_DOUBLE_EQ(d, 2.5e-3);
+    EXPECT_TRUE(parseStrictDouble("1e-999", d));  // underflow is fine
+    EXPECT_FALSE(parseStrictDouble("1e999", d));  // overflow is not
+    EXPECT_FALSE(parseStrictDouble("1.5y", d));
+    EXPECT_FALSE(parseStrictDouble("", d));
+}
+
 TEST(Types, LineGeometry)
 {
     EXPECT_EQ(lineOf(0), 0u);

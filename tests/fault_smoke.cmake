@@ -128,6 +128,18 @@ expect_identical("${OUT}/reference.txt" "${OUT}/torn.txt"
                  "torn-tail resumed sweep")
 expect_match("${OUT}/torn.err" "torn" "torn-tail warning")
 
+# --- Merging shards that contain failed records: the merged render
+#     shows FAILED cells and exits 3, same as a live quarantine ---
+run_case("${OUT}/fshard0.ndjson" "${OUT}/fshard0.err" 3
+         "ACR_TEST_CRASH_INDEX=0" --shard=0/2 --forks=2 --retries=0)
+run_case("${OUT}/fshard1.ndjson" "${OUT}/fshard1.err" 0 "" --shard=1/2)
+run_case("${OUT}/fmerged.txt" "${OUT}/fmerged.err" 3 ""
+         "--merge=${OUT}/fshard0.ndjson,${OUT}/fshard1.ndjson")
+expect_match("${OUT}/fmerged.txt" "FAILED"
+             "merged FAILED table cell")
+expect_match("${OUT}/fmerged.err" "quarantin"
+             "merged quarantine report")
+
 # --- In-process journal writes (threaded Journal::record path) ---
 run_case("${OUT}/inproc.txt" "${OUT}/inproc.err" 0 ""
          --jobs=2 "--journal=${OUT}/inproc.journal")

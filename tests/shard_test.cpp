@@ -81,8 +81,17 @@ TEST(ShardParse, AcceptsAndRejects)
     EXPECT_EQ(shard.index, 1u);
     EXPECT_EQ(shard.count, 3u);
 
+    const auto zero = ShardedSweep::parseShard("0/1");
+    EXPECT_EQ(zero.index, 0u);
+    EXPECT_EQ(zero.count, 1u);
+
+    // strtol would happily take signs, spaces, and leading zeros;
+    // only the canonical `digits/digits` spelling is a valid shard,
+    // so the same string always names the same shard file.
     for (const char *bad : {"", "/", "1", "3/3", "4/3", "a/2", "1/b",
-                            "-1/2", "1/0", "1/2x"}) {
+                            "-1/2", "1/0", "1/2x", "+1/4", " 1/4",
+                            "1/+4", "1/ 4", "01/4", "1/04", "0x1/4",
+                            "1//4", "1/4/4"}) {
         EXPECT_EXIT(ShardedSweep::parseShard(bad),
                     testing::ExitedWithCode(1), "shard")
             << "accepted '" << bad << "'";
