@@ -39,8 +39,13 @@ main(int argc, char **argv)
 
         const auto &names = ctx.workloads();
         for (unsigned errors = 1; errors <= kMaxErrors; ++errors) {
+            // Injection/recovery audit columns are for the ReCkpt_E
+            // run: a campaign is trustworthy only if every planned
+            // error was injected and detected (or explicitly dropped)
+            // and recomputation actually happened.
             Table table({"bench", "Ckpt_E %", "ReCkpt_E %",
-                         "time red. %", "EDP red. %"});
+                         "time red. %", "EDP red. %", "inj", "det",
+                         "drop", "recov", "recompW"});
             Summary time_red, edp_red;
             for (std::size_t w = 0; w < names.size(); ++w) {
                 const std::string &name = names[w];
@@ -56,12 +61,21 @@ main(int argc, char **argv)
                 time_red.add(name, t_red);
                 edp_red.add(name, e_red);
 
+                auto stat = [&](const char *key) {
+                    return static_cast<long long>(
+                        reckpt.stats.get(key));
+                };
                 table.row()
                     .cell(name)
                     .cell(o_ckpt)
                     .cell(o_reckpt)
                     .cell(t_red)
-                    .cell(e_red);
+                    .cell(e_red)
+                    .cell(stat("fault.injected"))
+                    .cell(stat("fault.detected"))
+                    .cell(stat("fault.dropped"))
+                    .cell(static_cast<long long>(reckpt.recoveries))
+                    .cell(stat("rec.recomputedWords"));
             }
             ctx.note(csprintf("--- %u error(s) ---\n", errors));
             ctx.emit(table);

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Torture: multi-error fault-injection campaigns with the recovery
+ * oracle attached. Sweeps (workload × mode × coordination × detection
+ * latency × seed) under the standard sweep machinery; every recovery
+ * is differentially validated against a fault-free golden replay, and
+ * a campaign that surfaces a divergence is shrunk — by bisection over
+ * the FaultPlan's event set — to a minimal failing plan, printed as a
+ * one-line repro command.
+ *
+ * Exit codes: 0 clean, 3 quarantined points (sweep layer), 4 oracle
+ * divergence (the torture verdict; max of the two wins).
+ *
+ * Every campaign knob is a flag with a matching environment variable
+ * (flag wins), both validated by the same strict parser:
+ *
+ *   --errors=N          ACR_TORTURE_ERRORS        planned errors (1..64)
+ *   --checkpoints=N     ACR_TORTURE_CHECKPOINTS   checkpoints per run
+ *   --seeds=N           ACR_TORTURE_SEEDS         seeds per grid point
+ *   --campaign-seed=S   ACR_CAMPAIGN_SEED         base seed (point i
+ *                                                 runs S + i)
+ *   --oracle=on|off     ACR_ORACLE                recovery validation
+ *   --event-mask=M      ACR_EVENT_MASK            FaultPlan bit mask
+ *                                                 (keep event i iff bit
+ *                                                 i % 64; shrinker sets
+ *                                                 this in repro lines)
+ *   --modes=a,b                                   ckpt,reckpt subset
+ *   --coords=a,b                                  global,local subset
+ *   --lats=x,y                                    detection-latency
+ *                                                 fractions
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace acr;
+using namespace acr::bench;
+using harness::BerMode;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+
+/** The campaign the flags/environment selected (readOptions fills it;
+ *  grid and render both consult it, so reruns agree byte-for-byte). */
+struct Campaign
+{
+    unsigned errors = 8;
+    unsigned checkpoints = 5;
+    unsigned seeds = 3;
+    std::uint64_t campaignSeed = 0xacce55ULL;
+    bool oracle = true;
+    std::uint64_t eventMask = ~std::uint64_t{0};
+    std::vector<BerMode> modes = {BerMode::kCkpt, BerMode::kReCkpt};
+    std::vector<ckpt::Coordination> coords = {
+        ckpt::Coordination::kGlobal, ckpt::Coordination::kLocal};
+    std::vector<double> lats = {0.4, 0.5};
+};
+
+Campaign campaign;
+
+const char *
+modeName(BerMode mode)
+{
+    return mode == BerMode::kCkpt ? "ckpt" : "reckpt";
+}
+
+const char *
+coordName(ckpt::Coordination coordination)
+{
+    return coordination == ckpt::Coordination::kGlobal ? "global"
+                                                       : "local";
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    for (char c : text) {
+        if (c == ',') {
+            if (!part.empty())
+                parts.push_back(part);
+            part.clear();
+        } else {
+            part += c;
+        }
+    }
+    if (!part.empty())
+        parts.push_back(part);
+    return parts;
+}
+
+void
+declareOptions(OptionParser &parser)
+{
+    parser.addUint("errors", 8, "planned errors per run (1..64)");
+    parser.addUint("checkpoints", 5, "checkpoints per run");
+    parser.addUint("seeds", 3, "seeds per (workload, config) point");
+    parser.addUint("campaign-seed", 0xacce55ULL,
+                   "base FaultPlan seed; seed index i runs base + i");
+    parser.addString("oracle", "on",
+                     "differential recovery validation: on or off");
+    parser.addUint("event-mask", ~std::uint64_t{0},
+                   "FaultPlan event mask: keep planned error i iff bit "
+                   "(i % 64) is set (repro lines from the shrinker "
+                   "set this)");
+    parser.addString("modes", "ckpt,reckpt",
+                     "comma-separated subset of ckpt,reckpt");
+    parser.addString("coords", "global,local",
+                     "comma-separated subset of global,local");
+    parser.addString("lats", "0.4,0.5",
+                     "comma-separated detection-latency fractions "
+                     "(each in [0, 1])");
+
+    // One validation path for both spellings: the environment value is
+    // assigned through the identical strict parse as --flag=value, and
+    // an explicit flag overrides it.
+    parser.envDefault("errors", "ACR_TORTURE_ERRORS");
+    parser.envDefault("checkpoints", "ACR_TORTURE_CHECKPOINTS");
+    parser.envDefault("seeds", "ACR_TORTURE_SEEDS");
+    parser.envDefault("campaign-seed", "ACR_CAMPAIGN_SEED");
+    parser.envDefault("oracle", "ACR_ORACLE");
+    parser.envDefault("event-mask", "ACR_EVENT_MASK");
+}
+
+void
+readOptions(const OptionParser &parser)
+{
+    const unsigned long long errors = parser.getUint("errors");
+    if (errors < 1 || errors > 64)
+        fatal("--errors must be in 1..64 (the event mask is 64 bits), "
+              "got %llu",
+              errors);
+    campaign.errors = static_cast<unsigned>(errors);
+
+    const unsigned long long checkpoints = parser.getUint("checkpoints");
+    if (checkpoints < 1)
+        fatal("--checkpoints must be >= 1");
+    campaign.checkpoints = static_cast<unsigned>(checkpoints);
+
+    const unsigned long long seeds = parser.getUint("seeds");
+    if (seeds < 1)
+        fatal("--seeds must be >= 1");
+    campaign.seeds = static_cast<unsigned>(seeds);
+
+    campaign.campaignSeed = parser.getUint("campaign-seed");
+    campaign.eventMask = parser.getUint("event-mask");
+    if (campaign.eventMask == 0)
+        fatal("--event-mask=0 would drop every planned error; use "
+              "--errors with a smaller count instead");
+
+    const std::string oracle = parser.getString("oracle");
+    if (oracle == "on")
+        campaign.oracle = true;
+    else if (oracle == "off")
+        campaign.oracle = false;
+    else
+        fatal("--oracle expects on or off, got '%s'", oracle.c_str());
+
+    campaign.modes.clear();
+    for (const auto &name : splitList(parser.getString("modes"))) {
+        if (name == "ckpt")
+            campaign.modes.push_back(BerMode::kCkpt);
+        else if (name == "reckpt")
+            campaign.modes.push_back(BerMode::kReCkpt);
+        else
+            fatal("--modes expects ckpt/reckpt entries, got '%s'",
+                  name.c_str());
+    }
+    if (campaign.modes.empty())
+        fatal("--modes selected nothing");
+
+    campaign.coords.clear();
+    for (const auto &name : splitList(parser.getString("coords"))) {
+        if (name == "global")
+            campaign.coords.push_back(ckpt::Coordination::kGlobal);
+        else if (name == "local")
+            campaign.coords.push_back(ckpt::Coordination::kLocal);
+        else
+            fatal("--coords expects global/local entries, got '%s'",
+                  name.c_str());
+    }
+    if (campaign.coords.empty())
+        fatal("--coords selected nothing");
+
+    campaign.lats.clear();
+    for (const auto &text : splitList(parser.getString("lats"))) {
+        double lat = 0.0;
+        if (!parseStrictDouble(text, lat) || lat < 0.0 || lat > 1.0)
+            fatal("--lats entries must be numbers in [0, 1], got '%s'",
+                  text.c_str());
+        campaign.lats.push_back(lat);
+    }
+    if (campaign.lats.empty())
+        fatal("--lats selected nothing");
+}
+
+/** Enumerate the campaign grid: workload-major, then mode × coord ×
+ *  latency × seed — the order render() re-derives to label rows. */
+std::vector<harness::GridPoint>
+buildGrid(const std::vector<std::string> &names)
+{
+    std::vector<harness::GridPoint> points;
+    for (const auto &name : names) {
+        for (BerMode mode : campaign.modes) {
+            for (ckpt::Coordination coordination : campaign.coords) {
+                for (double lat : campaign.lats) {
+                    for (unsigned s = 0; s < campaign.seeds; ++s) {
+                        ExperimentConfig config = makeConfig(
+                            mode, campaign.errors, coordination,
+                            campaign.checkpoints);
+                        config.detectionLatencyFraction = lat;
+                        config.seed = campaign.campaignSeed + s;
+                        config.oracle = campaign.oracle;
+                        config.faultEventMask = campaign.eventMask;
+                        points.push_back(
+                            {name, config, kDefaultThreads});
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+/** The planned-error indices an event mask keeps. */
+std::vector<unsigned>
+maskEvents(std::uint64_t mask, unsigned errors)
+{
+    std::vector<unsigned> events;
+    for (unsigned i = 0; i < errors; ++i)
+        if ((mask >> (i % 64)) & 1)
+            events.push_back(i);
+    return events;
+}
+
+std::uint64_t
+eventsToMask(const std::vector<unsigned> &events)
+{
+    std::uint64_t mask = 0;
+    for (unsigned i : events)
+        mask |= std::uint64_t{1} << (i % 64);
+    return mask;
+}
+
+/**
+ * Shrink a diverging campaign to a minimal failing event set: first
+ * bisect (keep whichever half still diverges), then greedily drop
+ * single events until every remaining event is load-bearing. Runs
+ * serially on the context's runner — the repro should come from the
+ * same deterministic cache the sweep used.
+ */
+std::uint64_t
+shrinkFailure(harness::Runner &runner, const std::string &workload,
+              const ExperimentConfig &config, std::ostream &err)
+{
+    auto diverges = [&](std::uint64_t mask) {
+        ExperimentConfig candidate = config;
+        candidate.faultEventMask = mask;
+        return runner.run(workload, candidate).oracleDivergences > 0;
+    };
+
+    std::vector<unsigned> events =
+        maskEvents(config.faultEventMask, config.numErrors);
+
+    // Bisection: halve while a half alone still reproduces.
+    while (events.size() > 1) {
+        const std::size_t half = events.size() / 2;
+        std::vector<unsigned> lo(events.begin(), events.begin() + half);
+        std::vector<unsigned> hi(events.begin() + half, events.end());
+        if (diverges(eventsToMask(lo)))
+            events = std::move(lo);
+        else if (diverges(eventsToMask(hi)))
+            events = std::move(hi);
+        else
+            break;  // the halves only fail together
+    }
+
+    // Greedy refinement: drop any single event that is not needed.
+    bool changed = true;
+    while (changed && events.size() > 1) {
+        changed = false;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            std::vector<unsigned> candidate = events;
+            candidate.erase(candidate.begin() + i);
+            if (diverges(eventsToMask(candidate))) {
+                events = std::move(candidate);
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    err << "[torture] shrunk to " << events.size() << " of "
+        << config.numErrors << " planned event(s):";
+    for (unsigned i : events)
+        err << " #" << i;
+    err << "\n";
+    return eventsToMask(events);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::BenchSpec spec;
+    spec.name = "torture";
+    spec.defaultWorkloads = {"is"};
+    spec.options = declareOptions;
+    spec.readOptions = readOptions;
+    spec.grid = [](harness::BenchContext &ctx) {
+        return buildGrid(ctx.workloads());
+    };
+    spec.render = [](harness::BenchContext &ctx,
+                     const std::vector<ExperimentResult> &results) {
+        ctx.note(csprintf("Torture: %u error(s), %u checkpoint(s), "
+                          "%u seed(s) from base %llu, oracle %s\n\n",
+                          campaign.errors, campaign.checkpoints,
+                          campaign.seeds,
+                          static_cast<unsigned long long>(
+                              campaign.campaignSeed),
+                          campaign.oracle ? "on" : "off"));
+
+        const auto grid = buildGrid(ctx.workloads());
+        Table table({"bench", "config", "lat", "seed", "cycles",
+                     "ckpts", "recov", "inj", "det", "drop", "requeue",
+                     "recompW", "diverge"});
+        std::uint64_t total_divergences = 0;
+        std::vector<std::size_t> failing;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &point = grid[i];
+            const auto &result = results[i];
+            auto stat = [&](const char *name) {
+                return static_cast<long long>(result.stats.get(name));
+            };
+            table.row()
+                .cell(point.workload)
+                .cell(csprintf("%s,%s", modeName(point.config.mode),
+                               coordName(point.config.coordination)))
+                .cell(point.config.detectionLatencyFraction)
+                .cell(static_cast<long long>(point.config.seed))
+                .cell(static_cast<long long>(result.cycles))
+                .cell(static_cast<long long>(
+                    result.checkpointsEstablished))
+                .cell(static_cast<long long>(result.recoveries))
+                .cell(stat("fault.injected"))
+                .cell(stat("fault.detected"))
+                .cell(stat("fault.dropped"))
+                .cell(stat("fault.requeued"))
+                .cell(stat("rec.recomputedWords"))
+                .cell(static_cast<long long>(result.oracleDivergences));
+            if (!result.failed && result.oracleDivergences > 0) {
+                total_divergences += result.oracleDivergences;
+                failing.push_back(i);
+            }
+        }
+        ctx.emit(table);
+
+        if (total_divergences == 0) {
+            ctx.note(csprintf("\nall %zu campaign(s) recovered "
+                              "bit-exactly (0 divergences)\n",
+                              results.size()));
+            return;
+        }
+
+        // Divergence post-mortem goes to stderr: the structured
+        // reports, then a minimal shrunk repro per failing point.
+        std::cerr << "[torture] " << total_divergences
+                  << " divergence(s) across " << failing.size()
+                  << " campaign(s)\n";
+        for (std::size_t i : failing) {
+            const auto &point = grid[i];
+            std::cerr << results[i].oracleReport << "\n";
+            const std::uint64_t mask = shrinkFailure(
+                ctx.runner(point.threads), point.workload,
+                point.config, std::cerr);
+            std::cerr << csprintf(
+                "[torture] repro: torture --workloads=%s --modes=%s "
+                "--coords=%s --lats=%g --errors=%u --checkpoints=%u "
+                "--campaign-seed=%llu --seeds=1 --oracle=on "
+                "--event-mask=%llu --jobs=1\n",
+                point.workload.c_str(), modeName(point.config.mode),
+                coordName(point.config.coordination),
+                point.config.detectionLatencyFraction,
+                point.config.numErrors, point.config.numCheckpoints,
+                static_cast<unsigned long long>(point.config.seed),
+                static_cast<unsigned long long>(mask));
+        }
+    };
+    spec.exitCode = [](harness::BenchContext &,
+                       const std::vector<ExperimentResult> &results) {
+        for (const auto &result : results)
+            if (!result.failed && result.oracleDivergences > 0)
+                return 4;
+        return 0;
+    };
+    return harness::benchMain(argc, argv, spec);
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Audit hook between the CheckpointManager and a recovery validator.
+ *
+ * Recovery used to verify amnesic recomputation with a process-aborting
+ * assert. With an auditor installed the manager instead *reports* a
+ * mismatch (with the originating record, so the validator can attribute
+ * it to an address, writer, and slice) and heals the word from the
+ * record's shadow value so the campaign can continue and surface every
+ * divergence, not just the first.
+ */
+
+#ifndef ACR_CKPT_AUDITOR_HH
+#define ACR_CKPT_AUDITOR_HH
+
+#include <cstdint>
+
+#include "ckpt/log.hh"
+
+namespace acr::ckpt
+{
+
+/** Observer of recovery-correctness events inside the manager. */
+class RecoveryAuditor
+{
+  public:
+    virtual ~RecoveryAuditor() = default;
+
+    /**
+     * A Slice replay produced @p replayed for @p record (whose
+     * `oldValue` shadow holds the expected word) while undoing the log
+     * of checkpoint interval @p interval. The manager heals the word
+     * from the shadow after reporting.
+     */
+    virtual void onRecomputeMismatch(const LogRecord &record,
+                                     Word replayed,
+                                     std::uint64_t interval) = 0;
+};
+
+} // namespace acr::ckpt
+
+#endif // ACR_CKPT_AUDITOR_HH

@@ -36,4 +36,69 @@ IntervalLog::removeWriters(std::uint64_t writer_mask)
     }
 }
 
+bool
+IntervalLog::dropOneRecord(
+    std::uint64_t writer_mask,
+    const std::function<bool(Addr, Word)> &observable)
+{
+    // Prefer a record whose loss is observable (its restore would
+    // actually change memory); settle for any affected-writer record
+    // so the fixture still exercises the bookkeeping either way.
+    std::size_t pick = records_.size();
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        if (!(writer_mask & (std::uint64_t{1} << records_[i].writer)))
+            continue;
+        if (pick == records_.size())
+            pick = i;
+        if (!observable ||
+            observable(records_[i].addr, records_[i].oldValue)) {
+            pick = i;
+            break;
+        }
+    }
+    if (pick == records_.size())
+        return false;
+    if (records_[pick].isAmnesic())
+        --amnesicRecords_;
+    index_.erase(records_[pick].addr);
+    records_.erase(records_.begin() +
+                   static_cast<std::ptrdiff_t>(pick));
+    for (auto &entry : index_) {
+        if (entry.second > pick)
+            --entry.second;
+    }
+    return true;
+}
+
+std::string
+IntervalLog::auditIndex() const
+{
+    if (index_.size() != records_.size())
+        return "log bits (" + std::to_string(index_.size()) +
+               ") != records (" + std::to_string(records_.size()) +
+               ") in interval " + std::to_string(interval_);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        auto it = index_.find(records_[i].addr);
+        if (it == index_.end())
+            return "record addr " + std::to_string(records_[i].addr) +
+                   " has no log bit in interval " +
+                   std::to_string(interval_);
+        if (it->second != i)
+            return "log bit of addr " + std::to_string(records_[i].addr) +
+                   " points at position " + std::to_string(it->second) +
+                   " (record at " + std::to_string(i) + ") in interval " +
+                   std::to_string(interval_);
+    }
+    std::uint64_t amnesic = 0;
+    for (const LogRecord &record : records_) {
+        if (record.isAmnesic())
+            ++amnesic;
+    }
+    if (amnesic != amnesicRecords_)
+        return "amnesic counter " + std::to_string(amnesicRecords_) +
+               " != actual " + std::to_string(amnesic) + " in interval " +
+               std::to_string(interval_);
+    return "";
+}
+
 } // namespace acr::ckpt

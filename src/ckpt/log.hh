@@ -18,7 +18,9 @@
 #define ACR_CKPT_LOG_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +73,26 @@ class IntervalLog
      * those updates. Compacts the log.
      */
     void removeWriters(std::uint64_t writer_mask);
+
+    /**
+     * Fault-injection fixture for the recovery oracle tests: silently
+     * drop the first record written by a core in @p writer_mask,
+     * including its log bit, as a buggy implementation might. When an
+     * @p observable predicate is given, a record it accepts (addr,
+     * shadow value) is preferred, so the loss provably changes the
+     * recovered image. Returns whether a record was dropped.
+     */
+    bool dropOneRecord(
+        std::uint64_t writer_mask,
+        const std::function<bool(Addr, Word)> &observable = {});
+
+    /**
+     * Self-check of the log-bit index: every index entry must point at
+     * a record with that address, every record must be indexed, and
+     * the amnesic counter must match. Returns "" when consistent,
+     * otherwise a one-line description of the first inconsistency.
+     */
+    std::string auditIndex() const;
 
     std::uint64_t totalRecords() const { return records_.size(); }
     std::uint64_t amnesicRecords() const { return amnesicRecords_; }

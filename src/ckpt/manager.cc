@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/options.hh"
 
 namespace acr::ckpt
 {
@@ -30,6 +32,19 @@ archRegionLine(CoreId core, std::uint64_t index)
     return (LineId{1} << 40) + core * 1024 + index;
 }
 
+/** Recovery ordinal from an ACR_TEST_* variable (0 = unset / off). */
+std::uint64_t
+testHookOrdinal(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return 0;
+    unsigned long long value = 0;
+    if (!parseStrictUint(text, value))
+        fatal("%s='%s' is not an unsigned integer", name, text);
+    return value;
+}
+
 } // namespace
 
 CheckpointManager::CheckpointManager(const Config &config,
@@ -38,6 +53,9 @@ CheckpointManager::CheckpointManager(const Config &config,
                                      StatSet &stats)
     : config_(config), system_(system), provider_(provider), stats_(stats)
 {
+    corruptRecoveryAt_ = testHookOrdinal("ACR_TEST_CORRUPT_RECOVERY");
+    dropRecordAt_ = testHookOrdinal("ACR_TEST_DROP_LOG_RECORD");
+    flipReplayAt_ = testHookOrdinal("ACR_TEST_FLIP_REPLAY");
 }
 
 void
@@ -212,9 +230,25 @@ CheckpointManager::applyLog(const IntervalLog &log,
                        "amnesic record without a recompute provider");
             slice::ReplayCost cost;
             Word value = provider_->replay(*record.amnesic, &cost);
-            ACR_ASSERT(value == record.oldValue,
-                       "recomputation mismatch at addr %llu",
-                       static_cast<unsigned long long>(record.addr));
+            if (flipReplayAt_ != 0 &&
+                flipReplayAt_ == recoveryOrdinal_) {
+                // Oracle fixture: pretend the Slice replay miscomputed
+                // the first amnesic word of this recovery.
+                value ^= 1;
+                flipReplayAt_ = 0;
+            }
+            if (value != record.oldValue) {
+                if (auditor_ != nullptr) {
+                    auditor_->onRecomputeMismatch(record, value,
+                                                  log.interval());
+                    value = record.oldValue;  // heal from the shadow
+                } else {
+                    ACR_ASSERT(value == record.oldValue,
+                               "recomputation mismatch at addr %llu",
+                               static_cast<unsigned long long>(
+                                   record.addr));
+                }
+            }
             system_.memory().write(record.addr, value);
 
             // Least-loaded affected core executes this Slice.
@@ -249,6 +283,7 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
 {
     ACR_ASSERT(initialized_, "recover before initialCheckpoint");
     ACR_ASSERT(!retained_.empty(), "no checkpoints retained");
+    ++recoveryOrdinal_;
 
     // Determine the rollback scope.
     cache::SharerMask affected;
@@ -301,6 +336,17 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
     std::vector<Cycle> replay_cycles(system_.numCores(), 0);
     std::vector<Addr> restored;
 
+    if (dropRecordAt_ != 0 && dropRecordAt_ == recoveryOrdinal_) {
+        // Oracle fixture: lose one undo record of an affected writer
+        // before the rollback applies it, as a buggy log would —
+        // preferring one whose restore would actually change memory,
+        // so the loss is observable in the recovered image.
+        openLog_.dropOneRecord(affected, [this](Addr addr, Word old) {
+            return system_.memory().read(addr) != old;
+        });
+        dropRecordAt_ = 0;
+    }
+
     // Apply undo logs newest -> oldest; older records overwrite newer
     // ones, landing memory on the target checkpoint's state.
     applyLog(openLog_, affected, start, dram_done, replay_cycles,
@@ -310,6 +356,16 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
             break;
         applyLog(it->log, affected, start, dram_done, replay_cycles,
                  restored);
+    }
+
+    if (corruptRecoveryAt_ != 0 &&
+        corruptRecoveryAt_ == recoveryOrdinal_ && !restored.empty()) {
+        // Oracle fixture: flip the low bit of the first word this
+        // rollback restored, simulating a recovery that rebuilt the
+        // wrong memory image.
+        Addr addr = restored.front();
+        system_.memory().write(addr, system_.memory().read(addr) ^ 1);
+        corruptRecoveryAt_ = 0;
     }
 
     // Restore architectural state of affected cores, reading the
@@ -366,6 +422,7 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
     outcome.targetIndex = target->index;
     outcome.resumeCycle = resume;
     outcome.progressAt = target->progressAt;
+    outcome.targetEstablishedAt = target->establishedAt;
     return outcome;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/directory.hh"
+#include "ckpt/auditor.hh"
 #include "ckpt/log.hh"
 #include "ckpt/provider.hh"
 #include "common/stats.hh"
@@ -89,6 +90,10 @@ struct RecoveryOutcome
     Cycle resumeCycle = 0;
     /** Program progress of the restored checkpoint. */
     std::uint64_t progressAt = 0;
+    /** Cycle the restored checkpoint was established at — corruptions
+     *  that landed after this on an affected core were erased by the
+     *  rollback (the injector re-posts them). */
+    Cycle targetEstablishedAt = 0;
 };
 
 /** The checkpointing and recovery substrate. */
@@ -137,6 +142,14 @@ class CheckpointManager
     RecoveryOutcome recover(CoreId failing, Cycle error_time,
                             Cycle detection_time);
 
+    /**
+     * Install a recovery auditor. With an auditor present, a
+     * recomputation mismatch during rollback is reported (and the word
+     * healed from the record's shadow value) instead of aborting the
+     * process; without one, the historical ACR_ASSERT stands.
+     */
+    void setAuditor(RecoveryAuditor *auditor) { auditor_ = auditor; }
+
     /** Number of checkpoints established (excluding checkpoint 0). */
     std::uint64_t checkpointsEstablished() const { return established_; }
 
@@ -167,12 +180,23 @@ class CheckpointManager
     sim::MulticoreSystem &system_;
     RecomputeProvider *provider_;
     StatSet &stats_;
+    RecoveryAuditor *auditor_ = nullptr;
 
     IntervalLog openLog_{1};
     std::deque<Checkpoint> retained_;
     std::uint64_t established_ = 0;
     std::vector<IntervalSizes> history_;
     bool initialized_ = false;
+
+    /** Recoveries started so far (1-based ordinal of the current one). */
+    std::uint64_t recoveryOrdinal_ = 0;
+
+    // Deliberate-bug fixtures for the oracle's own tests, armed by
+    // ACR_TEST_* environment variables (1-based recovery ordinal to
+    // fire in; 0 / unset = off). Each fires at most once.
+    std::uint64_t corruptRecoveryAt_ = 0;  ///< ACR_TEST_CORRUPT_RECOVERY
+    std::uint64_t dropRecordAt_ = 0;       ///< ACR_TEST_DROP_LOG_RECORD
+    std::uint64_t flipReplayAt_ = 0;       ///< ACR_TEST_FLIP_REPLAY
 };
 
 } // namespace acr::ckpt

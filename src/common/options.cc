@@ -100,6 +100,15 @@ OptionParser::addInt(const std::string &name, long long def,
 }
 
 void
+OptionParser::addUint(const std::string &name, unsigned long long def,
+                      const std::string &help)
+{
+    std::string d = std::to_string(def);
+    options_[name] = Option{Kind::kUint, d, d, help};
+    order_.push_back(name);
+}
+
+void
 OptionParser::addDouble(const std::string &name, double def,
                         const std::string &help)
 {
@@ -114,6 +123,53 @@ OptionParser::addFlag(const std::string &name, const std::string &help)
 {
     options_[name] = Option{Kind::kFlag, "0", "0", help};
     order_.push_back(name);
+}
+
+void
+OptionParser::assign(Option &opt, const std::string &source,
+                     const std::string &value)
+{
+    if (opt.kind == Kind::kInt) {
+        long long parsed = 0;
+        if (!parseStrictInt(value, parsed))
+            fatal("%s expects an in-range integer, got '%s'",
+                  source.c_str(), value.c_str());
+    } else if (opt.kind == Kind::kUint) {
+        unsigned long long parsed = 0;
+        if (!parseStrictUint(value, parsed))
+            fatal("%s expects an in-range unsigned integer, got '%s'",
+                  source.c_str(), value.c_str());
+    } else if (opt.kind == Kind::kDouble) {
+        double parsed = 0.0;
+        if (!parseStrictDouble(value, parsed))
+            fatal("%s expects an in-range number, got '%s'",
+                  source.c_str(), value.c_str());
+    }
+    opt.value = value;
+}
+
+void
+OptionParser::envDefault(const std::string &name, const char *env_var)
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        panic("envDefault: option '%s' was never declared", name.c_str());
+    const char *text = std::getenv(env_var);
+    if (text == nullptr || *text == '\0')
+        return;
+    Option &opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+        // A flag's environment form is explicit: "0"/"1" only, so a
+        // stray ACR_FOO=yes fails loudly instead of silently enabling.
+        if (std::string(text) == "1")
+            opt.value.assign(1, '1');
+        else if (std::string(text) == "0")
+            opt.value.assign(1, '0');
+        else
+            fatal("%s expects 0 or 1, got '%s'", env_var, text);
+        return;
+    }
+    assign(opt, env_var, text);
 }
 
 void
@@ -150,20 +206,7 @@ OptionParser::parse(int argc, const char *const *argv)
         }
         if (!has_value)
             fatal("option '--%s' requires =value", name.c_str());
-        if (opt.kind == Kind::kInt) {
-            long long parsed = 0;
-            if (!parseStrictInt(value, parsed))
-                fatal("option '--%s' expects an in-range integer, got "
-                      "'%s'",
-                      name.c_str(), value.c_str());
-        } else if (opt.kind == Kind::kDouble) {
-            double parsed = 0.0;
-            if (!parseStrictDouble(value, parsed))
-                fatal("option '--%s' expects an in-range number, got "
-                      "'%s'",
-                      name.c_str(), value.c_str());
-        }
-        opt.value = value;
+        assign(opt, "option '--" + name + "'", value);
     }
 }
 
@@ -191,6 +234,16 @@ OptionParser::getInt(const std::string &name) const
     if (!parseStrictInt(find(name, Kind::kInt).value, value))
         fatal("option '--%s' holds an unparseable integer '%s'",
               name.c_str(), find(name, Kind::kInt).value.c_str());
+    return value;
+}
+
+unsigned long long
+OptionParser::getUint(const std::string &name) const
+{
+    unsigned long long value = 0;
+    if (!parseStrictUint(find(name, Kind::kUint).value, value))
+        fatal("option '--%s' holds an unparseable unsigned integer '%s'",
+              name.c_str(), find(name, Kind::kUint).value.c_str());
     return value;
 }
 

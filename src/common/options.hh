@@ -42,12 +42,26 @@ class OptionParser
     void addInt(const std::string &name, long long def,
                 const std::string &help);
 
+    /** Declare an unsigned option with a default (rejects any sign). */
+    void addUint(const std::string &name, unsigned long long def,
+                 const std::string &help);
+
     /** Declare a floating-point option with a default. */
     void addDouble(const std::string &name, double def,
                    const std::string &help);
 
     /** Declare a boolean flag (default false; "--name" sets true). */
     void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Route an environment variable through the declared option: if
+     * `env_var` is set and nonempty, its text is assigned to `--name`
+     * through the same validation as a command-line "--name=value"
+     * (fatal() on a type error names the variable). Call between the
+     * declarations and parse() — argv is applied later, so an explicit
+     * flag always wins over the environment.
+     */
+    void envDefault(const std::string &name, const char *env_var);
 
     /**
      * Parse argv. Calls fatal() on unknown options or type errors.
@@ -57,6 +71,7 @@ class OptionParser
 
     std::string getString(const std::string &name) const;
     long long getInt(const std::string &name) const;
+    unsigned long long getUint(const std::string &name) const;
     double getDouble(const std::string &name) const;
     bool getFlag(const std::string &name) const;
 
@@ -64,7 +79,7 @@ class OptionParser
     std::string usage() const;
 
   private:
-    enum class Kind { kString, kInt, kDouble, kFlag };
+    enum class Kind { kString, kInt, kUint, kDouble, kFlag };
 
     struct Option
     {
@@ -75,6 +90,12 @@ class OptionParser
     };
 
     const Option &find(const std::string &name, Kind kind) const;
+
+    /** Shared assignment/validation for argv and environment values.
+     *  `source` names the origin ("option '--jobs'" or "ACR_JOBS") in
+     *  error messages. */
+    void assign(Option &opt, const std::string &source,
+                const std::string &value);
 
     std::string programName_;
     std::map<std::string, Option> options_;

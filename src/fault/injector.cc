@@ -8,6 +8,17 @@
 namespace acr::fault
 {
 
+namespace
+{
+
+bool
+inMask(std::uint64_t mask, CoreId core)
+{
+    return (mask >> core) & 1;
+}
+
+} // namespace
+
 double
 relativeErrorRate(unsigned generations, double degradation)
 {
@@ -20,7 +31,9 @@ FaultPlan
 FaultPlan::uniform(unsigned count, std::uint64_t total_progress,
                    Cycle detection_latency, std::uint64_t seed)
 {
-    ACR_ASSERT(total_progress > 0, "fault plan over empty execution");
+    // An empty plan needs no time axis; only placing events does.
+    ACR_ASSERT(count == 0 || total_progress > 0,
+               "fault plan over empty execution");
     FaultPlan plan;
     plan.detectionLatency = detection_latency;
     Rng rng(seed);
@@ -29,141 +42,223 @@ FaultPlan::uniform(unsigned count, std::uint64_t total_progress,
         event.progressTrigger =
             total_progress * i / (static_cast<std::uint64_t>(count) + 1);
         event.xorMask = rng.next() | 1;  // guarantee at least one flip
+        event.ordinal = i - 1;
         plan.events.push_back(event);
     }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::masked(std::uint64_t keep) const
+{
+    FaultPlan plan;
+    plan.detectionLatency = detectionLatency;
+    // Keyed on the event's ordinal (not its vector position), so
+    // successive maskings compose like set intersection and a shrunk
+    // plan's mask still names the original campaign's events.
+    for (const Event &event : events)
+        if ((keep >> (event.ordinal % 64)) & 1)
+            plan.events.push_back(event);
     return plan;
 }
 
 ErrorInjector::ErrorInjector(const FaultPlan &plan, StatSet &stats)
     : plan_(plan), stats_(stats)
 {
+    events_.reserve(plan_.events.size());
+    for (const FaultPlan::Event &event : plan_.events)
+        events_.push_back(Tracked{event, State::kPending, kInvalidCore, 0});
 }
 
 bool
 ErrorInjector::done() const
 {
-    return nextEvent_ >= plan_.events.size() && phase_ == Phase::kIdle;
+    return std::all_of(events_.begin(), events_.end(),
+                       [](const Tracked &t) {
+                           return t.state == State::kDone;
+                       });
+}
+
+unsigned
+ErrorInjector::latentCount() const
+{
+    return static_cast<unsigned>(
+        std::count_if(events_.begin(), events_.end(),
+                      [](const Tracked &t) {
+                          return t.state == State::kLatent;
+                      }));
+}
+
+std::uint64_t
+ErrorInjector::armedMask() const
+{
+    std::uint64_t mask = 0;
+    for (const Tracked &t : events_)
+        if (t.state == State::kArmed)
+            mask |= std::uint64_t{1} << t.victim;
+    return mask;
+}
+
+CoreId
+ErrorInjector::pickVictim(const sim::MulticoreSystem &system,
+                          unsigned ordinal) const
+{
+    const std::uint64_t busy = armedMask();
+    for (unsigned k = 0; k < system.numCores(); ++k) {
+        CoreId c =
+            static_cast<CoreId>((ordinal + k) % system.numCores());
+        if (!system.core(c).halted() && !inMask(busy, c))
+            return c;
+    }
+    return kInvalidCore;
+}
+
+void
+ErrorInjector::drop(Tracked &tracked)
+{
+    tracked.state = State::kDone;
+    ++dropped_;
+    stats_.add("fault.dropped");
+}
+
+DetectionEvent
+ErrorInjector::detect(Tracked &tracked,
+                      const sim::MulticoreSystem &system)
+{
+    DetectionEvent detection;
+    detection.core = tracked.victim;
+    detection.errorTime = tracked.errorTime;
+    detection.detectTime =
+        std::max(system.core(tracked.victim).cycle(),
+                 tracked.errorTime + plan_.detectionLatency);
+    tracked.state = State::kDone;
+    ++detected_;
+    stats_.add("fault.detected");
+    return detection;
 }
 
 std::optional<DetectionEvent>
 ErrorInjector::forceDetection(sim::MulticoreSystem &system)
 {
-    if (phase_ == Phase::kLatent) {
-        DetectionEvent detection;
-        detection.core = victim_;
-        detection.errorTime = errorTime_;
-        detection.detectTime =
-            std::max(system.core(victim_).cycle(),
-                     errorTime_ + plan_.detectionLatency);
-        phase_ = Phase::kIdle;
-        ++nextEvent_;
-        ++detected_;
-        stats_.add("fault.detected");
-        return detection;
+    // Earliest-occurred latent error first: it has waited the longest
+    // and its recovery target is the most constrained.
+    Tracked *earliest = nullptr;
+    for (Tracked &t : events_) {
+        if (t.state != State::kLatent)
+            continue;
+        if (earliest == nullptr || t.errorTime < earliest->errorTime)
+            earliest = &t;
     }
-    if (phase_ == Phase::kArmed) {
-        system.core(victim_).cancelCorruption();
-        phase_ = Phase::kIdle;
-        ++nextEvent_;
-        ++dropped_;
-        stats_.add("fault.dropped");
+    if (earliest != nullptr)
+        return detect(*earliest, system);
+
+    for (Tracked &t : events_) {
+        if (t.state != State::kArmed)
+            continue;
+        system.core(t.victim).cancelCorruption();
+        drop(t);
     }
     return std::nullopt;
+}
+
+void
+ErrorInjector::onRecovery(std::uint64_t affected_mask,
+                          Cycle target_established_at)
+{
+    for (Tracked &t : events_) {
+        if (t.victim == kInvalidCore || !inMask(affected_mask, t.victim))
+            continue;
+        const bool erased_latent =
+            t.state == State::kLatent &&
+            t.errorTime > target_established_at;
+        // An armed corruption dies with the rollback unconditionally:
+        // Core::restoreArch cancels any scheduled-but-unapplied mask.
+        const bool erased_armed = t.state == State::kArmed;
+        if (!erased_latent && !erased_armed)
+            continue;
+        t.state = State::kPending;
+        t.victim = kInvalidCore;
+        t.errorTime = 0;
+        ++requeued_;
+        stats_.add("fault.requeued");
+    }
 }
 
 std::optional<DetectionEvent>
 ErrorInjector::poll(sim::MulticoreSystem &system)
 {
-    if (phase_ == Phase::kIdle) {
-        if (nextEvent_ >= plan_.events.size())
-            return std::nullopt;
-        const FaultPlan::Event &event = plan_.events[nextEvent_];
-        if (system.progress() < event.progressTrigger) {
-            // A fully-halted system makes no further progress: the
-            // error can never occur (possible when an earlier,
-            // unrecovered corruption truncated the execution).
-            if (system.allHalted()) {
-                ++dropped_;
-                ++nextEvent_;
-                stats_.add("fault.dropped");
-            }
-            return std::nullopt;
-        }
-
-        // Choose a live victim deterministically (round-robin by event
-        // index, skipping halted cores).
-        CoreId victim = kInvalidCore;
-        for (unsigned k = 0; k < system.numCores(); ++k) {
-            CoreId c = static_cast<CoreId>(
-                (nextEvent_ + k) % system.numCores());
-            if (!system.core(c).halted()) {
-                victim = c;
-                break;
-            }
-        }
-        if (victim == kInvalidCore) {
-            // Program finished under us; the error can no longer occur.
-            ++dropped_;
-            ++nextEvent_;
-            stats_.add("fault.dropped");
-            return std::nullopt;
-        }
-        victim_ = victim;
-        system.core(victim_).scheduleCorruption(event.xorMask);
-        phase_ = Phase::kArmed;
-        return std::nullopt;
-    }
-
-    if (phase_ == Phase::kArmed) {
-        auto applied = system.core(victim_).takeCorruptionEvent();
-        if (applied) {
-            errorTime_ = *applied;
-            phase_ = Phase::kLatent;
+    // 1. Observe armed corruptions: application makes an event latent;
+    //    a victim that halted without writing a register moves the
+    //    corruption to another live core (or the event drops).
+    for (Tracked &t : events_) {
+        if (t.state != State::kArmed)
+            continue;
+        if (auto applied = system.core(t.victim).takeCorruptionEvent()) {
+            t.errorTime = *applied;
+            t.state = State::kLatent;
             ++injected_;
             stats_.add("fault.injected");
-            // Fall through to the latent check below.
-        } else if (system.core(victim_).halted()) {
-            // Victim finished before executing another register write;
-            // move the corruption to a live core.
-            system.core(victim_).cancelCorruption();
-            CoreId replacement = kInvalidCore;
-            for (CoreId c = 0; c < system.numCores(); ++c) {
-                if (!system.core(c).halted()) {
-                    replacement = c;
-                    break;
-                }
-            }
-            if (replacement == kInvalidCore) {
-                ++dropped_;
-                ++nextEvent_;
-                phase_ = Phase::kIdle;
-                stats_.add("fault.dropped");
-                return std::nullopt;
-            }
-            victim_ = replacement;
-            system.core(victim_).scheduleCorruption(
-                plan_.events[nextEvent_].xorMask);
-            return std::nullopt;
+            continue;
+        }
+        if (!system.core(t.victim).halted())
+            continue;
+        system.core(t.victim).cancelCorruption();
+        CoreId replacement = pickVictim(system, t.event.ordinal);
+        if (replacement != kInvalidCore) {
+            t.victim = replacement;
+            system.core(replacement).scheduleCorruption(t.event.xorMask);
+        } else if (system.allHalted()) {
+            // Program finished under us; the error can no longer occur.
+            drop(t);
         } else {
-            return std::nullopt;
+            // Every live core hosts another armed corruption; retry
+            // once one frees up.
+            t.state = State::kPending;
+            t.victim = kInvalidCore;
         }
     }
 
-    // Latent: detection fires once the victim's clock passes
-    // occurrence + latency (or immediately if the victim halted with a
-    // corrupted state — the checker catches it at program end).
-    const cpu::Core &victim = system.core(victim_);
-    const Cycle detect_at = errorTime_ + plan_.detectionLatency;
-    if (victim.cycle() >= detect_at || victim.halted()) {
-        DetectionEvent detection;
-        detection.core = victim_;
-        detection.errorTime = errorTime_;
-        detection.detectTime = std::max(victim.cycle(), detect_at);
-        phase_ = Phase::kIdle;
-        ++nextEvent_;
-        ++detected_;
-        stats_.add("fault.detected");
-        return detection;
+    // 2. Detection: among due latent errors, surface the one whose
+    //    detection deadline is earliest (ties: plan order). One per
+    //    poll — the driver must recover before the next can fire.
+    Tracked *due = nullptr;
+    for (Tracked &t : events_) {
+        if (t.state != State::kLatent)
+            continue;
+        const Cycle detect_at = t.errorTime + plan_.detectionLatency;
+        const cpu::Core &victim = system.core(t.victim);
+        if (victim.cycle() < detect_at && !victim.halted())
+            continue;
+        if (due == nullptr ||
+            detect_at < due->errorTime + plan_.detectionLatency)
+            due = &t;
+    }
+    if (due != nullptr)
+        return detect(*due, system);
+
+    // 3. Arm pending events whose trigger has been reached. A
+    //    fully-halted system makes no further progress, so an
+    //    unreached trigger can never fire (possible when an earlier,
+    //    unrecovered corruption truncated the execution).
+    const std::uint64_t progress = system.progress();
+    for (Tracked &t : events_) {
+        if (t.state != State::kPending)
+            continue;
+        if (progress < t.event.progressTrigger) {
+            if (system.allHalted())
+                drop(t);
+            continue;
+        }
+        CoreId victim = pickVictim(system, t.event.ordinal);
+        if (victim == kInvalidCore) {
+            if (system.allHalted())
+                drop(t);
+            // else: all live cores are busy — retry next poll.
+            continue;
+        }
+        t.victim = victim;
+        t.state = State::kArmed;
+        system.core(victim).scheduleCorruption(t.event.xorMask);
     }
     return std::nullopt;
 }

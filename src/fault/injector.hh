@@ -9,6 +9,16 @@
  * Errors are placed uniformly over execution (Sec. V-D2) using program
  * progress (retired instructions) as the time axis, so the same plan
  * injects at the same functional points in every configuration compared.
+ *
+ * The injector drives every planned error as its own state machine
+ * (pending -> armed -> latent -> done), so any number of errors can be
+ * outstanding at once: overlapping latent windows, bursts within one
+ * checkpoint interval, and errors whose corruption a rollback erases
+ * before detection (those are re-posted — see onRecovery). At most one
+ * corruption is armed per core at a time (a core tracks a single
+ * scheduled corruption), and every scheduling decision is a
+ * deterministic function of the plan and the simulated machine state,
+ * so identical seeds replay identical campaigns.
  */
 
 #ifndef ACR_FAULT_INJECTOR_HH
@@ -41,6 +51,14 @@ struct FaultPlan
         std::uint64_t progressTrigger = 0;
         /** Bits to flip in the victim instruction's result. */
         Word xorMask = 1;
+        /**
+         * Position in the plan this event was generated at. Victim
+         * selection seeds its round-robin from this (not from the
+         * vector position), so a masked() sub-plan replays each
+         * surviving event on exactly the cores the full plan used —
+         * the property FaultPlan shrinking relies on.
+         */
+        unsigned ordinal = 0;
     };
 
     std::vector<Event> events;
@@ -51,9 +69,25 @@ struct FaultPlan
     /**
      * @p count errors uniformly distributed over @p total_progress
      * retired instructions, with masks drawn from @p seed.
+     *
+     * Deterministic: the same (count, total_progress, seed) yields an
+     * identical plan. count == 0 yields an empty plan (any
+     * total_progress, including 0). count > total_progress is allowed:
+     * triggers then collide (integer spacing rounds to the same
+     * progress value, possibly 0) and the injector simply arms the
+     * colliding events on distinct cores in ordinal order. xorMask is
+     * never 0 (a zero mask would be a no-op "error").
      */
     static FaultPlan uniform(unsigned count, std::uint64_t total_progress,
                              Cycle detection_latency, std::uint64_t seed);
+
+    /**
+     * The sub-plan keeping each event iff bit (ordinal % 64) of
+     * @p keep — the FaultPlan shrinker's projection. Triggers, masks,
+     * and ordinals of surviving events are untouched, so each replays
+     * identically, and successive maskings compose like intersection.
+     */
+    FaultPlan masked(std::uint64_t keep) const;
 };
 
 /** What the BER driver must react to. */
@@ -67,7 +101,8 @@ struct DetectionEvent
 /**
  * Drives a FaultPlan against a running system. The driver calls poll()
  * between scheduling quanta; when poll() returns a DetectionEvent the
- * driver must run recovery before continuing.
+ * driver must run recovery before continuing, then report the rollback
+ * back via onRecovery so corruptions the rollback erased are re-posted.
  */
 class ErrorInjector
 {
@@ -75,22 +110,38 @@ class ErrorInjector
     ErrorInjector(const FaultPlan &plan, StatSet &stats);
 
     /**
-     * Advance the injector state machine: arm scheduled corruptions,
-     * observe their application, and report detection once the failing
-     * core's clock passes occurrence + detection latency.
+     * Advance every event's state machine: observe applications of
+     * armed corruptions, report the earliest due detection (at most one
+     * per poll — the driver recovers between detections), and arm
+     * pending events whose progress trigger has been reached.
      */
     std::optional<DetectionEvent> poll(sim::MulticoreSystem &system);
 
     /**
      * Watchdog path: the system wedged (corrupted control flow broke a
-     * barrier rendezvous). If an injected error is latent, detect it
-     * now regardless of the latency timer; if one is merely armed
-     * (never applied), drop it. Returns the detection, if any.
+     * barrier rendezvous). If injected errors are latent, detect the
+     * earliest now regardless of the latency timer; if none, drop every
+     * merely-armed (never applied) one. Returns the detection, if any.
      */
     std::optional<DetectionEvent>
     forceDetection(sim::MulticoreSystem &system);
 
-    /** Errors injected so far. */
+    /**
+     * A rollback of the cores in @p affected_mask just restored the
+     * checkpoint established at @p target_established_at. Corruptions
+     * that landed on an affected core after that point no longer exist
+     * in the machine (the restore erased applied ones; restoreArch
+     * cancels scheduled ones), so those events are re-posted: they
+     * re-arm when progress next reaches their trigger — the "error
+     * lands during recovery / re-execution" regime. Detected and
+     * dropped stay terminal exactly once per event, so
+     * detected() + dropped() still converges to the plan size.
+     */
+    void onRecovery(std::uint64_t affected_mask,
+                    Cycle target_established_at);
+
+    /** Corruption applications so far (a re-posted event that applies
+     *  again counts again). */
     std::uint64_t injected() const { return injected_; }
 
     /** Errors detected (and thus recovered) so far. */
@@ -99,27 +150,54 @@ class ErrorInjector
     /** Errors dropped because they could no longer occur. */
     std::uint64_t dropped() const { return dropped_; }
 
+    /** Events re-posted because a rollback erased their corruption. */
+    std::uint64_t requeued() const { return requeued_; }
+
+    /** Applied-but-undetected errors outstanding right now (the
+     *  oracle's establishment taint marker). */
+    unsigned latentCount() const;
+
     /** True when every planned error has been detected (or dropped
      *  because no core could apply it). */
     bool done() const;
 
   private:
-    enum class Phase
+    enum class State
     {
-        kIdle,    ///< waiting for the next progress trigger
-        kArmed,   ///< corruption scheduled on a core, not yet applied
-        kLatent,  ///< corruption applied, waiting out detection latency
+        kPending,  ///< waiting for the progress trigger
+        kArmed,    ///< corruption scheduled on a core, not yet applied
+        kLatent,   ///< corruption applied, waiting out detection latency
+        kDone,     ///< detected or dropped (terminal)
     };
+
+    struct Tracked
+    {
+        FaultPlan::Event event;
+        State state = State::kPending;
+        CoreId victim = kInvalidCore;
+        Cycle errorTime = 0;
+    };
+
+    /** Deterministic victim choice: round-robin from the event's
+     *  ordinal, skipping halted cores and cores another armed event
+     *  already occupies. kInvalidCore when none qualifies. */
+    CoreId pickVictim(const sim::MulticoreSystem &system,
+                      unsigned ordinal) const;
+
+    /** Cores occupied by an armed (scheduled, unapplied) corruption. */
+    std::uint64_t armedMask() const;
+
+    void drop(Tracked &tracked);
+    DetectionEvent detect(Tracked &tracked,
+                          const sim::MulticoreSystem &system);
 
     FaultPlan plan_;
     StatSet &stats_;
-    std::size_t nextEvent_ = 0;
-    Phase phase_ = Phase::kIdle;
-    CoreId victim_ = 0;
-    Cycle errorTime_ = 0;
+    std::vector<Tracked> events_;
     std::uint64_t injected_ = 0;
     std::uint64_t detected_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t requeued_ = 0;
 };
 
 } // namespace acr::fault

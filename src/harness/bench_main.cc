@@ -97,7 +97,11 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
                      "file: serve identical (workload, config, "
                      "threads) points from it instead of simulating, "
                      "and append fresh results (default: $ACR_CACHE)");
+    if (spec.options)
+        spec.options(parser);
     parser.parse(argc, argv);
+    if (spec.readOptions)
+        spec.readOptions(parser);
 
     BenchOptions options;
     const long long jobs = parser.getInt("jobs");
@@ -336,9 +340,12 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
         const auto results =
             mergeShardFiles(spec, grid, options.mergeFiles);
         spec.render(context, results);
-        return quarantineExit(
+        int code = quarantineExit(
             grid, ShardedSweep::shardIndices(grid.size(), {}),
             results);
+        if (spec.exitCode)
+            code = std::max(code, spec.exitCode(context, results));
+        return code;
     }
 
     ShardedSweep sweep(pool, options.jobs);
@@ -449,7 +456,10 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
                   << options.cachePath << "'\n";
     if (!options.shardMode)
         spec.render(context, results);
-    return quarantineExit(grid, owned, results);
+    int code = quarantineExit(grid, owned, results);
+    if (!options.shardMode && spec.exitCode)
+        code = std::max(code, spec.exitCode(context, results));
+    return code;
 }
 
 } // namespace acr::harness

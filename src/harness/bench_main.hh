@@ -56,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "common/options.hh"
 #include "common/table.hh"
 #include "harness/sharded_sweep.hh"
 
@@ -145,6 +146,24 @@ struct BenchSpec
     std::function<void(BenchContext &,
                        const std::vector<ExperimentResult> &)>
         render;
+
+    /** Declare bench-specific flags on the shared parser, before
+     *  parse() — use OptionParser::envDefault here so a flag and its
+     *  environment variable share one validation path (optional). */
+    std::function<void(OptionParser &)> options;
+
+    /** Read the bench-specific flags back after parse() (optional;
+     *  typically stores into file-scope config the grid/render
+     *  callbacks consult). Runs in --worker mode too, so workers
+     *  inherit the same settings through their environment. */
+    std::function<void(const OptionParser &)> readOptions;
+
+    /** Pick an extra exit code from the rendered results (optional).
+     *  Called wherever render is (sweep and merge modes, not shard or
+     *  worker); the process exits with max(quarantine code, this). */
+    std::function<int(BenchContext &,
+                      const std::vector<ExperimentResult> &)>
+        exitCode;
 };
 
 /** Run a bench binary: parse the common flags, execute the requested

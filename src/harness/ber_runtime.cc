@@ -9,6 +9,7 @@
 #include "fault/injector.hh"
 #include "sim/system.hh"
 #include "slice/engine.hh"
+#include "validate/recovery_oracle.hh"
 
 namespace acr::harness
 {
@@ -88,6 +89,17 @@ BerRuntime::run(const isa::Program &program,
         manager->initialCheckpoint();
     }
 
+    // --- Recovery validation (oracle) ---
+    std::unique_ptr<validate::RecoveryOracle> oracle;
+    if (config.oracle) {
+        ACR_ASSERT(manager != nullptr,
+                   "the oracle requires a checkpointing mode");
+        oracle = std::make_unique<validate::RecoveryOracle>(
+            system, machine, config.coordination, stats);
+        manager->setAuditor(oracle.get());
+        oracle->onInitialCheckpoint(*manager);
+    }
+
     // --- Error injection ---
     const std::uint64_t period =
         profile.totalProgress / (config.numCheckpoints + 1);
@@ -102,7 +114,8 @@ BerRuntime::run(const isa::Program &program,
             static_cast<double>(period_cycles));
         auto plan = fault::FaultPlan::uniform(config.numErrors,
                                               profile.totalProgress,
-                                              latency, config.seed);
+                                              latency, config.seed)
+                        .masked(config.faultEventMask);
         injector = std::make_unique<fault::ErrorInjector>(plan, stats);
     }
 
@@ -127,9 +140,18 @@ BerRuntime::run(const isa::Program &program,
             config.trace->instant("fault", "detection",
                                   detection.detectTime);
         }
+        if (oracle)
+            oracle->beforeRecovery(*manager);
         auto outcome = manager->recover(detection.core,
                                         detection.errorTime,
                                         detection.detectTime);
+        if (oracle)
+            oracle->afterRecovery(*manager, outcome);
+        // Corruptions the rollback erased must be re-posted, or a
+        // multi-error plan would wait forever on a dead corruption.
+        if (injector)
+            injector->onRecovery(outcome.affected,
+                                 outcome.targetEstablishedAt);
         if (config.trace) {
             config.trace->span(
                 "recovery",
@@ -212,6 +234,10 @@ BerRuntime::run(const isa::Program &program,
             if (!defer) {
                 Cycle before = system.maxCycle();
                 manager->establish();
+                if (oracle)
+                    oracle->onEstablish(
+                        *manager,
+                        injector ? injector->latentCount() : 0);
                 if (config.trace) {
                     config.trace->span(
                         "checkpoint",
@@ -249,20 +275,26 @@ BerRuntime::run(const isa::Program &program,
 
     // --- Verification: recovery must be transparent ---
     if (config.verifyFinalState) {
-        auto image = system.memory().image();
-        if (image != profile.finalImage) {
-            Addr bad = kInvalidAddr;
-            for (const auto &[addr, value] : profile.finalImage) {
-                auto it = image.find(addr);
-                if (it == image.end() || it->second != value) {
-                    bad = addr;
-                    break;
+        if (oracle) {
+            // With the oracle on, a diverged final image is one more
+            // structured finding, not a process abort.
+            oracle->onFinalImage(profile.finalImage);
+        } else {
+            auto image = system.memory().image();
+            if (image != profile.finalImage) {
+                Addr bad = kInvalidAddr;
+                for (const auto &[addr, value] : profile.finalImage) {
+                    auto it = image.find(addr);
+                    if (it == image.end() || it->second != value) {
+                        bad = addr;
+                        break;
+                    }
                 }
+                panic("%s: final state diverged from the error-free "
+                      "reference (first bad addr %llu)",
+                      config.label().c_str(),
+                      static_cast<unsigned long long>(bad));
             }
-            panic("%s: final state diverged from the error-free "
-                  "reference (first bad addr %llu)",
-                  config.label().c_str(),
-                  static_cast<unsigned long long>(bad));
         }
     }
 
@@ -286,6 +318,11 @@ BerRuntime::run(const isa::Program &program,
     }
     result.recoveries =
         static_cast<std::uint64_t>(stats.get("rec.recoveries"));
+    if (oracle) {
+        result.oracleDivergences =
+            static_cast<std::uint64_t>(stats.get("oracle.divergences"));
+        result.oracleReport = oracle->report();
+    }
     return result;
 }
 

@@ -51,6 +51,13 @@ ExperimentConfig::validate() const
         return csprintf("placementSlack must be in [0, 1] (a fraction "
                         "of the checkpoint period), got %g",
                         placementSlack);
+    if (oracle && mode == BerMode::kNoCkpt)
+        return "oracle == true requires a checkpointing mode (there is "
+               "no recovery to validate under NoCkpt)";
+    if (faultEventMask == 0 && numErrors > 0)
+        return csprintf("faultEventMask == 0 would silently drop all "
+                        "%u planned errors; use numErrors = 0 instead",
+                        numErrors);
     return "";
 }
 

@@ -93,6 +93,20 @@ struct ExperimentConfig
      *  reference (always sound: recovery must be transparent). */
     bool verifyFinalState = true;
 
+    /**
+     * Attach the RecoveryOracle: differentially validate every
+     * recovery and report structured divergences in the result instead
+     * of aborting. Requires a checkpointing mode.
+     */
+    bool oracle = false;
+
+    /**
+     * FaultPlan shrinking: keep planned error i iff bit (i % 64) is
+     * set. All-ones (the default) keeps the full plan; the torture
+     * front-end bisects this mask to a minimal failing event set.
+     */
+    std::uint64_t faultEventMask = ~std::uint64_t{0};
+
     /** Optional event timeline sink (checkpoints, errors, recoveries);
      *  not owned. */
     EventTrace *trace = nullptr;
@@ -122,6 +136,11 @@ struct ExperimentResult
 
     std::uint64_t checkpointsEstablished = 0;
     std::uint64_t recoveries = 0;
+
+    /** Oracle findings (0 when the oracle is off or the run is clean). */
+    std::uint64_t oracleDivergences = 0;
+    /** Structured divergence report ("" when clean). */
+    std::string oracleReport;
 
     /** Stored checkpoint bytes over the whole run / bytes ACR omitted. */
     std::uint64_t ckptBytesStored = 0;

@@ -162,7 +162,9 @@ encodeConfig(const ExperimentConfig &config)
         .set("placementSlack", config.placementSlack)
         .set("secondaryPeriod", config.secondaryPeriod)
         .set("seed", config.seed)
-        .set("verifyFinalState", config.verifyFinalState);
+        .set("verifyFinalState", config.verifyFinalState)
+        .set("oracle", config.oracle)
+        .set("faultEventMask", config.faultEventMask);
     return json;
 }
 
@@ -192,6 +194,8 @@ decodeConfig(const Json &json)
         reader.require("secondaryPeriod"), "secondaryPeriod");
     config.seed = reader.requireUint("seed");
     config.verifyFinalState = reader.requireBool("verifyFinalState");
+    config.oracle = reader.requireBool("oracle");
+    config.faultEventMask = reader.requireUint("faultEventMask");
     config.trace = nullptr;
     reader.finish();
     return config;
@@ -233,6 +237,8 @@ encodeResult(const ExperimentResult &result)
         .set("edp", result.edp)
         .set("checkpointsEstablished", result.checkpointsEstablished)
         .set("recoveries", result.recoveries)
+        .set("oracleDivergences", result.oracleDivergences)
+        .set("oracleReport", result.oracleReport)
         .set("ckptBytesStored", result.ckptBytesStored)
         .set("ckptBytesOmitted", result.ckptBytesOmitted)
         .set("stats", encodeStats(result.stats))
@@ -251,6 +257,8 @@ decodeResult(const Json &json)
     result.checkpointsEstablished =
         reader.requireUint("checkpointsEstablished");
     result.recoveries = reader.requireUint("recoveries");
+    result.oracleDivergences = reader.requireUint("oracleDivergences");
+    result.oracleReport = reader.requireString("oracleReport");
     result.ckptBytesStored = reader.requireUint("ckptBytesStored");
     result.ckptBytesOmitted = reader.requireUint("ckptBytesOmitted");
     result.stats = decodeStats(reader.require("stats"));

@@ -39,8 +39,10 @@ namespace wire
 {
 
 /** Bump on ANY schema change (field added/removed/renamed/retyped).
- *  v2: added the `failed` record type (quarantined sweep points). */
-inline constexpr std::uint64_t kVersion = 2;
+ *  v2: added the `failed` record type (quarantined sweep points).
+ *  v3: config gained `oracle` + `faultEventMask`, result gained
+ *      `oracleDivergences` + `oracleReport` (recovery validation). */
+inline constexpr std::uint64_t kVersion = 3;
 
 // --- Value encodings (no version envelope; record lines add it) ---
 

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * RecoveryOracle: differential validation of rollback/recovery, after
+ * ReStore's discipline of checking recovered state against a fault-free
+ * reference. The oracle shadows the CheckpointManager: at every
+ * establishment it snapshots what a correct checkpoint must restore
+ * (per-core ArchState, the memory image, the slice instances the log
+ * pins) and — when the execution is known to be on the fault-free path —
+ * compares the machine against a deterministic golden replay of the same
+ * program. After every recovery it re-derives the full expected machine
+ * state from the undo logs it captured *before* the rollback mutated
+ * them and checks memory, architectural state, the log-bit index,
+ * two-checkpoint retention, `validFor` masks, and slice-instance
+ * pinning. Violations are reported as structured Divergence records
+ * (address, expected/actual word, originating record, slice id) instead
+ * of aborting, so a torture campaign can surface every failure and
+ * shrink the fault plan that caused it.
+ *
+ * Taint tracking makes the golden comparison sound under multi-error
+ * campaigns: a checkpoint established while a corruption is latent (the
+ * Fig. 2 hazard) is off the golden path, as is everything after a
+ * partial (group-local) rollback, whose survivors keep post-rollback
+ * progress the golden replay never visits. Off-path state still gets
+ * the full set of internal-consistency checks — only the golden
+ * image/arch comparison is gated.
+ */
+
+#ifndef ACR_VALIDATE_RECOVERY_ORACLE_HH
+#define ACR_VALIDATE_RECOVERY_ORACLE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/auditor.hh"
+#include "ckpt/manager.hh"
+#include "common/stats.hh"
+#include "sim/system.hh"
+
+namespace acr::validate
+{
+
+/** Which recovery invariant a divergence violated. */
+enum class DivergenceKind
+{
+    kRecompute,    ///< slice replay != the record's shadow value
+    kMemoryWord,   ///< recovered memory word != log-derived expectation
+    kArchState,    ///< restored ArchState != checkpoint snapshot
+    kLogIndex,     ///< log-bit index inconsistent / stale writer records
+    kRetention,    ///< two-checkpoint retention / missing target
+    kValidFor,     ///< newer checkpoint still valid for a rolled-back core
+    kPinning,      ///< pinned SliceInstance died while its log lives
+    kGoldenState,  ///< on-path establishment != golden fault-free replay
+    kFinalImage,   ///< final memory image != error-free reference
+};
+
+const char *divergenceKindName(DivergenceKind kind);
+
+/** One structured divergence diagnostic. */
+struct Divergence
+{
+    DivergenceKind kind = DivergenceKind::kMemoryWord;
+    /** 1-based ordinal of the recovery being validated (0: none). */
+    std::uint64_t recovery = 0;
+    /** Checkpoint index involved (target, or the one established). */
+    std::uint64_t ckptIndex = 0;
+    /** Interval of the originating log record (when attributable). */
+    std::uint64_t interval = 0;
+    Addr addr = kInvalidAddr;
+    Word expected = 0;
+    Word actual = 0;
+    CoreId core = kInvalidCore;
+    /** Writer of the originating record (kInvalidCore: none). */
+    CoreId writer = kInvalidCore;
+    /** Slice of the originating amnesic record (slice::kInvalidSlice: none). */
+    slice::SliceId sliceId = slice::kInvalidSlice;
+    /** Free-form context (which field differed, audit message, ...). */
+    std::string detail;
+
+    /** One-line human-readable rendering. */
+    std::string describe() const;
+};
+
+/** Differential recovery validator; install with
+ *  CheckpointManager::setAuditor and call the hooks from the driver. */
+class RecoveryOracle : public ckpt::RecoveryAuditor
+{
+  public:
+    RecoveryOracle(sim::MulticoreSystem &system,
+                   const sim::MachineConfig &machine,
+                   ckpt::Coordination coordination, StatSet &stats);
+
+    /** Snapshot checkpoint 0 (call right after initialCheckpoint()). */
+    void onInitialCheckpoint(const ckpt::CheckpointManager &manager);
+
+    /**
+     * Validate and snapshot the checkpoint just established.
+     * @p latent_errors  applied-but-undetected corruptions outstanding
+     * — a nonzero count taints the checkpoint (its content is not on
+     * the fault-free path, Fig. 2).
+     */
+    void onEstablish(const ckpt::CheckpointManager &manager,
+                     unsigned latent_errors);
+
+    /** Capture the undo logs (and memory image) a recovery is about to
+     *  consume, before the rollback compacts them. */
+    void beforeRecovery(const ckpt::CheckpointManager &manager);
+
+    /** Validate the full machine + manager state after a recovery. */
+    void afterRecovery(const ckpt::CheckpointManager &manager,
+                       const ckpt::RecoveryOutcome &outcome);
+
+    /** End-of-run check against the error-free final image. */
+    void onFinalImage(const std::map<Addr, Word> &expected);
+
+    /** RecoveryAuditor: amnesic replay disagreed with its shadow. */
+    void onRecomputeMismatch(const ckpt::LogRecord &record, Word replayed,
+                             std::uint64_t interval) override;
+
+    const std::vector<Divergence> &divergences() const
+    {
+        return divergences_;
+    }
+
+    /** Multi-line report of up to @p limit divergences ("" if clean). */
+    std::string report(std::size_t limit = 16) const;
+
+  private:
+    /** A slice instance a checkpoint log pins. */
+    struct Pin
+    {
+        Addr addr = 0;
+        CoreId writer = 0;
+        slice::SliceId sliceId = slice::kInvalidSlice;
+        std::weak_ptr<slice::SliceInstance> instance;
+    };
+
+    /** What a correct rollback to this checkpoint must reproduce. */
+    struct Snapshot
+    {
+        std::uint64_t index = 0;
+        std::uint64_t progressAt = 0;
+        Cycle establishedAt = 0;
+        std::vector<cpu::ArchState> arch;
+        std::map<Addr, Word> image;
+        std::vector<Pin> pins;
+        /** Writers whose records group rollbacks legitimately removed
+         *  from this checkpoint's log since establishment. */
+        std::uint64_t removedWriters = 0;
+        /** Established from fault-free state: golden-comparable. */
+        bool onGoldenPath = true;
+    };
+
+    /** Copy of one undo record, taken before recovery mutates logs. */
+    struct CapturedRecord
+    {
+        Addr addr = 0;
+        Word oldValue = 0;
+        CoreId writer = 0;
+        bool amnesic = false;
+        slice::SliceId sliceId = slice::kInvalidSlice;
+    };
+
+    struct CapturedLog
+    {
+        std::uint64_t interval = 0;
+        std::vector<CapturedRecord> records;
+    };
+
+    void addDivergence(Divergence divergence);
+    Snapshot captureSnapshot(const ckpt::Checkpoint &ckpt) const;
+    void auditLogs(const ckpt::CheckpointManager &manager);
+
+    /** Advance the golden replay to progress @p target (rebuilding it
+     *  from scratch if the rollback rewound progress) and compare the
+     *  live machine against it. False: divergence reported. */
+    bool compareAgainstGolden(std::uint64_t target);
+    bool goldenMatchesSystem(std::string *why) const;
+
+    sim::MulticoreSystem &system_;
+    sim::MachineConfig machine_;
+    isa::Program program_;
+    ckpt::Coordination coordination_;
+    StatSet &stats_;
+
+    std::unique_ptr<sim::MulticoreSystem> golden_;
+
+    /** Snapshots of currently retained checkpoints, keyed by index. */
+    std::map<std::uint64_t, Snapshot> snapshots_;
+
+    /** Captured by beforeRecovery: open log first, then retained logs
+     *  newest -> oldest (the order recovery applies them). */
+    std::vector<CapturedLog> capturedLogs_;
+    std::map<Addr, Word> preImage_;
+    bool captureValid_ = false;
+
+    /** The last restore target was on the golden path (start: true). */
+    bool lastRestoredOnPath_ = true;
+
+    std::uint64_t recoveriesChecked_ = 0;
+    std::vector<Divergence> divergences_;
+
+    /** Hard cap so a badly broken run cannot accumulate unbounded
+     *  diagnostics. */
+    static constexpr std::size_t kMaxDivergences = 64;
+};
+
+} // namespace acr::validate
+
+#endif // ACR_VALIDATE_RECOVERY_ORACLE_HH

@@ -253,5 +253,148 @@ TEST(Injector, DoneConvergesWhenTheLastEventCanNeverFire)
     EXPECT_DOUBLE_EQ(stats.get("fault.dropped"), 1.0);
 }
 
+TEST(FaultPlan, CountZeroNeedsNoProgress)
+{
+    // An error-free plan must be constructible before any profile
+    // exists (total_progress == 0 is fine when nothing will trigger).
+    auto plan = FaultPlan::uniform(0, 0, 0, 1);
+    EXPECT_TRUE(plan.events.empty());
+    StatSet stats;
+    ErrorInjector injector(plan, stats);
+    EXPECT_TRUE(injector.done());
+}
+
+TEST(FaultPlan, MoreErrorsThanProgressCollides)
+{
+    // count > total_progress forces colliding triggers; the plan must
+    // stay monotonic with every mask usable (never 0).
+    auto plan = FaultPlan::uniform(10, 4, 1, 5);
+    ASSERT_EQ(plan.events.size(), 10u);
+    for (std::size_t i = 1; i < plan.events.size(); ++i)
+        EXPECT_GE(plan.events[i].progressTrigger,
+                  plan.events[i - 1].progressTrigger);
+    for (const auto &event : plan.events) {
+        EXPECT_LT(event.progressTrigger, 4u);
+        EXPECT_NE(event.xorMask, 0u);
+    }
+    // Same seed, same collisions: the plan is a pure function of its
+    // arguments.
+    auto again = FaultPlan::uniform(10, 4, 1, 5);
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        EXPECT_EQ(plan.events[i].progressTrigger,
+                  again.events[i].progressTrigger);
+        EXPECT_EQ(plan.events[i].xorMask, again.events[i].xorMask);
+    }
+}
+
+TEST(FaultPlan, XorMaskNeverZeroAcrossSeeds)
+{
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        auto plan = FaultPlan::uniform(5, 1000, 1, seed);
+        for (const auto &event : plan.events)
+            EXPECT_NE(event.xorMask, 0u) << "seed " << seed;
+    }
+}
+
+TEST(FaultPlan, MaskedProjectsEventsByOrdinal)
+{
+    auto plan = FaultPlan::uniform(4, 1000, 50, 7);
+
+    auto all = plan.masked(~std::uint64_t{0});
+    ASSERT_EQ(all.events.size(), 4u);
+
+    auto middle = plan.masked(0b0110);
+    ASSERT_EQ(middle.events.size(), 2u);
+    EXPECT_EQ(middle.events[0].progressTrigger,
+              plan.events[1].progressTrigger);
+    EXPECT_EQ(middle.events[0].xorMask, plan.events[1].xorMask);
+    EXPECT_EQ(middle.events[1].progressTrigger,
+              plan.events[2].progressTrigger);
+    // Ordinals survive projection, so a masked event keeps its
+    // round-robin victim identity — the shrunk repro replays the same
+    // (victim, trigger, mask) tuples as the full campaign.
+    EXPECT_EQ(middle.events[0].ordinal, 1u);
+    EXPECT_EQ(middle.events[1].ordinal, 2u);
+    EXPECT_EQ(middle.detectionLatency, plan.detectionLatency);
+
+    // Masking is deterministic and composes like set intersection.
+    auto one = middle.masked(0b0100);
+    ASSERT_EQ(one.events.size(), 1u);
+    EXPECT_EQ(one.events[0].ordinal, 2u);
+}
+
+TEST(Injector, OverlappingLatentWindowsTrackTwoErrorsAtOnce)
+{
+    auto program = spinProgram(20000);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(2), program);
+    // Two triggers one progress step apart with an enormous latency:
+    // both corruptions go latent together.
+    FaultPlan plan;
+    plan.detectionLatency = 1u << 30;
+    plan.events.push_back({100, 1, 0});
+    plan.events.push_back({101, 1, 1});
+    StatSet stats;
+    ErrorInjector injector(plan, stats);
+
+    while (injector.injected() < 2 && !system.allHalted()) {
+        system.step();
+        injector.poll(system);
+    }
+    EXPECT_EQ(injector.injected(), 2u);
+    EXPECT_EQ(injector.latentCount(), 2u)
+        << "both errors latent concurrently (the single-Phase machine "
+           "could only hold one)";
+    EXPECT_EQ(injector.detected(), 0u);
+
+    // Detections surface one per poll, earliest error first.
+    auto first = injector.forceDetection(system);
+    ASSERT_TRUE(first.has_value());
+    auto second = injector.forceDetection(system);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_LE(first->errorTime, second->errorTime);
+    EXPECT_EQ(injector.detected(), 2u);
+    EXPECT_TRUE(injector.done());
+}
+
+TEST(Injector, OnRecoveryRequeuesErrorsTheRollbackErased)
+{
+    auto program = spinProgram(20000);
+    sim::MulticoreSystem system(sim::MachineConfig::tableI(2), program);
+    FaultPlan plan;
+    plan.detectionLatency = 1u << 30;
+    plan.events.push_back({100, 1, 0});
+    StatSet stats;
+    ErrorInjector injector(plan, stats);
+
+    while (injector.injected() < 1 && !system.allHalted()) {
+        system.step();
+        injector.poll(system);
+    }
+    ASSERT_EQ(injector.latentCount(), 1u);
+
+    // A rollback of every core to a checkpoint established before the
+    // error erases the corruption: the event must return to pending
+    // (and count as requeued), then fire again.
+    injector.onRecovery(system.allCoresMask(), 0);
+    EXPECT_EQ(injector.requeued(), 1u);
+    EXPECT_EQ(injector.latentCount(), 0u);
+    EXPECT_FALSE(injector.done());
+    EXPECT_DOUBLE_EQ(stats.get("fault.requeued"), 1.0);
+
+    while (injector.injected() < 2 && !system.allHalted()) {
+        system.step();
+        injector.poll(system);
+    }
+    EXPECT_EQ(injector.injected(), 2u) << "the requeued error re-fires";
+    EXPECT_EQ(injector.latentCount(), 1u);
+
+    // A rollback that resumes past the error time keeps it latent:
+    // the corruption survived, so re-posting it would double-inject.
+    injector.onRecovery(system.allCoresMask(),
+                        system.maxCycle() + 1000000);
+    EXPECT_EQ(injector.requeued(), 1u);
+    EXPECT_EQ(injector.latentCount(), 1u);
+}
+
 } // namespace
 } // namespace acr::fault

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * RecoveryOracle tests: a clean multi-error campaign (overlapping
+ * latent windows, errors landing during recovery) validates with zero
+ * divergences, and each deliberate-corruption fixture (flip a replayed
+ * word, drop an undo record, corrupt the recovered image) produces a
+ * structured report — with the right kind and diagnostic fields —
+ * instead of an abort. The fixtures arm through the ACR_TEST_* hooks
+ * the checkpoint manager reads at construction, so each test sets the
+ * environment, runs, and clears it again.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace
+{
+
+using namespace acr;
+using namespace acr::harness;
+
+/** RAII environment hook: set on construction, cleared on scope exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+/** The torture default point: ReCkpt, 8 errors against 5 checkpoints
+ *  (denser than one per period, so latent windows overlap), detection
+ *  latency at half the period. */
+ExperimentConfig
+campaignConfig(ckpt::Coordination coordination, std::uint64_t seed)
+{
+    ExperimentConfig config;
+    config.mode = BerMode::kReCkpt;
+    config.coordination = coordination;
+    config.numCheckpoints = 5;
+    config.numErrors = 8;
+    config.detectionLatencyFraction = 0.5;
+    config.sliceThreshold = 0;  // per-workload default
+    config.seed = seed;
+    config.oracle = true;
+    return config;
+}
+
+TEST(RecoveryOracle, CleanMultiErrorCampaignHasZeroDivergences)
+{
+    Runner runner(8);
+    std::uint64_t requeued = 0;
+    for (std::uint64_t seed = 0xacce55ULL; seed < 0xacce55ULL + 3;
+         ++seed) {
+        for (auto coordination : {ckpt::Coordination::kGlobal,
+                                  ckpt::Coordination::kLocal}) {
+            auto result =
+                runner.run("is", campaignConfig(coordination, seed));
+            EXPECT_EQ(result.oracleDivergences, 0u)
+                << "seed " << seed << ":\n"
+                << result.oracleReport;
+            EXPECT_EQ(result.oracleReport, "");
+            EXPECT_GE(result.recoveries, 3u)
+                << "the campaign must actually recover repeatedly";
+            EXPECT_GT(result.stats.get("oracle.recoveriesChecked"), 0.0);
+            EXPECT_GT(result.stats.get("oracle.establishmentsChecked"),
+                      0.0);
+            requeued += static_cast<std::uint64_t>(
+                result.stats.get("fault.requeued"));
+        }
+    }
+    EXPECT_GE(requeued, 1u)
+        << "at least one error must land during recovery (rollback "
+           "erases it; the injector re-posts it)";
+}
+
+TEST(RecoveryOracle, CampaignIsSeedDeterministic)
+{
+    Runner runner(8);
+    const auto config =
+        campaignConfig(ckpt::Coordination::kGlobal, 0xacce55ULL);
+    auto a = runner.run("is", config);
+    auto b = runner.run("is", config);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.oracleDivergences, b.oracleDivergences);
+    EXPECT_EQ(a.oracleReport, b.oracleReport);
+    EXPECT_EQ(a.stats.get("fault.requeued"),
+              b.stats.get("fault.requeued"));
+}
+
+TEST(RecoveryOracle, ReportsACorruptedRecoveredWord)
+{
+    // Flip one memory bit right after the rollback restored the image:
+    // the oracle must report a memory-word divergence with the address
+    // and both values — and the run must complete, not abort.
+    ScopedEnv hook("ACR_TEST_CORRUPT_RECOVERY", "1");
+    Runner runner(8);
+    auto result = runner.run(
+        "is", campaignConfig(ckpt::Coordination::kGlobal, 0xacce55ULL));
+    ASSERT_GE(result.oracleDivergences, 1u);
+    EXPECT_NE(result.oracleReport.find("memory-word"),
+              std::string::npos)
+        << result.oracleReport;
+    EXPECT_NE(result.oracleReport.find("recovery=1"), std::string::npos)
+        << result.oracleReport;
+    EXPECT_NE(result.oracleReport.find("addr="), std::string::npos);
+    EXPECT_NE(result.oracleReport.find("expected="), std::string::npos);
+    EXPECT_NE(result.oracleReport.find("actual="), std::string::npos);
+}
+
+TEST(RecoveryOracle, ReportsADroppedLogRecord)
+{
+    // Lose one undo record (with its log bit) before recovery #2
+    // applies the logs: the word it should have restored stays at its
+    // post-error value, and the oracle attributes the divergence to
+    // the originating record's writer.
+    ScopedEnv hook("ACR_TEST_DROP_LOG_RECORD", "2");
+    Runner runner(8);
+    auto result = runner.run(
+        "is", campaignConfig(ckpt::Coordination::kGlobal, 0xacce55ULL));
+    ASSERT_GE(result.oracleDivergences, 1u);
+    EXPECT_NE(result.oracleReport.find("memory-word"),
+              std::string::npos)
+        << result.oracleReport;
+    EXPECT_NE(result.oracleReport.find("recovery=2"), std::string::npos)
+        << result.oracleReport;
+    EXPECT_NE(result.oracleReport.find("restored by"),
+              std::string::npos)
+        << "the report must name the originating record: "
+        << result.oracleReport;
+    EXPECT_NE(result.oracleReport.find("writer="), std::string::npos);
+}
+
+TEST(RecoveryOracle, ReportsARecomputeMismatchWithItsSlice)
+{
+    // Flip the first amnesically replayed value of recovery #1: the
+    // manager's assert becomes an oracle report carrying the slice id,
+    // the manager heals from the shadow copy, and the rest of the run
+    // (including the final-image check) stays clean.
+    ScopedEnv hook("ACR_TEST_FLIP_REPLAY", "1");
+    Runner runner(8);
+    auto result = runner.run(
+        "is", campaignConfig(ckpt::Coordination::kGlobal, 0xacce55ULL));
+    ASSERT_EQ(result.oracleDivergences, 1u) << result.oracleReport;
+    EXPECT_NE(result.oracleReport.find("recompute"), std::string::npos)
+        << result.oracleReport;
+    EXPECT_NE(result.oracleReport.find("recovery=1"), std::string::npos)
+        << result.oracleReport;
+    EXPECT_NE(result.oracleReport.find("slice="), std::string::npos)
+        << "the diagnostic must carry the originating slice: "
+        << result.oracleReport;
+    EXPECT_EQ(result.oracleReport.find("final-image"),
+              std::string::npos)
+        << "healing from the shadow must keep the final image clean";
+}
+
+TEST(RecoveryOracle, OffByDefaultAndSilentWhenOff)
+{
+    Runner runner(8);
+    auto config = campaignConfig(ckpt::Coordination::kGlobal,
+                                 0xacce55ULL);
+    config.oracle = false;
+    auto result = runner.run("is", config);
+    EXPECT_EQ(result.oracleDivergences, 0u);
+    EXPECT_EQ(result.oracleReport, "");
+    EXPECT_FALSE(result.stats.has("oracle.recoveriesChecked"));
+}
+
+} // namespace

@@ -44,6 +44,8 @@ randomConfig(std::mt19937_64 &rng)
     config.secondaryPeriod = static_cast<unsigned>(pick(5));
     config.seed = rng();
     config.verifyFinalState = pick(2) == 0;
+    config.oracle = config.mode != BerMode::kNoCkpt && pick(2) == 0;
+    config.faultEventMask = pick(2) == 0 ? ~std::uint64_t{0} : rng() | 1;
     return config;
 }
 
@@ -58,6 +60,10 @@ randomResult(std::mt19937_64 &rng)
     result.edp = pick(1u << 30) * 1024.0;
     result.checkpointsEstablished = pick(100);
     result.recoveries = pick(10);
+    result.oracleDivergences = pick(4);
+    if (result.oracleDivergences > 0)
+        result.oracleReport =
+            "[oracle] memory-word recovery=1 addr=42 expected=7 actual=9";
     result.ckptBytesStored = rng();
     result.ckptBytesOmitted = rng();
     result.stats.set("ckpt.logRecords", pick(1u << 20));
@@ -94,6 +100,8 @@ expectConfigEqual(const ExperimentConfig &a, const ExperimentConfig &b)
     EXPECT_EQ(a.secondaryPeriod, b.secondaryPeriod);
     EXPECT_EQ(a.seed, b.seed);
     EXPECT_EQ(a.verifyFinalState, b.verifyFinalState);
+    EXPECT_EQ(a.oracle, b.oracle);
+    EXPECT_EQ(a.faultEventMask, b.faultEventMask);
     EXPECT_EQ(b.trace, nullptr);
 }
 
@@ -249,7 +257,7 @@ TEST(WireRecords, VersionAndTypeEnforced)
     const std::string line = wire::encodePointLine({0, {"bt", {}, 8}});
 
     std::string wrong_version = line;
-    const std::string v = "{\"v\":2";
+    const std::string v = "{\"v\":3";
     wrong_version.replace(wrong_version.find(v), v.size(),
                           "{\"v\":999");
     EXPECT_THROW(wire::decodeLine(wrong_version), SerdeError);
@@ -330,6 +338,16 @@ TEST(ConfigValidate, NamesTheOffendingField)
     config = {};
     config.placementSlack = 1.01;
     expectNames(config, "placementSlack");
+
+    config = {};
+    config.mode = BerMode::kNoCkpt;
+    config.oracle = true;
+    expectNames(config, "oracle");
+
+    config = {};
+    config.numErrors = 3;
+    config.faultEventMask = 0;
+    expectNames(config, "faultEventMask");
 }
 
 TEST(ConfigValidate, RunnerRejectsInvalidConfigs)
