@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "harness/exit_code.hh"
 
 namespace
 {
@@ -394,10 +395,12 @@ main(int argc, char **argv)
     };
     spec.exitCode = [](harness::BenchContext &,
                        const std::vector<ExperimentResult> &results) {
+        int code = harness::kExitClean;
         for (const auto &result : results)
             if (!result.failed && result.oracleDivergences > 0)
-                return 4;
-        return 0;
+                code = harness::combineExitCodes(
+                    code, harness::kExitDivergence);
+        return code;
     };
     return harness::benchMain(argc, argv, spec);
 }

@@ -27,44 +27,44 @@ AcrEngine::onStoreRetired(const cpu::InstrEvent &event)
         return;
     }
 
-    auto built = slicer_.buildForStore(event, config_.policy);
+    const slice::BuiltSlice *built =
+        slicer_.buildForStore(event, config_.policy);
     if (!built) {
         // The dynamic producer chain for this instance was inadmissible
         // (too long under this control flow, too many inputs).
         addrMap_.erase(addr);
-        stats_.add("acr.captureFailures");
+        ++hot_.captureFailures;
         return;
     }
 
-    slice::SliceId id = repo_.intern(std::move(built->slice));
+    slice::SliceId id = repo_.intern(built->slice);
     auto instance = slice::SliceInstance::create(
-        id, std::move(built->inputs), operandBuf_);
+        id, built->inputs, operandBuf_);
     if (!instance) {
         // Operand buffer full: fall back to normal logging.
         addrMap_.erase(addr);
-        stats_.add("acr.operandBufferRejections");
+        ++hot_.operandBufferRejections;
         return;
     }
 
     // Capture cost: operand words written into the buffer plus the
     // ASSOC-ADDR's AddrMap write.
-    stats_.add("acr.operandBufferWords",
-               static_cast<double>(instance->inputs().size()));
-    stats_.add("acr.addrMapAccesses");
+    hot_.operandBufferWords += instance->inputs().size();
+    ++hot_.addrMapAccesses;
 
     if (!addrMap_.insert(addr, std::move(instance), currentInterval_)) {
-        stats_.add("acr.addrMapOverflows");
+        ++hot_.addrMapOverflows;
         addrMap_.erase(addr);
         return;
     }
-    stats_.add("acr.captures");
+    ++hot_.captures;
 }
 
 std::shared_ptr<slice::SliceInstance>
 AcrEngine::currentValueSlice(Addr addr)
 {
     // The checkpoint handler's AddrMap lookup (Fig. 4a).
-    stats_.add("acr.addrMapAccesses");
+    ++hot_.addrMapAccesses;
     return addrMap_.lookup(addr);
 }
 
@@ -96,8 +96,27 @@ AcrEngine::onRollback(const std::vector<Addr> &restored)
 }
 
 void
-AcrEngine::exportStats() const
+AcrEngine::exportStats()
 {
+    if (hot_.captures)
+        stats_.add("acr.captures", static_cast<double>(hot_.captures));
+    if (hot_.captureFailures)
+        stats_.add("acr.captureFailures",
+                   static_cast<double>(hot_.captureFailures));
+    if (hot_.operandBufferRejections)
+        stats_.add("acr.operandBufferRejections",
+                   static_cast<double>(hot_.operandBufferRejections));
+    if (hot_.operandBufferWords)
+        stats_.add("acr.operandBufferWords",
+                   static_cast<double>(hot_.operandBufferWords));
+    if (hot_.addrMapAccesses)
+        stats_.add("acr.addrMapAccesses",
+                   static_cast<double>(hot_.addrMapAccesses));
+    if (hot_.addrMapOverflows)
+        stats_.add("acr.addrMapOverflows",
+                   static_cast<double>(hot_.addrMapOverflows));
+    hot_ = HotCounters{};
+
     stats_.set("acr.addrMapPeakEntries",
                static_cast<double>(addrMap_.peakSize()));
     stats_.set("acr.addrMapOverflowsTotal",

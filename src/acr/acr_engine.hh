@@ -91,10 +91,30 @@ class AcrEngine : public ckpt::RecomputeProvider
         return operandBuf_;
     }
 
-    /** Publish structure-occupancy statistics. */
-    void exportStats() const;
+    /**
+     * Publish structure-occupancy statistics and flush the per-store
+     * event counters into the StatSet. The hot path (one to three
+     * events per retired store) bumps plain integers; the string-keyed
+     * StatSet sees one add() per counter here instead of millions.
+     * Flushing zeroes the counters, so calling this twice is safe.
+     * The final StatSet values are bit-identical to per-event add()
+     * calls: every increment is integral and the totals stay far below
+     * 2^53, so double addition is exact in any order.
+     */
+    void exportStats();
 
   private:
+    /** Per-store event tallies deferred until exportStats(). */
+    struct HotCounters
+    {
+        std::uint64_t captures = 0;
+        std::uint64_t captureFailures = 0;
+        std::uint64_t operandBufferRejections = 0;
+        std::uint64_t operandBufferWords = 0;
+        std::uint64_t addrMapAccesses = 0;
+        std::uint64_t addrMapOverflows = 0;
+    };
+
     AcrConfig config_;
     slice::SliceEngine &slicer_;
     StatSet &stats_;
@@ -102,6 +122,7 @@ class AcrEngine : public ckpt::RecomputeProvider
     slice::OperandBufferAccounting operandBuf_;
     AddrMap addrMap_;
     std::uint64_t currentInterval_ = 1;
+    HotCounters hot_;
 };
 
 } // namespace acr::amnesic

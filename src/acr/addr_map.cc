@@ -1,6 +1,7 @@
 #include "acr/addr_map.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -11,6 +12,49 @@ AddrMap::AddrMap(std::size_t capacity)
     : capacity_(capacity)
 {
     ACR_ASSERT(capacity >= 1, "AddrMap needs capacity >= 1");
+    // Power-of-two table, at most half full at capacity: probes stay
+    // short and there is always an empty slot to stop a scan.
+    std::size_t table = std::bit_ceil(std::max<std::size_t>(
+        16, capacity * 2));
+    slots_.assign(table, Slot{});
+    mask_ = table - 1;
+    shift_ = static_cast<unsigned>(
+        64 - std::countr_zero(table));
+}
+
+std::size_t
+AddrMap::findSlot(Addr addr) const
+{
+    std::size_t i = homeOf(addr);
+    while (slots_[i].used) {
+        if (slots_[i].addr == addr)
+            return i;
+        i = (i + 1) & mask_;
+    }
+    return kNoSlot;
+}
+
+void
+AddrMap::removeSlot(std::size_t hole)
+{
+    // Backward-shift deletion: pull every displaced follower of the
+    // probe run into the hole so lookups never need tombstones.
+    slots_[hole] = Slot{};
+    std::size_t j = hole;
+    while (true) {
+        j = (j + 1) & mask_;
+        if (!slots_[j].used)
+            break;
+        std::size_t home = homeOf(slots_[j].addr);
+        // Distance from home to j (mod table size); the entry may move
+        // back into the hole only if its home is not after the hole.
+        if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+            slots_[hole] = std::move(slots_[j]);
+            slots_[j] = Slot{};
+            hole = j;
+        }
+    }
+    --size_;
 }
 
 bool
@@ -18,42 +62,55 @@ AddrMap::insert(Addr addr, std::shared_ptr<slice::SliceInstance> instance,
                 std::uint64_t interval)
 {
     ACR_ASSERT(instance != nullptr, "inserting null slice instance");
-    auto it = map_.find(addr);
-    if (it != map_.end()) {
-        it->second = Entry{std::move(instance), interval};
-        return true;
+    std::size_t i = homeOf(addr);
+    while (slots_[i].used) {
+        if (slots_[i].addr == addr) {
+            slots_[i].instance = std::move(instance);
+            slots_[i].interval = interval;
+            return true;
+        }
+        i = (i + 1) & mask_;
     }
-    if (map_.size() >= capacity_) {
+    if (size_ >= capacity_) {
         ++overflows_;
         return false;
     }
-    map_.emplace(addr, Entry{std::move(instance), interval});
-    peak_ = std::max(peak_, map_.size());
+    slots_[i].addr = addr;
+    slots_[i].instance = std::move(instance);
+    slots_[i].interval = interval;
+    slots_[i].used = true;
+    ++size_;
+    peak_ = std::max(peak_, size_);
     return true;
 }
 
 std::shared_ptr<slice::SliceInstance>
 AddrMap::lookup(Addr addr) const
 {
-    auto it = map_.find(addr);
-    return it == map_.end() ? nullptr : it->second.instance;
+    std::size_t i = findSlot(addr);
+    return i == kNoSlot ? nullptr : slots_[i].instance;
 }
 
 void
 AddrMap::erase(Addr addr)
 {
-    map_.erase(addr);
+    std::size_t i = findSlot(addr);
+    if (i != kNoSlot)
+        removeSlot(i);
 }
 
 void
 AddrMap::expireOlderThan(std::uint64_t min_interval)
 {
-    for (auto it = map_.begin(); it != map_.end();) {
-        if (it->second.interval < min_interval)
-            it = map_.erase(it);
-        else
-            ++it;
+    // Collect first: backward-shift deletion reorders the probe runs,
+    // so erasing while scanning could skip entries.
+    std::vector<Addr> doomed;
+    for (const Slot &slot : slots_) {
+        if (slot.used && slot.interval < min_interval)
+            doomed.push_back(slot.addr);
     }
+    for (Addr addr : doomed)
+        erase(addr);
 }
 
 } // namespace acr::amnesic

@@ -8,6 +8,12 @@
  * they fall outside the two-most-recent-checkpoints retention window;
  * entries referenced by retained undo logs survive through shared
  * ownership of the SliceInstance.
+ *
+ * Storage is a flat open-addressing table (DESIGN.md §13): linear
+ * probing over a power-of-two slot array kept at most half full, with
+ * backward-shift deletion instead of tombstones. Every ASSOC-ADDR and
+ * every store-overwrite touches this structure, so the lookup is one
+ * multiply-hash plus a short contiguous probe.
  */
 
 #ifndef ACR_ACR_ADDR_MAP_HH
@@ -15,7 +21,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 #include "slice/instance.hh"
@@ -48,20 +54,42 @@ class AddrMap
     /** Drop every entry created before @p min_interval (retention). */
     void expireOlderThan(std::uint64_t min_interval);
 
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
     std::uint64_t overflows() const { return overflows_; }
     std::size_t peakSize() const { return peak_; }
 
   private:
-    struct Entry
+    struct Slot
     {
+        Addr addr = 0;
         std::shared_ptr<slice::SliceInstance> instance;
         std::uint64_t interval = 0;
+        bool used = false;
     };
 
+    static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+    /** Fibonacci multiply-hash into the table's index range. */
+    std::size_t
+    homeOf(Addr addr) const
+    {
+        return static_cast<std::size_t>(
+                   (addr * 0x9E3779B97F4A7C15ull) >> shift_) &
+               mask_;
+    }
+
+    /** Slot holding @p addr, or kNoSlot. */
+    std::size_t findSlot(Addr addr) const;
+
+    /** Backward-shift removal of slot @p hole. */
+    void removeSlot(std::size_t hole);
+
     std::size_t capacity_;
-    std::unordered_map<Addr, Entry> map_;
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 0;
+    std::size_t size_ = 0;
     std::uint64_t overflows_ = 0;
     std::size_t peak_ = 0;
 };

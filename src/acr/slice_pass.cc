@@ -1,7 +1,5 @@
 #include "acr/slice_pass.hh"
 
-#include <unordered_set>
-
 #include "common/logging.hh"
 #include "slice/engine.hh"
 #include "slice/repository.hh"
@@ -14,12 +12,13 @@ namespace
 {
 
 /** Pin-tool-style instrumentation callback. */
-class PassObserver : public cpu::ExecObserver
+class PassObserver final : public cpu::ExecObserver
 {
   public:
     PassObserver(slice::SliceEngine &slicer,
-                 const slice::SlicePolicyConfig &policy)
-        : slicer_(slicer), policy_(policy)
+                 const slice::SlicePolicyConfig &policy,
+                 std::size_t program_size)
+        : slicer_(slicer), policy_(policy), hintedPcs_(program_size, 0)
     {
     }
 
@@ -28,20 +27,22 @@ class PassObserver : public cpu::ExecObserver
     {
         if (isa::isStore(event.inst->op)) {
             ++dynamicStores_;
-            auto built = slicer_.buildForStore(event, policy_);
+            const slice::BuiltSlice *built =
+                slicer_.buildForStore(event, policy_);
             if (built) {
                 ++sliceableStores_;
-                hintedPcs_.insert(event.pc);
-                repo_.intern(std::move(built->slice));
+                hintedPcs_[event.pc] = 1;
+                repo_.intern(built->slice);
             }
             return;
         }
         slicer_.observe(event);
     }
 
-    const std::unordered_set<std::size_t> &hintedPcs() const
+    bool
+    hinted(std::size_t pc) const
     {
-        return hintedPcs_;
+        return hintedPcs_[pc] != 0;
     }
     const slice::SliceRepository &repo() const { return repo_; }
     std::uint64_t dynamicStores() const { return dynamicStores_; }
@@ -50,7 +51,8 @@ class PassObserver : public cpu::ExecObserver
   private:
     slice::SliceEngine &slicer_;
     slice::SlicePolicyConfig policy_;
-    std::unordered_set<std::size_t> hintedPcs_;
+    /** Per-pc hint flags, indexed by static pc (dense, hot). */
+    std::vector<std::uint8_t> hintedPcs_;
     slice::SliceRepository repo_;
     std::uint64_t dynamicStores_ = 0;
     std::uint64_t sliceableStores_ = 0;
@@ -65,18 +67,16 @@ SlicePass::run(const isa::Program &program,
 {
     sim::MulticoreSystem system(machine, program);
     slice::SliceEngine slicer(machine.numCores);
-    PassObserver observer(slicer, policy);
-    system.setObserver(&observer);
-    system.runToCompletion();
+    PassObserver observer(slicer, policy, program.size());
+    system.runToCompletionWith(&observer);
 
     SlicePassResult result;
     result.program = program;
     for (auto &inst : result.program.code()) {
         if (isa::isStore(inst.op)) {
             ++result.staticStores;
-            if (observer.hintedPcs().count(
-                    static_cast<std::size_t>(&inst -
-                                             result.program.code().data())))
+            if (observer.hinted(static_cast<std::size_t>(
+                    &inst - result.program.code().data())))
             {
                 inst.sliceHint = true;
                 ++result.hintedStores;
@@ -94,6 +94,7 @@ SlicePass::run(const isa::Program &program,
     result.totalProgress = system.progress();
     result.cycles = system.maxCycle();
     result.finalImage = system.memory().image();
+    system.exportStats(result.stats);
     return result;
 }
 

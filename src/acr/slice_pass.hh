@@ -16,6 +16,7 @@
 
 #include <map>
 
+#include "common/stats.hh"
 #include "isa/program.hh"
 #include "sim/machine_config.hh"
 #include "slice/policy.hh"
@@ -46,6 +47,14 @@ struct SlicePassResult
     Cycle cycles = 0;                 ///< completion time
     /** Final memory image (golden reference for recovery tests). */
     std::map<Addr, Word> finalImage;
+    /**
+     * The system's exported counters at completion. Because the pass
+     * observer never perturbs timing, these are exactly the stats an
+     * error-free NoCkpt run of the same program would export, and the
+     * BER runtime reuses them to answer NoCkpt experiments without
+     * re-simulating (DESIGN.md Sec. 13).
+     */
+    StatSet stats;
 };
 
 /** The pass itself. */

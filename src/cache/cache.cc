@@ -1,6 +1,7 @@
 #include "cache/cache.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -16,93 +17,71 @@ Cache::Cache(const CacheConfig &config)
     ACR_ASSERT(config_.sizeBytes % (config_.ways * kLineBytes) == 0,
                "%s: size not a multiple of way size",
                config_.name.c_str());
-    ways_.assign(sets_ * config_.ways, Way{});
-}
-
-Cache::Way *
-Cache::find(LineId line)
-{
-    std::size_t base = setOf(line) * config_.ways;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        Way &way = ways_[base + w];
-        if (way.valid && way.line == line)
-            return &way;
-    }
-    return nullptr;
-}
-
-const Cache::Way *
-Cache::find(LineId line) const
-{
-    return const_cast<Cache *>(this)->find(line);
+    const std::size_t n = sets_ * config_.ways;
+    tags_.assign(n, 0);
+    lastUse_.assign(n, 0);
+    validBits_.assign((n + 63) / 64, 0);
+    dirtyBits_.assign((n + 63) / 64, 0);
 }
 
 AccessResult
-Cache::access(LineId line, bool write)
+Cache::accessMiss(LineId line, bool write)
 {
-    ++useClock_;
     AccessResult result;
-
-    if (Way *way = find(line)) {
-        result.hit = true;
-        result.wasDirty = way->dirty;
-        way->lastUse = useClock_;
-        way->dirty = way->dirty || write;
-        ++counters_.hits;
-        return result;
-    }
-
     ++counters_.misses;
 
     // Choose a victim: an invalid way if any, else true LRU.
-    std::size_t base = setOf(line) * config_.ways;
-    Way *victim = &ways_[base];
+    const std::size_t base = setOf(line) * config_.ways;
+    std::size_t victim = base;
     for (unsigned w = 0; w < config_.ways; ++w) {
-        Way &way = ways_[base + w];
-        if (!way.valid) {
-            victim = &way;
+        const std::size_t i = base + w;
+        if (!testBit(validBits_, i)) {
+            victim = i;
             break;
         }
-        if (way.lastUse < victim->lastUse)
-            victim = &way;
+        if (lastUse_[i] < lastUse_[victim])
+            victim = i;
     }
 
-    if (victim->valid) {
+    if (testBit(validBits_, victim)) {
         ++counters_.evictions;
-        if (victim->dirty) {
+        if (testBit(dirtyBits_, victim)) {
             ++counters_.dirtyEvictions;
-            result.dirtyVictim = victim->line;
+            result.dirtyVictim = tags_[victim];
             result.hasDirtyVictim = true;
         }
     }
 
-    victim->line = line;
-    victim->valid = true;
-    victim->dirty = write;
-    victim->lastUse = useClock_;
+    tags_[victim] = line;
+    setBit(validBits_, victim);
+    if (write)
+        setBit(dirtyBits_, victim);
+    else
+        clearBit(dirtyBits_, victim);
+    lastUse_[victim] = useClock_;
     return result;
 }
 
 bool
 Cache::contains(LineId line) const
 {
-    return find(line) != nullptr;
+    return find(line) != kNoWay;
 }
 
 bool
 Cache::isDirty(LineId line) const
 {
-    const Way *way = find(line);
-    return way && way->dirty;
+    std::size_t i = find(line);
+    return i != kNoWay && testBit(dirtyBits_, i);
 }
 
 bool
 Cache::invalidate(LineId line)
 {
-    if (Way *way = find(line)) {
-        bool was_dirty = way->dirty;
-        way->valid = false;
-        way->dirty = false;
+    if (std::size_t i = find(line); i != kNoWay) {
+        bool was_dirty = testBit(dirtyBits_, i);
+        clearBit(validBits_, i);
+        clearBit(dirtyBits_, i);
         ++counters_.invalidations;
         return was_dirty;
     }
@@ -112,9 +91,9 @@ Cache::invalidate(LineId line)
 bool
 Cache::clean(LineId line)
 {
-    if (Way *way = find(line)) {
-        bool was_dirty = way->dirty;
-        way->dirty = false;
+    if (std::size_t i = find(line); i != kNoWay) {
+        bool was_dirty = testBit(dirtyBits_, i);
+        clearBit(dirtyBits_, i);
         return was_dirty;
     }
     return false;
@@ -123,10 +102,16 @@ Cache::clean(LineId line)
 std::vector<LineId>
 Cache::dirtyLines() const
 {
+    // Dirty implies valid (every transition that sets a dirty bit also
+    // sets the valid bit); the AND keeps the invariant explicit.
     std::vector<LineId> out;
-    for (const Way &way : ways_) {
-        if (way.valid && way.dirty)
-            out.push_back(way.line);
+    for (std::size_t w = 0; w < dirtyBits_.size(); ++w) {
+        std::uint64_t bits = dirtyBits_[w] & validBits_[w];
+        while (bits != 0) {
+            unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+            out.push_back(tags_[w * 64 + b]);
+            bits &= bits - 1;
+        }
     }
     std::sort(out.begin(), out.end());
     return out;
@@ -136,19 +121,17 @@ std::size_t
 Cache::dirtyCount() const
 {
     std::size_t n = 0;
-    for (const Way &way : ways_)
-        if (way.valid && way.dirty)
-            ++n;
+    for (std::size_t w = 0; w < dirtyBits_.size(); ++w)
+        n += static_cast<std::size_t>(
+            std::popcount(dirtyBits_[w] & validBits_[w]));
     return n;
 }
 
 void
 Cache::invalidateAll()
 {
-    for (Way &way : ways_) {
-        way.valid = false;
-        way.dirty = false;
-    }
+    std::fill(validBits_.begin(), validBits_.end(), 0);
+    std::fill(dirtyBits_.begin(), dirtyBits_.end(), 0);
 }
 
 void

@@ -8,6 +8,12 @@
  * substrate consumes — establishing a checkpoint "involves writing all
  * dirty cache lines back to memory" (Sec. II-A).
  *
+ * Layout is structure-of-arrays (DESIGN.md §13): tags and LRU stamps are
+ * flat way-indexed arrays, and the valid/dirty state lives in packed
+ * bitmaps. The lookup loop touches one contiguous tag run per set, and
+ * the checkpoint flush scans 64 ways per machine word instead of one
+ * 24-byte struct per way.
+ *
  * Counters are plain integers (this is the hottest path in the
  * simulator); exportStats() publishes them into a StatSet.
  */
@@ -15,6 +21,7 @@
 #ifndef ACR_CACHE_CACHE_HH
 #define ACR_CACHE_CACHE_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -69,8 +76,25 @@ class Cache
     /**
      * Look up @p line; on miss, allocate it, evicting LRU.
      * @param write marks the line dirty on completion.
+     * The hit path is inline (one tag scan, two bitmap tests); the
+     * miss path (victim choice, eviction bookkeeping) is out of line.
      */
-    AccessResult access(LineId line, bool write);
+    AccessResult
+    access(LineId line, bool write)
+    {
+        ++useClock_;
+        if (std::size_t i = find(line); i != kNoWay) {
+            AccessResult result;
+            result.hit = true;
+            result.wasDirty = testBit(dirtyBits_, i);
+            lastUse_[i] = useClock_;
+            if (write)
+                setBit(dirtyBits_, i);
+            ++counters_.hits;
+            return result;
+        }
+        return accessMiss(line, write);
+    }
 
     /** True if the line is resident. */
     bool contains(LineId line) const;
@@ -107,21 +131,55 @@ class Cache
     void exportStats(StatSet &stats, const std::string &prefix) const;
 
   private:
-    struct Way
-    {
-        LineId line = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
+    /** Sentinel way index for "not resident". */
+    static constexpr std::size_t kNoWay = ~std::size_t{0};
 
     std::size_t setOf(LineId line) const { return line % sets_; }
-    Way *find(LineId line);
-    const Way *find(LineId line) const;
+
+    /** Way index of @p line, or kNoWay. */
+    std::size_t
+    find(LineId line) const
+    {
+        const std::size_t base = setOf(line) * config_.ways;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const std::size_t i = base + w;
+            if (tags_[i] == line && testBit(validBits_, i))
+                return i;
+        }
+        return kNoWay;
+    }
+
+    /** Allocate-and-evict path of access(). */
+    AccessResult accessMiss(LineId line, bool write);
+
+    bool
+    testBit(const std::vector<std::uint64_t> &bits, std::size_t i) const
+    {
+        return (bits[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    setBit(std::vector<std::uint64_t> &bits, std::size_t i)
+    {
+        bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+
+    void
+    clearBit(std::vector<std::uint64_t> &bits, std::size_t i)
+    {
+        bits[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
 
     CacheConfig config_;
     std::size_t sets_;
-    std::vector<Way> ways_;  ///< sets_ × config_.ways, set-major.
+
+    // Structure-of-arrays way state, set-major (way i of set s lives at
+    // index s * ways + i). Valid/dirty are packed 64-ways-per-word.
+    std::vector<LineId> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint64_t> validBits_;
+    std::vector<std::uint64_t> dirtyBits_;
+
     std::uint64_t useClock_ = 0;
     CacheCounters counters_;
 };

@@ -46,26 +46,24 @@ CacheSystem::acquireExclusive(CoreId core, LineId line)
 }
 
 Cycle
-CacheSystem::dataAccess(CoreId core, Addr addr, bool write, Cycle now)
+CacheSystem::writeUpgrade(CoreId core, LineId line, Cycle done)
 {
-    ACR_ASSERT(core < numCores_, "bad core id %u", core);
-    const LineId line = lineOf(addr);
+    // Upgrade: gain exclusive ownership of a shared/clean line.
+    if (acquireExclusive(core, line))
+        done += config_.coherenceLatency;
+    // Keep L2's copy coherent with L1's new dirty state.
+    l2_[core]->access(line, true);
+    return done;
+}
+
+Cycle
+CacheSystem::dataAccessMiss(CoreId core, LineId line, bool write,
+                            Cycle now, const AccessResult &r1)
+{
     Cache &l1 = *l1d_[core];
     Cache &l2c = *l2_[core];
 
     Cycle done = now + config_.l1d.latency;
-
-    AccessResult r1 = l1.access(line, write);
-    if (r1.hit) {
-        if (write && !r1.wasDirty) {
-            // Upgrade: gain exclusive ownership of a shared/clean line.
-            if (acquireExclusive(core, line))
-                done += config_.coherenceLatency;
-            // Keep L2's copy coherent with L1's new dirty state.
-            l2c.access(line, true);
-        }
-        return done;
-    }
 
     // L1 miss: the victim (if dirty) is written back into L2.
     if (r1.hasDirtyVictim) {

@@ -19,6 +19,7 @@
 
 #include "cache/cache.hh"
 #include "cache/directory.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/dram.hh"
@@ -56,11 +57,34 @@ class CacheSystem
     /**
      * Account the timing of one data access by @p core.
      * @return completion cycle (>= now + L1D latency).
+     * The L1 hit path (the overwhelmingly common case) is inline; a
+     * clean-line write upgrade or an L1 miss drops to the out-of-line
+     * slow path.
      */
-    Cycle dataAccess(CoreId core, Addr addr, bool write, Cycle now);
+    Cycle
+    dataAccess(CoreId core, Addr addr, bool write, Cycle now)
+    {
+        ACR_ASSERT(core < numCores_, "bad core id %u", core);
+        const LineId line = lineOf(addr);
+        AccessResult r1 = l1d_[core]->access(line, write);
+        if (r1.hit) {
+            Cycle done = now + config_.l1d.latency;
+            if (write && !r1.wasDirty)
+                done = writeUpgrade(core, line, done);
+            return done;
+        }
+        return dataAccessMiss(core, line, write, now, r1);
+    }
 
     /** Account one instruction fetch (always-hit L1I model). */
     void fetch(CoreId core) { ++fetches_[core]; }
+
+    /** Batched fetch accounting: @p count fetches by @p core (the core's
+     *  quantum loop tallies locally and flushes once per quantum). */
+    void addFetches(CoreId core, std::uint64_t count)
+    {
+        fetches_[core] += count;
+    }
 
     /** Dirty lines currently held by @p core (L1D ∪ L2). */
     std::vector<LineId> dirtyLines(CoreId core) const;
@@ -99,6 +123,13 @@ class CacheSystem
      * remote copy. Returns true if a remote dirty copy supplied the data.
      */
     bool acquireExclusive(CoreId core, LineId line);
+
+    /** L1 write hit on a clean line: ownership upgrade + L2 update. */
+    Cycle writeUpgrade(CoreId core, LineId line, Cycle done);
+
+    /** L1-miss continuation of dataAccess(). */
+    Cycle dataAccessMiss(CoreId core, LineId line, bool write, Cycle now,
+                         const AccessResult &r1);
 
     unsigned numCores_;
     HierarchyConfig config_;

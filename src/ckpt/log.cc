@@ -1,9 +1,75 @@
 #include "ckpt/log.hh"
 
+#include <unordered_set>
+
 #include "common/logging.hh"
 
 namespace acr::ckpt
 {
+
+bool
+IntervalLog::slowContains(Addr page_id, Addr addr) const
+{
+    auto it = overflow_.find(page_id);
+    if (it == overflow_.end())
+        return false;
+    return it->second[addr % kPageWords] == epoch_;
+}
+
+void
+IntervalLog::setBit(Addr addr)
+{
+    const Addr page_id = addr / kPageWords;
+    std::uint32_t *page;
+    if (page_id < kDirectPages) {
+        if (page_id >= direct_.size())
+            direct_.resize(page_id + 1);
+        if (!direct_[page_id]) {
+            direct_[page_id] =
+                std::make_unique<std::uint32_t[]>(kPageWords);
+        }
+        page = direct_[page_id].get();
+    } else {
+        auto it = overflow_.find(page_id);
+        if (it == overflow_.end()) {
+            it = overflow_
+                     .emplace(page_id, std::make_unique<std::uint32_t[]>(
+                                           kPageWords))
+                     .first;
+        }
+        page = it->second.get();
+    }
+    page[addr % kPageWords] = epoch_;
+    ++bitCount_;
+}
+
+void
+IntervalLog::clearBit(Addr addr)
+{
+    const Addr page_id = addr / kPageWords;
+    std::uint32_t *page = nullptr;
+    if (page_id < direct_.size()) {
+        page = direct_[page_id].get();
+    } else {
+        auto it = overflow_.find(page_id);
+        if (it != overflow_.end())
+            page = it->second.get();
+    }
+    ACR_ASSERT(page != nullptr && page[addr % kPageWords] == epoch_,
+               "clearing a log bit that is not set");
+    page[addr % kPageWords] = 0;
+    --bitCount_;
+}
+
+void
+IntervalLog::clearAllBits()
+{
+    // Epoch bump: every stamp written under the old epoch now compares
+    // unequal, i.e. every bit reads as clear, without touching pages.
+    ++epoch_;
+    ACR_ASSERT(epoch_ != 0, "log-bit epoch overflow");
+    bitCount_ = 0;
+}
 
 void
 IntervalLog::append(LogRecord record)
@@ -12,7 +78,7 @@ IntervalLog::append(LogRecord record)
                "address already logged this interval");
     if (record.isAmnesic())
         ++amnesicRecords_;
-    index_[record.addr] = records_.size();
+    setBit(record.addr);
     records_.push_back(std::move(record));
 }
 
@@ -27,11 +93,11 @@ IntervalLog::removeWriters(std::uint64_t writer_mask)
         kept.push_back(std::move(record));
     }
     records_ = std::move(kept);
-    index_.clear();
+    clearAllBits();
     amnesicRecords_ = 0;
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-        index_[records_[i].addr] = i;
-        if (records_[i].isAmnesic())
+    for (const LogRecord &record : records_) {
+        setBit(record.addr);
+        if (record.isAmnesic())
             ++amnesicRecords_;
     }
 }
@@ -60,33 +126,29 @@ IntervalLog::dropOneRecord(
         return false;
     if (records_[pick].isAmnesic())
         --amnesicRecords_;
-    index_.erase(records_[pick].addr);
+    clearBit(records_[pick].addr);
     records_.erase(records_.begin() +
                    static_cast<std::ptrdiff_t>(pick));
-    for (auto &entry : index_) {
-        if (entry.second > pick)
-            --entry.second;
-    }
     return true;
 }
 
 std::string
 IntervalLog::auditIndex() const
 {
-    if (index_.size() != records_.size())
-        return "log bits (" + std::to_string(index_.size()) +
+    if (bitCount_ != records_.size())
+        return "log bits (" + std::to_string(bitCount_) +
                ") != records (" + std::to_string(records_.size()) +
                ") in interval " + std::to_string(interval_);
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-        auto it = index_.find(records_[i].addr);
-        if (it == index_.end())
-            return "record addr " + std::to_string(records_[i].addr) +
+    std::unordered_set<Addr> seen;
+    seen.reserve(records_.size());
+    for (const LogRecord &record : records_) {
+        if (!contains(record.addr))
+            return "record addr " + std::to_string(record.addr) +
                    " has no log bit in interval " +
                    std::to_string(interval_);
-        if (it->second != i)
-            return "log bit of addr " + std::to_string(records_[i].addr) +
-                   " points at position " + std::to_string(it->second) +
-                   " (record at " + std::to_string(i) + ") in interval " +
+        if (!seen.insert(record.addr).second)
+            return "record addr " + std::to_string(record.addr) +
+                   " logged twice in interval " +
                    std::to_string(interval_);
     }
     std::uint64_t amnesic = 0;

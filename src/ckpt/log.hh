@@ -3,8 +3,12 @@
  * Undo-log structures for log-based incremental in-memory checkpointing
  * (Sec. II-A, after Rebound/ReVive/SafetyNet): upon the first update to a
  * word within a checkpoint interval, a record of the old value enters the
- * log. The per-word "log bit" of the paper is realized by the log's
- * address index.
+ * log. The per-word "log bit" of the paper is realized literally as a
+ * paged stamp bitmap (DESIGN.md §13): contains() is two array indexes and
+ * one compare, and clearing every bit (group rollback) is one epoch
+ * bump instead of a hash-map rebuild. Page ids past the direct window —
+ * reachable only through corrupted addresses — fall back to an ordered
+ * overflow map.
  *
  * Under ACR a record may be *amnesic*: the old value is omitted from the
  * stored checkpoint because a Slice can recompute it; the record then
@@ -19,9 +23,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -51,6 +55,13 @@ struct LogRecord
 class IntervalLog
 {
   public:
+    /** Word addresses per log-bit page (power of two). */
+    static constexpr std::size_t kPageWords = 4096;
+
+    /** Page ids below this use the flat directory; larger ids (only
+     *  producible by corrupted pointers) go to the overflow map. */
+    static constexpr Addr kDirectPages = 1 << 14;
+
     explicit IntervalLog(std::uint64_t interval = 0)
         : interval_(interval)
     {
@@ -60,7 +71,16 @@ class IntervalLog
     std::uint64_t interval() const { return interval_; }
 
     /** The "log bit": has @p addr been logged this interval? */
-    bool contains(Addr addr) const { return index_.count(addr) != 0; }
+    bool
+    contains(Addr addr) const
+    {
+        const Addr page_id = addr / kPageWords;
+        if (page_id < direct_.size()) {
+            const std::uint32_t *page = direct_[page_id].get();
+            return page && page[addr % kPageWords] == epoch_;
+        }
+        return slowContains(page_id, addr);
+    }
 
     /** Append a record; the address must not be logged yet. */
     void append(LogRecord record);
@@ -87,10 +107,11 @@ class IntervalLog
         const std::function<bool(Addr, Word)> &observable = {});
 
     /**
-     * Self-check of the log-bit index: every index entry must point at
-     * a record with that address, every record must be indexed, and
-     * the amnesic counter must match. Returns "" when consistent,
-     * otherwise a one-line description of the first inconsistency.
+     * Self-check of the log-bit index: the set-bit population must match
+     * the record count, every record's address must have its bit set and
+     * appear exactly once, and the amnesic counter must match. Returns
+     * "" when consistent, otherwise a one-line description of the first
+     * inconsistency.
      */
     std::string auditIndex() const;
 
@@ -118,10 +139,34 @@ class IntervalLog
     }
 
   private:
+    /** One log-bit page: a stamp per word; the bit is set iff the stamp
+     *  equals the log's current epoch. */
+    using BitPage = std::unique_ptr<std::uint32_t[]>;
+
+    bool slowContains(Addr page_id, Addr addr) const;
+
+    /** Set the log bit of @p addr (allocating its page on demand). */
+    void setBit(Addr addr);
+
+    /** Clear the log bit of @p addr (page must exist). */
+    void clearBit(Addr addr);
+
+    /** Clear every log bit (epoch bump; O(1)). */
+    void clearAllBits();
+
     std::uint64_t interval_;
     std::vector<LogRecord> records_;
-    std::unordered_map<Addr, std::size_t> index_;
     std::uint64_t amnesicRecords_ = 0;
+
+    // --- Log-bit bitmap ---
+    std::vector<BitPage> direct_;
+    std::map<Addr, BitPage> overflow_;
+    /** Stamp value meaning "bit set"; bumped to clear all bits. Pages
+     *  are zero-initialized, so epoch 0 would make every bit read as
+     *  set — epochs therefore start at 1 and only increase. */
+    std::uint32_t epoch_ = 1;
+    /** Number of currently set bits (audit bookkeeping). */
+    std::uint64_t bitCount_ = 0;
 };
 
 } // namespace acr::ckpt

@@ -20,127 +20,8 @@ Core::Core(CoreId id, const isa::Program &program, mem::MainMemory &memory,
 CoreState
 Core::run(std::uint64_t max_instrs, ExecObserver *observer)
 {
-    if (state_ != CoreState::kRunning)
-        return state_;
-
-    const Cycle l1d_latency = caches_.config().l1d.latency;
-
-    for (std::uint64_t n = 0; n < max_instrs; ++n) {
-        ACR_ASSERT(pc_ < program_.size(), "core %u ran off program end",
-                   id_);
-        const isa::Instruction &inst = program_.at(pc_);
-        caches_.fetch(id_);
-
-        InstrEvent event;
-        event.core = id_;
-        event.pc = pc_;
-        event.inst = &inst;
-
-        // Issue-slot accounting shared by all instruction classes.
-        if (++issueBuf_ >= timing_.issueWidth) {
-            issueBuf_ = 0;
-            ++cycle_;
-        }
-
-        std::size_t next_pc = pc_ + 1;
-
-        if (isSliceable(inst.op)) {
-            Word a = regs_[inst.rs1];
-            Word b = regs_[inst.rs2];
-            Word value = isa::evalArith(inst.op, a, b, inst.imm, id_);
-            if (corruptMask_) {
-                value ^= *corruptMask_;
-                corruptMask_.reset();
-                corruptionEvent_ = cycle_;
-            }
-            regs_[inst.rd] = value;
-            regs_[0] = 0;
-            event.result = value;
-            ++counters_.aluOps;
-        } else if (isa::isLoad(inst.op)) {
-            Addr addr = regs_[inst.rs1] + static_cast<Word>(inst.imm);
-            Word value = memory_.read(addr);
-            if (corruptMask_) {
-                value ^= *corruptMask_;
-                corruptMask_.reset();
-                corruptionEvent_ = cycle_;
-            }
-            Cycle done = caches_.dataAccess(id_, addr, false, cycle_);
-            Cycle latency = done - cycle_;
-            if (latency > l1d_latency) {
-                Cycle stall = static_cast<Cycle>(
-                    static_cast<double>(latency - l1d_latency) /
-                    timing_.mlpFactor);
-                cycle_ += stall;
-                counters_.memStallCycles += stall;
-            }
-            regs_[inst.rd] = value;
-            regs_[0] = 0;
-            event.result = value;
-            event.addr = addr;
-            ++counters_.loads;
-        } else if (isa::isStore(inst.op)) {
-            Addr addr = regs_[inst.rs1] + static_cast<Word>(inst.imm);
-            Word value = regs_[inst.rs2];
-            Word old = memory_.write(addr, value);
-            Cycle done = caches_.dataAccess(id_, addr, true, cycle_);
-            Cycle latency = done - cycle_;
-            if (latency > l1d_latency) {
-                Cycle stall = static_cast<Cycle>(
-                    static_cast<double>(latency - l1d_latency) /
-                    timing_.mlpFactor);
-                cycle_ += stall;
-                counters_.memStallCycles += stall;
-            }
-            event.result = value;
-            event.addr = addr;
-            event.oldValue = old;
-            ++counters_.stores;
-        } else if (isa::isBranch(inst.op)) {
-            bool taken = false;
-            Word a = regs_[inst.rs1];
-            Word b = regs_[inst.rs2];
-            switch (inst.op) {
-              case Opcode::kBeq: taken = a == b; break;
-              case Opcode::kBne: taken = a != b; break;
-              case Opcode::kBltu: taken = a < b; break;
-              case Opcode::kBgeu: taken = a >= b; break;
-              case Opcode::kBlts:
-                taken = static_cast<SWord>(a) < static_cast<SWord>(b);
-                break;
-              case Opcode::kJmp: taken = true; break;
-              default:
-                panic("unhandled branch opcode");
-            }
-            if (taken) {
-                next_pc = static_cast<std::size_t>(inst.imm);
-                cycle_ += timing_.takenBranchPenalty;
-            }
-            ++counters_.branches;
-        } else if (isa::isBarrier(inst.op)) {
-            // Stay at this pc; the system releases us past it.
-            state_ = CoreState::kAtBarrier;
-            ++counters_.barriers;
-            ++counters_.instrs;
-            if (observer)
-                observer->onInstr(event);
-            return state_;
-        } else if (isa::isHalt(inst.op)) {
-            state_ = CoreState::kHalted;
-            ++counters_.instrs;
-            if (observer)
-                observer->onInstr(event);
-            return state_;
-        } else {
-            panic("core %u: unknown opcode at pc %zu", id_, pc_);
-        }
-
-        pc_ = next_pc;
-        ++counters_.instrs;
-        if (observer)
-            observer->onInstr(event);
-    }
-    return state_;
+    // Explicit virtual-dispatch instantiation of the header template.
+    return run<ExecObserver>(max_instrs, observer);
 }
 
 void

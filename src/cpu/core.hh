@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "cache/hierarchy.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/exec_observer.hh"
@@ -94,8 +95,20 @@ class Core
      * Execute up to @p max_instrs instructions, stopping early at a
      * barrier or halt. @p observer (may be null) sees every retired
      * instruction.
+     *
+     * The quantum loop is a template over the concrete observer type:
+     * when the caller passes a final observer class (the experiment
+     * driver, the slice pass), the per-instruction observer call is
+     * devirtualized and inlined into the dispatch loop instead of
+     * costing an indirect call per retired instruction. Passing a
+     * plain ExecObserver* (or nullptr) selects the non-template
+     * overload below and keeps the virtual behavior.
      * @return state after the quantum.
      */
+    template <class Obs>
+    CoreState run(std::uint64_t max_instrs, Obs *observer);
+
+    /** Virtual-dispatch variant (tests, generic drivers). */
     CoreState run(std::uint64_t max_instrs, ExecObserver *observer);
 
     CoreId id() const { return id_; }
@@ -172,6 +185,160 @@ class Core
 
     CoreCounters counters_;
 };
+
+// The dispatch loop lives in the header so every observer type gets
+// its own fully-inlined instantiation (see the run() doc comment).
+//
+// The hot core state (pc, cycle, issue slot, counters, fetch tally)
+// lives in locals for the whole quantum and is committed back to the
+// members only at the exits. This is safe because no observer reads
+// core state mid-quantum — the checkpoint substrate, the ACR engine,
+// and the slicer all work from the InstrEvent alone — and it lets the
+// compiler keep the loop state in registers across the inlined
+// observer body instead of spilling every field each iteration.
+template <class Obs>
+CoreState
+Core::run(std::uint64_t max_instrs, Obs *observer)
+{
+    if (state_ != CoreState::kRunning)
+        return state_;
+
+    const Cycle l1d_latency = caches_.config().l1d.latency;
+
+    std::size_t pc = pc_;
+    Cycle cycle = cycle_;
+    unsigned issue_buf = issueBuf_;
+    CoreCounters cnt = counters_;
+    std::uint64_t fetched = 0;
+
+    auto commit = [&] {
+        pc_ = pc;
+        cycle_ = cycle;
+        issueBuf_ = issue_buf;
+        counters_ = cnt;
+        caches_.addFetches(id_, fetched);
+    };
+
+    for (std::uint64_t n = 0; n < max_instrs; ++n) {
+        ACR_ASSERT(pc < program_.size(), "core %u ran off program end",
+                   id_);
+        const isa::Instruction &inst = program_.at(pc);
+        ++fetched;
+
+        InstrEvent event;
+        event.core = id_;
+        event.pc = pc;
+        event.inst = &inst;
+
+        // Issue-slot accounting shared by all instruction classes.
+        if (++issue_buf >= timing_.issueWidth) {
+            issue_buf = 0;
+            ++cycle;
+        }
+
+        std::size_t next_pc = pc + 1;
+
+        if (isSliceable(inst.op)) {
+            Word a = regs_[inst.rs1];
+            Word b = regs_[inst.rs2];
+            Word value = isa::evalArith(inst.op, a, b, inst.imm, id_);
+            if (corruptMask_) {
+                value ^= *corruptMask_;
+                corruptMask_.reset();
+                corruptionEvent_ = cycle;
+            }
+            regs_[inst.rd] = value;
+            regs_[0] = 0;
+            event.result = value;
+            ++cnt.aluOps;
+        } else if (isa::isLoad(inst.op)) {
+            Addr addr = regs_[inst.rs1] + static_cast<Word>(inst.imm);
+            Word value = memory_.read(addr);
+            if (corruptMask_) {
+                value ^= *corruptMask_;
+                corruptMask_.reset();
+                corruptionEvent_ = cycle;
+            }
+            Cycle done = caches_.dataAccess(id_, addr, false, cycle);
+            Cycle latency = done - cycle;
+            if (latency > l1d_latency) {
+                Cycle stall = static_cast<Cycle>(
+                    static_cast<double>(latency - l1d_latency) /
+                    timing_.mlpFactor);
+                cycle += stall;
+                cnt.memStallCycles += stall;
+            }
+            regs_[inst.rd] = value;
+            regs_[0] = 0;
+            event.result = value;
+            event.addr = addr;
+            ++cnt.loads;
+        } else if (isa::isStore(inst.op)) {
+            Addr addr = regs_[inst.rs1] + static_cast<Word>(inst.imm);
+            Word value = regs_[inst.rs2];
+            Word old = memory_.write(addr, value);
+            Cycle done = caches_.dataAccess(id_, addr, true, cycle);
+            Cycle latency = done - cycle;
+            if (latency > l1d_latency) {
+                Cycle stall = static_cast<Cycle>(
+                    static_cast<double>(latency - l1d_latency) /
+                    timing_.mlpFactor);
+                cycle += stall;
+                cnt.memStallCycles += stall;
+            }
+            event.result = value;
+            event.addr = addr;
+            event.oldValue = old;
+            ++cnt.stores;
+        } else if (isa::isBranch(inst.op)) {
+            bool taken = false;
+            Word a = regs_[inst.rs1];
+            Word b = regs_[inst.rs2];
+            switch (inst.op) {
+              case isa::Opcode::kBeq: taken = a == b; break;
+              case isa::Opcode::kBne: taken = a != b; break;
+              case isa::Opcode::kBltu: taken = a < b; break;
+              case isa::Opcode::kBgeu: taken = a >= b; break;
+              case isa::Opcode::kBlts:
+                taken = static_cast<SWord>(a) < static_cast<SWord>(b);
+                break;
+              case isa::Opcode::kJmp: taken = true; break;
+              default:
+                panic("unhandled branch opcode");
+            }
+            if (taken) {
+                next_pc = static_cast<std::size_t>(inst.imm);
+                cycle += timing_.takenBranchPenalty;
+            }
+            ++cnt.branches;
+        } else if (isa::isBarrier(inst.op)) {
+            // Stay at this pc; the system releases us past it.
+            state_ = CoreState::kAtBarrier;
+            ++cnt.barriers;
+            ++cnt.instrs;
+            commit();
+            if (observer)
+                observer->onInstr(event);
+            return state_;
+        } else if (isa::isHalt(inst.op)) {
+            state_ = CoreState::kHalted;
+            ++cnt.instrs;
+            commit();
+            if (observer)
+                observer->onInstr(event);
+            return state_;
+        } else {
+            panic("core %u: unknown opcode at pc %zu", id_, pc);
+        }
+
+        pc = next_pc;
+        ++cnt.instrs;
+        if (observer)
+            observer->onInstr(event);
+    }
+    commit();
+    return state_;
+}
 
 } // namespace acr::cpu
 

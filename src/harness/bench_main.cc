@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "common/options.hh"
+#include "harness/exit_code.hh"
 #include "harness/result_cache.hh"
 #include "harness/supervisor.hh"
 #include "harness/sweep.hh"
@@ -291,8 +292,9 @@ mergeShardFiles(const BenchSpec &spec,
 
 /**
  * Report quarantined points (results[slot] belongs to grid index
- * indices[slot]) to stderr and pick the process exit code: 0 for a
- * clean sweep, 3 when any point failed every attempt.
+ * indices[slot]) to stderr and pick the process exit code:
+ * kExitClean for a clean sweep, kExitQuarantine when any point failed
+ * every attempt (precedence: harness/exit_code.hh).
  */
 int
 quarantineExit(const std::vector<GridPoint> &grid,
@@ -313,11 +315,11 @@ quarantineExit(const std::vector<GridPoint> &grid,
                   << "\n";
     }
     if (failures == 0)
-        return 0;
+        return kExitClean;
     std::cerr << "[sweep] " << failures << " of " << results.size()
               << " point(s) quarantined; treat rendered output as "
                  "partial (NaN-derived columns show FAILED)\n";
-    return 3;
+    return kExitQuarantine;
 }
 
 } // namespace
@@ -344,7 +346,8 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
             grid, ShardedSweep::shardIndices(grid.size(), {}),
             results);
         if (spec.exitCode)
-            code = std::max(code, spec.exitCode(context, results));
+            code = combineExitCodes(code,
+                                    spec.exitCode(context, results));
         return code;
     }
 
@@ -458,7 +461,8 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
         spec.render(context, results);
     int code = quarantineExit(grid, owned, results);
     if (!options.shardMode && spec.exitCode)
-        code = std::max(code, spec.exitCode(context, results));
+        code = combineExitCodes(code,
+                                spec.exitCode(context, results));
     return code;
 }
 

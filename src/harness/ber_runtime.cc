@@ -19,7 +19,7 @@ namespace
 
 /** Fans instruction events out to the slicer, the checkpoint logger,
  *  and ACR's ASSOC-ADDR handling, in dependency order. */
-class DriverObserver : public cpu::ExecObserver
+class DriverObserver final : public cpu::ExecObserver
 {
   public:
     DriverObserver(ckpt::CheckpointManager *manager,
@@ -63,6 +63,30 @@ BerRuntime::run(const isa::Program &program,
 
     ExperimentResult result;
     StatSet &stats = result.stats;
+
+    // An error-free NoCkpt run replays the slice pass step for step:
+    // same program, same machine, and an observer that never perturbs
+    // timing. The pass already recorded everything such a run would
+    // measure (cycles, exported counters, the final image), so answer
+    // from the profile instead of re-simulating. Final-state
+    // verification holds trivially — the reference image *is* this
+    // execution's image. The guards keep every config that could
+    // diverge (errors, oracle, secondary tier, tracing) on the full
+    // simulation path; NoCkpt configs reject most of those anyway.
+    if (config.mode == BerMode::kNoCkpt && config.numErrors == 0 &&
+        !config.oracle && config.secondaryPeriod == 0 && !config.trace)
+    {
+        result.stats = profile.stats;
+        stats.set("sim.numCores", static_cast<double>(machine.numCores));
+        energy::EnergyModel energy_model;
+        result.energyPj = energy_model.annotate(stats);
+        result.cycles = profile.cycles;
+        result.edp =
+            energy::EnergyModel::edp(result.energyPj, result.cycles);
+        result.recoveries =
+            static_cast<std::uint64_t>(stats.get("rec.recoveries"));
+        return result;
+    }
 
     sim::MulticoreSystem system(machine, program);
 
@@ -129,7 +153,6 @@ BerRuntime::run(const isa::Program &program,
     }
 
     DriverObserver observer(manager.get(), acr.get(), slicer.get());
-    system.setObserver(&observer);
 
     auto handle_detection = [&](const fault::DetectionEvent &detection) {
         if (config.trace) {
@@ -178,7 +201,7 @@ BerRuntime::run(const isa::Program &program,
     std::uint64_t next_ckpt = manager ? period : ~std::uint64_t{0};
 
     while (true) {
-        sim::SystemState state = system.step();
+        sim::SystemState state = system.stepWith(&observer);
 
         if (injector) {
             if (auto detection = injector->poll(system)) {

@@ -55,8 +55,16 @@ struct Instruction
     bool operator==(const Instruction &other) const = default;
 };
 
+/** Out-of-line panic for evalArith misuse (keeps the hot switch lean). */
+[[noreturn]] void evalArithBadOpcode(Opcode op);
+
 /**
  * Evaluate an arithmetic/logic instruction.
+ *
+ * Defined inline: this is executed once per ALU instruction by the CPU
+ * model and once per slice instruction during amnesic replay — the two
+ * hottest loops in the simulator — and inlining folds the switch into
+ * the callers' dispatch.
  *
  * @param op   a sliceable opcode (panics otherwise)
  * @param a    value of rs1 (ignored by kMovi/kTid)
@@ -65,7 +73,42 @@ struct Instruction
  * @param tid  core id, used only by kTid
  * @return the value written to rd
  */
-Word evalArith(Opcode op, Word a, Word b, SWord imm, Word tid);
+inline Word
+evalArith(Opcode op, Word a, Word b, SWord imm, Word tid)
+{
+    const Word uimm = static_cast<Word>(imm);
+    switch (op) {
+      case Opcode::kAdd: return a + b;
+      case Opcode::kSub: return a - b;
+      case Opcode::kMul: return a * b;
+      case Opcode::kDivu: return b == 0 ? 0 : a / b;
+      case Opcode::kRemu: return b == 0 ? a : a % b;
+      case Opcode::kAnd: return a & b;
+      case Opcode::kOr: return a | b;
+      case Opcode::kXor: return a ^ b;
+      case Opcode::kShl: return a << (b & 63);
+      case Opcode::kShr: return a >> (b & 63);
+      case Opcode::kSra:
+        return static_cast<Word>(static_cast<SWord>(a) >> (b & 63));
+      case Opcode::kMin: return a < b ? a : b;
+      case Opcode::kMax: return a > b ? a : b;
+      case Opcode::kCmpEq: return a == b ? 1 : 0;
+      case Opcode::kCmpLtu: return a < b ? 1 : 0;
+      case Opcode::kCmpLts:
+        return static_cast<SWord>(a) < static_cast<SWord>(b) ? 1 : 0;
+      case Opcode::kAddi: return a + uimm;
+      case Opcode::kMuli: return a * uimm;
+      case Opcode::kAndi: return a & uimm;
+      case Opcode::kOri: return a | uimm;
+      case Opcode::kXori: return a ^ uimm;
+      case Opcode::kShli: return a << (uimm & 63);
+      case Opcode::kShri: return a >> (uimm & 63);
+      case Opcode::kMovi: return uimm;
+      case Opcode::kTid: return tid;
+      default:
+        evalArithBadOpcode(op);
+    }
+}
 
 /** Disassemble one instruction. */
 std::string toString(const Instruction &inst);

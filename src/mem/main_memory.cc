@@ -1,51 +1,75 @@
 #include "mem/main_memory.hh"
 
 #include <algorithm>
-#include <set>
 
 namespace acr::mem
 {
 
-const MainMemory::Page *
+const Word *
+MainMemory::findSlowPage(Addr page_id) const
+{
+    auto it = overflow_.find(page_id);
+    return it == overflow_.end() ? nullptr : it->second.get();
+}
+
+const Word *
 MainMemory::findPage(Addr page_id) const
 {
-    auto it = pages_.find(page_id);
-    return it == pages_.end() ? nullptr : &it->second;
+    if (page_id < direct_.size())
+        return direct_[page_id].get();
+    return findSlowPage(page_id);
 }
 
-MainMemory::Page &
+Word *
 MainMemory::touchPage(Addr page_id)
 {
-    auto it = pages_.find(page_id);
-    if (it == pages_.end())
-        it = pages_.emplace(page_id, Page(kPageWords, 0)).first;
-    return it->second;
+    if (page_id < kDirectPages) {
+        if (page_id >= direct_.size())
+            direct_.resize(page_id + 1);
+        if (!direct_[page_id]) {
+            direct_[page_id] = std::make_unique<Word[]>(kPageWords);
+            ++directCount_;
+        }
+        return direct_[page_id].get();
+    }
+    auto it = overflow_.find(page_id);
+    if (it == overflow_.end()) {
+        it = overflow_
+                 .emplace(page_id, std::make_unique<Word[]>(kPageWords))
+                 .first;
+    }
+    return it->second.get();
 }
 
-Word
-MainMemory::read(Addr addr) const
+void
+MainMemory::clear()
 {
-    const Page *page = findPage(pageIdOf(addr));
-    if (!page)
-        return 0;
-    return (*page)[addr % kPageWords];
+    direct_.clear();
+    directCount_ = 0;
+    overflow_.clear();
 }
 
-Word
-MainMemory::write(Addr addr, Word value)
+std::vector<Addr>
+MainMemory::pageIds() const
 {
-    Page &page = touchPage(pageIdOf(addr));
-    Word &slot = page[addr % kPageWords];
-    Word old = slot;
-    slot = value;
-    return old;
+    std::vector<Addr> ids;
+    ids.reserve(pageCount());
+    for (Addr id = 0; id < direct_.size(); ++id) {
+        if (direct_[id])
+            ids.push_back(id);
+    }
+    // Overflow ids are all >= kDirectPages, so appending keeps order.
+    for (const auto &kv : overflow_)
+        ids.push_back(kv.first);
+    return ids;
 }
 
 std::map<Addr, Word>
 MainMemory::image() const
 {
     std::map<Addr, Word> out;
-    for (const auto &[page_id, page] : pages_) {
+    for (Addr page_id : pageIds()) {
+        const Word *page = findPage(page_id);
         for (std::size_t i = 0; i < kPageWords; ++i) {
             if (page[i] != 0)
                 out[page_id * kPageWords + i] = page[i];
@@ -57,18 +81,20 @@ MainMemory::image() const
 Addr
 MainMemory::firstDifference(const MainMemory &other) const
 {
-    std::set<Addr> page_ids;
-    for (const auto &kv : pages_)
-        page_ids.insert(kv.first);
-    for (const auto &kv : other.pages_)
-        page_ids.insert(kv.first);
+    std::vector<Addr> ids = pageIds();
+    std::vector<Addr> other_ids = other.pageIds();
+    std::vector<Addr> all;
+    all.reserve(ids.size() + other_ids.size());
+    std::merge(ids.begin(), ids.end(), other_ids.begin(),
+               other_ids.end(), std::back_inserter(all));
+    all.erase(std::unique(all.begin(), all.end()), all.end());
 
-    for (Addr page_id : page_ids) {
-        const Page *a = findPage(page_id);
-        const Page *b = other.findPage(page_id);
+    for (Addr page_id : all) {
+        const Word *a = findPage(page_id);
+        const Word *b = other.findPage(page_id);
         for (std::size_t i = 0; i < kPageWords; ++i) {
-            Word va = a ? (*a)[i] : 0;
-            Word vb = b ? (*b)[i] : 0;
+            Word va = a ? a[i] : 0;
+            Word vb = b ? b[i] : 0;
             if (va != vb)
                 return page_id * kPageWords + i;
         }

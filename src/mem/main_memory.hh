@@ -8,7 +8,12 @@
  * restoring a bit-exact earlier state — is defined against this object,
  * which is what makes it directly testable.
  *
- * Storage is paged and sparse; untouched words read as zero.
+ * Storage is paged and sparse; untouched words read as zero. The hot
+ * read()/write() path indexes a flat page directory (one pointer load,
+ * no tree walk); page ids beyond the directory — reachable only through
+ * corrupted addresses after fault injection — fall back to an ordered
+ * overflow map. Both paths are inline in this header so the CPU model's
+ * load/store dispatch folds the lookup in.
  */
 
 #ifndef ACR_MEM_MAIN_MEMORY_HH
@@ -16,6 +21,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
@@ -30,23 +36,57 @@ class MainMemory
     /** Words per allocation page (power of two). */
     static constexpr std::size_t kPageWords = 4096;
 
+    /**
+     * Page ids below this live in the flat directory (covers the entire
+     * well-formed address space of the workloads); larger ids — only
+     * producible by corrupted pointers — go to the overflow map.
+     */
+    static constexpr Addr kDirectPages = 1 << 14;
+
     /** Read one word; untouched words are zero. */
-    Word read(Addr addr) const;
+    Word
+    read(Addr addr) const
+    {
+        const Addr page_id = addr / kPageWords;
+        if (page_id < direct_.size()) {
+            const Word *page = direct_[page_id].get();
+            return page ? page[addr % kPageWords] : 0;
+        }
+        const Word *page = findSlowPage(page_id);
+        return page ? page[addr % kPageWords] : 0;
+    }
 
     /**
      * Write one word.
      * @return the previous value (what an undo-log record would hold).
      */
-    Word write(Addr addr, Word value);
+    Word
+    write(Addr addr, Word value)
+    {
+        const Addr page_id = addr / kPageWords;
+        Word *page;
+        if (page_id < direct_.size() && direct_[page_id]) {
+            page = direct_[page_id].get();
+        } else {
+            page = touchPage(page_id);
+        }
+        Word &slot = page[addr % kPageWords];
+        Word old = slot;
+        slot = value;
+        return old;
+    }
 
     /** Number of pages currently allocated. */
-    std::size_t pageCount() const { return pages_.size(); }
+    std::size_t pageCount() const
+    {
+        return directCount_ + overflow_.size();
+    }
 
     /** Total words currently backed by storage. */
-    std::size_t backedWords() const { return pages_.size() * kPageWords; }
+    std::size_t backedWords() const { return pageCount() * kPageWords; }
 
     /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    void clear();
 
     /**
      * A full copy of the backed state, for golden-model comparison in
@@ -62,14 +102,26 @@ class MainMemory
     Addr firstDifference(const MainMemory &other) const;
 
   private:
-    using Page = std::vector<Word>;
+    using Page = std::unique_ptr<Word[]>;
 
-    static Addr pageIdOf(Addr addr) { return addr / kPageWords; }
+    /** Overflow-map read path (page id past the flat directory). */
+    const Word *findSlowPage(Addr page_id) const;
 
-    const Page *findPage(Addr page_id) const;
-    Page &touchPage(Addr page_id);
+    /** Read-only page lookup across both tiers. */
+    const Word *findPage(Addr page_id) const;
 
-    std::map<Addr, Page> pages_;
+    /** Allocate-on-demand page lookup (cold path of write()). */
+    Word *touchPage(Addr page_id);
+
+    /** Every allocated page id, in ascending order. */
+    std::vector<Addr> pageIds() const;
+
+    /** Flat directory, grown on demand up to kDirectPages entries. */
+    std::vector<Page> direct_;
+    /** Allocated entries in direct_ (pageCount bookkeeping). */
+    std::size_t directCount_ = 0;
+    /** Pages whose id is >= kDirectPages (corrupted addresses). */
+    std::map<Addr, Page> overflow_;
 };
 
 } // namespace acr::mem

@@ -28,16 +28,8 @@ MulticoreSystem::MulticoreSystem(const MachineConfig &config,
 }
 
 SystemState
-MulticoreSystem::step()
+MulticoreSystem::finishStep(bool any_ran)
 {
-    bool any_ran = false;
-    for (auto &core : cores_) {
-        if (core->state() == cpu::CoreState::kRunning) {
-            core->run(config_.quantumInstrs, observer_);
-            any_ran = true;
-        }
-    }
-
     // Barrier release with epoch semantics: a waiter at epoch e may pass
     // once no live core is below epoch e and every live core still AT
     // epoch e has arrived at the barrier. This covers both the normal
@@ -93,16 +85,15 @@ MulticoreSystem::step()
 void
 MulticoreSystem::runToCompletion()
 {
-    while (true) {
-        SystemState state = step();
-        if (state == SystemState::kAllHalted)
-            return;
-        if (state == SystemState::kBlocked) {
-            fatal("barrier deadlock in '%s': a core halted below the "
-                  "epoch its peers wait at",
-                  program_.name().c_str());
-        }
-    }
+    runToCompletionWith(observer_);
+}
+
+void
+MulticoreSystem::blockedFatal() const
+{
+    fatal("barrier deadlock in '%s': a core halted below the "
+          "epoch its peers wait at",
+          program_.name().c_str());
 }
 
 bool

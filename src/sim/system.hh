@@ -60,10 +60,45 @@ class MulticoreSystem
      * barrier release happens when all non-halted cores have arrived.
      * fatal()s on barrier deadlock (some cores halted, others waiting).
      */
-    SystemState step();
+    SystemState step() { return stepWith(observer_); }
+
+    /**
+     * step() with a statically-typed observer: the quantum loop and
+     * the per-instruction observer call compile together (see
+     * Core::run's template overload), removing the virtual hop per
+     * retired instruction. The barrier/release epilogue is shared
+     * non-template code, so both paths have identical semantics.
+     */
+    template <class Obs>
+    SystemState
+    stepWith(Obs *observer)
+    {
+        bool any_ran = false;
+        for (auto &core : cores_) {
+            if (core->state() == cpu::CoreState::kRunning) {
+                core->run(config_.quantumInstrs, observer);
+                any_ran = true;
+            }
+        }
+        return finishStep(any_ran);
+    }
 
     /** Run to completion (NoCkpt executions and tests). */
     void runToCompletion();
+
+    /** runToCompletion() over the devirtualized stepWith() path. */
+    template <class Obs>
+    void
+    runToCompletionWith(Obs *observer)
+    {
+        while (true) {
+            SystemState state = stepWith(observer);
+            if (state == SystemState::kAllHalted)
+                return;
+            if (state == SystemState::kBlocked)
+                blockedFatal();
+        }
+    }
 
     bool allHalted() const;
 
@@ -102,6 +137,12 @@ class MulticoreSystem
     void exportStats(StatSet &stats) const;
 
   private:
+    /** Barrier-release epilogue shared by step()/stepWith(). */
+    SystemState finishStep(bool any_ran);
+
+    /** fatal() for a barrier deadlock in runToCompletion*(). */
+    [[noreturn]] void blockedFatal() const;
+
     MachineConfig config_;
     /** Owned copy: the system (and its cores) must outlive any caller
      *  temporaries. */

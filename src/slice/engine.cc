@@ -1,7 +1,5 @@
 #include "slice/engine.hh"
 
-#include <unordered_map>
-
 #include "common/logging.hh"
 
 namespace acr::slice
@@ -21,73 +19,44 @@ SliceEngine::SliceEngine(unsigned num_cores, unsigned size_cap)
     }
 }
 
-SliceEngine::NodePtr
-SliceEngine::leaf(Word value)
+SliceEngine::~SliceEngine()
 {
-    auto node = std::make_shared<Node>();
-    node->arith = false;
-    node->value = value;
-    node->approxSize = 1;
-    return node;
+    for (auto &regs : regNodes_)
+        for (auto *node : regs)
+            release(node);
 }
 
 void
-SliceEngine::observe(const cpu::InstrEvent &event)
+SliceEngine::releaseChildren(Node *a, Node *b)
 {
-    const isa::Instruction &inst = *event.inst;
-    ACR_ASSERT(event.core < numCores_, "event from unknown core %u",
-               event.core);
-    auto &regs = regNodes_[event.core];
-
-    if (isa::isLoad(inst.op) || inst.op == Opcode::kTid) {
-        // Memory instructions and tid reads terminate slices: the value
-        // itself becomes a capturable input operand.
-        regs[inst.rd] = leaf(event.result);
-        return;
+    // Iterative teardown: dropping the last reference to a chain head
+    // must not recurse down the chain (sizeCap_ bounds arith depth,
+    // but an explicit stack keeps the walk allocation-free and flat).
+    if (a != nullptr && --a->refs == 0)
+        releaseStack_.push_back(a);
+    if (b != nullptr && --b->refs == 0)
+        releaseStack_.push_back(b);
+    while (!releaseStack_.empty()) {
+        Node *dead = releaseStack_.back();
+        releaseStack_.pop_back();
+        if (dead->in1 && --dead->in1->refs == 0)
+            releaseStack_.push_back(dead->in1);
+        if (dead->in2 && --dead->in2->refs == 0)
+            releaseStack_.push_back(dead->in2);
+        dead->in1 = freeList_;
+        freeList_ = dead;
+        --liveNodes_;
     }
-
-    if (!isSliceable(inst.op))
-        return;  // stores, branches, barriers, halt: no register change
-
-    auto node = std::make_shared<Node>();
-    node->arith = true;
-    node->op = inst.op;
-    node->imm = inst.imm;
-    node->value = event.result;
-
-    std::uint64_t approx = 1;
-    if (isa::readsRs1(inst.op)) {
-        node->in1 = regs[inst.rs1];
-        approx += node->in1->arith ? node->in1->approxSize : 0;
-    }
-    if (isa::readsRs2(inst.op)) {
-        node->in2 = regs[inst.rs2];
-        approx += node->in2->arith ? node->in2->approxSize : 0;
-    }
-
-    if (approx > sizeCap_) {
-        // Chain exceeds every threshold under study: collapse to an
-        // opaque leaf. This bounds tracking memory, builder work, and
-        // destructor recursion depth.
-        node->arith = false;
-        node->in1.reset();
-        node->in2.reset();
-        node->approxSize = 1;
-    } else {
-        node->approxSize = static_cast<std::uint32_t>(approx);
-    }
-
-    regs[inst.rd] = std::move(node);
 }
 
-std::optional<BuiltSlice>
+const BuiltSlice *
 SliceEngine::buildForStore(const cpu::InstrEvent &event,
-                           const SlicePolicyConfig &policy) const
+                           const SlicePolicyConfig &policy)
 {
     const isa::Instruction &inst = *event.inst;
     ACR_ASSERT(isa::isStore(inst.op), "buildForStore on a non-store");
-    const NodePtr &root = regNodes_[event.core][inst.rs2];
-    auto built = buildFromNode(root, policy);
+    Node *root = regNodes_[event.core][inst.rs2];
+    const BuiltSlice *built = buildFromNode(root, policy);
     if (built) {
         ACR_ASSERT(built->value == event.result,
                    "slice root value desynced from stored value");
@@ -95,75 +64,80 @@ SliceEngine::buildForStore(const cpu::InstrEvent &event,
     return built;
 }
 
-std::optional<BuiltSlice>
-SliceEngine::buildFromNode(const NodePtr &root,
-                           const SlicePolicyConfig &policy) const
+const BuiltSlice *
+SliceEngine::buildFromNode(Node *root, const SlicePolicyConfig &policy)
 {
     if (!root || !root->arith)
-        return std::nullopt;  // pure copies/loads have no Slice
+        return nullptr;  // pure copies/loads have no Slice
 
     const unsigned max_instrs = policy.buildCap();
 
-    BuiltSlice out;
+    BuiltSlice &out = buildScratch_;
+    out.slice.code.clear();
+    out.slice.numInputs = 0;
+    out.inputs.clear();
     out.value = root->value;
 
-    // Iterative post-order walk; slotOf maps each visited node to its
-    // source encoding (slice-instruction index or input index).
-    std::unordered_map<const Node *, std::int32_t> slot_of;
-
-    struct Frame
-    {
-        const Node *node;
-        bool expanded;
+    // Iterative post-order walk. The visited map lives *in* the nodes:
+    // a node whose buildEpoch matches this walk's stamp has its source
+    // encoding (slice-instruction index or input index) in buildSlot —
+    // same traversal, same emission order as the hash-map version,
+    // with the lookup reduced to one compare.
+    const std::uint64_t epoch = ++buildEpoch_;
+    auto visited = [epoch](const Node *node) {
+        return node->buildEpoch == epoch;
     };
-    std::vector<Frame> stack;
-    stack.push_back({root.get(), false});
 
-    while (!stack.empty()) {
-        Frame frame = stack.back();
-        stack.pop_back();
-        const Node *node = frame.node;
+    buildStack_.clear();
+    buildStack_.push_back({root, false});
 
-        if (slot_of.count(node))
+    while (!buildStack_.empty()) {
+        Frame frame = buildStack_.back();
+        buildStack_.pop_back();
+        Node *node = frame.node;
+
+        if (visited(node))
             continue;
 
         if (!node->arith) {
             // Opaque leaf: capture the value as an input operand.
             if (out.inputs.size() >= policy.maxInputs)
-                return std::nullopt;
+                return nullptr;
             std::uint32_t k = static_cast<std::uint32_t>(out.inputs.size());
             out.inputs.push_back(node->value);
-            slot_of[node] = inputSrc(k);
+            node->buildEpoch = epoch;
+            node->buildSlot = inputSrc(k);
             continue;
         }
 
         if (!frame.expanded) {
-            stack.push_back({node, true});
-            if (node->in1 && !slot_of.count(node->in1.get()))
-                stack.push_back({node->in1.get(), false});
-            if (node->in2 && !slot_of.count(node->in2.get()))
-                stack.push_back({node->in2.get(), false});
+            buildStack_.push_back({node, true});
+            if (node->in1 && !visited(node->in1))
+                buildStack_.push_back({node->in1, false});
+            if (node->in2 && !visited(node->in2))
+                buildStack_.push_back({node->in2, false});
             continue;
         }
 
         // Children resolved: emit this instruction.
         if (out.slice.code.size() >= max_instrs)
-            return std::nullopt;
+            return nullptr;
         SliceInstr si;
         si.op = node->op;
         si.imm = node->imm;
-        si.src1 = node->in1 ? slot_of.at(node->in1.get()) : kNoSrc;
-        si.src2 = node->in2 ? slot_of.at(node->in2.get()) : kNoSrc;
+        si.src1 = node->in1 ? node->in1->buildSlot : kNoSrc;
+        si.src2 = node->in2 ? node->in2->buildSlot : kNoSrc;
         std::int32_t slot = static_cast<std::int32_t>(out.slice.code.size());
         out.slice.code.push_back(si);
-        slot_of[node] = slot;
+        node->buildEpoch = epoch;
+        node->buildSlot = slot;
     }
 
     out.slice.numInputs = static_cast<std::uint32_t>(out.inputs.size());
 
     if (!policy.accepts(out.slice.length(), out.inputs.size()))
-        return std::nullopt;
-    return out;
+        return nullptr;
+    return &out;
 }
 
 void
@@ -171,8 +145,11 @@ SliceEngine::resetCore(CoreId core,
                        const std::array<Word, isa::kNumRegs> &regs)
 {
     ACR_ASSERT(core < numCores_, "resetCore on unknown core %u", core);
-    for (unsigned r = 0; r < isa::kNumRegs; ++r)
-        regNodes_[core][r] = leaf(regs[r]);
+    for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        Node *node = leaf(regs[r]);
+        release(regNodes_[core][r]);
+        regNodes_[core][r] = node;
+    }
 }
 
 } // namespace acr::slice

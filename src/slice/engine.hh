@@ -11,6 +11,18 @@
  * linearizes the DAG behind the stored value into a StaticSlice (arith
  * ops only) plus captured input operands — or reports that no admissible
  * Slice exists.
+ *
+ * Hot-path layout (DESIGN.md §13): the engine allocates one node per
+ * retired arithmetic instruction and one per load/tid leaf, so node
+ * turnover dominates the whole simulator. Nodes therefore live in an
+ * engine-owned arena (chunked, free-listed) with an intrusive
+ * non-atomic refcount — an engine belongs to exactly one experiment
+ * frame, which runs on one thread — and the linearizer's visited-map
+ * is an epoch-stamped slot carried in the node itself instead of a
+ * per-call hash map. Both changes are pure allocation/bookkeeping
+ * swaps: the DAG shape, traversal order, and emitted slices are
+ * bit-identical to the original shared_ptr implementation (locked by
+ * perf_equiv_test / golden_stdout).
  */
 
 #ifndef ACR_SLICE_ENGINE_HH
@@ -21,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/logging.hh"
 #include "cpu/exec_observer.hh"
 #include "isa/instruction.hh"
 #include "slice/policy.hh"
@@ -50,20 +63,35 @@ class SliceEngine
      *                   at least the largest threshold under study.
      */
     explicit SliceEngine(unsigned num_cores, unsigned size_cap = 128);
+    ~SliceEngine();
 
-    /** Feed one retired instruction (call for every instruction). */
+    // The arena hands out raw intra-engine pointers; an engine is
+    // therefore pinned to its address.
+    SliceEngine(const SliceEngine &) = delete;
+    SliceEngine &operator=(const SliceEngine &) = delete;
+
+    /**
+     * Feed one retired instruction (call for every instruction).
+     * Defined inline below: with the observer devirtualized into the
+     * core's dispatch loop, this is the hottest function in the
+     * simulator, and keeping it in the header lets the whole
+     * alloc/retain/release path fold into the caller.
+     */
     void observe(const cpu::InstrEvent &event);
 
     /**
      * Build the Slice for the value a store wrote (the producer DAG of
      * rs2 at the time of @p event).
-     * @return nullopt when the value has no admissible Slice under
-     *         @p limits (producer is a load, chain too long, too many
-     *         inputs).
+     * @return nullptr when the value has no admissible Slice under
+     *         @p policy (producer is a load, chain too long, too many
+     *         inputs). A non-null result points into engine-owned
+     *         scratch reused by the next build call — copy out what
+     *         must survive. Millions of stores build slices per run,
+     *         so the builder must not allocate fresh result vectors
+     *         each time (DESIGN.md §13).
      */
-    std::optional<BuiltSlice>
-    buildForStore(const cpu::InstrEvent &event,
-                  const SlicePolicyConfig &policy) const;
+    const BuiltSlice *buildForStore(const cpu::InstrEvent &event,
+                                    const SlicePolicyConfig &policy);
 
     /**
      * Rollback support: producer chains for @p core are no longer valid;
@@ -73,32 +101,176 @@ class SliceEngine
 
     unsigned sizeCap() const { return sizeCap_; }
 
-  private:
-    struct Node;
-    using NodePtr = std::shared_ptr<Node>;
+    /** Nodes currently alive (tests/debugging). */
+    std::size_t liveNodes() const { return liveNodes_; }
 
-    /** A producer-DAG node. */
+  private:
+    /**
+     * A producer-DAG node. `refs` counts register slots plus parent
+     * links; `buildEpoch`/`buildSlot` are the linearizer's visited
+     * stamp (valid only while buildEpoch matches the engine's current
+     * walk). When a node sits on the free list, `in1` doubles as the
+     * list link.
+     */
     struct Node
     {
-        bool arith = false;       ///< false: opaque leaf (capture value)
-        isa::Opcode op = isa::Opcode::kMovi;
-        SWord imm = 0;
-        Word value = 0;
-        NodePtr in1;
-        NodePtr in2;
-        std::uint32_t approxSize = 1;
+        Node *in1;
+        Node *in2;
+        Word value;
+        SWord imm;
+        std::uint64_t buildEpoch;
+        std::uint32_t refs;
+        std::uint32_t approxSize;
+        std::int32_t buildSlot;
+        isa::Opcode op;
+        bool arith;
     };
 
-    static NodePtr leaf(Word value);
+    static constexpr std::size_t kChunkNodes = 4096;
 
-    std::optional<BuiltSlice>
-    buildFromNode(const NodePtr &root,
-                  const SlicePolicyConfig &policy) const;
+    Node *alloc();
+    Node *leaf(Word value);
+    void retain(Node *node) { ++node->refs; }
+    /** Drop one reference; reclaims the node (and, transitively, its
+     *  children) into the free list when it was the last. The childless
+     *  case — every load/tid leaf, the bulk of node deaths — is freed
+     *  inline; only a node with children drops to the out-of-line
+     *  cascade. */
+    void
+    release(Node *node)
+    {
+        if (--node->refs != 0)
+            return;
+        Node *a = node->in1;
+        Node *b = node->in2;
+        node->in1 = freeList_;
+        freeList_ = node;
+        --liveNodes_;
+        if (a != nullptr || b != nullptr)
+            releaseChildren(a, b);
+    }
+    /** Out-of-line teardown of a freed node's subtrees. */
+    void releaseChildren(Node *a, Node *b);
+
+    const BuiltSlice *buildFromNode(Node *root,
+                                    const SlicePolicyConfig &policy);
 
     unsigned numCores_;
     unsigned sizeCap_;
-    std::vector<std::array<NodePtr, isa::kNumRegs>> regNodes_;
+    std::vector<std::array<Node *, isa::kNumRegs>> regNodes_;
+
+    // --- Node arena ---
+    std::vector<std::unique_ptr<Node[]>> chunks_;
+    std::size_t chunkUsed_ = kChunkNodes;  ///< used slots in chunks_.back()
+    Node *freeList_ = nullptr;
+    std::size_t liveNodes_ = 0;
+
+    // --- Reused walk scratch (arena-style: capacity survives calls) ---
+    struct Frame
+    {
+        Node *node;
+        bool expanded;
+    };
+    std::vector<Frame> buildStack_;
+    std::vector<Node *> releaseStack_;
+    std::uint64_t buildEpoch_ = 0;
+    /** Result slot of buildFromNode; vectors keep their capacity. */
+    BuiltSlice buildScratch_;
 };
+
+inline SliceEngine::Node *
+SliceEngine::alloc()
+{
+    Node *node;
+    if (freeList_ != nullptr) {
+        node = freeList_;
+        freeList_ = node->in1;
+    } else {
+        if (chunkUsed_ == kChunkNodes) {
+            chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+            chunkUsed_ = 0;
+        }
+        node = &chunks_.back()[chunkUsed_++];
+    }
+    node->in1 = nullptr;
+    node->in2 = nullptr;
+    node->refs = 1;
+    node->buildEpoch = 0;
+    ++liveNodes_;
+    return node;
+}
+
+inline SliceEngine::Node *
+SliceEngine::leaf(Word value)
+{
+    Node *node = alloc();
+    node->arith = false;
+    node->op = isa::Opcode::kMovi;
+    node->imm = 0;
+    node->value = value;
+    node->approxSize = 1;
+    return node;
+}
+
+inline void
+SliceEngine::observe(const cpu::InstrEvent &event)
+{
+    const isa::Instruction &inst = *event.inst;
+    ACR_ASSERT(event.core < numCores_, "event from unknown core %u",
+               event.core);
+    auto &regs = regNodes_[event.core];
+
+    if (isa::isLoad(inst.op) || inst.op == isa::Opcode::kTid) {
+        // Memory instructions and tid reads terminate slices: the value
+        // itself becomes a capturable input operand.
+        Node *node = leaf(event.result);
+        release(regs[inst.rd]);
+        regs[inst.rd] = node;
+        return;
+    }
+
+    if (!isSliceable(inst.op))
+        return;  // stores, branches, barriers, halt: no register change
+
+    Node *node = alloc();
+    node->arith = true;
+    node->op = inst.op;
+    node->imm = inst.imm;
+    node->value = event.result;
+
+    std::uint64_t approx = 1;
+    if (isa::readsRs1(inst.op)) {
+        node->in1 = regs[inst.rs1];
+        retain(node->in1);
+        approx += node->in1->arith ? node->in1->approxSize : 0;
+    }
+    if (isa::readsRs2(inst.op)) {
+        node->in2 = regs[inst.rs2];
+        retain(node->in2);
+        approx += node->in2->arith ? node->in2->approxSize : 0;
+    }
+
+    if (approx > sizeCap_) {
+        // Chain exceeds every threshold under study: collapse to an
+        // opaque leaf. This bounds tracking memory, builder work, and
+        // teardown depth.
+        node->arith = false;
+        if (node->in1) {
+            release(node->in1);
+            node->in1 = nullptr;
+        }
+        if (node->in2) {
+            release(node->in2);
+            node->in2 = nullptr;
+        }
+        node->approxSize = 1;
+    } else {
+        node->approxSize = static_cast<std::uint32_t>(approx);
+    }
+
+    release(regs[inst.rd]);
+    regs[inst.rd] = node;
+}
 
 } // namespace acr::slice
 

@@ -33,11 +33,12 @@ SliceInstance::create(SliceId slice, std::vector<Word> inputs,
 {
     if (!accounting.tryReserve(inputs.size()))
         return nullptr;
-    return std::shared_ptr<SliceInstance>(
-        new SliceInstance(slice, std::move(inputs), accounting));
+    return std::make_shared<SliceInstance>(Private{}, slice,
+                                           std::move(inputs), accounting);
 }
 
-SliceInstance::SliceInstance(SliceId slice, std::vector<Word> inputs,
+SliceInstance::SliceInstance(Private, SliceId slice,
+                             std::vector<Word> inputs,
                              OperandBufferAccounting &accounting)
     : slice_(slice), inputs_(std::move(inputs)), accounting_(accounting)
 {

@@ -59,6 +59,15 @@ struct ReplayCost
 /** A StaticSlice plus its captured input operands. */
 class SliceInstance
 {
+    /** Construction token: keeps the ctor effectively private while
+     *  letting create() use make_shared (instances are allocated by
+     *  the million — one combined control-block+object allocation
+     *  instead of two). */
+    struct Private
+    {
+        explicit Private() = default;
+    };
+
   public:
     /**
      * Create an instance, reserving operand-buffer space.
@@ -67,6 +76,9 @@ class SliceInstance
     static std::shared_ptr<SliceInstance>
     create(SliceId slice, std::vector<Word> inputs,
            OperandBufferAccounting &accounting);
+
+    SliceInstance(Private, SliceId slice, std::vector<Word> inputs,
+                  OperandBufferAccounting &accounting);
 
     ~SliceInstance();
 
@@ -85,9 +97,6 @@ class SliceInstance
     Word replay(const SliceRepository &repo, ReplayCost *cost) const;
 
   private:
-    SliceInstance(SliceId slice, std::vector<Word> inputs,
-                  OperandBufferAccounting &accounting);
-
     SliceId slice_;
     std::vector<Word> inputs_;
     OperandBufferAccounting &accounting_;

@@ -22,7 +22,7 @@ StaticSlice::hash() const
 }
 
 SliceId
-SliceRepository::intern(StaticSlice slice)
+SliceRepository::intern(const StaticSlice &slice)
 {
     const std::size_t h = slice.hash();
     auto it = byHash_.find(h);
@@ -35,7 +35,7 @@ SliceRepository::intern(StaticSlice slice)
     ACR_ASSERT(slices_.size() < kInvalidSlice, "slice repository full");
     SliceId id = static_cast<SliceId>(slices_.size());
     totalInstrs_ += slice.code.size();
-    slices_.push_back(std::move(slice));
+    slices_.push_back(slice);
     byHash_[h].push_back(id);
     return id;
 }

@@ -23,8 +23,10 @@ namespace acr::slice
 class SliceRepository
 {
   public:
-    /** Intern @p slice, returning the id of the canonical copy. */
-    SliceId intern(StaticSlice slice);
+    /** Intern @p slice, returning the id of the canonical copy; the
+     *  argument is only copied when the shape is new (nearly every
+     *  dynamic store interns a shape the repository already holds). */
+    SliceId intern(const StaticSlice &slice);
 
     /** The slice with the given id. */
     const StaticSlice &get(SliceId id) const;

@@ -143,6 +143,7 @@ TEST(AcrEngine, HintedStoreCreatesAssociation)
     ASSERT_NE(inst, nullptr);
     slice::ReplayCost cost;
     EXPECT_EQ(rig.engine.replay(*inst, &cost), 42u);
+    rig.engine.exportStats();  // flush the deferred hot counters
     EXPECT_DOUBLE_EQ(rig.stats.get("acr.captures"), 1.0);
     EXPECT_GT(rig.stats.get("acr.addrMapAccesses"), 0.0);
 }
@@ -225,6 +226,7 @@ TEST(AcrEngine, NonSliceableInstanceFallsBackToLogging)
     rig.slicer.observe(e);
     rig.store(500, 9, true);
     EXPECT_EQ(rig.engine.currentValueSlice(500), nullptr);
+    rig.engine.exportStats();  // flush the deferred hot counters
     EXPECT_DOUBLE_EQ(rig.stats.get("acr.captureFailures"), 1.0);
 }
 

@@ -130,6 +130,7 @@ TEST(Edge, TinyOperandBufferFallsBackToLogging)
     system.runToCompletion();
 
     EXPECT_EQ(manager.openLog().amnesicRecords(), 0u);
+    acr.exportStats();  // flush the deferred hot counters
     EXPECT_GT(stats.get("acr.operandBufferRejections"), 0.0);
 }
 
@@ -173,6 +174,7 @@ TEST(Edge, TinyAddrMapLimitsOmissions)
     system.setObserver(&observer);
     system.runToCompletion();
 
+    acr.exportStats();  // flush the deferred hot counters
     EXPECT_GT(stats.get("acr.addrMapOverflows"), 0.0);
     EXPECT_LE(acr.addrMap().size(), 4u);
 }

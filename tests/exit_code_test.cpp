@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Exit-code precedence (harness/exit_code.hh): the single combiner the
+ * bench front-ends use must order verdicts clean < quarantine <
+ * divergence regardless of argument order, be associative (so folding
+ * over any number of verdicts is well-defined), and reject codes that
+ * are not combinable verdicts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/exit_code.hh"
+
+namespace acr::harness
+{
+namespace
+{
+
+TEST(ExitCode, EveryPairCombinesToTheMoreSevere)
+{
+    const int codes[] = {kExitClean, kExitQuarantine, kExitDivergence};
+    for (int a : codes) {
+        for (int b : codes) {
+            const int combined = combineExitCodes(a, b);
+            const int expected =
+                exitCodeSeverity(a) >= exitCodeSeverity(b) ? a : b;
+            EXPECT_EQ(combined, expected)
+                << "combine(" << a << ", " << b << ")";
+            EXPECT_EQ(combined, combineExitCodes(b, a))
+                << "combine must be symmetric for (" << a << ", " << b
+                << ")";
+        }
+    }
+}
+
+TEST(ExitCode, PrecedenceChain)
+{
+    EXPECT_EQ(combineExitCodes(kExitClean, kExitClean), kExitClean);
+    EXPECT_EQ(combineExitCodes(kExitClean, kExitQuarantine),
+              kExitQuarantine);
+    EXPECT_EQ(combineExitCodes(kExitClean, kExitDivergence),
+              kExitDivergence);
+    EXPECT_EQ(combineExitCodes(kExitQuarantine, kExitDivergence),
+              kExitDivergence);
+}
+
+TEST(ExitCode, AssociativeOverFolds)
+{
+    const int codes[] = {kExitClean, kExitQuarantine, kExitDivergence};
+    for (int a : codes)
+        for (int b : codes)
+            for (int c : codes)
+                EXPECT_EQ(
+                    combineExitCodes(combineExitCodes(a, b), c),
+                    combineExitCodes(a, combineExitCodes(b, c)));
+}
+
+TEST(ExitCode, SeverityRejectsNonVerdicts)
+{
+    EXPECT_EQ(exitCodeSeverity(1), -1);  // fatal(): never combined
+    EXPECT_EQ(exitCodeSeverity(2), -1);  // reserved
+    EXPECT_EQ(exitCodeSeverity(-1), -1);
+    EXPECT_EQ(exitCodeSeverity(255), -1);
+}
+
+TEST(ExitCodeDeath, CombineRefusesNonVerdicts)
+{
+    EXPECT_DEATH(combineExitCodes(1, kExitClean),
+                 "not a combinable verdict");
+    EXPECT_DEATH(combineExitCodes(kExitClean, 2),
+                 "not a combinable verdict");
+}
+
+} // namespace
+} // namespace acr::harness

@@ -148,6 +148,63 @@ run_case("${OUT}/inproc_resumed.txt" "${OUT}/inproc_resumed.err" 0 ""
 expect_identical("${OUT}/reference.txt" "${OUT}/inproc_resumed.txt"
                  "in-process journaled rerun")
 
+# --- Oracle-in-workers parity (needs -DTORTURE=<torture binary>): a
+#     fixture divergence (ACR_TEST_CORRUPT_RECOVERY) must surface
+#     identically — same rendered bytes, same exit-4 verdict — whether
+#     the point runs on in-process threads (--jobs), forked wire-
+#     protocol workers (--forks), or split across shards whose records
+#     carry the divergence to a later --merge. In shard mode the legs
+#     themselves exit 0: the verdict travels in the result records
+#     (oracleDivergences/oracleReport) and is applied at render time.
+if(DEFINED TORTURE)
+    set(oracle_campaign --workloads=is --modes=reckpt --coords=global
+        --lats=0.5 --errors=8 --checkpoints=5 --seeds=1 --oracle=on)
+    function(run_oracle output errfile expect_status)
+        execute_process(
+            COMMAND "${CMAKE_COMMAND}" -E env ACR_TEST_CORRUPT_RECOVERY=1
+                    "${TORTURE}" ${oracle_campaign} ${ARGN}
+            OUTPUT_FILE "${output}"
+            ERROR_FILE "${errfile}"
+            RESULT_VARIABLE status)
+        if(NOT status EQUAL ${expect_status})
+            file(READ "${errfile}" stderr)
+            message(FATAL_ERROR
+                    "${TORTURE} ${ARGN}: expected exit "
+                    "${expect_status}, got ${status}:\n${stderr}")
+        endif()
+    endfunction()
+
+    run_oracle("${OUT}/oracle_jobs.txt" "${OUT}/oracle_jobs.err" 4
+               --jobs=1)
+    run_oracle("${OUT}/oracle_forks.txt" "${OUT}/oracle_forks.err" 4
+               --forks=2)
+    expect_identical("${OUT}/oracle_jobs.txt" "${OUT}/oracle_forks.txt"
+                     "oracle divergence under --forks")
+    expect_match("${OUT}/oracle_forks.err" "\\[oracle\\]"
+                 "forked oracle diagnostic")
+
+    run_oracle("${OUT}/oracle_s0.ndjson" "${OUT}/oracle_s0.err" 0
+               --shard=0/2 --forks=2)
+    run_oracle("${OUT}/oracle_s1.ndjson" "${OUT}/oracle_s1.err" 0
+               --shard=1/2)
+    # The divergence must travel inside the wire records themselves.
+    file(READ "${OUT}/oracle_s0.ndjson" s0)
+    file(READ "${OUT}/oracle_s1.ndjson" s1)
+    if(NOT "${s0}${s1}" MATCHES "\"oracleDivergences\":[1-9]")
+        message(FATAL_ERROR
+                "no shard record carries a nonzero oracleDivergences "
+                "count — divergences are not crossing the wire")
+    endif()
+    run_oracle("${OUT}/oracle_merged.txt" "${OUT}/oracle_merged.err" 4
+               "--merge=${OUT}/oracle_s0.ndjson,${OUT}/oracle_s1.ndjson")
+    expect_identical("${OUT}/oracle_jobs.txt" "${OUT}/oracle_merged.txt"
+                     "oracle divergence across shard+merge")
+
+    message(STATUS
+            "fault smoke: oracle divergence surfaced identically in "
+            "--jobs, --forks, and --shard+merge")
+endif()
+
 message(STATUS
         "fault smoke: crash, watchdog, quarantine, and resume all "
         "render byte-identically")

@@ -1,0 +1,48 @@
+# Rendered-stdout byte lock, run as a ctest: the fig06 bench's full
+# workload × mode grid, rendered as CSV, must match the recorded
+# seed-engine capture tests/golden/fig06_grid.csv byte-for-byte. This
+# is the bench-level half of the differential golden lock
+# (perf_equiv_test.cpp is the library-level half): the hot-path
+# rewrite's SoA/devirtualization work must not move a single rendered
+# byte. Regenerate the capture only for a conscious model change:
+#   bench/fig06_time_overhead --format=csv > tests/golden/fig06_grid.csv
+#
+# Invoke with
+#   cmake -DBENCH=<path to fig06_time_overhead>
+#         -DGOLDEN=<tests/golden/fig06_grid.csv> -DOUT=<scratch dir>
+#         -P golden_stdout.cmake
+
+foreach(var BENCH GOLDEN OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "golden_stdout.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+execute_process(
+    COMMAND "${BENCH}" --format=csv
+    OUTPUT_FILE "${OUT}/fig06_grid.csv"
+    ERROR_FILE "${OUT}/fig06_grid.stderr"
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    file(READ "${OUT}/fig06_grid.stderr" stderr)
+    message(FATAL_ERROR "${BENCH} --format=csv exited ${status}:\n"
+            "${stderr}")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${GOLDEN}" "${OUT}/fig06_grid.csv"
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "rendered bench stdout diverged from the recorded seed "
+            "engine (${GOLDEN} vs ${OUT}/fig06_grid.csv); every byte "
+            "of the grid is load-bearing — a hot-path refactor must "
+            "not change results, and a conscious model change must "
+            "regenerate the capture in the same commit")
+endif()
+
+message(STATUS "golden stdout: fig06 grid is byte-identical to the "
+               "seed capture")

@@ -47,6 +47,22 @@ constexpr GoldenRow kGolden[] = {
     {"sp", 33.678119, 20.779221, 20.592067},
 };
 
+// Same reductions under local coordination (Sec. V-E): only
+// communicating cores cooperate at each checkpoint, so the interval
+// structure — and with it every reduction — shifts. Pinned from the
+// same seed engine as kGolden; the hot-path rewrite must reproduce
+// both coordination modes exactly.
+constexpr GoldenRow kGoldenLocal[] = {
+    {"bt", 30.752642, 19.464181, 19.060649},
+    {"cg", 7.070822, 5.585331, 4.562969},
+    {"dc", 61.164657, 38.138619, 37.770761},
+    {"ft", 20.045723, 20.269369, 15.763205},
+    {"is", 60.826544, 34.432046, 33.278069},
+    {"lu", 37.136395, 23.159238, 22.750200},
+    {"mg", 11.001495, 7.664674, 6.693785},
+    {"sp", 33.678119, 20.779221, 20.592067},
+};
+
 TEST(Golden, HeadlineReductionsAtDefaultPoint)
 {
     harness::Runner runner(kDefaultThreads);
@@ -63,6 +79,41 @@ TEST(Golden, HeadlineReductionsAtDefaultPoint)
 
     for (std::size_t w = 0; w < names.size(); ++w) {
         const GoldenRow &golden = kGolden[w];
+        ASSERT_EQ(names[w], golden.workload);
+        const auto *row = &results[w * configs.size()];
+        const auto &base = row[0];
+        const auto &ckpt = row[1];
+        const auto &reckpt = row[2];
+
+        SCOPED_TRACE(names[w]);
+        EXPECT_NEAR(overallSizeReductionPct(ckpt, reckpt),
+                    golden.sizeReductionPct, kTolerance);
+        EXPECT_NEAR(reductionPct(ckpt.timeOverheadPct(base.cycles),
+                                 reckpt.timeOverheadPct(base.cycles)),
+                    golden.timeReductionPct, kTolerance);
+        EXPECT_NEAR(
+            reductionPct(ckpt.energyOverheadPct(base.energyPj),
+                         reckpt.energyOverheadPct(base.energyPj)),
+            golden.energyReductionPct, kTolerance);
+    }
+}
+
+TEST(Golden, HeadlineReductionsUnderLocalCoordination)
+{
+    harness::Runner runner(kDefaultThreads);
+    const std::vector<harness::ExperimentConfig> configs = {
+        makeConfig(BerMode::kNoCkpt),
+        makeConfig(BerMode::kCkpt, 0, ckpt::Coordination::kLocal),
+        makeConfig(BerMode::kReCkpt, 0, ckpt::Coordination::kLocal),
+    };
+    harness::Sweep sweep(runner);
+    const auto results = sweep.run(crossWorkloads(configs));
+
+    const auto &names = workloads::allWorkloadNames();
+    ASSERT_EQ(names.size(), std::size(kGoldenLocal));
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const GoldenRow &golden = kGoldenLocal[w];
         ASSERT_EQ(names[w], golden.workload);
         const auto *row = &results[w * configs.size()];
         const auto &base = row[0];

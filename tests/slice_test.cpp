@@ -188,8 +188,10 @@ struct SliceRig
             onInstr(const cpu::InstrEvent &e) override
             {
                 if (isa::isStore(e.inst->op)) {
-                    built.push_back(
-                        rig->engine.buildForStore(e, *policy));
+                    const BuiltSlice *b =
+                        rig->engine.buildForStore(e, *policy);
+                    built.push_back(b ? std::optional<BuiltSlice>(*b)
+                                      : std::nullopt);
                     return;
                 }
                 rig->engine.observe(e);
@@ -350,16 +352,18 @@ TEST(Engine, ResetCoreMakesRegistersOpaque)
         onInstr(const cpu::InstrEvent &e) override
         {
             if (isa::isStore(e.inst->op)) {
-                auto built = rig->engine.buildForStore(e, policy);
+                const auto *built = rig->engine.buildForStore(e, policy);
                 if (stores++ == 0) {
-                    first = built;
+                    if (built)
+                        first = *built;
                     // Simulate a rollback between the stores.
                     std::array<Word, isa::kNumRegs> regs{};
                     for (unsigned r = 0; r < isa::kNumRegs; ++r)
                         regs[r] = rig->core.reg(r);
                     rig->engine.resetCore(0, regs);
                 } else {
-                    second = built;
+                    if (built)
+                        second = *built;
                 }
                 return;
             }
