@@ -25,13 +25,6 @@ inMask(cache::SharerMask mask, CoreId core)
     return (mask >> core) & 1;
 }
 
-/** Synthetic line ids for checkpoint-region traffic (arch state). */
-LineId
-archRegionLine(CoreId core, std::uint64_t index)
-{
-    return (LineId{1} << 40) + core * 1024 + index;
-}
-
 /** Recovery ordinal from an ACR_TEST_* variable (0 = unset / off). */
 std::uint64_t
 testHookOrdinal(const char *name)
@@ -51,7 +44,10 @@ CheckpointManager::CheckpointManager(const Config &config,
                                      sim::MulticoreSystem &system,
                                      RecomputeProvider *provider,
                                      StatSet &stats)
-    : config_(config), system_(system), provider_(provider), stats_(stats)
+    : config_(config), system_(system), provider_(provider), stats_(stats),
+      store_(makeCheckpointStore(config.backend, system, stats,
+                                 config.archBytesPerCore)),
+      amnesicOk_(provider != nullptr && store_->supportsAmnesic())
 {
     corruptRecoveryAt_ = testHookOrdinal("ACR_TEST_CORRUPT_RECOVERY");
     dropRecordAt_ = testHookOrdinal("ACR_TEST_DROP_LOG_RECORD");
@@ -86,7 +82,9 @@ CheckpointManager::onStore(CoreId writer, Addr addr, Word old_value)
     record.addr = addr;
     record.oldValue = old_value;
     record.writer = writer;
-    if (provider_)
+    // A store that serves recovery from stored bytes alone must see
+    // every old value, so amnesic omission is gated on the backend.
+    if (amnesicOk_)
         record.amnesic = provider_->currentValueSlice(addr);
     openLog_.append(std::move(record));
 }
@@ -96,39 +94,16 @@ CheckpointManager::establishGroup(cache::SharerMask group,
                                   IntervalSizes &sizes)
 {
     auto &caches = system_.caches();
-    auto &dram = caches.dram();
 
     // Coordinate the group, then flush its dirty lines.
     Cycle start = system_.syncCores(group);
     cache::FlushResult flush = caches.flushCores(group, start);
     sizes.flushedLines += flush.lines;
-    Cycle done = flush.done;
 
-    // Log traffic: each stored (non-amnesic) record reads the old value
-    // from memory and appends it to the log region; amnesic records cost
-    // nothing here (their AddrMap writes were charged at ASSOC-ADDR).
-    for (const LogRecord &record : openLog_.records()) {
-        if (!inMask(group, record.writer))
-            continue;
-        if (record.isAmnesic())
-            continue;
-        Cycle t1 = dram.wordRead(record.addr, start);
-        Cycle t2 = dram.wordWrite(record.addr, start);
-        done = std::max({done, t1, t2});
-    }
-
-    // Architectural state of every group core goes to the checkpoint
-    // region in memory.
-    const std::uint64_t arch_lines =
-        (config_.archBytesPerCore + kLineBytes - 1) / kLineBytes;
-    for (CoreId c = 0; c < system_.numCores(); ++c) {
-        if (!inMask(group, c))
-            continue;
-        for (std::uint64_t i = 0; i < arch_lines; ++i) {
-            Cycle t = dram.lineWrite(archRegionLine(c, i), start);
-            done = std::max(done, t);
-        }
-    }
+    // The store charges the medium's establishment traffic (stored
+    // records + the group cores' architectural state).
+    Cycle done =
+        store_->establishGroup(openLog_, group, start, flush.done);
 
     // The whole group stalls until establishment completes.
     for (CoreId c = 0; c < system_.numCores(); ++c) {
@@ -149,9 +124,7 @@ CheckpointManager::establish()
     sizes.interval = openLog_.interval();
     sizes.records = openLog_.totalRecords();
     sizes.amnesicRecords = openLog_.amnesicRecords();
-    sizes.loggedBytes = openLog_.loggedBytes();
-    sizes.omittedBytes = openLog_.omittedBytes();
-    sizes.archBytes = config_.archBytesPerCore * system_.numCores();
+    store_->accountFootprint(openLog_, system_.numCores(), sizes);
 
     auto &directory = system_.caches().directory();
     std::vector<cache::SharerMask> adjacency =
@@ -181,9 +154,12 @@ CheckpointManager::establish()
     retained_.push_back(std::move(ckpt));
 
     // Two-checkpoint retention (Sec. II-A): dropping an old checkpoint
-    // releases its log and thereby unpins its slice instances.
-    while (retained_.size() > 2)
+    // releases its log and thereby unpins its slice instances; the
+    // store gets to reclaim whatever it held for it.
+    while (retained_.size() > 2) {
+        store_->onCheckpointRetired(retained_.front());
         retained_.pop_front();
+    }
 
     openLog_ = IntervalLog(next_interval);
     directory.clearInteractions();
@@ -210,8 +186,6 @@ CheckpointManager::applyLog(const IntervalLog &log,
                             std::vector<Cycle> &replay_cycles,
                             std::vector<Addr> &restored)
 {
-    auto &dram = system_.caches().dram();
-
     // Affected cores share the recomputation work (Slices execute on
     // the cores before the register files are restored, Sec. II-B).
     std::vector<CoreId> workers;
@@ -259,8 +233,9 @@ CheckpointManager::applyLog(const IntervalLog &log,
             }
             replay_cycles[worker] += cost.aluOps;
 
-            dram_done = std::max(dram_done,
-                                 dram.wordWrite(record.addr, issue_at));
+            dram_done =
+                std::max(dram_done,
+                         store_->writeRecomputed(record, issue_at));
             stats_.add("acr.replayAluOps",
                        static_cast<double>(cost.aluOps));
             stats_.add("acr.operandBufferWords",
@@ -268,9 +243,8 @@ CheckpointManager::applyLog(const IntervalLog &log,
             stats_.add("rec.recomputedWords");
         } else {
             system_.memory().write(record.addr, record.oldValue);
-            Cycle t1 = dram.wordRead(record.addr, issue_at);
-            Cycle t2 = dram.wordWrite(record.addr, issue_at);
-            dram_done = std::max({dram_done, t1, t2});
+            dram_done = std::max(
+                dram_done, store_->restoreWord(record, issue_at));
             stats_.add("rec.restoredWords");
         }
         restored.push_back(record.addr);
@@ -369,17 +343,12 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
     }
 
     // Restore architectural state of affected cores, reading the
-    // checkpoint region.
-    auto &dram = system_.caches().dram();
-    const std::uint64_t arch_lines =
-        (config_.archBytesPerCore + kLineBytes - 1) / kLineBytes;
+    // store's checkpoint region.
     for (CoreId c = 0; c < system_.numCores(); ++c) {
         if (!inMask(affected, c))
             continue;
-        for (std::uint64_t i = 0; i < arch_lines; ++i) {
-            Cycle t = dram.lineRead(archRegionLine(c, i), start);
-            dram_done = std::max(dram_done, t);
-        }
+        dram_done =
+            std::max(dram_done, store_->readArchState(c, start));
     }
 
     Cycle replay_done = start;
@@ -404,6 +373,7 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
         if (ckpt.index > target->index) {
             ckpt.log.removeWriters(affected);
             ckpt.validFor &= ~affected;
+            store_->onCheckpointInvalidated(ckpt, affected);
         }
     }
 

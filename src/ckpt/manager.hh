@@ -4,19 +4,23 @@
  * incremental in-memory checkpointing with global or local coordination
  * (Sec. II-A, V-E), two-checkpoint retention (Sec. II-A / Fig. 2), and
  * rollback/recovery with optional recomputation of amnesic records
- * through a RecomputeProvider (Sec. III-B / Fig. 4b).
+ * through a RecomputeProvider (Sec. III-B / Fig. 4b). Storage-medium
+ * costs and footprint are delegated to a pluggable CheckpointStore
+ * backend (ckpt/store.hh, DESIGN.md §14).
  */
 
 #ifndef ACR_CKPT_MANAGER_HH
 #define ACR_CKPT_MANAGER_HH
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "cache/directory.hh"
 #include "ckpt/auditor.hh"
 #include "ckpt/log.hh"
 #include "ckpt/provider.hh"
+#include "ckpt/store.hh"
 #include "common/stats.hh"
 #include "sim/system.hh"
 
@@ -30,53 +34,6 @@ enum class Coordination
     kGlobal,
     /** Only communicating cores coordinate (Sec. V-E). */
     kLocal,
-};
-
-/** One established checkpoint. */
-struct Checkpoint
-{
-    /** Checkpoint number (the interval it terminates). */
-    std::uint64_t index = 0;
-
-    /** Cycle at which establishment completed (max over groups). */
-    Cycle establishedAt = 0;
-
-    /** Program progress (retired instructions) at establishment. */
-    std::uint64_t progressAt = 0;
-
-    /** Architectural state of every core. */
-    std::vector<cpu::ArchState> arch;
-
-    /** Undo log of the interval that ended at this checkpoint. */
-    IntervalLog log;
-
-    /** Interaction adjacency of that interval (local-mode closure). */
-    std::vector<cache::SharerMask> interactions;
-
-    /** Cores for which this checkpoint is still a valid rollback
-     *  target (group rollbacks invalidate newer checkpoints for the
-     *  rolled-back cores only). */
-    cache::SharerMask validFor = ~cache::SharerMask{0};
-};
-
-/** Per-interval size bookkeeping, kept for the whole run (Fig. 9/10,
- *  Table II). */
-struct IntervalSizes
-{
-    std::uint64_t interval = 0;
-    std::uint64_t records = 0;
-    std::uint64_t amnesicRecords = 0;
-    std::uint64_t loggedBytes = 0;
-    std::uint64_t omittedBytes = 0;
-    std::uint64_t flushedLines = 0;
-    std::uint64_t archBytes = 0;
-
-    /** Stored checkpoint footprint (log + architectural state). */
-    std::uint64_t
-    storedBytes() const
-    {
-        return loggedBytes + archBytes;
-    }
 };
 
 /** Outcome of a recovery, for the driver (slicer resets, scheduling). */
@@ -103,6 +60,8 @@ class CheckpointManager
     struct Config
     {
         Coordination mode = Coordination::kGlobal;
+        /** Storage backend the checkpoints live on (DESIGN.md §14). */
+        Backend backend = Backend::kLog;
         /** Register file + pc + bookkeeping per core. */
         std::uint64_t archBytesPerCore =
             isa::kNumRegs * kWordBytes + 3 * kWordBytes;
@@ -164,6 +123,9 @@ class CheckpointManager
 
     const IntervalLog &openLog() const { return openLog_; }
 
+    /** The storage backend this manager checkpoints onto. */
+    const CheckpointStore &store() const { return *store_; }
+
   private:
     /** Establishment work for one coordination group. */
     void establishGroup(cache::SharerMask group, IntervalSizes &sizes);
@@ -181,6 +143,10 @@ class CheckpointManager
     RecomputeProvider *provider_;
     StatSet &stats_;
     RecoveryAuditor *auditor_ = nullptr;
+    std::unique_ptr<CheckpointStore> store_;
+    /** provider_ != null && the store accepts amnesic omission —
+     *  cached so the hot onStore path skips a virtual call. */
+    bool amnesicOk_ = false;
 
     IntervalLog openLog_{1};
     std::deque<Checkpoint> retained_;

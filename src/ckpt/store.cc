@@ -1,0 +1,438 @@
+#include "ckpt/store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acr::ckpt
+{
+
+namespace
+{
+
+bool
+inMask(cache::SharerMask mask, CoreId core)
+{
+    return (mask >> core) & 1;
+}
+
+/** Synthetic line ids for checkpoint-region traffic (arch state). */
+LineId
+archRegionLine(CoreId core, std::uint64_t index)
+{
+    return (LineId{1} << 40) + core * 1024 + index;
+}
+
+/** Synthetic word address of replica @p replica's copy of @p addr:
+ *  each replica occupies its own high region so replica traffic lands
+ *  on its own controller queue slots deterministically. */
+Addr
+replicaAddr(unsigned replica, Addr addr)
+{
+    return addr + (Addr{1} << 41) * (replica + 1);
+}
+
+/** Synthetic line ids of replica @p replica's arch-state region. */
+LineId
+replicaArchLine(unsigned replica, CoreId core, std::uint64_t index)
+{
+    return (LineId{1} << 40) + (LineId{1} << 30) * (replica + 1) +
+           core * 1024 + index;
+}
+
+/**
+ * The seed's undo-log-in-DRAM backend. Every charge below reproduces
+ * the exact DramModel call sequence the pre-extraction manager issued,
+ * so a kLog run is bit-identical to the seed (perf_equiv_test and
+ * golden_stdout lock this).
+ */
+class LogStore final : public CheckpointStore
+{
+  public:
+    using CheckpointStore::CheckpointStore;
+
+    Backend backend() const override { return Backend::kLog; }
+
+    bool supportsAmnesic() const override { return true; }
+
+    Cycle
+    establishGroup(const IntervalLog &log, cache::SharerMask group,
+                   Cycle start, Cycle flush_done) override
+    {
+        auto &dram = system_.caches().dram();
+        Cycle done = flush_done;
+
+        // Log traffic: each stored (non-amnesic) record reads the old
+        // value from memory and appends it to the log region; amnesic
+        // records cost nothing here (their AddrMap writes were charged
+        // at ASSOC-ADDR).
+        for (const LogRecord &record : log.records()) {
+            if (!inMask(group, record.writer))
+                continue;
+            if (record.isAmnesic())
+                continue;
+            Cycle t1 = dram.wordRead(record.addr, start);
+            Cycle t2 = dram.wordWrite(record.addr, start);
+            done = std::max({done, t1, t2});
+        }
+
+        // Architectural state of every group core goes to the
+        // checkpoint region in memory.
+        const std::uint64_t arch_lines =
+            (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
+        for (CoreId c = 0; c < system_.numCores(); ++c) {
+            if (!inMask(group, c))
+                continue;
+            for (std::uint64_t i = 0; i < arch_lines; ++i) {
+                Cycle t = dram.lineWrite(archRegionLine(c, i), start);
+                done = std::max(done, t);
+            }
+        }
+        return done;
+    }
+
+    void
+    accountFootprint(const IntervalLog &log, unsigned num_cores,
+                     IntervalSizes &sizes) const override
+    {
+        sizes.loggedBytes = log.loggedBytes();
+        sizes.omittedBytes = log.omittedBytes();
+        sizes.archBytes = archBytesPerCore_ * num_cores;
+    }
+
+    Cycle
+    restoreWord(const LogRecord &record, Cycle issue_at) override
+    {
+        auto &dram = system_.caches().dram();
+        Cycle t1 = dram.wordRead(record.addr, issue_at);
+        Cycle t2 = dram.wordWrite(record.addr, issue_at);
+        return std::max(t1, t2);
+    }
+
+    Cycle
+    writeRecomputed(const LogRecord &record, Cycle issue_at) override
+    {
+        return system_.caches().dram().wordWrite(record.addr, issue_at);
+    }
+
+    Cycle
+    readArchState(CoreId core, Cycle issue_at) override
+    {
+        auto &dram = system_.caches().dram();
+        const std::uint64_t arch_lines =
+            (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
+        Cycle done = issue_at;
+        for (std::uint64_t i = 0; i < arch_lines; ++i) {
+            Cycle t = dram.lineRead(archRegionLine(core, i), issue_at);
+            done = std::max(done, t);
+        }
+        return done;
+    }
+};
+
+/**
+ * ReStore-style replicated in-memory store: every checkpoint datum is
+ * written to kReplicaCount independent in-memory images, and recovery
+ * reads replica 0 instead of recomputing. Amnesic omission is off — a
+ * replica must hold every old value to serve a rollback by itself —
+ * so this is the storage-heavy / recovery-cheap baseline ACR beats on
+ * footprint but loses to on recovery traffic.
+ */
+class ReplicatedStore final : public CheckpointStore
+{
+  public:
+    using CheckpointStore::CheckpointStore;
+
+    Backend backend() const override { return Backend::kReplicated; }
+
+    bool supportsAmnesic() const override { return false; }
+
+    Cycle
+    establishGroup(const IntervalLog &log, cache::SharerMask group,
+                   Cycle start, Cycle flush_done) override
+    {
+        auto &dram = system_.caches().dram();
+        Cycle done = flush_done;
+        std::uint64_t replica_bytes = 0;
+
+        // Each record reads the old value once and fans it out to
+        // every replica image (per-replica write traffic is charged —
+        // that is the point of this baseline).
+        for (const LogRecord &record : log.records()) {
+            if (!inMask(group, record.writer))
+                continue;
+            Cycle t = dram.wordRead(record.addr, start);
+            done = std::max(done, t);
+            for (unsigned r = 0; r < kReplicaCount; ++r) {
+                t = dram.wordWrite(replicaAddr(r, record.addr), start);
+                done = std::max(done, t);
+            }
+            replica_bytes += kReplicaCount * kLogRecordBytes;
+        }
+
+        const std::uint64_t arch_lines =
+            (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
+        for (CoreId c = 0; c < system_.numCores(); ++c) {
+            if (!inMask(group, c))
+                continue;
+            for (unsigned r = 0; r < kReplicaCount; ++r) {
+                for (std::uint64_t i = 0; i < arch_lines; ++i) {
+                    Cycle t =
+                        dram.lineWrite(replicaArchLine(r, c, i), start);
+                    done = std::max(done, t);
+                }
+            }
+            replica_bytes += kReplicaCount * arch_lines * kLineBytes;
+        }
+
+        stats_.add("ckpt.replicaBytes",
+                   static_cast<double>(replica_bytes));
+        return done;
+    }
+
+    void
+    accountFootprint(const IntervalLog &log, unsigned num_cores,
+                     IntervalSizes &sizes) const override
+    {
+        // Every record is stored (never omitted), k times over.
+        sizes.loggedBytes =
+            kReplicaCount * log.totalRecords() * kLogRecordBytes;
+        sizes.omittedBytes = 0;
+        sizes.archBytes =
+            kReplicaCount * archBytesPerCore_ * num_cores;
+    }
+
+    Cycle
+    restoreWord(const LogRecord &record, Cycle issue_at) override
+    {
+        auto &dram = system_.caches().dram();
+        Cycle t1 = dram.wordRead(replicaAddr(0, record.addr), issue_at);
+        Cycle t2 = dram.wordWrite(record.addr, issue_at);
+        return std::max(t1, t2);
+    }
+
+    Cycle
+    writeRecomputed(const LogRecord &record, Cycle issue_at) override
+    {
+        // Unreachable under the manager (amnesic omission is disabled
+        // for this store), but well-defined: the recomputed value only
+        // needs the working-memory write.
+        return system_.caches().dram().wordWrite(record.addr, issue_at);
+    }
+
+    Cycle
+    readArchState(CoreId core, Cycle issue_at) override
+    {
+        auto &dram = system_.caches().dram();
+        const std::uint64_t arch_lines =
+            (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
+        Cycle done = issue_at;
+        for (std::uint64_t i = 0; i < arch_lines; ++i) {
+            Cycle t =
+                dram.lineRead(replicaArchLine(0, core, i), issue_at);
+            done = std::max(done, t);
+        }
+        return done;
+    }
+};
+
+/**
+ * JASS-style NVM-resident log: checkpoint bytes live on a
+ * byte-addressable non-volatile tier with its own bandwidth queue and
+ * asymmetric read/write latencies, plus a persist fence per group
+ * establishment. Old values are still *read* from DRAM (that is where
+ * the working data lives); only checkpoint storage moves to NVM.
+ * Amnesic omission stays on — fewer NVM writes is exactly where the
+ * hybrid wins, NVM writes being the expensive operation.
+ */
+class NvmStore final : public CheckpointStore
+{
+  public:
+    /** PCM-class operating point relative to the Table I DRAM model
+     *  (131-cycle latency, 6.97 B/cycle): ~2x read latency, ~5x write
+     *  latency, ~1/3 bandwidth, and a DRAM-latency-class persist
+     *  fence. DESIGN.md §14 documents the derivation. */
+    static constexpr Cycle kReadLatency = 262;
+    static constexpr Cycle kWriteLatency = 655;
+    static constexpr Cycle kPersistLatency = 131;
+    static constexpr double kBytesPerCycle = 2.3;
+
+    using CheckpointStore::CheckpointStore;
+
+    Backend backend() const override { return Backend::kNvm; }
+
+    bool supportsAmnesic() const override { return true; }
+
+    Cycle
+    establishGroup(const IntervalLog &log, cache::SharerMask group,
+                   Cycle start, Cycle flush_done) override
+    {
+        auto &dram = system_.caches().dram();
+        Cycle done = flush_done;
+
+        for (const LogRecord &record : log.records()) {
+            if (!inMask(group, record.writer))
+                continue;
+            if (record.isAmnesic())
+                continue;
+            Cycle t1 = dram.wordRead(record.addr, start);
+            Cycle t2 = nvmWrite(kLogRecordBytes, start);
+            done = std::max({done, t1, t2});
+        }
+
+        const std::uint64_t arch_lines =
+            (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
+        for (CoreId c = 0; c < system_.numCores(); ++c) {
+            if (!inMask(group, c))
+                continue;
+            for (std::uint64_t i = 0; i < arch_lines; ++i) {
+                Cycle t = nvmWrite(kLineBytes, start);
+                done = std::max(done, t);
+            }
+        }
+
+        // One persist fence makes the group's checkpoint durable.
+        stats_.add("nvm.persists");
+        return done + kPersistLatency;
+    }
+
+    void
+    accountFootprint(const IntervalLog &log, unsigned num_cores,
+                     IntervalSizes &sizes) const override
+    {
+        sizes.loggedBytes = log.loggedBytes();
+        sizes.omittedBytes = log.omittedBytes();
+        sizes.archBytes = archBytesPerCore_ * num_cores;
+    }
+
+    Cycle
+    restoreWord(const LogRecord &record, Cycle issue_at) override
+    {
+        Cycle t1 = nvmRead(kLogRecordBytes, issue_at);
+        Cycle t2 =
+            system_.caches().dram().wordWrite(record.addr, issue_at);
+        return std::max(t1, t2);
+    }
+
+    Cycle
+    writeRecomputed(const LogRecord &record, Cycle issue_at) override
+    {
+        // Recomputed values never touched the NVM tier.
+        return system_.caches().dram().wordWrite(record.addr, issue_at);
+    }
+
+    Cycle
+    readArchState(CoreId core, Cycle issue_at) override
+    {
+        (void)core;
+        const std::uint64_t arch_lines =
+            (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
+        Cycle done = issue_at;
+        for (std::uint64_t i = 0; i < arch_lines; ++i) {
+            Cycle t = nvmRead(kLineBytes, issue_at);
+            done = std::max(done, t);
+        }
+        return done;
+    }
+
+  private:
+    /** Single-channel bandwidth/latency queue, same shape as
+     *  DramModel::access so the two media compose deterministically. */
+    Cycle
+    access(Cycle now, std::uint64_t bytes, bool write)
+    {
+        double start =
+            std::max(static_cast<double>(now), channelFree_);
+        double occupancy =
+            static_cast<double>(bytes) / kBytesPerCycle;
+        channelFree_ = start + occupancy;
+        double queue_delay = start - static_cast<double>(now);
+
+        if (write) {
+            stats_.add("nvm.writes");
+            stats_.add("nvm.bytesWritten", static_cast<double>(bytes));
+        } else {
+            stats_.add("nvm.reads");
+            stats_.add("nvm.bytesRead", static_cast<double>(bytes));
+        }
+        stats_.add("nvm.queueDelayCycles", queue_delay);
+
+        return now + static_cast<Cycle>(queue_delay + occupancy + 0.5)
+               + (write ? kWriteLatency : kReadLatency);
+    }
+
+    Cycle
+    nvmRead(std::uint64_t bytes, Cycle now)
+    {
+        return access(now, bytes, false);
+    }
+
+    Cycle
+    nvmWrite(std::uint64_t bytes, Cycle now)
+    {
+        return access(now, bytes, true);
+    }
+
+    /** Earliest cycle the NVM channel is free. */
+    double channelFree_ = 0.0;
+};
+
+} // namespace
+
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::kLog: return "log";
+      case Backend::kReplicated: return "replicated";
+      case Backend::kNvm: return "nvm";
+    }
+    return "?";
+}
+
+bool
+parseBackend(const std::string &name, Backend &backend)
+{
+    if (name == "log") {
+        backend = Backend::kLog;
+        return true;
+    }
+    if (name == "replicated") {
+        backend = Backend::kReplicated;
+        return true;
+    }
+    if (name == "nvm") {
+        backend = Backend::kNvm;
+        return true;
+    }
+    return false;
+}
+
+const std::vector<Backend> &
+allBackends()
+{
+    static const std::vector<Backend> all = {
+        Backend::kLog, Backend::kReplicated, Backend::kNvm};
+    return all;
+}
+
+std::unique_ptr<CheckpointStore>
+makeCheckpointStore(Backend backend, sim::MulticoreSystem &system,
+                    StatSet &stats, std::uint64_t arch_bytes_per_core)
+{
+    switch (backend) {
+      case Backend::kLog:
+        return std::make_unique<LogStore>(system, stats,
+                                          arch_bytes_per_core);
+      case Backend::kReplicated:
+        return std::make_unique<ReplicatedStore>(system, stats,
+                                                 arch_bytes_per_core);
+      case Backend::kNvm:
+        return std::make_unique<NvmStore>(system, stats,
+                                          arch_bytes_per_core);
+    }
+    panic("unknown checkpoint store backend %d",
+          static_cast<int>(backend));
+}
+
+} // namespace acr::ckpt

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * CheckpointStore: the pluggable storage backend behind the
+ * CheckpointManager (DESIGN.md §14). The manager owns the checkpoint
+ * *protocol* — what to log, when to establish, which checkpoint a
+ * rollback targets, two-checkpoint retention, Fig. 2 suspect skipping —
+ * while a store owns the storage *medium*: where checkpoint bytes
+ * live, what reading/writing them costs, and what footprint they
+ * charge. Three backends:
+ *
+ *   kLog         undo log in DRAM (the paper's BER substrate; the
+ *                seed behavior, bit for bit)
+ *   kReplicated  ReStore-style k-replica in-memory images: every
+ *                record and the arch state are written k times, and
+ *                recovery is served from a replica — no recomputation,
+ *                so amnesic omission is disabled
+ *   kNvm         JASS-style NVM log: checkpoint bytes go to a
+ *                byte-addressable non-volatile tier with distinct
+ *                read/write/persist costs (acr::energy charges them
+ *                separately); ACR's amnesic omission still applies
+ */
+
+#ifndef ACR_CKPT_STORE_HH
+#define ACR_CKPT_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/directory.hh"
+#include "ckpt/log.hh"
+#include "common/stats.hh"
+#include "sim/system.hh"
+
+namespace acr::ckpt
+{
+
+/** Which CheckpointStore implementation a run uses. */
+enum class Backend
+{
+    kLog,         ///< undo log in DRAM (seed behavior)
+    kReplicated,  ///< ReStore-style k-replica in-memory images
+    kNvm,         ///< JASS-style NVM-resident log
+};
+
+/** Canonical lowercase name ("log", "replicated", "nvm") — shared by
+ *  the wire encoding and the --backend flag. */
+const char *backendName(Backend backend);
+
+/** Parse a canonical backend name; returns false on an unknown name
+ *  (callers wrap with SerdeError / fatal as appropriate). */
+bool parseBackend(const std::string &name, Backend &backend);
+
+/** Every Backend enumerator, in declaration order (test sweeps). */
+const std::vector<Backend> &allBackends();
+
+/** Replica count of the kReplicated store (ReStore's default: one
+ *  working image plus one recovery replica per checkpoint datum,
+ *  modeled as k independent in-memory copies). */
+inline constexpr unsigned kReplicaCount = 2;
+
+/** One established checkpoint. */
+struct Checkpoint
+{
+    /** Checkpoint number (the interval it terminates). */
+    std::uint64_t index = 0;
+
+    /** Cycle at which establishment completed (max over groups). */
+    Cycle establishedAt = 0;
+
+    /** Program progress (retired instructions) at establishment. */
+    std::uint64_t progressAt = 0;
+
+    /** Architectural state of every core. */
+    std::vector<cpu::ArchState> arch;
+
+    /** Undo log of the interval that ended at this checkpoint. */
+    IntervalLog log;
+
+    /** Interaction adjacency of that interval (local-mode closure). */
+    std::vector<cache::SharerMask> interactions;
+
+    /** Cores for which this checkpoint is still a valid rollback
+     *  target (group rollbacks invalidate newer checkpoints for the
+     *  rolled-back cores only). */
+    cache::SharerMask validFor = ~cache::SharerMask{0};
+};
+
+/** Per-interval size bookkeeping, kept for the whole run (Fig. 9/10,
+ *  Table II). */
+struct IntervalSizes
+{
+    std::uint64_t interval = 0;
+    std::uint64_t records = 0;
+    std::uint64_t amnesicRecords = 0;
+    std::uint64_t loggedBytes = 0;
+    std::uint64_t omittedBytes = 0;
+    std::uint64_t flushedLines = 0;
+    std::uint64_t archBytes = 0;
+
+    /** Stored checkpoint footprint (log + architectural state). */
+    std::uint64_t
+    storedBytes() const
+    {
+        return loggedBytes + archBytes;
+    }
+};
+
+/**
+ * The storage API carved out of the CheckpointManager. A store is a
+ * cost/footprint model plus retention hooks; it never mutates the
+ * functional machine state (memory writes and register restores stay
+ * in the manager, so every backend recovers through the identical
+ * protocol and the RecoveryOracle validates them all the same way).
+ *
+ * Contract (DESIGN.md §14):
+ *  - establishGroup() charges the medium's establishment traffic for
+ *    one coordination group and returns the completion cycle; the
+ *    manager stalls the group to it.
+ *  - accountFootprint() fills the interval's stored-bytes fields for
+ *    this medium (what Fig. 9/10-style metrics read).
+ *  - restoreWord()/writeRecomputed()/readArchState() charge rollback
+ *    traffic; the returned cycles feed the recovery's resume time.
+ *  - onCheckpointRetired()/onCheckpointInvalidated() observe the
+ *    manager's retention decisions (reclamation hooks; no-ops for the
+ *    built-in backends, which model occupancy through footprint only).
+ *  - supportsAmnesic() gates ACR's amnesic omission: a store that
+ *    serves recovery from stored bytes alone (kReplicated) must see
+ *    every old value, so the manager logs records non-amnesically.
+ */
+class CheckpointStore
+{
+  public:
+    CheckpointStore(sim::MulticoreSystem &system, StatSet &stats,
+                    std::uint64_t arch_bytes_per_core)
+        : system_(system), stats_(stats),
+          archBytesPerCore_(arch_bytes_per_core)
+    {
+    }
+
+    virtual ~CheckpointStore() = default;
+
+    virtual Backend backend() const = 0;
+
+    const char *name() const { return backendName(backend()); }
+
+    /** May the manager omit recomputable records from this store? */
+    virtual bool supportsAmnesic() const = 0;
+
+    /**
+     * Charge establishment traffic for @p group's slice of the open
+     * interval @p log (stored records + the group cores' architectural
+     * state), issued at @p start. @p flush_done is when the group's
+     * dirty-line flush completed. Returns the cycle the last write
+     * lands (>= flush_done).
+     */
+    virtual Cycle establishGroup(const IntervalLog &log,
+                                 cache::SharerMask group, Cycle start,
+                                 Cycle flush_done) = 0;
+
+    /** Fill @p sizes' loggedBytes/omittedBytes/archBytes for an
+     *  interval of @p log stored on this medium by @p num_cores. */
+    virtual void accountFootprint(const IntervalLog &log,
+                                  unsigned num_cores,
+                                  IntervalSizes &sizes) const = 0;
+
+    /** Charge reading @p record's old value from the store and writing
+     *  it back to working memory; returns the completion cycle. */
+    virtual Cycle restoreWord(const LogRecord &record,
+                              Cycle issue_at) = 0;
+
+    /** Charge writing a recomputed (amnesic) word to working memory —
+     *  the value was never stored; returns the completion cycle. */
+    virtual Cycle writeRecomputed(const LogRecord &record,
+                                  Cycle issue_at) = 0;
+
+    /** Charge reading core @p core's checkpointed architectural state
+     *  from the store; returns the completion cycle. */
+    virtual Cycle readArchState(CoreId core, Cycle issue_at) = 0;
+
+    /** The manager dropped @p ckpt from retention (oldest-first). */
+    virtual void
+    onCheckpointRetired(const Checkpoint &ckpt)
+    {
+        (void)ckpt;
+    }
+
+    /** A rollback invalidated @p ckpt as a target for @p cores. */
+    virtual void
+    onCheckpointInvalidated(const Checkpoint &ckpt,
+                            cache::SharerMask cores)
+    {
+        (void)ckpt;
+        (void)cores;
+    }
+
+  protected:
+    sim::MulticoreSystem &system_;
+    StatSet &stats_;
+    std::uint64_t archBytesPerCore_;
+};
+
+/** Construct the @p backend store. */
+std::unique_ptr<CheckpointStore>
+makeCheckpointStore(Backend backend, sim::MulticoreSystem &system,
+                    StatSet &stats, std::uint64_t arch_bytes_per_core);
+
+} // namespace acr::ckpt
+
+#endif // ACR_CKPT_STORE_HH

@@ -18,6 +18,10 @@ EnergyModel::annotate(StatSet &stats) const
     const double l2 = (stats.get("l2.hits") + stats.get("l2.misses"))
                       * config_.l2AccessPj;
     const double dram = stats.get("dram.bytes") * config_.dramBytePj;
+    const double nvm = stats.get("nvm.bytesRead") * config_.nvmReadBytePj
+                       + stats.get("nvm.bytesWritten")
+                             * config_.nvmWriteBytePj
+                       + stats.get("nvm.persists") * config_.nvmPersistPj;
     const double noc = (stats.get("directory.invalidationsSent") +
                         stats.get("directory.ownerForwards"))
                        * config_.nocMessagePj;
@@ -35,14 +39,15 @@ EnergyModel::annotate(StatSet &stats) const
     stats.set("energy.l1d", l1d);
     stats.set("energy.l2", l2);
     stats.set("energy.dram", dram);
+    stats.set("energy.nvm", nvm);
     stats.set("energy.noc", noc);
     stats.set("energy.addrMap", addr_map);
     stats.set("energy.operandBuffer", operand_buf);
     stats.set("energy.sliceReplay", replay);
     stats.set("energy.static", static_e);
 
-    const double total = alu + fetch + l1d + l2 + dram + noc + addr_map
-                         + operand_buf + replay + static_e;
+    const double total = alu + fetch + l1d + l2 + dram + nvm + noc
+                         + addr_map + operand_buf + replay + static_e;
     stats.set("energy.total", total);
     return total;
 }

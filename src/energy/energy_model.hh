@@ -38,6 +38,17 @@ struct EnergyConfig
     /** One byte moved to/from DRAM (activation+IO amortized). */
     double dramBytePj = 14.0;
 
+    /** One byte read from the NVM checkpoint tier (PCM-class: reads
+     *  cost a little over DRAM, writes far more — the asymmetry that
+     *  makes amnesic omission pay on the kNvm backend). */
+    double nvmReadBytePj = 18.0;
+
+    /** One byte written to the NVM checkpoint tier. */
+    double nvmWriteBytePj = 70.0;
+
+    /** One NVM persist fence (write-queue drain). */
+    double nvmPersistPj = 120.0;
+
     /** One coherence message (invalidate / forward) over the NoC. */
     double nocMessagePj = 14.0;
 
@@ -65,7 +76,8 @@ class EnergyModel
      * Consumed counters: cores.aluOps, cores.instrs, l1d.hits/misses,
      * l2.hits/misses, l1i.fetches, dram.bytes,
      * directory.invalidationsSent/ownerForwards, acr.addrMapAccesses,
-     * acr.operandBufferWords, sim.maxCycle, sim.numCores.
+     * acr.operandBufferWords, nvm.bytesRead/bytesWritten/persists,
+     * sim.maxCycle, sim.numCores.
      *
      * @return total energy in picojoules.
      */

@@ -80,6 +80,12 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
                      "output format: table, csv, or json");
     parser.addString("workloads", "",
                      "comma-separated workload subset (default: all)");
+    parser.addString("backend", "",
+                     "checkpoint store backend override for every "
+                     "checkpointing grid point: log, replicated, or "
+                     "nvm (default: run the bench's grid exactly as "
+                     "enumerated; env $ACR_BACKEND)");
+    parser.envDefault("backend", "ACR_BACKEND");
     parser.addInt("retries", 2,
                   "retry a failed point this many times on fresh "
                   "workers before quarantining it (forked mode)");
@@ -123,6 +129,14 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
     options.format = parseTableFormat(parser.getString("format"));
     options.workloads =
         resolveWorkloads(parser.getString("workloads"), spec);
+    const std::string backend = parser.getString("backend");
+    if (!backend.empty()) {
+        options.backendOverride = true;
+        if (!ckpt::parseBackend(backend, options.backend))
+            fatal("--backend must be log, replicated, or nvm, got "
+                  "'%s'",
+                  backend.c_str());
+    }
     const long long retries = parser.getInt("retries");
     if (retries < 0)
         fatal("--retries must be >= 0, got %lld", retries);
@@ -335,8 +349,19 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
         return ShardedSweep::workerLoop(pool, std::cin, std::cout);
 
     BenchContext context(spec.name, options, pool, std::cout);
-    const std::vector<GridPoint> grid = spec.grid(context);
+    std::vector<GridPoint> grid = spec.grid(context);
     ACR_ASSERT(!grid.empty(), "bench grid is empty");
+
+    // --backend rewrites the grid before anything derives from it
+    // (gridHash, journals, manifests, cache keys), so every mode —
+    // jobs, forks, shard, merge — agrees on the same points and the
+    // ResultCache distinguishes backends by content. NoCkpt points
+    // keep the default: they store nothing, and validate() rejects a
+    // non-log backend on them.
+    if (options.backendOverride)
+        for (GridPoint &point : grid)
+            if (point.config.mode != BerMode::kNoCkpt)
+                point.config.backend = options.backend;
 
     if (!options.mergeFiles.empty()) {
         const auto results =

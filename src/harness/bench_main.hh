@@ -17,6 +17,10 @@
  *                   results); used by --forks
  *   --format=F      table | csv | json rendering
  *   --workloads=a,b restrict the workload axis
+ *   --backend=B     override the checkpoint store backend (log |
+ *                   replicated | nvm; default $ACR_BACKEND) on every
+ *                   checkpointing grid point; omitted, the bench's
+ *                   grid runs exactly as enumerated (the seed path)
  *
  * Fault tolerance (DESIGN.md §10):
  *
@@ -74,6 +78,11 @@ struct BenchOptions
     TableFormat format = TableFormat::kTable;
     std::vector<std::string> workloads;   ///< resolved selection
     std::vector<std::string> mergeFiles;  ///< --merge given: render
+
+    /** --backend given: force this store on every checkpointing grid
+     *  point (NoCkpt points keep kLog — they store nothing). */
+    bool backendOverride = false;
+    ckpt::Backend backend = ckpt::Backend::kLog;
 
     unsigned retries = 2;       ///< --retries (forked mode)
     double pointTimeout = 0.0;  ///< --point-timeout seconds (0: off)

@@ -108,6 +108,7 @@ BerRuntime::run(const isa::Program &program,
     if (config.mode != BerMode::kNoCkpt) {
         ckpt::CheckpointManager::Config mgr_config;
         mgr_config.mode = config.coordination;
+        mgr_config.backend = config.backend;
         manager = std::make_unique<ckpt::CheckpointManager>(
             mgr_config, system, acr.get(), stats);
         manager->initialCheckpoint();

@@ -22,6 +22,10 @@ ExperimentConfig::label() const
     base += numErrors > 0 ? "_E" : "_NE";
     if (coordination == ckpt::Coordination::kLocal)
         base += ",Loc";
+    // Default-backend labels stay exactly as they always were, so the
+    // seed benches render byte-identically when --backend is omitted.
+    if (backend != ckpt::Backend::kLog)
+        base += std::string("@") + ckpt::backendName(backend);
     return base;
 }
 
@@ -47,6 +51,12 @@ ExperimentConfig::validate() const
         return csprintf("numErrors > 0 requires a checkpointing mode "
                         "(NoCkpt cannot recover), got numErrors = %u",
                         numErrors);
+    if (mode == BerMode::kNoCkpt && backend != ckpt::Backend::kLog)
+        return csprintf("backend == %s requires a checkpointing mode "
+                        "(NoCkpt stores no checkpoints, so a non-"
+                        "default backend would silently measure "
+                        "nothing)",
+                        ckpt::backendName(backend));
     if (placementSlack < 0.0 || placementSlack > 1.0)
         return csprintf("placementSlack must be in [0, 1] (a fraction "
                         "of the checkpoint period), got %g",

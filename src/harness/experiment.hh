@@ -52,6 +52,12 @@ struct ExperimentConfig
     BerMode mode = BerMode::kCkpt;
     ckpt::Coordination coordination = ckpt::Coordination::kGlobal;
 
+    /** Checkpoint storage backend (DESIGN.md §14): the seed's DRAM
+     *  undo log, a ReStore-style replicated image store, or a
+     *  JASS-style NVM log. Requires a checkpointing mode when not
+     *  kLog (NoCkpt stores nothing). */
+    ckpt::Backend backend = ckpt::Backend::kLog;
+
     /** Checkpoints uniformly distributed over execution (Sec. IV). */
     unsigned numCheckpoints = 25;
 

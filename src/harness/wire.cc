@@ -56,6 +56,15 @@ coordinationFromName(const std::string &name)
     throw SerdeError("unknown Coordination '" + name + "'");
 }
 
+ckpt::Backend
+backendFromName(const std::string &name)
+{
+    ckpt::Backend backend;
+    if (!ckpt::parseBackend(name, backend))
+        throw SerdeError("unknown Backend '" + name + "'");
+    return backend;
+}
+
 const char *
 policyName(slice::SelectionPolicy policy)
 {
@@ -151,6 +160,7 @@ encodeConfig(const ExperimentConfig &config)
     Json json = Json::object();
     json.set("mode", modeName(config.mode))
         .set("coordination", coordinationName(config.coordination))
+        .set("backend", ckpt::backendName(config.backend))
         .set("numCheckpoints", config.numCheckpoints)
         .set("numErrors", config.numErrors)
         .set("sliceThreshold", config.sliceThreshold)
@@ -176,6 +186,7 @@ decodeConfig(const Json &json)
     config.mode = modeFromName(reader.requireString("mode"));
     config.coordination =
         coordinationFromName(reader.requireString("coordination"));
+    config.backend = backendFromName(reader.requireString("backend"));
     config.numCheckpoints =
         asUnsigned(reader.require("numCheckpoints"), "numCheckpoints");
     config.numErrors =

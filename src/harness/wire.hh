@@ -41,8 +41,10 @@ namespace wire
 /** Bump on ANY schema change (field added/removed/renamed/retyped).
  *  v2: added the `failed` record type (quarantined sweep points).
  *  v3: config gained `oracle` + `faultEventMask`, result gained
- *      `oracleDivergences` + `oracleReport` (recovery validation). */
-inline constexpr std::uint64_t kVersion = 3;
+ *      `oracleDivergences` + `oracleReport` (recovery validation).
+ *  v4: config gained `backend` (pluggable checkpoint stores), so
+ *      ResultCache keys and shard grids distinguish backends. */
+inline constexpr std::uint64_t kVersion = 4;
 
 // --- Value encodings (no version envelope; record lines add it) ---
 

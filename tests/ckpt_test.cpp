@@ -91,11 +91,11 @@ sweepProgram(unsigned iters, unsigned cells)
 struct Rig : cpu::ExecObserver
 {
     explicit Rig(Coordination mode, unsigned iters = 6,
-                 unsigned cells = 32)
+                 unsigned cells = 32, Backend backend = Backend::kLog)
         : program(sweepProgram(iters, cells)),
           system(sim::MachineConfig::tableI(2), program),
-          manager(CheckpointManager::Config{mode}, system, nullptr,
-                  stats)
+          manager(CheckpointManager::Config{mode, backend}, system,
+                  nullptr, stats)
     {
         system.setObserver(this);
         manager.initialCheckpoint();
@@ -310,6 +310,184 @@ TEST(Manager, GlobalModeHasOneGroup)
     rig.manager.establish();
     EXPECT_DOUBLE_EQ(rig.stats.get("ckpt.coordinationGroups"), 1.0);
 }
+
+// ---------------------------------------------------------------------
+// Backend naming
+// ---------------------------------------------------------------------
+
+TEST(Backend, NamesRoundTripThroughParse)
+{
+    for (Backend backend : allBackends()) {
+        Backend parsed;
+        ASSERT_TRUE(parseBackend(backendName(backend), parsed));
+        EXPECT_EQ(parsed, backend);
+    }
+    Backend unused;
+    EXPECT_FALSE(parseBackend("dram", unused));
+    EXPECT_FALSE(parseBackend("", unused));
+    EXPECT_FALSE(parseBackend("Log", unused)) << "names are lowercase";
+}
+
+// ---------------------------------------------------------------------
+// Backend conformance: every CheckpointStore must satisfy the manager's
+// protocol identically — establishment moves the log and costs time,
+// retention keeps exactly two checkpoints, Fig. 2 suspect skipping
+// invalidates rollback targets (validFor), and rollback restores memory
+// bit-exactly. Only the cost/footprint numbers may differ per medium.
+// ---------------------------------------------------------------------
+
+class BackendConformance : public ::testing::TestWithParam<Backend>
+{
+};
+
+TEST_P(BackendConformance, EstablishMovesTheLogAndCostsTime)
+{
+    Rig rig(Coordination::kGlobal, 6, 32, GetParam());
+    EXPECT_EQ(rig.manager.store().backend(), GetParam());
+    rig.runUntilProgress(400);
+    auto records = rig.manager.openLog().totalRecords();
+    ASSERT_GT(records, 0u);
+    Cycle before = rig.system.maxCycle();
+
+    rig.manager.establish();
+    EXPECT_EQ(rig.manager.openLog().totalRecords(), 0u);
+    EXPECT_EQ(rig.manager.checkpointsEstablished(), 1u);
+    EXPECT_EQ(rig.manager.retained().back().log.totalRecords(), records);
+    EXPECT_GT(rig.system.maxCycle(), before)
+        << "establishment costs time on every medium";
+    EXPECT_EQ(rig.system.core(0).cycle(), rig.system.core(1).cycle())
+        << "global coordination aligns all cores";
+}
+
+TEST_P(BackendConformance, RetainsExactlyTwoCheckpoints)
+{
+    Rig rig(Coordination::kGlobal, 10, 32, GetParam());
+    for (int i = 0; i < 4; ++i) {
+        rig.runUntilProgress(rig.system.progress() + 200);
+        rig.manager.establish();
+    }
+    EXPECT_EQ(rig.manager.retained().size(), 2u);
+    EXPECT_EQ(rig.manager.retained().back().index, 4u);
+    EXPECT_EQ(rig.manager.history().size(), 4u);
+}
+
+TEST_P(BackendConformance, RollbackRestoresMemoryBitExact)
+{
+    Rig rig(Coordination::kGlobal, 8, 32, GetParam());
+    rig.runUntilProgress(300);
+    rig.manager.establish();
+    auto reference = rig.system.memory().image();
+    auto arch0 = rig.system.core(0).saveArch();
+
+    rig.runUntilProgress(rig.system.progress() + 400);
+    ASSERT_NE(rig.system.memory().image(), reference);
+
+    Cycle now = rig.system.maxCycle();
+    auto outcome = rig.manager.recover(0, now, now + 10);
+    EXPECT_EQ(outcome.targetIndex, 1u);
+    EXPECT_EQ(rig.system.memory().image(), reference);
+    EXPECT_EQ(rig.system.core(0).saveArch(), arch0);
+    EXPECT_GT(rig.stats.get("rec.rollbackCycles"), 0.0)
+        << "rollback reads cost time on every medium";
+}
+
+TEST_P(BackendConformance, Fig2SuspectSkipInvalidatesTheCheckpoint)
+{
+    Rig rig(Coordination::kGlobal, 10, 32, GetParam());
+    rig.runUntilProgress(300);
+    rig.manager.establish();  // ckpt 1 (safe)
+    auto safe_image = rig.system.memory().image();
+
+    rig.runUntilProgress(rig.system.progress() + 200);
+    Cycle error_time = rig.system.maxCycle();
+    rig.runUntilProgress(rig.system.progress() + 100);
+    rig.manager.establish();  // ckpt 2: suspect (after the error)
+    rig.runUntilProgress(rig.system.progress() + 100);
+
+    auto outcome =
+        rig.manager.recover(0, error_time, rig.system.maxCycle());
+    EXPECT_EQ(outcome.targetIndex, 1u);
+    EXPECT_EQ(rig.system.memory().image(), safe_image);
+    for (const Checkpoint &ckpt : rig.manager.retained())
+        if (ckpt.index == 2)
+            EXPECT_EQ(ckpt.validFor & outcome.affected, 0u)
+                << "the skipped suspect checkpoint is no longer a "
+                   "valid target for the rolled-back cores";
+}
+
+TEST_P(BackendConformance, ReExecutionAfterRollbackReachesGoldenState)
+{
+    auto program = sweepProgram(6, 32);
+    sim::MulticoreSystem golden(sim::MachineConfig::tableI(2), program);
+    golden.runToCompletion();
+    auto golden_image = golden.memory().image();
+
+    Rig rig(Coordination::kGlobal, 6, 32, GetParam());
+    rig.runUntilProgress(200);
+    rig.manager.establish();
+    rig.runUntilProgress(500);
+    Cycle now = rig.system.maxCycle();
+    rig.manager.recover(1, now, now);
+    while (!rig.system.allHalted())
+        rig.system.step();
+    EXPECT_EQ(rig.system.memory().image(), golden_image);
+}
+
+TEST_P(BackendConformance, FootprintMatchesTheMediumsCostModel)
+{
+    Rig rig(Coordination::kGlobal, 6, 32, GetParam());
+    rig.runUntilProgress(400);
+    rig.manager.establish();
+    ASSERT_EQ(rig.manager.history().size(), 1u);
+    const IntervalSizes &sizes = rig.manager.history()[0];
+    const std::uint64_t arch_per_core =
+        CheckpointManager::Config{}.archBytesPerCore;
+    ASSERT_GT(sizes.records, 0u);
+    EXPECT_EQ(sizes.omittedBytes, 0u)
+        << "the rig has no provider, so nothing is amnesic";
+
+    switch (GetParam()) {
+      case Backend::kLog:
+      case Backend::kNvm:
+        // A log stores each record and each core's arch state once.
+        EXPECT_EQ(sizes.loggedBytes, sizes.records * kLogRecordBytes);
+        EXPECT_EQ(sizes.archBytes, 2 * arch_per_core);
+        break;
+      case Backend::kReplicated:
+        // Every datum lands on all k replicas.
+        EXPECT_EQ(sizes.loggedBytes,
+                  kReplicaCount * sizes.records * kLogRecordBytes);
+        EXPECT_EQ(sizes.archBytes, kReplicaCount * 2 * arch_per_core);
+        EXPECT_GT(rig.stats.get("ckpt.replicaBytes"), 0.0);
+        break;
+    }
+
+    // Medium-specific traffic only shows up on its own medium.
+    if (GetParam() == Backend::kNvm) {
+        EXPECT_GT(rig.stats.get("nvm.writes"), 0.0);
+        EXPECT_GT(rig.stats.get("nvm.persists"), 0.0);
+    } else {
+        EXPECT_DOUBLE_EQ(rig.stats.get("nvm.writes"), 0.0);
+    }
+    if (GetParam() != Backend::kReplicated)
+        EXPECT_DOUBLE_EQ(rig.stats.get("ckpt.replicaBytes"), 0.0);
+}
+
+TEST_P(BackendConformance, AmnesicSupportMatchesTheRecoveryPath)
+{
+    Rig rig(Coordination::kGlobal, 6, 32, GetParam());
+    // Only a store whose recovery rereads stored bytes exclusively
+    // (kReplicated) must refuse omission; the log-shaped media accept.
+    EXPECT_EQ(rig.manager.store().supportsAmnesic(),
+              GetParam() != Backend::kReplicated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendConformance,
+    ::testing::ValuesIn(allBackends()),
+    [](const ::testing::TestParamInfo<Backend> &info) {
+        return std::string(backendName(info.param));
+    });
 
 } // namespace
 } // namespace acr::ckpt

@@ -23,6 +23,9 @@ TEST(EnergyModel, ComponentsSumToTotal)
     stats.set("l2.hits", 40);
     stats.set("l2.misses", 10);
     stats.set("dram.bytes", 640);
+    stats.set("nvm.bytesRead", 128);
+    stats.set("nvm.bytesWritten", 256);
+    stats.set("nvm.persists", 3);
     stats.set("directory.invalidationsSent", 5);
     stats.set("directory.ownerForwards", 2);
     stats.set("acr.addrMapAccesses", 20);
@@ -36,7 +39,8 @@ TEST(EnergyModel, ComponentsSumToTotal)
 
     double sum = stats.get("energy.alu") + stats.get("energy.fetch") +
                  stats.get("energy.l1d") + stats.get("energy.l2") +
-                 stats.get("energy.dram") + stats.get("energy.noc") +
+                 stats.get("energy.dram") + stats.get("energy.nvm") +
+                 stats.get("energy.noc") +
                  stats.get("energy.addrMap") +
                  stats.get("energy.operandBuffer") +
                  stats.get("energy.sliceReplay") +
@@ -60,6 +64,35 @@ TEST(EnergyModel, ExpectedComponentValues)
     EXPECT_DOUBLE_EQ(stats.get("energy.dram"), 100 * config.dramBytePj);
     EXPECT_DOUBLE_EQ(stats.get("energy.static"),
                      7 * 2 * config.staticPjPerCoreCycle);
+}
+
+TEST(EnergyModel, NvmCountersChargeAsymmetricCosts)
+{
+    // The NvmStore's counters (DESIGN.md §14): reads, writes, and
+    // persist fences carry distinct picojoule costs, and a run that
+    // never touches NVM (any non-NVM backend) charges exactly zero.
+    EnergyConfig config;
+    StatSet stats;
+    stats.set("nvm.bytesRead", 64);
+    stats.set("nvm.bytesWritten", 16);
+    stats.set("nvm.persists", 2);
+
+    EnergyModel model(config);
+    double total = model.annotate(stats);
+    EXPECT_DOUBLE_EQ(stats.get("energy.nvm"),
+                     64 * config.nvmReadBytePj +
+                         16 * config.nvmWriteBytePj +
+                         2 * config.nvmPersistPj);
+    EXPECT_DOUBLE_EQ(total, stats.get("energy.nvm"));
+    EXPECT_GT(config.nvmWriteBytePj, config.nvmReadBytePj)
+        << "NVM writes cost more than reads (the asymmetry amnesic "
+           "omission exploits)";
+    EXPECT_GT(config.nvmReadBytePj, config.dramBytePj);
+
+    StatSet untouched;
+    untouched.set("dram.bytes", 100);
+    model.annotate(untouched);
+    EXPECT_DOUBLE_EQ(untouched.get("energy.nvm"), 0.0);
 }
 
 TEST(EnergyModel, DramDominatesAluByOrdersOfMagnitude)

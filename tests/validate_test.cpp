@@ -83,6 +83,31 @@ TEST(RecoveryOracle, CleanMultiErrorCampaignHasZeroDivergences)
            "erases it; the injector re-posts it)";
 }
 
+TEST(RecoveryOracle, EveryBackendValidatesACleanCampaignDivergenceFree)
+{
+    // The stores differ only in cost/footprint models; the recovery
+    // protocol (and therefore the oracle's checks) is shared, so a
+    // clean campaign must validate with zero divergences on every
+    // backend — including kReplicated, which forces non-amnesic
+    // logging under ReCkpt.
+    Runner runner(8);
+    for (ckpt::Backend backend : ckpt::allBackends()) {
+        auto config =
+            campaignConfig(ckpt::Coordination::kGlobal, 0xacce55ULL);
+        config.backend = backend;
+        auto result = runner.run("is", config);
+        EXPECT_EQ(result.oracleDivergences, 0u)
+            << ckpt::backendName(backend) << ":\n"
+            << result.oracleReport;
+        EXPECT_EQ(result.oracleReport, "");
+        EXPECT_GE(result.recoveries, 3u)
+            << ckpt::backendName(backend)
+            << ": the campaign must actually recover repeatedly";
+        EXPECT_GT(result.stats.get("oracle.recoveriesChecked"), 0.0);
+        EXPECT_GT(result.stats.get("oracle.establishmentsChecked"), 0.0);
+    }
+}
+
 TEST(RecoveryOracle, CampaignIsSeedDeterministic)
 {
     Runner runner(8);

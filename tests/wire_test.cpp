@@ -46,6 +46,11 @@ randomConfig(std::mt19937_64 &rng)
     config.verifyFinalState = pick(2) == 0;
     config.oracle = config.mode != BerMode::kNoCkpt && pick(2) == 0;
     config.faultEventMask = pick(2) == 0 ? ~std::uint64_t{0} : rng() | 1;
+    // NoCkpt stores nothing, so only checkpointing modes vary the
+    // backend (matches ExperimentConfig::validate()).
+    config.backend = config.mode == BerMode::kNoCkpt
+                         ? ckpt::Backend::kLog
+                         : static_cast<ckpt::Backend>(pick(3));
     return config;
 }
 
@@ -102,6 +107,7 @@ expectConfigEqual(const ExperimentConfig &a, const ExperimentConfig &b)
     EXPECT_EQ(a.verifyFinalState, b.verifyFinalState);
     EXPECT_EQ(a.oracle, b.oracle);
     EXPECT_EQ(a.faultEventMask, b.faultEventMask);
+    EXPECT_EQ(a.backend, b.backend);
     EXPECT_EQ(b.trace, nullptr);
 }
 
@@ -145,6 +151,18 @@ TEST(WireConfig, RejectsUnknownKeyAndBadEnums)
                                 "\"mode\":\"Chkpt\"");
         }();
     EXPECT_THROW(wire::decodeConfig(serde::Json::parse(bad)),
+                 SerdeError);
+
+    // An unknown backend name must be rejected the same way (a shard
+    // from a build with more backends must not be silently misread).
+    const std::string bad_backend =
+        [&] {
+            std::string text = good;
+            const std::string from = "\"backend\":\"log\"";
+            return text.replace(text.find(from), from.size(),
+                                "\"backend\":\"tape\"");
+        }();
+    EXPECT_THROW(wire::decodeConfig(serde::Json::parse(bad_backend)),
                  SerdeError);
 }
 
@@ -257,7 +275,8 @@ TEST(WireRecords, VersionAndTypeEnforced)
     const std::string line = wire::encodePointLine({0, {"bt", {}, 8}});
 
     std::string wrong_version = line;
-    const std::string v = "{\"v\":3";
+    const std::string v =
+        "{\"v\":" + std::to_string(wire::kVersion);
     wrong_version.replace(wrong_version.find(v), v.size(),
                           "{\"v\":999");
     EXPECT_THROW(wire::decodeLine(wrong_version), SerdeError);
@@ -348,6 +367,11 @@ TEST(ConfigValidate, NamesTheOffendingField)
     config.numErrors = 3;
     config.faultEventMask = 0;
     expectNames(config, "faultEventMask");
+
+    config = {};
+    config.mode = BerMode::kNoCkpt;
+    config.backend = ckpt::Backend::kNvm;
+    expectNames(config, "backend");
 }
 
 TEST(ConfigValidate, RunnerRejectsInvalidConfigs)
