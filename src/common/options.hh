@@ -8,6 +8,7 @@
 #ifndef ACR_COMMON_OPTIONS_HH
 #define ACR_COMMON_OPTIONS_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,6 +27,20 @@ namespace acr
 bool parseStrictInt(const std::string &text, long long &out);
 bool parseStrictUint(const std::string &text, unsigned long long &out);
 bool parseStrictDouble(const std::string &text, double &out);
+
+/**
+ * Strict "HOST:PORT" parse shared by the distributed-sweep endpoints
+ * (--listen, --connect, ACR_CONNECT): the split is at the *last*
+ * colon, the host must be nonempty, and the port goes through
+ * parseStrictUint — so "host:80x", "host: 80", "host:+80", and a bare
+ * "host" all return false instead of silently truncating. The port
+ * must fit [0, 65535]; 0 is accepted only with @p allow_zero_port
+ * (the listen side's "pick a free port" wildcard — a connect target
+ * of port 0 is always a mistake). Callers name the flag in their own
+ * error message.
+ */
+bool parseHostPort(const std::string &spec, std::string &host,
+                   std::uint16_t &port, bool allow_zero_port);
 
 /** Declarative command-line option parser. */
 class OptionParser

@@ -76,6 +76,19 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
     parser.addFlag("worker",
                    "wire-protocol worker: read point records on stdin, "
                    "write result records to stdout");
+    parser.addString("listen", "",
+                     "distributed coordinator: accept TCP --connect "
+                     "workers on HOST:PORT (port 0: kernel-picked, "
+                     "announced on stderr) and deal grid points to "
+                     "them");
+    parser.addString("connect", "",
+                     "distributed worker: dial a --listen coordinator "
+                     "at HOST:PORT and run dealt points (default: "
+                     "$ACR_CONNECT)");
+    parser.envDefault("connect", "ACR_CONNECT");
+    parser.addUint("heartbeat", 5,
+                   "distributed keepalive cadence in seconds (idle "
+                   "timeout 4x, join grace 8x, reconnect window 10x)");
     parser.addString("format", "table",
                      "output format: table, csv, or json");
     parser.addString("workloads", "",
@@ -126,6 +139,24 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
     }
     options.mergeFiles = splitCommaList(parser.getString("merge"));
     options.workerMode = parser.getFlag("worker");
+    const std::string listen = parser.getString("listen");
+    if (!listen.empty()) {
+        options.listenMode = true;
+        // Port 0 asks the kernel for a free port (the bound endpoint
+        // is announced on stderr); --connect needs a real one.
+        options.listen = net::parseEndpoint(listen, "--listen", true);
+    }
+    const std::string connect = parser.getString("connect");
+    if (!connect.empty()) {
+        options.connectMode = true;
+        options.connect =
+            net::parseEndpoint(connect, "--connect", false);
+    }
+    const unsigned long long heartbeat = parser.getUint("heartbeat");
+    if (heartbeat < 1 || heartbeat > 3600)
+        fatal("--heartbeat must be in [1, 3600] seconds, got %llu",
+              heartbeat);
+    options.heartbeatSec = static_cast<unsigned>(heartbeat);
     options.format = parseTableFormat(parser.getString("format"));
     options.workloads =
         resolveWorkloads(parser.getString("workloads"), spec);
@@ -154,6 +185,23 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
     if (options.workerMode &&
         (options.shardMode || !options.mergeFiles.empty()))
         fatal("--worker does not combine with --shard/--merge");
+    if (options.listenMode && options.connectMode)
+        fatal("--listen and --connect are mutually exclusive (one "
+              "process is either the coordinator or a worker)");
+    if (options.listenMode &&
+        (options.workerMode || options.shardMode ||
+         !options.mergeFiles.empty() || options.forks > 0))
+        fatal("--listen does not combine with "
+              "--worker/--shard/--merge/--forks");
+    if (options.connectMode &&
+        (options.workerMode || options.shardMode ||
+         !options.mergeFiles.empty() || options.forks > 0))
+        fatal("--connect does not combine with "
+              "--worker/--shard/--merge/--forks");
+    if (options.connectMode &&
+        (!options.journal.empty() || !options.cachePath.empty()))
+        fatal("--journal/--cache are coordinator-side; they do not "
+              "combine with --connect");
     if (options.resume && options.journal.empty())
         fatal("--resume needs --journal");
     if (!options.journal.empty() &&
@@ -165,10 +213,11 @@ parseOptions(int argc, const char *const *argv, const BenchSpec &spec)
         fatal("--cache only applies when this invocation sweeps "
               "(not --worker/--merge)");
     // ACR_CACHE is only a default for sweeping invocations: forked
-    // --worker children inherit the environment, but lookups are
-    // coordinator-side by design (cached points are never dealt out).
+    // --worker children and TCP --connect workers inherit the
+    // environment, but lookups are coordinator-side by design (cached
+    // points are never dealt out).
     if (options.cachePath.empty() && !options.workerMode &&
-        options.mergeFiles.empty())
+        !options.connectMode && options.mergeFiles.empty())
         if (const char *env = std::getenv("ACR_CACHE"))
             options.cachePath = env;
     return options;
@@ -363,6 +412,14 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
             if (point.config.mode != BerMode::kNoCkpt)
                 point.config.backend = options.backend;
 
+    // The TCP worker enumerates the same grid (same binary, flags,
+    // and environment) so its handshake hash proves it will simulate
+    // exactly the points the coordinator deals.
+    if (options.connectMode)
+        return ShardedSweep::netWorkerLoop(pool, spec.name, grid,
+                                           options.connect,
+                                           options.heartbeatSec);
+
     if (!options.mergeFiles.empty()) {
         const auto results =
             mergeShardFiles(spec, grid, options.mergeFiles);
@@ -471,7 +528,11 @@ benchMain(int argc, const char *const *argv, const BenchSpec &spec)
     }
 
     std::vector<ExperimentResult> results;
-    if (options.forks > 0)
+    if (options.listenMode)
+        results = sweep.runDistributed(grid, options.listen,
+                                       options.heartbeatSec,
+                                       spec.name, controls);
+    else if (options.forks > 0)
         results = sweep.runForked(grid, options.forks, worker_cmd,
                                   shard, controls);
     else

@@ -15,6 +15,17 @@
  *                   exact grid, and render the normal output
  *   --worker        wire-protocol worker (stdin points, stdout
  *                   results); used by --forks
+ *   --listen=H:P    distributed coordinator: accept TCP `--connect`
+ *                   workers on HOST:PORT (port 0: kernel-picked,
+ *                   announced on stderr) and deal grid points to the
+ *                   elastic fleet (DESIGN.md §15)
+ *   --connect=H:P   distributed worker: dial a --listen coordinator,
+ *                   handshake (bench + grid + protocol version), run
+ *                   dealt points, reconnect on connection loss
+ *                   (default $ACR_CONNECT)
+ *   --heartbeat=S   distributed keepalive cadence in seconds (idle
+ *                   peers time out at 4x, the empty-fleet join grace
+ *                   is 8x, the worker reconnect window 10x)
  *   --format=F      table | csv | json rendering
  *   --workloads=a,b restrict the workload axis
  *   --backend=B     override the checkpoint store backend (log |
@@ -45,10 +56,11 @@
  *                     retry). Hit/miss/insert counters go to stderr.
  *
  * Determinism contract: for a fixed grid, the rendered output of
- * `--jobs=1`, `--jobs=N`, `--forks=N`, and `--shard`-then-`--merge`
- * is byte-identical (host timing goes to stderr) — including when
- * points were retried after worker crashes or served from a journal
- * or the content-addressed result cache.
+ * `--jobs=1`, `--jobs=N`, `--forks=N`, `--listen` (any TCP fleet,
+ * however it churned), and `--shard`-then-`--merge` is byte-identical
+ * (host timing goes to stderr) — including when points were retried
+ * after worker crashes, transport faults, or disconnections, or
+ * served from a journal or the content-addressed result cache.
  * A sweep with quarantined points renders FAILED cells and exits 3.
  */
 
@@ -75,6 +87,11 @@ struct BenchOptions
     ShardedSweep::Shard shard{};
     bool shardMode = false;   ///< --shard given: emit wire records
     bool workerMode = false;  ///< --worker
+    bool listenMode = false;  ///< --listen given: TCP coordinator
+    net::Endpoint listen;     ///< parsed --listen endpoint
+    bool connectMode = false;  ///< --connect given: TCP worker
+    net::Endpoint connect;     ///< parsed --connect endpoint
+    unsigned heartbeatSec = 5;  ///< --heartbeat (distributed mode)
     TableFormat format = TableFormat::kTable;
     std::vector<std::string> workloads;   ///< resolved selection
     std::vector<std::string> mergeFiles;  ///< --merge given: render

@@ -1,12 +1,16 @@
 #include "harness/sharded_sweep.hh"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -43,6 +47,56 @@ envCount(const char *name)
         fatal("%s='%s' is not an unsigned integer", name, value);
     return parsed;
 }
+
+/**
+ * The worker-side fault-injection hooks (doc on the workerLoop
+ * declaration), shared by the pipe (`--worker`) and TCP (`--connect`)
+ * loops; all inert unless the environment arms them.
+ */
+struct WorkerHooks
+{
+    bool respawned = false;
+    unsigned long long crashAt = 0;
+    unsigned long long wedgeAt = 0;
+    bool haveCrashIndex = false;
+    unsigned long long crashIndex = 0;
+    unsigned long long processed = 0;
+
+    static WorkerHooks
+    fromEnv()
+    {
+        WorkerHooks hooks;
+        hooks.respawned =
+            std::getenv("ACR_TEST_RESPAWNED") != nullptr;
+        hooks.crashAt = envCount("ACR_TEST_CRASH_AT");
+        hooks.wedgeAt = envCount("ACR_TEST_WEDGE_AT");
+        const char *crash_index =
+            std::getenv("ACR_TEST_CRASH_INDEX");
+        // 0 is a valid grid index, so presence (not value) arms it.
+        hooks.haveCrashIndex =
+            crash_index != nullptr && *crash_index != '\0';
+        hooks.crashIndex =
+            hooks.haveCrashIndex ? envCount("ACR_TEST_CRASH_INDEX")
+                                 : 0;
+        return hooks;
+    }
+
+    /** Call once per dealt point, before simulating it; _exit(42)s,
+     *  wedges, or _exit(43)s per the armed hooks. */
+    void
+    onPoint(std::uint64_t grid_index)
+    {
+        ++processed;
+        if (!respawned && crashAt != 0 && processed == crashAt)
+            ::_exit(42);
+        if (!respawned && wedgeAt != 0 && processed == wedgeAt) {
+            while (true)
+                ::pause();
+        }
+        if (haveCrashIndex && grid_index == crashIndex)
+            ::_exit(43);
+    }
+};
 
 /** Ascending-order result merger: slots fill in any order, the sink
  *  fires strictly in order as the completed prefix grows. */
@@ -346,23 +400,270 @@ ShardedSweep::runForked(const std::vector<GridPoint> &points,
     return results;
 }
 
+std::vector<ExperimentResult>
+ShardedSweep::runDistributed(const std::vector<GridPoint> &points,
+                             const net::Endpoint &listen,
+                             unsigned heartbeatSec,
+                             const std::string &bench,
+                             const SweepControls &controls)
+{
+    for (const auto &point : points)
+        if (point.config.trace != nullptr)
+            fatal("GridPoint trace sinks cannot cross a process "
+                  "boundary; use the in-process executor");
+
+    const auto indices = shardIndices(points.size(), {});
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    // Identical ordered-merge scaffolding to runForked: delivery is
+    // completion-order, the sink fires as the completed prefix grows.
+    std::vector<ExperimentResult> results(indices.size());
+    std::vector<bool> done(indices.size(), false);
+    std::size_t next_emit = 0;
+    auto flushReady = [&] {
+        while (next_emit < indices.size() && done[next_emit]) {
+            if (controls.sink)
+                controls.sink(indices[next_emit], results[next_emit]);
+            ++next_emit;
+        }
+    };
+
+    double journal_hits = 0.0;
+    std::vector<Supervisor::Task> tasks;
+    for (std::size_t slot = 0; slot < indices.size(); ++slot) {
+        const std::size_t grid_index = indices[slot];
+        const ExperimentResult *hit = nullptr;
+        if (controls.cache != nullptr) {
+            const auto found = controls.cache->find(grid_index);
+            if (found != controls.cache->end())
+                hit = &found->second;
+        }
+        if (hit != nullptr) {
+            results[slot] = *hit;
+            done[slot] = true;
+            ++journal_hits;
+        } else {
+            tasks.push_back({slot, grid_index, &points[grid_index]});
+        }
+    }
+    flushReady();
+
+    StatSet supervision;
+    if (!tasks.empty()) {
+        Supervisor supervisor(controls.supervise);
+        Supervisor::NetOptions net_options;
+        net_options.listen = listen;
+        net_options.heartbeatSec = heartbeatSec;
+        net_options.bench = bench;
+        net_options.gridPoints = points.size();
+        net_options.gridHash = wire::gridHash(points);
+        supervisor.runListen(
+            tasks, net_options,
+            [&](const Supervisor::Task &task, ExperimentResult result) {
+                if (controls.completed)
+                    controls.completed(task.gridIndex, result);
+                results[task.slot] = std::move(result);
+                done[task.slot] = true;
+                flushReady();
+            },
+            supervision);
+    }
+    ACR_ASSERT(next_emit == indices.size(),
+               "distributed sweep finished with %zu of %zu slots",
+               next_emit, indices.size());
+
+    hostStats_.clear();
+    // Zero-seed the counters so a fully-served grid (runListen never
+    // ran) still reports as a distributed sweep; merge accumulates.
+    hostStats_.set("sweep.netJoins", 0.0);
+    hostStats_.set("sweep.netLeaves", 0.0);
+    hostStats_.set("sweep.retries", 0.0);
+    hostStats_.set("sweep.workerCrashes", 0.0);
+    hostStats_.set("sweep.watchdogKills", 0.0);
+    hostStats_.set("sweep.quarantined", 0.0);
+    hostStats_.set("sweep.points", static_cast<double>(indices.size()));
+    hostStats_.set("sweep.wallMillis", millisSince(wall_start));
+    if (controls.cache != nullptr)
+        hostStats_.set("sweep.journalHits", journal_hits);
+    hostStats_.merge(supervision);
+    return results;
+}
+
+int
+ShardedSweep::netWorkerLoop(RunnerPool &pool, const std::string &bench,
+                            const std::vector<GridPoint> &grid,
+                            const net::Endpoint &coordinator,
+                            unsigned heartbeatSec)
+{
+    ACR_ASSERT(heartbeatSec > 0, "heartbeat must be positive");
+    // A coordinator dying mid-frame must surface as a closed channel
+    // (triggering a reconnect), not kill the worker.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // One process-wide fault plan: frame ordinals keep counting
+    // across reconnects, so "torn=3" tears the third frame this
+    // process ever sends no matter how many connections that takes.
+    net::FaultPlan fault = net::FaultPlan::fromEnv();
+    WorkerHooks hooks = WorkerHooks::fromEnv();
+
+    wire::HelloRecord identity;
+    identity.bench = bench;
+    identity.gridPoints = grid.size();
+    identity.gridHash = wire::gridHash(grid);
+    identity.netVersion = net::kProtocolVersion;
+    const std::string hello_line = wire::encodeHelloLine(identity);
+
+    using Clock = std::chrono::steady_clock;
+    const auto window =
+        std::chrono::seconds(static_cast<long long>(heartbeatSec) * 10);
+    auto down_since = Clock::now();
+    bool ever_joined = false;
+
+    // Reconnect window exhausted: a worker that saw the sweep is a
+    // clean straggler (the coordinator finished and left), one that
+    // never reached a coordinator is an error.
+    auto giveUp = [&](const std::string &why) -> int {
+        std::fprintf(stderr,
+                     "[net] giving up on %s after %llus "
+                     "disconnected: %s\n",
+                     coordinator.describe().c_str(),
+                     static_cast<unsigned long long>(heartbeatSec) *
+                         10,
+                     why.c_str());
+        return ever_joined ? 0 : 1;
+    };
+
+    while (true) {
+        std::string error;
+        const int fd = net::connectOnce(coordinator, error);
+        if (fd < 0) {
+            if (Clock::now() - down_since > window)
+                return giveUp(error);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+            continue;
+        }
+
+        net::FrameChannel channel(fd, &fault);
+        channel.send(net::FrameType::kWire, hello_line);
+        bool joined = false;
+
+        while (channel.isOpen()) {
+            if (channel.flushWrites(error) ==
+                net::FrameChannel::Io::kClosed)
+                break;
+            pollfd pfd{channel.fd(), POLLIN, 0};
+            if (channel.wantsWrite())
+                pfd.events |= POLLOUT;
+            const int rc = ::poll(&pfd, 1, 200);
+            if (rc < 0 && errno != EINTR)
+                fatal("poll: %s", std::strerror(errno));
+            down_since = Clock::now();  // connected counts as healthy
+            if (rc <= 0)
+                continue;
+            std::vector<net::Frame> frames;
+            const auto io = channel.readFrames(frames, error);
+            for (const auto &frame : frames) {
+                if (frame.type == net::FrameType::kPing) {
+                    channel.send(net::FrameType::kPong, "");
+                    continue;
+                }
+                if (frame.type == net::FrameType::kShutdown) {
+                    // Clean end of sweep.
+                    std::string ignored;
+                    channel.flushWrites(ignored);
+                    return 0;
+                }
+                if (frame.type != net::FrameType::kWire)
+                    continue;  // a stray pong is harmless
+                wire::Record record;
+                try {
+                    record = wire::decodeLine(frame.payload);
+                } catch (const serde::SerdeError &err) {
+                    std::fprintf(stderr,
+                                 "[net] protocol error from "
+                                 "coordinator: %s\n",
+                                 err.what());
+                    channel.close();
+                    break;
+                }
+                if (!joined) {
+                    if (record.type != wire::Record::Type::kHello) {
+                        std::fprintf(stderr,
+                                     "[net] coordinator spoke before "
+                                     "its hello\n");
+                        channel.close();
+                        break;
+                    }
+                    const auto &hello = record.hello;
+                    if (hello.netVersion != net::kProtocolVersion ||
+                        hello.bench != identity.bench ||
+                        hello.gridPoints != identity.gridPoints ||
+                        hello.gridHash != identity.gridHash) {
+                        // Version/bench/grid skew cannot heal by
+                        // reconnecting: report and exit nonzero.
+                        std::fprintf(
+                            stderr,
+                            "[net] handshake mismatch: coordinator "
+                            "runs bench '%s' with %llu point(s) "
+                            "(grid %016llx, net v%llu); this worker "
+                            "built '%s' with %llu (grid %016llx, "
+                            "net v%llu)\n",
+                            hello.bench.c_str(),
+                            static_cast<unsigned long long>(
+                                hello.gridPoints),
+                            static_cast<unsigned long long>(
+                                hello.gridHash),
+                            static_cast<unsigned long long>(
+                                hello.netVersion),
+                            identity.bench.c_str(),
+                            static_cast<unsigned long long>(
+                                identity.gridPoints),
+                            static_cast<unsigned long long>(
+                                identity.gridHash),
+                            static_cast<unsigned long long>(
+                                identity.netVersion));
+                        return 1;
+                    }
+                    joined = true;
+                    ever_joined = true;
+                    continue;
+                }
+                if (record.type != wire::Record::Type::kPoint) {
+                    std::fprintf(stderr,
+                                 "[net] unexpected record from "
+                                 "coordinator\n");
+                    channel.close();
+                    break;
+                }
+                hooks.onPoint(record.point.index);
+                const GridPoint &point = record.point.point;
+                ExperimentResult result =
+                    pool.at(point.threads)
+                        .run(point.workload, point.config);
+                channel.send(net::FrameType::kWire,
+                             wire::encodeResultLine(
+                                 {record.point.index,
+                                  std::move(result)}));
+            }
+            if (io == net::FrameChannel::Io::kClosed)
+                break;
+        }
+
+        if (!error.empty())
+            std::fprintf(stderr, "[net] connection to %s lost: %s\n",
+                         coordinator.describe().c_str(),
+                         error.c_str());
+        if (Clock::now() - down_since > window)
+            return giveUp(error.empty() ? "connection lost" : error);
+    }
+}
+
 int
 ShardedSweep::workerLoop(RunnerPool &pool, std::istream &in,
                          std::ostream &out)
 {
-    // Fault-injection hooks for the supervisor tests (doc on the
-    // declaration); all inert unless the environment sets them.
-    const bool respawned =
-        std::getenv("ACR_TEST_RESPAWNED") != nullptr;
-    const unsigned long long crash_at = envCount("ACR_TEST_CRASH_AT");
-    const unsigned long long wedge_at = envCount("ACR_TEST_WEDGE_AT");
-    const char *crash_index_env = std::getenv("ACR_TEST_CRASH_INDEX");
-    const bool have_crash_index =
-        crash_index_env != nullptr && *crash_index_env != '\0';
-    // 0 is a valid grid index, so presence (not value) arms the hook.
-    const unsigned long long crash_index =
-        have_crash_index ? envCount("ACR_TEST_CRASH_INDEX") : 0;
-    unsigned long long processed = 0;
+    WorkerHooks hooks = WorkerHooks::fromEnv();
 
     std::string line;
     while (std::getline(in, line)) {
@@ -380,15 +681,7 @@ ShardedSweep::workerLoop(RunnerPool &pool, std::istream &in,
                          "sweep worker: expected a point record\n");
             return 1;
         }
-        ++processed;
-        if (!respawned && crash_at != 0 && processed == crash_at)
-            ::_exit(42);
-        if (!respawned && wedge_at != 0 && processed == wedge_at) {
-            while (true)
-                ::pause();
-        }
-        if (have_crash_index && record.point.index == crash_index)
-            ::_exit(43);
+        hooks.onPoint(record.point.index);
         const GridPoint &point = record.point.point;
         ExperimentResult result =
             pool.at(point.threads).run(point.workload, point.config);
@@ -415,6 +708,22 @@ ShardedSweep::reportTiming(std::ostream &os) const
 {
     const double wall = hostStats_.get("sweep.wallMillis");
     os << "[sweep] " << hostStats_.get("sweep.points") << " points";
+    if (hostStats_.has("sweep.netJoins")) {
+        os << " via --listen: " << wall << " ms wall, "
+           << hostStats_.get("sweep.netJoins") << " worker join(s), "
+           << hostStats_.get("sweep.netLeaves") << " leave(s)\n";
+        const double losses = hostStats_.get("sweep.workerCrashes");
+        const double kills = hostStats_.get("sweep.watchdogKills");
+        if (losses > 0 || kills > 0) {
+            os << "[sweep] supervision: " << losses
+               << " connection loss(es), " << kills
+               << " watchdog kill(s), "
+               << hostStats_.get("sweep.retries") << " retr(y/ies), "
+               << hostStats_.get("sweep.quarantined")
+               << " quarantined\n";
+        }
+        return;
+    }
     if (hostStats_.has("sweep.forkedWorkers")) {
         os << " on " << hostStats_.get("sweep.forkedWorkers")
            << " forked worker(s): " << wall << " ms wall\n";

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "harness/net.hh"
 #include "harness/runner.hh"
 #include "harness/supervisor.hh"
 #include "harness/wire.hh"
@@ -174,6 +175,45 @@ class ShardedSweep
               const SweepControls &controls);
 
     /**
+     * Distributed mode (`--listen`, DESIGN.md §15): accept TCP
+     * `--connect` workers on @p listen and deal the whole grid to
+     * whatever fleet shows up, via Supervisor::runListen — elastic
+     * membership, the shared retry/backoff/quarantine ladder, and the
+     * same ordered merge, so rendered output stays byte-identical to
+     * a local `--jobs=1` run no matter how the fleet churned. Cached
+     * points (journal / result cache) are served coordinator-side and
+     * never dealt; a fully served grid returns without ever
+     * listening.
+     */
+    std::vector<ExperimentResult>
+    runDistributed(const std::vector<GridPoint> &points,
+                   const net::Endpoint &listen, unsigned heartbeatSec,
+                   const std::string &bench,
+                   const SweepControls &controls);
+
+    /**
+     * The `--connect` side of a distributed sweep: dial the
+     * coordinator, handshake (bench + grid identity + protocol
+     * version, both directions), run dealt points, answer heartbeat
+     * pings, and reconnect with the same identity after a dropped
+     * connection. Exits 0 on the coordinator's shutdown frame; when
+     * the reconnect window — ten heartbeats of continuous
+     * disconnection — closes, exits 0 if the sweep was ever joined
+     * (the coordinator finished and went away) and 1 if the
+     * coordinator was never reachable. A handshake mismatch
+     * (version/bench/grid skew) exits 1 immediately: reconnecting
+     * cannot fix it.
+     *
+     * The workerLoop fault hooks apply here too, and ACR_NET_FAULT
+     * (net::FaultPlan) arms one transport fault on outbound frames,
+     * with ordinals counted across reconnects.
+     */
+    static int netWorkerLoop(RunnerPool &pool, const std::string &bench,
+                             const std::vector<GridPoint> &grid,
+                             const net::Endpoint &coordinator,
+                             unsigned heartbeatSec);
+
+    /**
      * The `--worker` side: read PointRecord lines from @p in until
      * EOF, execute each against @p pool, and write one flushed
      * ResultRecord line to @p out per point. Returns a process exit
@@ -201,7 +241,8 @@ class ShardedSweep
      *  plus sweep.point.<index>.millis. With a journal cache,
      *  sweep.journalHits; forked runs add the Supervisor counters
      *  (sweep.respawns, sweep.retries, sweep.workerCrashes,
-     *  sweep.watchdogKills, sweep.quarantined). */
+     *  sweep.watchdogKills, sweep.quarantined); distributed runs add
+     *  sweep.netJoins and sweep.netLeaves. */
     const StatSet &hostStats() const { return hostStats_; }
 
     /** One-line wall/work summary of the last run. */

@@ -1,7 +1,10 @@
 #include "harness/supervisor.hh"
 
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -75,6 +78,44 @@ struct Attempt
     Clock::time_point readyAt;
 };
 
+/**
+ * The one retry/backoff/quarantine ladder every executor shares
+ * (forked and TCP alike): bump the failed attempt and either requeue
+ * it behind its jittered backoff or quarantine it — delivered as the
+ * placeholder result so the sweep completes around it.
+ */
+void
+retryOrQuarantine(const Supervisor::Options &options, Attempt attempt,
+                  const std::string &reason, std::deque<Attempt> &queue,
+                  const Supervisor::Deliver &deliver,
+                  std::size_t &remaining, double &retries,
+                  double &quarantined)
+{
+    ++attempt.tries;
+    const std::size_t index = attempt.task.gridIndex;
+    if (attempt.tries > options.retries) {
+        ++quarantined;
+        std::fprintf(stderr,
+                     "[sweep] quarantining point %zu after %u "
+                     "attempt(s): %s\n",
+                     index, attempt.tries, reason.c_str());
+        deliver(attempt.task,
+                ExperimentResult::quarantined(attempt.tries, reason));
+        --remaining;
+    } else {
+        ++retries;
+        const double delay =
+            Supervisor::backoffSeconds(options, attempt.tries, index);
+        std::fprintf(stderr,
+                     "[sweep] point %zu failed (%s); retry %u/%u on a "
+                     "fresh worker in %.2fs\n",
+                     index, reason.c_str(), attempt.tries,
+                     options.retries, delay);
+        attempt.readyAt = Clock::now() + secondsDuration(delay);
+        queue.push_back(attempt);
+    }
+}
+
 /** A live worker child and its nonblocking pipe state. */
 struct Worker
 {
@@ -106,6 +147,10 @@ Supervisor::Supervisor(std::vector<std::string> workerCmd,
     ACR_ASSERT(!workerCmd_.empty(), "empty worker command");
 }
 
+Supervisor::Supervisor(Options options) : options_(options)
+{
+}
+
 double
 Supervisor::backoffSeconds(const Options &options, unsigned tries,
                            std::size_t gridIndex)
@@ -130,6 +175,9 @@ Supervisor::run(const std::vector<Task> &tasks, const Deliver &deliver,
                 StatSet &stats)
 {
     ACR_ASSERT(deliver, "supervisor needs a delivery sink");
+    ACR_ASSERT(!workerCmd_.empty(),
+               "forked run() needs a worker command (the net-only "
+               "constructor only supports runListen)");
 
     // A write to a just-died worker must surface as EPIPE (triggering
     // a retry), not kill the whole sweep.
@@ -213,34 +261,10 @@ Supervisor::run(const std::vector<Task> &tasks, const Deliver &deliver,
         }
         ::close(worker->in);
         ::close(worker->out);
-        if (worker->busy) {
-            Attempt attempt = worker->attempt;
-            ++attempt.tries;
-            const std::size_t index = attempt.task.gridIndex;
-            if (attempt.tries > options_.retries) {
-                ++quarantined;
-                std::fprintf(stderr,
-                             "[sweep] quarantining point %zu after %u "
-                             "attempt(s): %s\n",
-                             index, attempt.tries, reason.c_str());
-                deliver(attempt.task,
-                        ExperimentResult::quarantined(attempt.tries,
-                                                      reason));
-                --remaining;
-            } else {
-                ++retries;
-                const double delay = backoffSeconds(
-                    options_, attempt.tries, index);
-                std::fprintf(stderr,
-                             "[sweep] point %zu failed (%s); retry "
-                             "%u/%u on a fresh worker in %.2fs\n",
-                             index, reason.c_str(), attempt.tries,
-                             options_.retries, delay);
-                attempt.readyAt =
-                    Clock::now() + secondsDuration(delay);
-                queue.push_back(attempt);
-            }
-        }
+        if (worker->busy)
+            retryOrQuarantine(options_, worker->attempt, reason, queue,
+                              deliver, remaining, retries,
+                              quarantined);
         eraseWorker(worker);
     };
 
@@ -481,6 +505,371 @@ Supervisor::run(const std::vector<Task> &tasks, const Deliver &deliver,
     stats.set("sweep.workerCrashes", crashes);
     stats.set("sweep.watchdogKills", watchdog_kills);
     stats.set("sweep.quarantined", quarantined);
+}
+
+void
+Supervisor::runListen(const std::vector<Task> &tasks,
+                      const NetOptions &net_options,
+                      const Deliver &deliver, StatSet &stats)
+{
+    ACR_ASSERT(deliver, "supervisor needs a delivery sink");
+    ACR_ASSERT(net_options.heartbeatSec > 0,
+               "heartbeat must be positive");
+
+    // A send to a just-vanished worker must surface as a closed
+    // channel (triggering a re-deal), not kill the coordinator.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    double retries = 0, losses = 0, watchdog_kills = 0,
+           quarantined = 0, joins = 0, leaves = 0;
+
+    std::deque<Attempt> queue;
+    for (const auto &task : tasks)
+        queue.push_back({task, 0, Clock::now()});
+    std::size_t remaining = tasks.size();
+
+    net::Endpoint bound;
+    const int listen_fd = net::listenOn(net_options.listen, bound);
+    std::fprintf(stderr, "[net] listening on %s\n",
+                 bound.describe().c_str());
+
+    /** One connected (or connecting) TCP member of the fleet. */
+    struct NetWorker
+    {
+        enum class State { kHandshake, kIdle, kBusy };
+
+        std::uint64_t id = 0;
+        net::FrameChannel channel;
+        State state = State::kHandshake;
+        Attempt attempt;             ///< valid while kBusy
+        Clock::time_point deadline;  ///< valid while kBusy w/ watchdog
+        Clock::time_point lastHeard;
+        Clock::time_point lastPing;
+
+        NetWorker(std::uint64_t id_, int fd) : id(id_), channel(fd) {}
+    };
+    std::vector<std::unique_ptr<NetWorker>> workers;
+    std::uint64_t next_id = 1;
+
+    const auto heartbeat = secondsDuration(net_options.heartbeatSec);
+    // An unresponsive *idle* peer is dropped after missing several
+    // heartbeats. A busy peer is single-threadedly simulating and
+    // cannot answer pings, so only the --point-timeout watchdog (and
+    // TCP itself, for an outright death) covers it.
+    const auto idle_timeout = heartbeat * 4;
+    // With work queued and nobody connected, wait this long for a
+    // (re)join before quarantining everything left — the sweep
+    // degrades to FAILED cells and exit 3, it never hangs.
+    const auto join_grace = heartbeat * 8;
+    auto empty_since = Clock::now();
+
+    wire::HelloRecord identity;
+    identity.bench = net_options.bench;
+    identity.gridPoints = net_options.gridPoints;
+    identity.gridHash = net_options.gridHash;
+    identity.netVersion = net::kProtocolVersion;
+    const std::string hello_line = wire::encodeHelloLine(identity);
+
+    auto eraseWorker = [&](NetWorker *worker) {
+        workers.erase(
+            std::find_if(workers.begin(), workers.end(),
+                         [&](const std::unique_ptr<NetWorker> &w) {
+                             return w.get() == worker;
+                         }));
+    };
+
+    // Drop the connection; a busy member's in-flight point re-enters
+    // the shared retry/backoff/quarantine ladder, an idle leave costs
+    // nothing. Invalidates `worker`.
+    auto dropWorker = [&](NetWorker *worker,
+                          const std::string &reason) {
+        if (worker->state != NetWorker::State::kHandshake)
+            ++leaves;
+        if (worker->state == NetWorker::State::kBusy) {
+            ++losses;
+            retryOrQuarantine(options_, worker->attempt, reason, queue,
+                              deliver, remaining, retries,
+                              quarantined);
+        } else {
+            std::fprintf(
+                stderr, "[net] worker #%llu left: %s\n",
+                static_cast<unsigned long long>(worker->id),
+                reason.c_str());
+        }
+        worker->channel.close();
+        eraseWorker(worker);
+    };
+
+    // Apply one inbound frame; returns false once the worker has been
+    // dropped (protocol violation, handshake mismatch).
+    auto handleFrame = [&](NetWorker *worker,
+                           const net::Frame &frame) -> bool {
+        worker->lastHeard = Clock::now();
+        if (frame.type == net::FrameType::kPong)
+            return true;
+        if (frame.type != net::FrameType::kWire) {
+            dropWorker(worker,
+                       csprintf("protocol error: unexpected frame "
+                                "type %u",
+                                static_cast<unsigned>(frame.type)));
+            return false;
+        }
+        wire::Record record;
+        try {
+            record = wire::decodeLine(frame.payload);
+        } catch (const serde::SerdeError &error) {
+            // A garbled frame (or a skewed wire version — the record
+            // envelope carries it) reads as a protocol error; the
+            // member is dropped and any in-flight point re-dealt.
+            dropWorker(worker, csprintf("protocol error: %s",
+                                        error.what()));
+            return false;
+        }
+        if (worker->state == NetWorker::State::kHandshake) {
+            if (record.type != wire::Record::Type::kHello) {
+                dropWorker(worker,
+                           "protocol error: expected a hello record");
+                return false;
+            }
+            const auto &hello = record.hello;
+            if (hello.netVersion != net::kProtocolVersion ||
+                hello.bench != identity.bench ||
+                hello.gridPoints != identity.gridPoints ||
+                hello.gridHash != identity.gridHash) {
+                dropWorker(
+                    worker,
+                    csprintf("handshake mismatch: worker offers "
+                             "bench '%s', %llu point(s), grid "
+                             "%016llx, net v%llu",
+                             hello.bench.c_str(),
+                             static_cast<unsigned long long>(
+                                 hello.gridPoints),
+                             static_cast<unsigned long long>(
+                                 hello.gridHash),
+                             static_cast<unsigned long long>(
+                                 hello.netVersion)));
+                return false;
+            }
+            worker->state = NetWorker::State::kIdle;
+            ++joins;
+            std::fprintf(stderr, "[net] worker #%llu joined\n",
+                         static_cast<unsigned long long>(worker->id));
+            return true;
+        }
+        if (record.type != wire::Record::Type::kResult ||
+            worker->state != NetWorker::State::kBusy ||
+            record.result.index != worker->attempt.task.gridIndex) {
+            dropWorker(worker, "protocol error: unexpected record");
+            return false;
+        }
+        deliver(worker->attempt.task, std::move(record.result.result));
+        worker->state = NetWorker::State::kIdle;
+        --remaining;
+        return true;
+    };
+
+    while (remaining > 0) {
+        const auto now = Clock::now();
+
+        // Accept joiners — late ones included; membership is elastic.
+        while (true) {
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    break;
+                fatal("accept: %s", std::strerror(errno));
+            }
+            setNonblocking(fd);
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            auto worker = std::make_unique<NetWorker>(next_id++, fd);
+            worker->lastHeard = now;
+            worker->lastPing = now;
+            worker->channel.send(net::FrameType::kWire, hello_line);
+            workers.push_back(std::move(worker));
+        }
+
+        // Deal ready work to idle members (dynamic work-stealing: the
+        // next free worker takes the next ready point, so a fleet of
+        // any changing size drains the same queue).
+        for (auto &worker : workers) {
+            if (worker->state != NetWorker::State::kIdle ||
+                queue.empty())
+                continue;
+            const auto ready = std::find_if(
+                queue.begin(), queue.end(),
+                [&](const Attempt &a) { return a.readyAt <= now; });
+            if (ready == queue.end())
+                break;
+            worker->attempt = *ready;
+            queue.erase(ready);
+            worker->state = NetWorker::State::kBusy;
+            worker->channel.send(
+                net::FrameType::kWire,
+                wire::encodePointLine(
+                    {worker->attempt.task.gridIndex,
+                     *worker->attempt.task.point}));
+            if (options_.pointTimeoutSec > 0)
+                worker->deadline =
+                    now + secondsDuration(options_.pointTimeoutSec);
+        }
+
+        // Heartbeats out; unresponsive idle peers and wedged busy
+        // peers dropped.
+        for (std::size_t i = 0; i < workers.size();) {
+            NetWorker *worker = workers[i].get();
+            if (now - worker->lastPing >= heartbeat) {
+                worker->lastPing = now;
+                worker->channel.send(net::FrameType::kPing, "");
+            }
+            if (worker->state != NetWorker::State::kBusy &&
+                now - worker->lastHeard > idle_timeout) {
+                dropWorker(worker, "heartbeat timeout");
+                continue;  // dropWorker erased workers[i]
+            }
+            if (worker->state == NetWorker::State::kBusy &&
+                options_.pointTimeoutSec > 0 &&
+                now >= worker->deadline) {
+                ++watchdog_kills;
+                dropWorker(worker,
+                           csprintf("point exceeded "
+                                    "--point-timeout=%g s",
+                                    options_.pointTimeoutSec));
+                continue;
+            }
+            ++i;
+        }
+
+        if (workers.empty()) {
+            if (now - empty_since > join_grace) {
+                while (!queue.empty()) {
+                    const Attempt attempt = queue.front();
+                    queue.pop_front();
+                    ++quarantined;
+                    std::fprintf(
+                        stderr,
+                        "[sweep] quarantining point %zu after %u "
+                        "attempt(s): no connected workers\n",
+                        attempt.task.gridIndex, attempt.tries);
+                    deliver(attempt.task,
+                            ExperimentResult::quarantined(
+                                attempt.tries,
+                                "no connected workers"));
+                    --remaining;
+                }
+                continue;
+            }
+        } else {
+            empty_since = now;
+        }
+
+        // Wake at the nearest backoff expiry or watchdog deadline,
+        // capped so the time-based sweeps above run at a bounded
+        // cadence regardless.
+        int timeout_ms = 200;
+        auto wakeAt = [&](Clock::time_point when) {
+            const auto delta =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    when - now)
+                    .count();
+            timeout_ms = std::min(
+                timeout_ms,
+                static_cast<int>(std::max<long long>(0, delta)));
+        };
+        for (const auto &attempt : queue)
+            wakeAt(attempt.readyAt);
+        for (const auto &worker : workers)
+            if (worker->state == NetWorker::State::kBusy &&
+                options_.pointTimeoutSec > 0)
+                wakeAt(worker->deadline);
+
+        std::vector<pollfd> fds;
+        std::vector<std::uint64_t> owner;
+        fds.push_back({listen_fd, POLLIN, 0});
+        owner.push_back(0);
+        for (const auto &worker : workers) {
+            short events = POLLIN;
+            if (worker->channel.wantsWrite())
+                events |= POLLOUT;
+            fds.push_back({worker->channel.fd(), events, 0});
+            owner.push_back(worker->id);
+        }
+        const int rc =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   timeout_ms);
+        if (rc < 0 && errno != EINTR)
+            fatal("poll: %s", std::strerror(errno));
+        if (rc <= 0)
+            continue;
+
+        auto findWorker = [&](std::uint64_t id) -> NetWorker * {
+            for (auto &worker : workers)
+                if (worker->id == id)
+                    return worker.get();
+            return nullptr;
+        };
+
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            // The member may have been dropped while handling an
+            // earlier fd this round.
+            NetWorker *worker = findWorker(owner[i]);
+            if (worker == nullptr)
+                continue;
+            std::vector<net::Frame> frames;
+            std::string error;
+            const auto io = worker->channel.readFrames(frames, error);
+            // Complete frames that arrived ahead of a close still
+            // count (a result racing its sender's crash lands).
+            bool alive = true;
+            for (const auto &frame : frames)
+                if (!(alive = handleFrame(worker, frame)))
+                    break;
+            if (!alive)
+                continue;
+            if (io == net::FrameChannel::Io::kClosed) {
+                dropWorker(worker, error);
+                continue;
+            }
+            if (worker->channel.flushWrites(error) ==
+                net::FrameChannel::Io::kClosed)
+                dropWorker(worker, error);
+        }
+    }
+
+    // Sweep complete: tell every member to exit cleanly, with a short
+    // best-effort flush (a stuck peer must not wedge the
+    // coordinator's own exit).
+    for (auto &worker : workers)
+        worker->channel.send(net::FrameType::kShutdown, "");
+    const auto flush_deadline = Clock::now() + std::chrono::seconds(2);
+    while (Clock::now() < flush_deadline) {
+        bool pending = false;
+        for (auto &worker : workers) {
+            std::string error;
+            if (worker->channel.isOpen() &&
+                worker->channel.flushWrites(error) ==
+                    net::FrameChannel::Io::kOk &&
+                worker->channel.wantsWrite())
+                pending = true;
+        }
+        if (!pending)
+            break;
+        ::poll(nullptr, 0, 10);
+    }
+    workers.clear();
+    ::close(listen_fd);
+
+    stats.set("sweep.retries", retries);
+    stats.set("sweep.workerCrashes", losses);
+    stats.set("sweep.watchdogKills", watchdog_kills);
+    stats.set("sweep.quarantined", quarantined);
+    stats.set("sweep.netJoins", joins);
+    stats.set("sweep.netLeaves", leaves);
 }
 
 // --- Journal ---

@@ -38,12 +38,14 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "harness/net.hh"
 #include "harness/wire.hh"
 
 namespace acr::harness
 {
 
-/** Forked-worker supervision: retry/backoff/watchdog/quarantine. */
+/** Forked- and TCP-worker supervision: retry/backoff/watchdog/
+ *  quarantine over an elastic fleet. */
 class Supervisor
 {
   public:
@@ -72,6 +74,27 @@ class Supervisor
         std::uint64_t jitterSeed = 0x5eed;
     };
 
+    /**
+     * Distributed-mode knobs (runListen): where to accept TCP workers
+     * and the identity their handshake must match (DESIGN.md §15).
+     * The heartbeat paces keepalive pings; idle peers time out after
+     * four missed heartbeats, and an empty fleet with queued work is
+     * given eight heartbeats for a (re)join before every queued point
+     * is quarantined — the sweep degrades to FAILED cells, it never
+     * hangs.
+     */
+    struct NetOptions
+    {
+        net::Endpoint listen;       ///< port 0: kernel-picked
+        unsigned heartbeatSec = 5;  ///< keepalive ping cadence
+
+        /** Handshake identity: a worker whose hello disagrees on any
+         *  of these (or on net::kProtocolVersion) is rejected. */
+        std::string bench;
+        std::uint64_t gridPoints = 0;
+        std::uint64_t gridHash = 0;
+    };
+
     /** One unit of supervised work. */
     struct Task
     {
@@ -92,6 +115,10 @@ class Supervisor
      *  binary (see ShardedSweep::selfExecutable). */
     Supervisor(std::vector<std::string> workerCmd, Options options);
 
+    /** Distributed mode: no worker command — the fleet dials in
+     *  (runListen only; run() requires the forked-worker ctor). */
+    explicit Supervisor(Options options);
+
     /**
      * Run every task to completion (success or quarantine). Writes
      * supervision counters into @p stats: sweep.respawns,
@@ -100,6 +127,23 @@ class Supervisor
      */
     void run(const std::vector<Task> &tasks, const Deliver &deliver,
              StatSet &stats);
+
+    /**
+     * Distributed mode (DESIGN.md §15): accept `--connect` workers on
+     * @p net.listen (the actual bound endpoint — port 0 resolved — is
+     * announced as "[net] listening on HOST:PORT" on stderr), deal
+     * points one at a time to idle handshaken members, and run every
+     * task to completion (success or quarantine). Membership is
+     * elastic: workers may join late, leave idle, crash busy, or
+     * reconnect; a lost busy worker's point re-enters the same
+     * retry/backoff/quarantine ladder as a crashed forked worker.
+     * Counters in @p stats: sweep.retries, sweep.workerCrashes (busy
+     * connection losses), sweep.watchdogKills, sweep.quarantined,
+     * sweep.netJoins, sweep.netLeaves.
+     */
+    void runListen(const std::vector<Task> &tasks,
+                   const NetOptions &net, const Deliver &deliver,
+                   StatSet &stats);
 
     /** Backoff before attempt @p tries+1 of @p gridIndex, in seconds:
      *  capped exponential with deterministic jitter in [0.5, 1.5)x.

@@ -352,6 +352,17 @@ encodeFailedLine(const FailedRecord &record)
     return json.dump();
 }
 
+std::string
+encodeHelloLine(const HelloRecord &record)
+{
+    Json json = envelope("hello");
+    json.set("bench", record.bench)
+        .set("gridPoints", record.gridPoints)
+        .set("gridHash", record.gridHash)
+        .set("netVersion", record.netVersion);
+    return json.dump();
+}
+
 Record
 decodeLine(const std::string &line)
 {
@@ -388,6 +399,12 @@ decodeLine(const std::string &line)
         record.manifest.shardCount = reader.requireUint("shardCount");
         record.manifest.gridPoints = reader.requireUint("gridPoints");
         record.manifest.gridHash = reader.requireUint("gridHash");
+    } else if (type == "hello") {
+        record.type = Record::Type::kHello;
+        record.hello.bench = reader.requireString("bench");
+        record.hello.gridPoints = reader.requireUint("gridPoints");
+        record.hello.gridHash = reader.requireUint("gridHash");
+        record.hello.netVersion = reader.requireUint("netVersion");
     } else {
         throw SerdeError("unknown record type '" + type + "'");
     }

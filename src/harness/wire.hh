@@ -43,8 +43,10 @@ namespace wire
  *  v3: config gained `oracle` + `faultEventMask`, result gained
  *      `oracleDivergences` + `oracleReport` (recovery validation).
  *  v4: config gained `backend` (pluggable checkpoint stores), so
- *      ResultCache keys and shard grids distinguish backends. */
-inline constexpr std::uint64_t kVersion = 4;
+ *      ResultCache keys and shard grids distinguish backends.
+ *  v5: added the `hello` record type (the distributed sweep's strict
+ *      TCP handshake, harness/net.hh). */
+inline constexpr std::uint64_t kVersion = 5;
 
 // --- Value encodings (no version envelope; record lines add it) ---
 
@@ -113,12 +115,30 @@ struct ManifestRecord
     std::uint64_t gridHash = 0;
 };
 
+/**
+ * The distributed sweep's handshake (DESIGN.md §15): the first record
+ * either end of a TCP connection sends, carrying everything both
+ * sides must agree on before any point is dealt — the bench name, the
+ * exact grid (size + hash over every point's full encoding), and the
+ * net-layer framing version. The record's own `v` envelope pins the
+ * wire version, so a version-skewed peer is rejected by decodeLine
+ * itself before any field is compared.
+ */
+struct HelloRecord
+{
+    std::string bench;
+    std::uint64_t gridPoints = 0;
+    std::uint64_t gridHash = 0;
+    std::uint64_t netVersion = 0;
+};
+
 std::string encodePointLine(const PointRecord &record);
 std::string encodeResultLine(const ResultRecord &record);
 std::string encodeManifestLine(const ManifestRecord &record);
 std::string encodeFailedLine(const FailedRecord &record);
+std::string encodeHelloLine(const HelloRecord &record);
 
-/** One decoded record line (tagged union over the four types). */
+/** One decoded record line (tagged union over the five types). */
 struct Record
 {
     enum class Type
@@ -127,12 +147,14 @@ struct Record
         kResult,
         kManifest,
         kFailed,
+        kHello,
     };
     Type type = Type::kPoint;
     PointRecord point;
     ResultRecord result;
     ManifestRecord manifest;
     FailedRecord failed;
+    HelloRecord hello;
 };
 
 /** Decode any record line; throws SerdeError on bad version/type/keys. */
