@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/options.hh"
 #include "common/serde.hh"
 
@@ -68,6 +69,13 @@ struct Measurement
     double seconds = 0.0;
     std::uint64_t points = 0;
     std::uint64_t instructions = 0;
+    /**
+     * Deterministic CSV of every grid point's *simulated* results —
+     * the surface --results-out dumps so CI can assert that prefix
+     * sharing moves no result byte (host wall times are excluded; they
+     * are the one legitimately nondeterministic output of this bench).
+     */
+    std::string resultsCsv;
 };
 
 /**
@@ -100,10 +108,11 @@ instrsOf(const harness::ExperimentResult &result)
 
 /** Run the fig06 grid once on a fresh Runner, phase by phase. */
 Measurement
-measureOnce(const std::vector<std::string> &names)
+measureOnce(const std::vector<std::string> &names, bool prefix_share)
 {
     Measurement m;
     harness::Runner runner(kDefaultThreads);
+    runner.setPrefixShare(prefix_share);
 
     auto phase = [&](const std::string &name, auto &&body) {
         Phase p;
@@ -136,6 +145,19 @@ measureOnce(const std::vector<std::string> &names)
                     auto result = runner.run(name, config);
                     ++p.points;
                     p.instructions += instrsOf(result);
+                    m.resultsCsv += csprintf(
+                        "%s,%s,%llu,%.17g,%llu,%llu,%llu,%llu\n",
+                        name.c_str(), config.label().c_str(),
+                        static_cast<unsigned long long>(result.cycles),
+                        result.energyPj,
+                        static_cast<unsigned long long>(
+                            result.checkpointsEstablished),
+                        static_cast<unsigned long long>(
+                            result.recoveries),
+                        static_cast<unsigned long long>(
+                            result.ckptBytesStored),
+                        static_cast<unsigned long long>(
+                            result.ckptBytesOmitted));
                 }
             }
         };
@@ -144,14 +166,18 @@ measureOnce(const std::vector<std::string> &names)
         run_configs(p, {makeConfig(harness::BerMode::kNoCkpt)});
     });
 
+    // Within each scheme the with-errors run goes first: it is the one
+    // that captures the error-free-prefix snapshot (at its first fault
+    // trigger), which the error-free sibling then resumes from instead
+    // of re-simulating the whole program (DESIGN.md §13).
     phase("ckpt", [&](Phase &p) {
-        run_configs(p, {makeConfig(harness::BerMode::kCkpt),
-                        makeConfig(harness::BerMode::kCkpt, 1)});
+        run_configs(p, {makeConfig(harness::BerMode::kCkpt, 1),
+                        makeConfig(harness::BerMode::kCkpt)});
     });
 
     phase("re_ckpt", [&](Phase &p) {
-        run_configs(p, {makeConfig(harness::BerMode::kReCkpt),
-                        makeConfig(harness::BerMode::kReCkpt, 1)});
+        run_configs(p, {makeConfig(harness::BerMode::kReCkpt, 1),
+                        makeConfig(harness::BerMode::kReCkpt)});
     });
 
     return m;
@@ -230,16 +256,29 @@ main(int argc, char **argv)
     options.addUint("repeats", 3,
                     "measurement repeats (fresh caches each); the "
                     "fastest repeat is reported");
+    options.addString("prefix-share", "on",
+                      "error-free prefix sharing between the runs of a "
+                      "grid cell: on | off (off = full re-simulation; "
+                      "results are identical either way)");
+    options.addString("results-out", "",
+                      "write a deterministic CSV of every grid point's "
+                      "simulated results (no wall times) — byte-compare "
+                      "runs with --prefix-share=on vs off");
     options.parse(argc, argv);
 
     const std::string out = options.getString("out");
     const std::string format = options.getString("format");
     const unsigned repeats =
         static_cast<unsigned>(options.getUint("repeats"));
+    const std::string prefix_share_str =
+        options.getString("prefix-share");
     if (format != "table" && format != "json")
         fatal("--format must be 'table' or 'json'");
     if (repeats < 1)
         fatal("--repeats must be >= 1");
+    if (prefix_share_str != "on" && prefix_share_str != "off")
+        fatal("--prefix-share must be 'on' or 'off'");
+    const bool prefix_share = prefix_share_str == "on";
 
     const std::vector<std::string> names =
         workloads::allWorkloadNames();
@@ -250,7 +289,7 @@ main(int argc, char **argv)
     // fastest one is the truest measure of the engine.
     Measurement best;
     for (unsigned r = 0; r < repeats; ++r) {
-        Measurement m = measureOnce(names);
+        Measurement m = measureOnce(names, prefix_share);
         std::cerr << "perf: repeat " << (r + 1) << "/" << repeats
                   << ": " << m.seconds << " s, "
                   << static_cast<double>(m.points) / m.seconds
@@ -261,6 +300,16 @@ main(int argc, char **argv)
 
     serde::Json doc =
         toJson(best, calibration_seconds, names, repeats);
+
+    const std::string results_out = options.getString("results-out");
+    if (!results_out.empty()) {
+        std::ofstream file(results_out, std::ios::trunc);
+        if (!file)
+            fatal("cannot write '%s'", results_out.c_str());
+        file << "workload,config,cycles,energy_pj,checkpoints,"
+                "recoveries,ckpt_bytes_stored,ckpt_bytes_omitted\n"
+             << best.resultsCsv;
+    }
 
     if (!out.empty()) {
         std::ofstream file(out, std::ios::trunc);

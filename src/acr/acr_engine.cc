@@ -129,4 +129,62 @@ AcrEngine::exportStats()
                static_cast<double>(repo_.totalInstrs()));
 }
 
+AcrEngine::Snap
+AcrEngine::save(
+    const std::function<
+        std::uint32_t(const std::shared_ptr<slice::SliceInstance> &)>
+        &index_of) const
+{
+    Snap snap;
+    snap.repo = repo_;
+    snap.addrMap.reserve(addrMap_.size());
+    addrMap_.forEach(
+        [&](Addr addr,
+            const std::shared_ptr<slice::SliceInstance> &instance,
+            std::uint64_t interval) {
+            snap.addrMap.push_back(
+                Snap::MapEntry{addr, index_of(instance), interval});
+        });
+    snap.addrMapOverflows = addrMap_.overflows();
+    snap.addrMapPeak = addrMap_.peakSize();
+    snap.operandPeak = operandBuf_.peakWords();
+    snap.operandRejections = operandBuf_.rejections();
+    snap.currentInterval = currentInterval_;
+    snap.hot = hot_;
+    return snap;
+}
+
+std::vector<std::shared_ptr<slice::SliceInstance>>
+AcrEngine::restore(const Snap &snap,
+                   const std::vector<Snap::InstanceEntry> &entries)
+{
+    ACR_ASSERT(operandBuf_.liveWords() == 0 && addrMap_.size() == 0,
+               "restore() requires a freshly constructed engine");
+    repo_ = snap.repo;
+    currentInterval_ = snap.currentInterval;
+    hot_ = snap.hot;
+
+    // Materialize each instance exactly once against *this* engine's
+    // operand buffer; the donor run held them all live simultaneously,
+    // so re-reserving the same words cannot overflow.
+    std::vector<std::shared_ptr<slice::SliceInstance>> instances;
+    instances.reserve(entries.size());
+    for (const Snap::InstanceEntry &entry : entries) {
+        auto instance = slice::SliceInstance::create(
+            entry.slice, entry.inputs, operandBuf_);
+        ACR_ASSERT(instance != nullptr,
+                   "snapshot instance exceeds operand buffer");
+        instances.push_back(std::move(instance));
+    }
+    operandBuf_.restoreCounters(snap.operandPeak, snap.operandRejections);
+
+    for (const Snap::MapEntry &entry : snap.addrMap) {
+        bool ok = addrMap_.insert(entry.addr, instances[entry.instance],
+                                  entry.interval);
+        ACR_ASSERT(ok, "snapshot AddrMap entry did not fit");
+    }
+    addrMap_.restoreCounters(snap.addrMapOverflows, snap.addrMapPeak);
+    return instances;
+}
+
 } // namespace acr::amnesic

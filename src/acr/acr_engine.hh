@@ -19,7 +19,9 @@
 #ifndef ACR_ACR_ACR_ENGINE_HH
 #define ACR_ACR_ACR_ENGINE_HH
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "acr/addr_map.hh"
 #include "ckpt/provider.hh"
@@ -61,6 +63,53 @@ struct AcrConfig
 class AcrEngine : public ckpt::RecomputeProvider
 {
   public:
+    /** Per-store event tallies deferred until exportStats(). */
+    struct HotCounters
+    {
+        std::uint64_t captures = 0;
+        std::uint64_t captureFailures = 0;
+        std::uint64_t operandBufferRejections = 0;
+        std::uint64_t operandBufferWords = 0;
+        std::uint64_t addrMapAccesses = 0;
+        std::uint64_t addrMapOverflows = 0;
+    };
+
+    /**
+     * Engine state captured by the prefix-sharing snapshot
+     * (DESIGN.md §13). Live slice instances are serialized out-of-line
+     * (as Snap::InstanceEntry values) because instances hold a
+     * reference to *this engine's* operand buffer: a resumed run must
+     * re-create them against its own accounting object, never adopt
+     * the originals. AddrMap entries refer to instances by index into
+     * that shared table (undo-log records use the same indices).
+     */
+    struct Snap
+    {
+        struct MapEntry
+        {
+            Addr addr = 0;
+            std::uint32_t instance = 0;
+            std::uint64_t interval = 0;
+        };
+
+        /** One live instance: static slice id + captured operands. */
+        struct InstanceEntry
+        {
+            slice::SliceId slice = 0;
+            std::vector<Word> inputs;
+        };
+
+        slice::SliceRepository repo;
+        std::vector<MapEntry> addrMap;
+        std::uint64_t addrMapOverflows = 0;
+        std::size_t addrMapPeak = 0;
+        std::size_t operandPeak = 0;
+        std::uint64_t operandRejections = 0;
+        std::uint64_t currentInterval = 1;
+        HotCounters hot;
+    };
+
+
     AcrEngine(const AcrConfig &config, slice::SliceEngine &slicer,
               StatSet &stats);
 
@@ -103,18 +152,27 @@ class AcrEngine : public ckpt::RecomputeProvider
      */
     void exportStats();
 
-  private:
-    /** Per-store event tallies deferred until exportStats(). */
-    struct HotCounters
-    {
-        std::uint64_t captures = 0;
-        std::uint64_t captureFailures = 0;
-        std::uint64_t operandBufferRejections = 0;
-        std::uint64_t operandBufferWords = 0;
-        std::uint64_t addrMapAccesses = 0;
-        std::uint64_t addrMapOverflows = 0;
-    };
+    /**
+     * Capture this engine's state. @p index_of maps each live instance
+     * to its slot in the caller's deduplicated instance table (the
+     * caller serializes instances once across AddrMap and undo logs).
+     */
+    Snap
+    save(const std::function<
+         std::uint32_t(const std::shared_ptr<slice::SliceInstance> &)>
+             &index_of) const;
 
+    /**
+     * Overwrite this (freshly constructed) engine with @p snap,
+     * materializing @p entries against this engine's own operand
+     * buffer. @return the new instances, aligned with the table's
+     * indices, so the caller can re-link undo-log records.
+     */
+    std::vector<std::shared_ptr<slice::SliceInstance>>
+    restore(const Snap &snap,
+            const std::vector<Snap::InstanceEntry> &entries);
+
+  private:
     AcrConfig config_;
     slice::SliceEngine &slicer_;
     StatSet &stats_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -66,7 +67,10 @@ AddrMap::insert(Addr addr, std::shared_ptr<slice::SliceInstance> instance,
     while (slots_[i].used) {
         if (slots_[i].addr == addr) {
             slots_[i].instance = std::move(instance);
-            slots_[i].interval = interval;
+            // Keep the max: a re-posted rollback-erased corruption can
+            // replay an ASSOC-ADDR from an older interval, and adopting
+            // the older tag would expire a still-live slice early.
+            slots_[i].interval = std::max(slots_[i].interval, interval);
             return true;
         }
         i = (i + 1) & mask_;
@@ -102,15 +106,34 @@ AddrMap::erase(Addr addr)
 void
 AddrMap::expireOlderThan(std::uint64_t min_interval)
 {
-    // Collect first: backward-shift deletion reorders the probe runs,
-    // so erasing while scanning could skip entries.
-    std::vector<Addr> doomed;
+    std::size_t doomed = 0;
     for (const Slot &slot : slots_) {
         if (slot.used && slot.interval < min_interval)
-            doomed.push_back(slot.addr);
+            ++doomed;
     }
-    for (Addr addr : doomed)
-        erase(addr);
+    if (doomed == 0)
+        return;
+    // Single compaction pass: lift the survivors out, clear the table,
+    // and re-place each at its home probe run — O(table) total, where
+    // per-address backward-shift erase re-walked a probe run for every
+    // doomed entry (quadratic-ish when a whole interval expires).
+    std::vector<Slot> survivors;
+    survivors.reserve(size_ - doomed);
+    for (Slot &slot : slots_) {
+        if (!slot.used)
+            continue;
+        if (slot.interval < min_interval)
+            slot = Slot{};
+        else
+            survivors.push_back(std::exchange(slot, Slot{}));
+    }
+    size_ -= doomed;
+    for (Slot &slot : survivors) {
+        std::size_t i = homeOf(slot.addr);
+        while (slots_[i].used)
+            i = (i + 1) & mask_;
+        slots_[i] = std::move(slot);
+    }
 }
 
 } // namespace acr::amnesic

@@ -59,6 +59,26 @@ class AddrMap
     std::uint64_t overflows() const { return overflows_; }
     std::size_t peakSize() const { return peak_; }
 
+    /** Visit every live entry as (addr, instance, interval) — used by
+     *  the prefix-sharing snapshot to serialize the table. */
+    template <class Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &slot : slots_) {
+            if (slot.used)
+                fn(slot.addr, slot.instance, slot.interval);
+        }
+    }
+
+    /** Restore the counters a rebuilt table cannot re-derive. */
+    void
+    restoreCounters(std::uint64_t overflows, std::size_t peak)
+    {
+        overflows_ = overflows;
+        peak_ = peak;
+    }
+
   private:
     struct Slot
     {

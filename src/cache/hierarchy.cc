@@ -195,4 +195,34 @@ CacheSystem::exportStats(StatSet &stats) const
     dram_.exportStats(stats, "dram");
 }
 
+CacheSystem::Snap
+CacheSystem::save() const
+{
+    Snap snap;
+    snap.dram = dram_;
+    snap.directory = directory_;
+    snap.l1d.reserve(numCores_);
+    snap.l2.reserve(numCores_);
+    for (unsigned c = 0; c < numCores_; ++c) {
+        snap.l1d.push_back(*l1d_[c]);
+        snap.l2.push_back(*l2_[c]);
+    }
+    snap.fetches = fetches_;
+    return snap;
+}
+
+void
+CacheSystem::restore(const Snap &snap)
+{
+    ACR_ASSERT(snap.l1d.size() == numCores_ && snap.l2.size() == numCores_,
+               "snapshot geometry mismatch");
+    dram_ = *snap.dram;
+    directory_ = *snap.directory;
+    for (unsigned c = 0; c < numCores_; ++c) {
+        *l1d_[c] = snap.l1d[c];
+        *l2_[c] = snap.l2[c];
+    }
+    fetches_ = snap.fetches;
+}
+
 } // namespace acr::cache

@@ -15,6 +15,7 @@
 #define ACR_CACHE_HIERARCHY_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -116,6 +117,24 @@ class CacheSystem
 
     /** Aggregate counters over all cores into @p stats. */
     void exportStats(StatSet &stats) const;
+
+    /** Value copy of the whole timing-model state, for the
+     *  prefix-sharing snapshot (DESIGN.md §13). */
+    struct Snap
+    {
+        /** optional only because DramModel/Directory have no default
+         *  ctor; always engaged in a saved snapshot. */
+        std::optional<mem::DramModel> dram;
+        std::optional<Directory> directory;
+        std::vector<Cache> l1d;
+        std::vector<Cache> l2;
+        std::vector<std::uint64_t> fetches;
+    };
+
+    Snap save() const;
+
+    /** Overwrite all timing state with @p snap (geometry must match). */
+    void restore(const Snap &snap);
 
   private:
     /**

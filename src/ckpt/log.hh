@@ -85,6 +85,25 @@ class IntervalLog
     /** Append a record; the address must not be logged yet. */
     void append(LogRecord record);
 
+    /**
+     * Reset this log to cover @p next_interval while keeping its
+     * allocated stamp pages and record-buffer capacity (append-path
+     * batching, DESIGN.md §13). The epoch bump clears every bit in
+     * O(1), so a recycled log appends without re-zeroing pages or
+     * regrowing the record vector the previous intervals already
+     * paid for. Overflow pages (reachable only through corrupted
+     * addresses) are dropped to bound memory.
+     */
+    void
+    recycle(std::uint64_t next_interval)
+    {
+        interval_ = next_interval;
+        records_.clear();
+        amnesicRecords_ = 0;
+        clearAllBits();
+        overflow_.clear();
+    }
+
     const std::vector<LogRecord> &records() const { return records_; }
 
     /**

@@ -155,13 +155,24 @@ CheckpointManager::establish()
 
     // Two-checkpoint retention (Sec. II-A): dropping an old checkpoint
     // releases its log and thereby unpins its slice instances; the
-    // store gets to reclaim whatever it held for it.
+    // store gets to reclaim whatever it held for it. The retired log's
+    // stamp pages and record buffer become the next open interval's —
+    // steady-state appends then allocate and re-zero nothing.
+    IntervalLog recycled;
+    bool have_recycled = false;
     while (retained_.size() > 2) {
         store_->onCheckpointRetired(retained_.front());
+        recycled = std::move(retained_.front().log);
+        have_recycled = true;
         retained_.pop_front();
     }
 
-    openLog_ = IntervalLog(next_interval);
+    if (have_recycled) {
+        recycled.recycle(next_interval);
+        openLog_ = std::move(recycled);
+    } else {
+        openLog_ = IntervalLog(next_interval);
+    }
     directory.clearInteractions();
     if (provider_)
         provider_->onCheckpointEstablished(next_interval);
@@ -394,6 +405,19 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
     outcome.progressAt = target->progressAt;
     outcome.targetEstablishedAt = target->establishedAt;
     return outcome;
+}
+
+void
+CheckpointManager::restoreRetention(IntervalLog open_log,
+                                    std::deque<Checkpoint> retained,
+                                    std::uint64_t established,
+                                    std::vector<IntervalSizes> history)
+{
+    ACR_ASSERT(initialized_, "restoreRetention before initialCheckpoint");
+    openLog_ = std::move(open_log);
+    retained_ = std::move(retained);
+    established_ = established;
+    history_ = std::move(history);
 }
 
 } // namespace acr::ckpt

@@ -126,6 +126,18 @@ class CheckpointManager
     /** The storage backend this manager checkpoints onto. */
     const CheckpointStore &store() const { return *store_; }
 
+    /**
+     * Overwrite the retention state wholesale — open log, retained
+     * checkpoints, establishment count, and size history — used when a
+     * run resumes from a prefix-sharing snapshot (DESIGN.md §13).
+     * Requires initialCheckpoint() to have run and a stateless backend
+     * (the caller guards on Backend::kLog).
+     */
+    void restoreRetention(IntervalLog open_log,
+                          std::deque<Checkpoint> retained,
+                          std::uint64_t established,
+                          std::vector<IntervalSizes> history);
+
   private:
     /** Establishment work for one coordination group. */
     void establishGroup(cache::SharerMask group, IntervalSizes &sizes);

@@ -163,6 +163,47 @@ class Core
 
     const CoreCounters &counters() const { return counters_; }
 
+    /**
+     * Full core state for the harness's error-free prefix-sharing
+     * snapshot (DESIGN.md §13) — everything run() reads or writes, so
+     * a restored core replays bit-identically to one that simulated
+     * the prefix itself.
+     */
+    struct Snap
+    {
+        std::size_t pc = 0;
+        std::array<Word, isa::kNumRegs> regs{};
+        CoreState state = CoreState::kRunning;
+        Cycle cycle = 0;
+        unsigned issueBuf = 0;
+        std::uint64_t barrierEpoch = 0;
+        std::optional<Word> corruptMask;
+        std::optional<Cycle> corruptionEvent;
+        CoreCounters counters;
+    };
+
+    Snap
+    save() const
+    {
+        return {pc_,         regs_,         state_,
+                cycle_,      issueBuf_,     barrierEpoch_,
+                corruptMask_, corruptionEvent_, counters_};
+    }
+
+    void
+    restore(const Snap &snap)
+    {
+        pc_ = snap.pc;
+        regs_ = snap.regs;
+        state_ = snap.state;
+        cycle_ = snap.cycle;
+        issueBuf_ = snap.issueBuf;
+        barrierEpoch_ = snap.barrierEpoch;
+        corruptMask_ = snap.corruptMask;
+        corruptionEvent_ = snap.corruptionEvent;
+        counters_ = snap.counters;
+    }
+
     /** Publish counters as "<prefix>.instrs" etc. */
     void exportStats(StatSet &stats, const std::string &prefix) const;
 

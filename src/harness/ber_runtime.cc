@@ -57,7 +57,8 @@ ExperimentResult
 BerRuntime::run(const isa::Program &program,
                 const sim::MachineConfig &machine,
                 const ExperimentConfig &config,
-                const amnesic::SlicePassResult &profile)
+                const amnesic::SlicePassResult &profile,
+                PrefixHandle *prefix)
 {
     ACR_ASSERT(profile.totalProgress > 0, "profile has no progress");
 
@@ -201,8 +202,40 @@ BerRuntime::run(const isa::Program &program,
 
     std::uint64_t next_ckpt = manager ? period : ~std::uint64_t{0};
 
+    // --- Prefix sharing (DESIGN.md §13) ---
+    // Resume: overwrite the freshly built components with the donor
+    // snapshot and substitute its saved step result for the first
+    // iteration's stepWith(). The Runner guarantees eligibility (no
+    // oracle/trace/secondary, stateless backend, trigger >= snapshot).
+    bool resume_pending = false;
+    if (prefix && prefix->resume) {
+        ACR_ASSERT(manager && !oracle && !secondary && !config.trace,
+                   "prefix resume with an ineligible configuration");
+        resumePrefix(*prefix->resume, system, next_ckpt, stats,
+                     slicer.get(), acr.get(), *manager);
+        resume_pending = true;
+    }
+
     while (true) {
-        sim::SystemState state = system.stepWith(&observer);
+        sim::SystemState state;
+        if (resume_pending) {
+            state = prefix->resume->stepState;
+            resume_pending = false;
+        } else {
+            state = system.stepWith(&observer);
+        }
+
+        // Capture: the first step at or past the threshold, *before*
+        // this iteration's injector poll — every pre-capture poll
+        // happened strictly below the threshold, so any run whose
+        // first trigger is >= captureAt reaches this exact state.
+        if (prefix && prefix->captureAt != 0 && !prefix->captured &&
+            manager && system.progress() >= prefix->captureAt) {
+            prefix->captured = std::make_shared<PrefixSnapshot>(
+                capturePrefix(prefix->captureAt, system, state,
+                              next_ckpt, stats, slicer.get(), acr.get(),
+                              *manager));
+        }
 
         if (injector) {
             if (auto detection = injector->poll(system)) {

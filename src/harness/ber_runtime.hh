@@ -12,6 +12,7 @@
 
 #include "acr/slice_pass.hh"
 #include "harness/experiment.hh"
+#include "harness/prefix_share.hh"
 #include "sim/machine_config.hh"
 
 namespace acr::harness
@@ -29,11 +30,15 @@ class BerRuntime
      * @param profile  NoCkpt profile of the same program (progress and
      *                 cycle totals drive the checkpoint/error schedules;
      *                 the final image is the verification reference)
+     * @param prefix   optional prefix-sharing handle (DESIGN.md §13):
+     *                 resume from a snapshot and/or capture one. The
+     *                 caller (Runner) owns all eligibility guards.
      */
     static ExperimentResult run(const isa::Program &program,
                                 const sim::MachineConfig &machine,
                                 const ExperimentConfig &config,
-                                const amnesic::SlicePassResult &profile);
+                                const amnesic::SlicePassResult &profile,
+                                PrefixHandle *prefix = nullptr);
 };
 
 } // namespace acr::harness

@@ -1,0 +1,178 @@
+#include "harness/prefix_share.hh"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace acr::harness
+{
+
+namespace
+{
+
+/** Interning index over live slice instances: each distinct instance
+ *  (by identity, not value) gets one slot in the snapshot's table. */
+class InstanceInterner
+{
+  public:
+    explicit InstanceInterner(
+        std::vector<amnesic::AcrEngine::Snap::InstanceEntry> &table)
+        : table_(table)
+    {
+    }
+
+    std::uint32_t
+    idOf(const std::shared_ptr<slice::SliceInstance> &instance)
+    {
+        ACR_ASSERT(instance != nullptr, "interning a null instance");
+        auto [it, fresh] =
+            index_.emplace(instance.get(),
+                           static_cast<std::uint32_t>(table_.size()));
+        if (fresh) {
+            table_.push_back(amnesic::AcrEngine::Snap::InstanceEntry{
+                instance->slice(), instance->inputs()});
+        }
+        return it->second;
+    }
+
+  private:
+    std::vector<amnesic::AcrEngine::Snap::InstanceEntry> &table_;
+    std::unordered_map<const slice::SliceInstance *, std::uint32_t>
+        index_;
+};
+
+PrefixSnapshot::LogSnap
+saveLog(const ckpt::IntervalLog &log, InstanceInterner &interner)
+{
+    PrefixSnapshot::LogSnap snap;
+    snap.interval = log.interval();
+    snap.records.reserve(log.records().size());
+    for (const ckpt::LogRecord &record : log.records()) {
+        PrefixSnapshot::RecordSnap rec;
+        rec.addr = record.addr;
+        rec.oldValue = record.oldValue;
+        rec.writer = record.writer;
+        rec.amnesic = record.amnesic
+                          ? interner.idOf(record.amnesic)
+                          : PrefixSnapshot::kNoInstance;
+        snap.records.push_back(rec);
+    }
+    return snap;
+}
+
+ckpt::IntervalLog
+restoreLog(
+    const PrefixSnapshot::LogSnap &snap,
+    const std::vector<std::shared_ptr<slice::SliceInstance>> &instances)
+{
+    ckpt::IntervalLog log(snap.interval);
+    for (const PrefixSnapshot::RecordSnap &rec : snap.records) {
+        ckpt::LogRecord record;
+        record.addr = rec.addr;
+        record.oldValue = rec.oldValue;
+        record.writer = rec.writer;
+        if (rec.amnesic != PrefixSnapshot::kNoInstance) {
+            ACR_ASSERT(rec.amnesic < instances.size(),
+                       "snapshot record references instance %u of %zu",
+                       rec.amnesic, instances.size());
+            record.amnesic = instances[rec.amnesic];
+        }
+        log.append(std::move(record));
+    }
+    return log;
+}
+
+} // namespace
+
+PrefixSnapshot
+capturePrefix(std::uint64_t stop_progress,
+              const sim::MulticoreSystem &system,
+              sim::SystemState step_state, std::uint64_t next_ckpt,
+              const StatSet &stats, const slice::SliceEngine *slicer,
+              const amnesic::AcrEngine *acr,
+              const ckpt::CheckpointManager &manager)
+{
+    PrefixSnapshot snap;
+    snap.stopProgress = stop_progress;
+    snap.system = system.save();
+    snap.stepState = step_state;
+    snap.nextCkpt = next_ckpt;
+    snap.stats = stats;
+
+    InstanceInterner interner(snap.instances);
+    if (slicer)
+        snap.slicer = *slicer;
+    if (acr) {
+        snap.acr = acr->save(
+            [&interner](
+                const std::shared_ptr<slice::SliceInstance> &instance) {
+                return interner.idOf(instance);
+            });
+    }
+
+    snap.openLog = saveLog(manager.openLog(), interner);
+    snap.retained.reserve(manager.retained().size());
+    for (const ckpt::Checkpoint &ckpt : manager.retained()) {
+        PrefixSnapshot::CkptSnap c;
+        c.index = ckpt.index;
+        c.establishedAt = ckpt.establishedAt;
+        c.progressAt = ckpt.progressAt;
+        c.arch = ckpt.arch;
+        c.interactions = ckpt.interactions;
+        c.validFor = ckpt.validFor;
+        c.log = saveLog(ckpt.log, interner);
+        snap.retained.push_back(std::move(c));
+    }
+    snap.established = manager.checkpointsEstablished();
+    snap.history = manager.history();
+    return snap;
+}
+
+void
+resumePrefix(const PrefixSnapshot &snap, sim::MulticoreSystem &system,
+             std::uint64_t &next_ckpt, StatSet &stats,
+             slice::SliceEngine *slicer, amnesic::AcrEngine *acr,
+             ckpt::CheckpointManager &manager)
+{
+    ACR_ASSERT((slicer != nullptr) == snap.slicer.has_value() &&
+                   (acr != nullptr) == snap.acr.has_value(),
+               "resume component mismatch");
+
+    // Wholesale StatSet replacement also erases any counters the fresh
+    // components' constructors may have touched — the snapshot's set is
+    // authoritative for everything up to the capture point.
+    stats = snap.stats;
+    system.restore(snap.system);
+    next_ckpt = snap.nextCkpt;
+
+    if (slicer)
+        *slicer = *snap.slicer;
+
+    // Materialize every live instance once, against the *new* run's
+    // operand buffer, then re-link AddrMap and undo logs to them.
+    std::vector<std::shared_ptr<slice::SliceInstance>> instances;
+    if (acr)
+        instances = acr->restore(*snap.acr, snap.instances);
+    else
+        ACR_ASSERT(snap.instances.empty(),
+                   "instances without an ACR engine");
+
+    std::deque<ckpt::Checkpoint> retained;
+    for (const PrefixSnapshot::CkptSnap &c : snap.retained) {
+        ckpt::Checkpoint ckpt;
+        ckpt.index = c.index;
+        ckpt.establishedAt = c.establishedAt;
+        ckpt.progressAt = c.progressAt;
+        ckpt.arch = c.arch;
+        ckpt.interactions = c.interactions;
+        ckpt.validFor = c.validFor;
+        ckpt.log = restoreLog(c.log, instances);
+        retained.push_back(std::move(ckpt));
+    }
+    manager.restoreRetention(restoreLog(snap.openLog, instances),
+                             std::move(retained), snap.established,
+                             snap.history);
+}
+
+} // namespace acr::harness

@@ -21,13 +21,18 @@
 #ifndef ACR_HARNESS_RUNNER_HH
 #define ACR_HARNESS_RUNNER_HH
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "acr/slice_pass.hh"
 #include "common/once_cache.hh"
 #include "harness/ber_runtime.hh"
 #include "harness/experiment.hh"
+#include "harness/prefix_share.hh"
 #include "sim/machine_config.hh"
 #include "workloads/workload.hh"
 
@@ -81,6 +86,21 @@ class Runner
     std::uint64_t slicePassRuns() const { return passes_.computes(); }
     std::uint64_t noCkptRuns() const { return noCkpt_.computes(); }
 
+    /**
+     * Toggle error-free prefix sharing (DESIGN.md §13). Defaults from
+     * the ACR_PREFIX_SHARE environment variable: on unless set to "0"
+     * or "off". Sharing never changes any measured result — a resumed
+     * run is instruction-identical to a from-scratch one — so the
+     * toggle exists for A/B verification and bisection only.
+     */
+    void setPrefixShare(bool enabled) { prefixShare_ = enabled; }
+    bool prefixShare() const { return prefixShare_; }
+
+    /** Prefix snapshots taken so far (test observability). */
+    std::uint64_t prefixCaptures() const { return prefixCaptures_; }
+    /** Runs that resumed from a prefix snapshot (test observability). */
+    std::uint64_t prefixResumes() const { return prefixResumes_; }
+
   private:
     sim::MachineConfig machine_;
     workloads::WorkloadParams params_;
@@ -90,6 +110,21 @@ class Runner
               amnesic::SlicePassResult>
         passes_;
     OnceCache<std::string, ExperimentResult> noCkpt_;
+
+    // --- Error-free prefix sharing ---
+    // Snapshots are keyed by everything that shapes execution *before*
+    // the first fault trigger (workload, scheme, coordination, placement,
+    // ...); fault-plan parameters are deliberately absent — the injector
+    // is a no-op until its first trigger, so runs differing only in
+    // them share the same prefix. A consumer picks the deepest snapshot
+    // not past its own first trigger.
+    bool prefixShare_;
+    std::mutex prefixMutex_;
+    std::map<std::string,
+             std::vector<std::shared_ptr<const PrefixSnapshot>>>
+        prefixCache_;
+    std::uint64_t prefixCaptures_ = 0;
+    std::uint64_t prefixResumes_ = 0;
 };
 
 } // namespace acr::harness

@@ -102,4 +102,27 @@ MainMemory::firstDifference(const MainMemory &other) const
     return kInvalidAddr;
 }
 
+MainMemory::Snap
+MainMemory::save() const
+{
+    Snap snap;
+    snap.pages.reserve(pageCount());
+    for (Addr page_id : pageIds()) {
+        const Word *page = findPage(page_id);
+        snap.pages.emplace_back(
+            page_id, std::vector<Word>(page, page + kPageWords));
+    }
+    return snap;
+}
+
+void
+MainMemory::restore(const Snap &snap)
+{
+    clear();
+    for (const auto &[page_id, words] : snap.pages) {
+        Word *page = touchPage(page_id);
+        std::copy(words.begin(), words.end(), page);
+    }
+}
+
 } // namespace acr::mem

@@ -101,6 +101,18 @@ class MainMemory
      */
     Addr firstDifference(const MainMemory &other) const;
 
+    /** Backed pages by id, for the prefix-sharing snapshot
+     *  (DESIGN.md §13). */
+    struct Snap
+    {
+        std::vector<std::pair<Addr, std::vector<Word>>> pages;
+    };
+
+    Snap save() const;
+
+    /** Replace all contents with @p snap's pages. */
+    void restore(const Snap &snap);
+
   private:
     using Page = std::unique_ptr<Word[]>;
 

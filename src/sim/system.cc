@@ -186,4 +186,27 @@ MulticoreSystem::exportStats(StatSet &stats) const
     caches_.exportStats(stats);
 }
 
+MulticoreSystem::Snapshot
+MulticoreSystem::save() const
+{
+    Snapshot snap;
+    snap.cores.reserve(cores_.size());
+    for (const auto &core : cores_)
+        snap.cores.push_back(core->save());
+    snap.memory = memory_.save();
+    snap.caches = caches_.save();
+    return snap;
+}
+
+void
+MulticoreSystem::restore(const Snapshot &snap)
+{
+    ACR_ASSERT(snap.cores.size() == cores_.size(),
+               "snapshot core count mismatch");
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        cores_[i]->restore(snap.cores[i]);
+    memory_.restore(snap.memory);
+    caches_.restore(snap.caches);
+}
+
 } // namespace acr::sim

@@ -136,6 +136,20 @@ class MulticoreSystem
     /** Aggregate core/cache/DRAM counters into @p stats. */
     void exportStats(StatSet &stats) const;
 
+    /** Architectural + timing state of the whole machine, for the
+     *  prefix-sharing snapshot (DESIGN.md §13). */
+    struct Snapshot
+    {
+        std::vector<cpu::Core::Snap> cores;
+        mem::MainMemory::Snap memory;
+        cache::CacheSystem::Snap caches;
+    };
+
+    Snapshot save() const;
+
+    /** Overwrite machine state with @p snap (same config/program). */
+    void restore(const Snapshot &snap);
+
   private:
     /** Barrier-release epilogue shared by step()/stepWith(). */
     SystemState finishStep(bool any_ran);

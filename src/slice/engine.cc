@@ -12,39 +12,44 @@ SliceEngine::SliceEngine(unsigned num_cores, unsigned size_cap)
 {
     ACR_ASSERT(num_cores >= 1, "slice engine needs >= 1 core");
     ACR_ASSERT(size_cap >= 1, "size cap must be >= 1");
+    ACR_ASSERT(size_cap <= 0xFFFF,
+               "size cap must fit the packed 16-bit approxSize");
     regNodes_.resize(num_cores);
-    for (auto &regs : regNodes_) {
-        for (auto &node : regs)
-            node = leaf(0);
-    }
+    regValues_.resize(num_cores);
+    for (auto &regs : regNodes_)
+        regs.fill(kLazy);
+    for (auto &vals : regValues_)
+        vals.fill(0);
 }
 
 SliceEngine::~SliceEngine()
 {
     for (auto &regs : regNodes_)
-        for (auto *node : regs)
-            release(node);
+        for (NodeRef ref : regs)
+            if (ref != kLazy)
+                release(ref);
 }
 
 void
-SliceEngine::releaseChildren(Node *a, Node *b)
+SliceEngine::releaseChildren(NodeRef a, NodeRef b)
 {
     // Iterative teardown: dropping the last reference to a chain head
     // must not recurse down the chain (sizeCap_ bounds arith depth,
     // but an explicit stack keeps the walk allocation-free and flat).
-    if (a != nullptr && --a->refs == 0)
+    if (a != kNil && --arena_[a].refs == 0)
         releaseStack_.push_back(a);
-    if (b != nullptr && --b->refs == 0)
+    if (b != kNil && --arena_[b].refs == 0)
         releaseStack_.push_back(b);
     while (!releaseStack_.empty()) {
-        Node *dead = releaseStack_.back();
+        NodeRef ref = releaseStack_.back();
         releaseStack_.pop_back();
-        if (dead->in1 && --dead->in1->refs == 0)
-            releaseStack_.push_back(dead->in1);
-        if (dead->in2 && --dead->in2->refs == 0)
-            releaseStack_.push_back(dead->in2);
-        dead->in1 = freeList_;
-        freeList_ = dead;
+        Node &dead = arena_[ref];
+        if (dead.in1 != kNil && --arena_[dead.in1].refs == 0)
+            releaseStack_.push_back(dead.in1);
+        if (dead.in2 != kNil && --arena_[dead.in2].refs == 0)
+            releaseStack_.push_back(dead.in2);
+        dead.in1 = freeHead_;
+        freeHead_ = ref;
         --liveNodes_;
     }
 }
@@ -55,7 +60,9 @@ SliceEngine::buildForStore(const cpu::InstrEvent &event,
 {
     const isa::Instruction &inst = *event.inst;
     ACR_ASSERT(isa::isStore(inst.op), "buildForStore on a non-store");
-    Node *root = regNodes_[event.core][inst.rs2];
+    NodeRef root = regNodes_[event.core][inst.rs2];
+    if (root == kLazy)
+        return nullptr;  // lazy leaf root: pure load/copy, no Slice
     const BuiltSlice *built = buildFromNode(root, policy);
     if (built) {
         ACR_ASSERT(built->value == event.result,
@@ -65,9 +72,9 @@ SliceEngine::buildForStore(const cpu::InstrEvent &event,
 }
 
 const BuiltSlice *
-SliceEngine::buildFromNode(Node *root, const SlicePolicyConfig &policy)
+SliceEngine::buildFromNode(NodeRef rootRef, const SlicePolicyConfig &policy)
 {
-    if (!root || !root->arith)
+    if (rootRef == kNil || !arena_[rootRef].arith)
         return nullptr;  // pure copies/loads have no Slice
 
     const unsigned max_instrs = policy.buildCap();
@@ -76,46 +83,53 @@ SliceEngine::buildFromNode(Node *root, const SlicePolicyConfig &policy)
     out.slice.code.clear();
     out.slice.numInputs = 0;
     out.inputs.clear();
-    out.value = root->value;
+    out.value = arena_[rootRef].value;
 
     // Iterative post-order walk. The visited map lives *in* the nodes:
     // a node whose buildEpoch matches this walk's stamp has its source
     // encoding (slice-instruction index or input index) in buildSlot —
     // same traversal, same emission order as the hash-map version,
-    // with the lookup reduced to one compare.
-    const std::uint64_t epoch = ++buildEpoch_;
-    auto visited = [epoch](const Node *node) {
-        return node->buildEpoch == epoch;
+    // with the lookup reduced to one compare. The stamp is 32 bits to
+    // keep the node packed; on the (per-engine, ~4B builds) wraparound
+    // every stale stamp is cleared before reuse.
+    if (++buildEpoch_ == 0) {
+        for (Node &node : arena_)
+            node.buildEpoch = 0;
+        buildEpoch_ = 1;
+    }
+    const std::uint32_t epoch = buildEpoch_;
+    auto visited = [this, epoch](NodeRef ref) {
+        return arena_[ref].buildEpoch == epoch;
     };
 
     buildStack_.clear();
-    buildStack_.push_back({root, false});
+    buildStack_.push_back({rootRef, false});
 
     while (!buildStack_.empty()) {
         Frame frame = buildStack_.back();
         buildStack_.pop_back();
-        Node *node = frame.node;
+        Node &node = arena_[frame.node];
 
-        if (visited(node))
+        if (node.buildEpoch == epoch)
             continue;
 
-        if (!node->arith) {
+        if (!node.arith) {
             // Opaque leaf: capture the value as an input operand.
             if (out.inputs.size() >= policy.maxInputs)
                 return nullptr;
             std::uint32_t k = static_cast<std::uint32_t>(out.inputs.size());
-            out.inputs.push_back(node->value);
-            node->buildEpoch = epoch;
-            node->buildSlot = inputSrc(k);
+            out.inputs.push_back(node.value);
+            node.buildEpoch = epoch;
+            node.buildSlot = inputSrc(k);
             continue;
         }
 
         if (!frame.expanded) {
-            buildStack_.push_back({node, true});
-            if (node->in1 && !visited(node->in1))
-                buildStack_.push_back({node->in1, false});
-            if (node->in2 && !visited(node->in2))
-                buildStack_.push_back({node->in2, false});
+            buildStack_.push_back({frame.node, true});
+            if (node.in1 != kNil && !visited(node.in1))
+                buildStack_.push_back({node.in1, false});
+            if (node.in2 != kNil && !visited(node.in2))
+                buildStack_.push_back({node.in2, false});
             continue;
         }
 
@@ -123,14 +137,14 @@ SliceEngine::buildFromNode(Node *root, const SlicePolicyConfig &policy)
         if (out.slice.code.size() >= max_instrs)
             return nullptr;
         SliceInstr si;
-        si.op = node->op;
-        si.imm = node->imm;
-        si.src1 = node->in1 ? node->in1->buildSlot : kNoSrc;
-        si.src2 = node->in2 ? node->in2->buildSlot : kNoSrc;
+        si.op = node.op;
+        si.imm = node.imm;
+        si.src1 = node.in1 != kNil ? arena_[node.in1].buildSlot : kNoSrc;
+        si.src2 = node.in2 != kNil ? arena_[node.in2].buildSlot : kNoSrc;
         std::int32_t slot = static_cast<std::int32_t>(out.slice.code.size());
         out.slice.code.push_back(si);
-        node->buildEpoch = epoch;
-        node->buildSlot = slot;
+        node.buildEpoch = epoch;
+        node.buildSlot = slot;
     }
 
     out.slice.numInputs = static_cast<std::uint32_t>(out.inputs.size());
@@ -146,9 +160,11 @@ SliceEngine::resetCore(CoreId core,
 {
     ACR_ASSERT(core < numCores_, "resetCore on unknown core %u", core);
     for (unsigned r = 0; r < isa::kNumRegs; ++r) {
-        Node *node = leaf(regs[r]);
-        release(regNodes_[core][r]);
-        regNodes_[core][r] = node;
+        NodeRef old = regNodes_[core][r];
+        regNodes_[core][r] = kLazy;
+        regValues_[core][r] = regs[r];
+        if (old != kLazy)
+            release(old);
     }
 }
 

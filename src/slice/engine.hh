@@ -14,21 +14,31 @@
  *
  * Hot-path layout (DESIGN.md §13): the engine allocates one node per
  * retired arithmetic instruction and one per load/tid leaf, so node
- * turnover dominates the whole simulator. Nodes therefore live in an
- * engine-owned arena (chunked, free-listed) with an intrusive
- * non-atomic refcount — an engine belongs to exactly one experiment
- * frame, which runs on one thread — and the linearizer's visited-map
- * is an epoch-stamped slot carried in the node itself instead of a
- * per-call hash map. Both changes are pure allocation/bookkeeping
- * swaps: the DAG shape, traversal order, and emitted slices are
- * bit-identical to the original shared_ptr implementation (locked by
- * perf_equiv_test / golden_stdout).
+ * turnover dominates the whole simulator. Nodes therefore live in a
+ * flat engine-owned arena addressed by 32-bit indices — a packed
+ * 40-byte node (down from 56 with pointers) with an intrusive
+ * non-atomic refcount; an engine belongs to exactly one experiment
+ * frame, which runs on one thread. The linearizer's visited-map is an
+ * epoch-stamped slot carried in the node itself instead of a per-call
+ * hash map. Leaf producers (loads, tid reads, over-cap collapses) are
+ * *lazy*: a register slot holds just the value until an arithmetic
+ * instruction actually links it, at which point one leaf node is
+ * materialized and shared by every subsequent reader — so the very
+ * common load→store / load→overwrite patterns never touch the arena
+ * at all. All of this is pure allocation/bookkeeping layout: the DAG
+ * shape, traversal order, and emitted slices are bit-identical to the
+ * original shared_ptr implementation (locked by perf_equiv_test /
+ * golden_stdout). A welcome side effect of index addressing is that
+ * the whole engine is plain copyable state, which is what lets the
+ * prefix-sharing snapshot (DESIGN.md §13) clone a mid-run slicer with
+ * a handful of vector copies.
  */
 
 #ifndef ACR_SLICE_ENGINE_HH
 #define ACR_SLICE_ENGINE_HH
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -65,10 +75,10 @@ class SliceEngine
     explicit SliceEngine(unsigned num_cores, unsigned size_cap = 128);
     ~SliceEngine();
 
-    // The arena hands out raw intra-engine pointers; an engine is
-    // therefore pinned to its address.
-    SliceEngine(const SliceEngine &) = delete;
-    SliceEngine &operator=(const SliceEngine &) = delete;
+    // Index-addressed state: copying the engine copies the whole DAG,
+    // which the prefix-sharing snapshot relies on.
+    SliceEngine(const SliceEngine &) = default;
+    SliceEngine &operator=(const SliceEngine &) = default;
 
     /**
      * Feed one retired instruction (call for every instruction).
@@ -105,8 +115,19 @@ class SliceEngine
     std::size_t liveNodes() const { return liveNodes_; }
 
   private:
+    /** Arena index of a node; kNil is the null producer. */
+    using NodeRef = std::uint32_t;
+    static constexpr NodeRef kNil = 0xFFFFFFFFu;
     /**
-     * A producer-DAG node. `refs` counts register slots plus parent
+     * Register-slot sentinel: the producer is a leaf whose value sits
+     * in regValues_ and whose node has not been materialized (and
+     * never will be unless an arithmetic instruction links it).
+     */
+    static constexpr NodeRef kLazy = 0xFFFFFFFEu;
+
+    /**
+     * A packed producer-DAG node (40 bytes; two per cache line, vs 56
+     * with pointer links). `refs` counts register slots plus parent
      * links; `buildEpoch`/`buildSlot` are the linearizer's visited
      * stamp (valid only while buildEpoch matches the engine's current
      * walk). When a node sits on the free list, `in1` doubles as the
@@ -114,102 +135,102 @@ class SliceEngine
      */
     struct Node
     {
-        Node *in1;
-        Node *in2;
         Word value;
         SWord imm;
-        std::uint64_t buildEpoch;
+        NodeRef in1;
+        NodeRef in2;
         std::uint32_t refs;
-        std::uint32_t approxSize;
+        std::uint32_t buildEpoch;
         std::int32_t buildSlot;
+        std::uint16_t approxSize;
         isa::Opcode op;
-        bool arith;
+        std::uint8_t arith;
     };
+    static_assert(sizeof(Node) == 40, "Node packing regressed");
 
-    static constexpr std::size_t kChunkNodes = 4096;
-
-    Node *alloc();
-    Node *leaf(Word value);
-    void retain(Node *node) { ++node->refs; }
+    NodeRef alloc();
+    NodeRef leaf(Word value);
+    void retain(NodeRef ref) { ++arena_[ref].refs; }
     /** Drop one reference; reclaims the node (and, transitively, its
      *  children) into the free list when it was the last. The childless
      *  case — every load/tid leaf, the bulk of node deaths — is freed
      *  inline; only a node with children drops to the out-of-line
      *  cascade. */
     void
-    release(Node *node)
+    release(NodeRef ref)
     {
-        if (--node->refs != 0)
+        Node &node = arena_[ref];
+        if (--node.refs != 0)
             return;
-        Node *a = node->in1;
-        Node *b = node->in2;
-        node->in1 = freeList_;
-        freeList_ = node;
+        NodeRef a = node.in1;
+        NodeRef b = node.in2;
+        node.in1 = freeHead_;
+        freeHead_ = ref;
         --liveNodes_;
-        if (a != nullptr || b != nullptr)
+        if (a != kNil || b != kNil)
             releaseChildren(a, b);
     }
     /** Out-of-line teardown of a freed node's subtrees. */
-    void releaseChildren(Node *a, Node *b);
+    void releaseChildren(NodeRef a, NodeRef b);
 
-    const BuiltSlice *buildFromNode(Node *root,
+    const BuiltSlice *buildFromNode(NodeRef root,
                                     const SlicePolicyConfig &policy);
 
     unsigned numCores_;
     unsigned sizeCap_;
-    std::vector<std::array<Node *, isa::kNumRegs>> regNodes_;
+    std::vector<std::array<NodeRef, isa::kNumRegs>> regNodes_;
+    /** Value of each register's producer when its slot is kLazy. */
+    std::vector<std::array<Word, isa::kNumRegs>> regValues_;
 
-    // --- Node arena ---
-    std::vector<std::unique_ptr<Node[]>> chunks_;
-    std::size_t chunkUsed_ = kChunkNodes;  ///< used slots in chunks_.back()
-    Node *freeList_ = nullptr;
+    // --- Node arena (flat; indices stay valid across growth) ---
+    std::vector<Node> arena_;
+    NodeRef freeHead_ = kNil;
     std::size_t liveNodes_ = 0;
 
     // --- Reused walk scratch (arena-style: capacity survives calls) ---
     struct Frame
     {
-        Node *node;
+        NodeRef node;
         bool expanded;
     };
     std::vector<Frame> buildStack_;
-    std::vector<Node *> releaseStack_;
-    std::uint64_t buildEpoch_ = 0;
+    std::vector<NodeRef> releaseStack_;
+    std::uint32_t buildEpoch_ = 0;
     /** Result slot of buildFromNode; vectors keep their capacity. */
     BuiltSlice buildScratch_;
 };
 
-inline SliceEngine::Node *
+inline SliceEngine::NodeRef
 SliceEngine::alloc()
 {
-    Node *node;
-    if (freeList_ != nullptr) {
-        node = freeList_;
-        freeList_ = node->in1;
+    NodeRef ref;
+    if (freeHead_ != kNil) {
+        ref = freeHead_;
+        freeHead_ = arena_[ref].in1;
     } else {
-        if (chunkUsed_ == kChunkNodes) {
-            chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
-            chunkUsed_ = 0;
-        }
-        node = &chunks_.back()[chunkUsed_++];
+        ref = static_cast<NodeRef>(arena_.size());
+        arena_.emplace_back();
     }
-    node->in1 = nullptr;
-    node->in2 = nullptr;
-    node->refs = 1;
-    node->buildEpoch = 0;
+    Node &node = arena_[ref];
+    node.in1 = kNil;
+    node.in2 = kNil;
+    node.refs = 1;
+    node.buildEpoch = 0;
     ++liveNodes_;
-    return node;
+    return ref;
 }
 
-inline SliceEngine::Node *
+inline SliceEngine::NodeRef
 SliceEngine::leaf(Word value)
 {
-    Node *node = alloc();
-    node->arith = false;
-    node->op = isa::Opcode::kMovi;
-    node->imm = 0;
-    node->value = value;
-    node->approxSize = 1;
-    return node;
+    NodeRef ref = alloc();
+    Node &node = arena_[ref];
+    node.arith = 0;
+    node.op = isa::Opcode::kMovi;
+    node.imm = 0;
+    node.value = value;
+    node.approxSize = 1;
+    return ref;
 }
 
 inline void
@@ -219,57 +240,91 @@ SliceEngine::observe(const cpu::InstrEvent &event)
     ACR_ASSERT(event.core < numCores_, "event from unknown core %u",
                event.core);
     auto &regs = regNodes_[event.core];
+    auto &vals = regValues_[event.core];
 
     if (isa::isLoad(inst.op) || inst.op == isa::Opcode::kTid) {
         // Memory instructions and tid reads terminate slices: the value
-        // itself becomes a capturable input operand.
-        Node *node = leaf(event.result);
-        release(regs[inst.rd]);
-        regs[inst.rd] = node;
+        // itself becomes a capturable input operand. The leaf stays
+        // lazy — a value parked in the slot — so a loaded value that is
+        // stored or overwritten without arith use never costs a node.
+        NodeRef old = regs[inst.rd];
+        regs[inst.rd] = kLazy;
+        vals[inst.rd] = event.result;
+        if (old != kLazy)
+            release(old);
         return;
     }
 
     if (!isSliceable(inst.op))
         return;  // stores, branches, barriers, halt: no register change
 
-    Node *node = alloc();
-    node->arith = true;
-    node->op = inst.op;
-    node->imm = inst.imm;
-    node->value = event.result;
+    const bool use1 = isa::readsRs1(inst.op);
+    const bool use2 = isa::readsRs2(inst.op);
 
     std::uint64_t approx = 1;
-    if (isa::readsRs1(inst.op)) {
-        node->in1 = regs[inst.rs1];
-        retain(node->in1);
-        approx += node->in1->arith ? node->in1->approxSize : 0;
+    if (use1 && regs[inst.rs1] != kLazy) {
+        const Node &src = arena_[regs[inst.rs1]];
+        approx += src.arith ? src.approxSize : 0;
     }
-    if (isa::readsRs2(inst.op)) {
-        node->in2 = regs[inst.rs2];
-        retain(node->in2);
-        approx += node->in2->arith ? node->in2->approxSize : 0;
+    if (use2 && regs[inst.rs2] != kLazy) {
+        const Node &src = arena_[regs[inst.rs2]];
+        approx += src.arith ? src.approxSize : 0;
     }
 
     if (approx > sizeCap_) {
         // Chain exceeds every threshold under study: collapse to an
-        // opaque leaf. This bounds tracking memory, builder work, and
-        // teardown depth.
-        node->arith = false;
-        if (node->in1) {
-            release(node->in1);
-            node->in1 = nullptr;
-        }
-        if (node->in2) {
-            release(node->in2);
-            node->in2 = nullptr;
-        }
-        node->approxSize = 1;
-    } else {
-        node->approxSize = static_cast<std::uint32_t>(approx);
+        // opaque leaf — in the lazy representation, no node at all.
+        // This bounds tracking memory, builder work, and teardown
+        // depth.
+        NodeRef old = regs[inst.rd];
+        regs[inst.rd] = kLazy;
+        vals[inst.rd] = event.result;
+        if (old != kLazy)
+            release(old);
+        return;
     }
 
-    release(regs[inst.rd]);
-    regs[inst.rd] = node;
+    // Materialize lazy inputs before the node alloc: leaf() may grow
+    // the arena, and a materialized leaf parked back in its slot is
+    // shared by every later reader of the same register (identical
+    // sharing — and therefore identical emitted slices — to the eager
+    // scheme).
+    NodeRef in1 = kNil;
+    NodeRef in2 = kNil;
+    if (use1) {
+        if (regs[inst.rs1] == kLazy)
+            regs[inst.rs1] = leaf(vals[inst.rs1]);
+        in1 = regs[inst.rs1];
+    }
+    if (use2) {
+        if (regs[inst.rs2] == kLazy)
+            regs[inst.rs2] = leaf(vals[inst.rs2]);
+        in2 = regs[inst.rs2];
+    }
+
+    NodeRef ref = alloc();
+    // No further alloc below: the reference stays valid.
+    Node &node = arena_[ref];
+    node.arith = 1;
+    node.op = inst.op;
+    node.imm = inst.imm;
+    node.value = event.result;
+    node.approxSize = static_cast<std::uint16_t>(approx);
+    if (in1 != kNil) {
+        node.in1 = in1;
+        ++arena_[in1].refs;
+    }
+    if (in2 != kNil) {
+        node.in2 = in2;
+        ++arena_[in2].refs;
+    }
+
+    // Release the overwritten producer only after the inputs are
+    // retained: rd may alias rs1/rs2.
+    NodeRef old = regs[inst.rd];
+    regs[inst.rd] = ref;
+    if (old != kLazy)
+        release(old);
 }
 
 } // namespace acr::slice

@@ -42,6 +42,15 @@ class OperandBufferAccounting
     std::size_t peakWords() const { return peak_; }
     std::uint64_t rejections() const { return rejections_; }
 
+    /** Restore history counters a rebuilt pool cannot re-derive (the
+     *  prefix-sharing snapshot; live words re-accrue via create()). */
+    void
+    restoreCounters(std::size_t peak, std::uint64_t rejections)
+    {
+        peak_ = peak;
+        rejections_ = rejections;
+    }
+
   private:
     std::size_t capacity_;
     std::size_t live_ = 0;

@@ -1,0 +1,50 @@
+# Prefix-sharing A/B lock, run as a ctest: bench/perf executed with
+# --prefix-share=on and --prefix-share=off must produce byte-identical
+# simulated results for every grid point (--results-out CSV: cycles,
+# energy, checkpoint/recovery counts, stored/omitted bytes). Sharing is
+# a pure wall-time optimization — a resumed run is instruction-identical
+# to a from-scratch one — so ANY difference here means the fast path
+# drifted from the reference path and must be treated as a correctness
+# bug, not a perf regression.
+#
+# Invoke with
+#   cmake -DPERF=<path to bench/perf> -DOUT=<scratch dir>
+#         -P prefix_share_equiv.cmake
+
+foreach(var PERF OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "prefix_share_equiv.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+foreach(mode on off)
+    execute_process(
+        COMMAND "${PERF}" --repeats=1 --out= --format=json
+                --prefix-share=${mode}
+                --results-out=${OUT}/results.${mode}.csv
+        OUTPUT_FILE "${OUT}/perf.${mode}.stdout"
+        ERROR_FILE "${OUT}/perf.${mode}.stderr"
+        RESULT_VARIABLE status)
+    if(NOT status EQUAL 0)
+        file(READ "${OUT}/perf.${mode}.stderr" stderr)
+        message(FATAL_ERROR
+                "${PERF} --prefix-share=${mode} exited ${status}:\n"
+                "${stderr}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT}/results.on.csv" "${OUT}/results.off.csv"
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "prefix sharing changed simulated results "
+            "(${OUT}/results.on.csv vs ${OUT}/results.off.csv); the "
+            "snapshot/fork path must be instruction-identical to full "
+            "re-simulation — fix the snapshot, do not re-record")
+endif()
+
+message(STATUS "prefix share: on/off grid results are byte-identical")
