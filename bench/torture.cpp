@@ -8,8 +8,16 @@
  * the FaultPlan's event set — to a minimal failing plan, printed as a
  * one-line repro command.
  *
+ * Joint compute × storage campaigns (DESIGN.md §16): --storage-errors
+ * additionally injects seeded faults into the checkpoint medium, so
+ * every rollback runs against possibly-rotten stored bytes and the
+ * escalation ladder (replica switch → older-checkpoint retarget →
+ * structured unrecoverable) is exercised under the oracle. A failing
+ * campaign shrinks the compute event mask first, then the storage
+ * mask with the compute events fixed.
+ *
  * Exit codes: 0 clean, 3 quarantined points (sweep layer), 4 oracle
- * divergence (the torture verdict; max of the two wins).
+ * divergence, 5 unrecoverable point (the torture verdicts; max wins).
  *
  * Every campaign knob is a flag with a matching environment variable
  * (flag wins), both validated by the same strict parser:
@@ -24,13 +32,22 @@
  *                                                 (keep event i iff bit
  *                                                 i % 64; shrinker sets
  *                                                 this in repro lines)
+ *   --storage-errors=N  ACR_STORAGE_FAULT         storage faults against
+ *                                                 the checkpoint medium
+ *                                                 (0..64; 0 = reliable)
+ *   --storage-mask=M    ACR_STORAGE_MASK          StorageFaultPlan bit
+ *                                                 mask, same convention
+ *                                                 as --event-mask
  *   --modes=a,b                                   ckpt,reckpt subset
  *   --coords=a,b                                  global,local subset
+ *   --backends=a,b                                log,replicated,nvm
+ *                                                 subset
  *   --lats=x,y                                    detection-latency
  *                                                 fractions
  */
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "bench_util.hh"
@@ -55,9 +72,12 @@ struct Campaign
     std::uint64_t campaignSeed = 0xacce55ULL;
     bool oracle = true;
     std::uint64_t eventMask = ~std::uint64_t{0};
+    unsigned storageErrors = 0;
+    std::uint64_t storageMask = ~std::uint64_t{0};
     std::vector<BerMode> modes = {BerMode::kCkpt, BerMode::kReCkpt};
     std::vector<ckpt::Coordination> coords = {
         ckpt::Coordination::kGlobal, ckpt::Coordination::kLocal};
+    std::vector<ckpt::Backend> backends = {ckpt::Backend::kLog};
     std::vector<double> lats = {0.4, 0.5};
 };
 
@@ -109,10 +129,18 @@ declareOptions(OptionParser &parser)
                    "FaultPlan event mask: keep planned error i iff bit "
                    "(i % 64) is set (repro lines from the shrinker "
                    "set this)");
+    parser.addUint("storage-errors", 0,
+                   "storage faults injected into the checkpoint "
+                   "medium per run (0..64; 0: reliable medium)");
+    parser.addUint("storage-mask", ~std::uint64_t{0},
+                   "StorageFaultPlan event mask, same keep-bit "
+                   "convention as --event-mask");
     parser.addString("modes", "ckpt,reckpt",
                      "comma-separated subset of ckpt,reckpt");
     parser.addString("coords", "global,local",
                      "comma-separated subset of global,local");
+    parser.addString("backends", "log",
+                     "comma-separated subset of log,replicated,nvm");
     parser.addString("lats", "0.4,0.5",
                      "comma-separated detection-latency fractions "
                      "(each in [0, 1])");
@@ -126,6 +154,8 @@ declareOptions(OptionParser &parser)
     parser.envDefault("campaign-seed", "ACR_CAMPAIGN_SEED");
     parser.envDefault("oracle", "ACR_ORACLE");
     parser.envDefault("event-mask", "ACR_EVENT_MASK");
+    parser.envDefault("storage-errors", "ACR_STORAGE_FAULT");
+    parser.envDefault("storage-mask", "ACR_STORAGE_MASK");
 }
 
 void
@@ -153,6 +183,18 @@ readOptions(const OptionParser &parser)
     if (campaign.eventMask == 0)
         fatal("--event-mask=0 would drop every planned error; use "
               "--errors with a smaller count instead");
+
+    const unsigned long long storage_errors =
+        parser.getUint("storage-errors");
+    if (storage_errors > 64)
+        fatal("--storage-errors must be in 0..64 (the storage mask is "
+              "64 bits), got %llu",
+              storage_errors);
+    campaign.storageErrors = static_cast<unsigned>(storage_errors);
+    campaign.storageMask = parser.getUint("storage-mask");
+    if (campaign.storageMask == 0 && campaign.storageErrors > 0)
+        fatal("--storage-mask=0 would drop every planned storage "
+              "fault; use --storage-errors=0 instead");
 
     const std::string oracle = parser.getString("oracle");
     if (oracle == "on")
@@ -188,6 +230,18 @@ readOptions(const OptionParser &parser)
     if (campaign.coords.empty())
         fatal("--coords selected nothing");
 
+    campaign.backends.clear();
+    for (const auto &name : splitList(parser.getString("backends"))) {
+        ckpt::Backend backend;
+        if (!ckpt::parseBackend(name, backend))
+            fatal("--backends expects log/replicated/nvm entries, got "
+                  "'%s'",
+                  name.c_str());
+        campaign.backends.push_back(backend);
+    }
+    if (campaign.backends.empty())
+        fatal("--backends selected nothing");
+
     campaign.lats.clear();
     for (const auto &text : splitList(parser.getString("lats"))) {
         double lat = 0.0;
@@ -201,7 +255,8 @@ readOptions(const OptionParser &parser)
 }
 
 /** Enumerate the campaign grid: workload-major, then mode × coord ×
- *  latency × seed — the order render() re-derives to label rows. */
+ *  backend × latency × seed — the order render() re-derives to label
+ *  rows. */
 std::vector<harness::GridPoint>
 buildGrid(const std::vector<std::string> &names)
 {
@@ -209,17 +264,24 @@ buildGrid(const std::vector<std::string> &names)
     for (const auto &name : names) {
         for (BerMode mode : campaign.modes) {
             for (ckpt::Coordination coordination : campaign.coords) {
-                for (double lat : campaign.lats) {
-                    for (unsigned s = 0; s < campaign.seeds; ++s) {
-                        ExperimentConfig config = makeConfig(
-                            mode, campaign.errors, coordination,
-                            campaign.checkpoints);
-                        config.detectionLatencyFraction = lat;
-                        config.seed = campaign.campaignSeed + s;
-                        config.oracle = campaign.oracle;
-                        config.faultEventMask = campaign.eventMask;
-                        points.push_back(
-                            {name, config, kDefaultThreads});
+                for (ckpt::Backend backend : campaign.backends) {
+                    for (double lat : campaign.lats) {
+                        for (unsigned s = 0; s < campaign.seeds; ++s) {
+                            ExperimentConfig config = makeConfig(
+                                mode, campaign.errors, coordination,
+                                campaign.checkpoints);
+                            config.backend = backend;
+                            config.detectionLatencyFraction = lat;
+                            config.seed = campaign.campaignSeed + s;
+                            config.oracle = campaign.oracle;
+                            config.faultEventMask = campaign.eventMask;
+                            config.storageErrors =
+                                campaign.storageErrors;
+                            config.storageFaultMask =
+                                campaign.storageMask;
+                            points.push_back(
+                                {name, config, kDefaultThreads});
+                        }
                     }
                 }
             }
@@ -249,33 +311,22 @@ eventsToMask(const std::vector<unsigned> &events)
 }
 
 /**
- * Shrink a diverging campaign to a minimal failing event set: first
- * bisect (keep whichever half still diverges), then greedily drop
- * single events until every remaining event is load-bearing. Runs
- * serially on the context's runner — the repro should come from the
- * same deterministic cache the sweep used.
+ * Shrink one event set to a minimal subset that keeps @p fails true:
+ * first bisect (keep whichever half still reproduces), then greedily
+ * drop single events until every remaining one is load-bearing.
  */
-std::uint64_t
-shrinkFailure(harness::Runner &runner, const std::string &workload,
-              const ExperimentConfig &config, std::ostream &err)
+std::vector<unsigned>
+shrinkEvents(std::vector<unsigned> events,
+             const std::function<bool(std::uint64_t)> &fails)
 {
-    auto diverges = [&](std::uint64_t mask) {
-        ExperimentConfig candidate = config;
-        candidate.faultEventMask = mask;
-        return runner.run(workload, candidate).oracleDivergences > 0;
-    };
-
-    std::vector<unsigned> events =
-        maskEvents(config.faultEventMask, config.numErrors);
-
     // Bisection: halve while a half alone still reproduces.
     while (events.size() > 1) {
         const std::size_t half = events.size() / 2;
         std::vector<unsigned> lo(events.begin(), events.begin() + half);
         std::vector<unsigned> hi(events.begin() + half, events.end());
-        if (diverges(eventsToMask(lo)))
+        if (fails(eventsToMask(lo)))
             events = std::move(lo);
-        else if (diverges(eventsToMask(hi)))
+        else if (fails(eventsToMask(hi)))
             events = std::move(hi);
         else
             break;  // the halves only fail together
@@ -288,20 +339,79 @@ shrinkFailure(harness::Runner &runner, const std::string &workload,
         for (std::size_t i = 0; i < events.size(); ++i) {
             std::vector<unsigned> candidate = events;
             candidate.erase(candidate.begin() + i);
-            if (diverges(eventsToMask(candidate))) {
+            if (fails(eventsToMask(candidate))) {
                 events = std::move(candidate);
                 changed = true;
                 break;
             }
         }
     }
+    return events;
+}
+
+/** A shrunk repro: minimal compute event mask, and — for joint
+ *  campaigns — minimal storage mask with the compute events fixed. */
+struct ShrunkMasks
+{
+    std::uint64_t eventMask = ~std::uint64_t{0};
+    std::uint64_t storageMask = ~std::uint64_t{0};
+};
+
+/**
+ * Shrink a failing campaign to a minimal failing plan. `failure_class`
+ * decides what counts as reproducing: an unrecoverable point must
+ * shrink to a still-unrecoverable plan, a diverging one to a
+ * still-diverging plan (the classes escalate differently, so mixing
+ * them would "shrink" one bug into a different one). The compute
+ * event mask shrinks first; the storage mask then shrinks with the
+ * surviving compute events held fixed. Runs serially on the context's
+ * runner — the repro should come from the same deterministic engine
+ * the sweep used.
+ */
+ShrunkMasks
+shrinkFailure(harness::Runner &runner, const std::string &workload,
+              const ExperimentConfig &config, bool want_unrecoverable,
+              std::ostream &err)
+{
+    auto fails_with = [&](const ExperimentConfig &candidate) {
+        const ExperimentResult result = runner.run(workload, candidate);
+        return want_unrecoverable ? result.unrecoverable
+                                  : result.oracleDivergences > 0;
+    };
+
+    ShrunkMasks masks;
+    std::vector<unsigned> events = shrinkEvents(
+        maskEvents(config.faultEventMask, config.numErrors),
+        [&](std::uint64_t mask) {
+            ExperimentConfig candidate = config;
+            candidate.faultEventMask = mask;
+            return fails_with(candidate);
+        });
+    masks.eventMask = eventsToMask(events);
 
     err << "[torture] shrunk to " << events.size() << " of "
         << config.numErrors << " planned event(s):";
     for (unsigned i : events)
         err << " #" << i;
     err << "\n";
-    return eventsToMask(events);
+
+    if (config.storageErrors > 0) {
+        std::vector<unsigned> storage = shrinkEvents(
+            maskEvents(config.storageFaultMask, config.storageErrors),
+            [&](std::uint64_t mask) {
+                ExperimentConfig candidate = config;
+                candidate.faultEventMask = masks.eventMask;
+                candidate.storageFaultMask = mask;
+                return fails_with(candidate);
+            });
+        masks.storageMask = eventsToMask(storage);
+        err << "[torture] shrunk to " << storage.size() << " of "
+            << config.storageErrors << " storage fault(s):";
+        for (unsigned i : storage)
+            err << " #" << i;
+        err << "\n";
+    }
+    return masks;
 }
 
 } // namespace
@@ -326,12 +436,18 @@ main(int argc, char **argv)
                           static_cast<unsigned long long>(
                               campaign.campaignSeed),
                           campaign.oracle ? "on" : "off"));
+        if (campaign.storageErrors > 0)
+            ctx.note(csprintf("Storage faults: %u per run against the "
+                              "checkpoint medium\n\n",
+                              campaign.storageErrors));
 
         const auto grid = buildGrid(ctx.workloads());
         Table table({"bench", "config", "lat", "seed", "cycles",
                      "ckpts", "recov", "inj", "det", "drop", "requeue",
                      "recompW", "diverge"});
         std::uint64_t total_divergences = 0;
+        std::uint64_t corrupt_reads = 0, replica_switches = 0;
+        std::uint64_t retargets = 0, unrecoverable_points = 0;
         std::vector<std::size_t> failing;
         for (std::size_t i = 0; i < results.size(); ++i) {
             const auto &point = grid[i];
@@ -339,67 +455,116 @@ main(int argc, char **argv)
             auto stat = [&](const char *name) {
                 return static_cast<long long>(result.stats.get(name));
             };
-            table.row()
-                .cell(point.workload)
-                .cell(csprintf("%s,%s", modeName(point.config.mode),
-                               coordName(point.config.coordination)))
-                .cell(point.config.detectionLatencyFraction)
-                .cell(static_cast<long long>(point.config.seed))
-                .cell(static_cast<long long>(result.cycles))
-                .cell(static_cast<long long>(
-                    result.checkpointsEstablished))
-                .cell(static_cast<long long>(result.recoveries))
-                .cell(stat("fault.injected"))
-                .cell(stat("fault.detected"))
-                .cell(stat("fault.dropped"))
-                .cell(stat("fault.requeued"))
-                .cell(stat("rec.recomputedWords"))
-                .cell(static_cast<long long>(result.oracleDivergences));
-            if (!result.failed && result.oracleDivergences > 0) {
+            // The config cell stays byte-identical for default
+            // (log-backend) campaigns; joint backend sweeps tag it.
+            std::string config_cell =
+                csprintf("%s,%s", modeName(point.config.mode),
+                         coordName(point.config.coordination));
+            if (point.config.backend != ckpt::Backend::kLog)
+                config_cell += std::string("@") +
+                               ckpt::backendName(point.config.backend);
+            Table &row =
+                table.row()
+                    .cell(point.workload)
+                    .cell(config_cell)
+                    .cell(point.config.detectionLatencyFraction)
+                    .cell(static_cast<long long>(point.config.seed))
+                    .cell(static_cast<long long>(result.cycles))
+                    .cell(static_cast<long long>(
+                        result.checkpointsEstablished))
+                    .cell(static_cast<long long>(result.recoveries))
+                    .cell(stat("fault.injected"))
+                    .cell(stat("fault.detected"))
+                    .cell(stat("fault.dropped"))
+                    .cell(stat("fault.requeued"))
+                    .cell(stat("rec.recomputedWords"));
+            if (result.unrecoverable)
+                row.cell("UNREC");
+            else
+                row.cell(
+                    static_cast<long long>(result.oracleDivergences));
+            if (result.failed)
+                continue;
+            corrupt_reads += stat("ckpt.corruptReads");
+            replica_switches += stat("rec.replicaSwitches");
+            retargets += stat("rec.retargets");
+            if (result.unrecoverable)
+                ++unrecoverable_points;
+            if (result.oracleDivergences > 0 || result.unrecoverable) {
                 total_divergences += result.oracleDivergences;
                 failing.push_back(i);
             }
         }
         ctx.emit(table);
 
-        if (total_divergences == 0) {
+        if (campaign.storageErrors > 0)
+            std::cerr << csprintf(
+                "[torture] storage: %llu corrupt read(s), %llu "
+                "replica switch(es), %llu older-checkpoint "
+                "retarget(s), %llu unrecoverable campaign(s)\n",
+                static_cast<unsigned long long>(corrupt_reads),
+                static_cast<unsigned long long>(replica_switches),
+                static_cast<unsigned long long>(retargets),
+                static_cast<unsigned long long>(unrecoverable_points));
+
+        if (failing.empty()) {
             ctx.note(csprintf("\nall %zu campaign(s) recovered "
                               "bit-exactly (0 divergences)\n",
                               results.size()));
             return;
         }
 
-        // Divergence post-mortem goes to stderr: the structured
-        // reports, then a minimal shrunk repro per failing point.
+        // Failure post-mortem goes to stderr: the structured reports,
+        // then a minimal shrunk repro per failing point.
         std::cerr << "[torture] " << total_divergences
                   << " divergence(s) across " << failing.size()
                   << " campaign(s)\n";
         for (std::size_t i : failing) {
             const auto &point = grid[i];
-            std::cerr << results[i].oracleReport << "\n";
-            const std::uint64_t mask = shrinkFailure(
+            const bool unrec = results[i].unrecoverable;
+            if (unrec)
+                std::cerr << "[torture] UNRECOVERABLE: "
+                          << results[i].unrecoverableDetail << "\n";
+            if (!results[i].oracleReport.empty())
+                std::cerr << results[i].oracleReport << "\n";
+            const ShrunkMasks masks = shrinkFailure(
                 ctx.runner(point.threads), point.workload,
-                point.config, std::cerr);
-            std::cerr << csprintf(
+                point.config, unrec, std::cerr);
+            std::string repro = csprintf(
                 "[torture] repro: torture --workloads=%s --modes=%s "
-                "--coords=%s --lats=%g --errors=%u --checkpoints=%u "
-                "--campaign-seed=%llu --seeds=1 --oracle=on "
-                "--event-mask=%llu --jobs=1\n",
+                "--coords=%s --backends=%s --lats=%g --errors=%u "
+                "--checkpoints=%u --campaign-seed=%llu --seeds=1 "
+                "--oracle=%s --event-mask=%llu",
                 point.workload.c_str(), modeName(point.config.mode),
                 coordName(point.config.coordination),
+                ckpt::backendName(point.config.backend),
                 point.config.detectionLatencyFraction,
                 point.config.numErrors, point.config.numCheckpoints,
                 static_cast<unsigned long long>(point.config.seed),
-                static_cast<unsigned long long>(mask));
+                campaign.oracle ? "on" : "off",
+                static_cast<unsigned long long>(masks.eventMask));
+            if (point.config.storageErrors > 0)
+                repro += csprintf(
+                    " --storage-errors=%u --storage-mask=%llu",
+                    point.config.storageErrors,
+                    static_cast<unsigned long long>(
+                        masks.storageMask));
+            std::cerr << repro << " --jobs=1\n";
         }
     };
     spec.exitCode = [](harness::BenchContext &,
                        const std::vector<ExperimentResult> &results) {
         int code = harness::kExitClean;
-        for (const auto &result : results)
-            if (!result.failed && result.oracleDivergences > 0)
+        for (const auto &result : results) {
+            if (result.failed)
+                continue;
+            if (result.oracleDivergences > 0)
                 code = harness::combineExitCodes(
                     code, harness::kExitDivergence);
+            if (result.unrecoverable)
+                code = harness::combineExitCodes(
+                    code, harness::kExitUnrecoverable);
+        }
         return code;
     };
     return harness::benchMain(argc, argv, spec);

@@ -151,6 +151,10 @@ CheckpointManager::establish()
     ckpt.validFor = ~cache::SharerMask{0};
     std::uint64_t next_interval = openLog_.interval() + 1;
     ckpt.log = std::move(openLog_);
+    // The medium now holds this checkpoint's bytes: checksum them and
+    // land any storage faults due at this ordinal (inert when no
+    // injector is armed).
+    store_->onEstablished(ckpt);
     retained_.push_back(std::move(ckpt));
 
     // Two-checkpoint retention (Sec. II-A): dropping an old checkpoint
@@ -190,12 +194,10 @@ CheckpointManager::establish()
     stats_.add("ckpt.archBytes", static_cast<double>(sizes.archBytes));
 }
 
-void
+bool
 CheckpointManager::applyLog(const IntervalLog &log,
                             cache::SharerMask mask, Cycle issue_at,
-                            Cycle &dram_done,
-                            std::vector<Cycle> &replay_cycles,
-                            std::vector<Addr> &restored)
+                            ApplyState &state)
 {
     // Affected cores share the recomputation work (Slices execute on
     // the cores before the register files are restored, Sec. II-B).
@@ -211,6 +213,9 @@ CheckpointManager::applyLog(const IntervalLog &log,
             continue;
 
         if (record.isAmnesic()) {
+            // Amnesic records were never stored on the medium, so they
+            // have no storage-fault cross-section: the replay below
+            // runs entirely from working state.
             ACR_ASSERT(provider_,
                        "amnesic record without a recompute provider");
             slice::ReplayCost cost;
@@ -239,13 +244,13 @@ CheckpointManager::applyLog(const IntervalLog &log,
             // Least-loaded affected core executes this Slice.
             CoreId worker = workers[0];
             for (CoreId c : workers) {
-                if (replay_cycles[c] < replay_cycles[worker])
+                if (state.replayCycles[c] < state.replayCycles[worker])
                     worker = c;
             }
-            replay_cycles[worker] += cost.aluOps;
+            state.replayCycles[worker] += cost.aluOps;
 
-            dram_done =
-                std::max(dram_done,
+            state.dramDone =
+                std::max(state.dramDone,
                          store_->writeRecomputed(record, issue_at));
             stats_.add("acr.replayAluOps",
                        static_cast<double>(cost.aluOps));
@@ -253,13 +258,50 @@ CheckpointManager::applyLog(const IntervalLog &log,
                        static_cast<double>(cost.operandReads));
             stats_.add("rec.recomputedWords");
         } else {
+            MediumRead read = store_->restoreWordChecked(
+                record, log.interval(), issue_at, 0);
+            Cycle done = read.done;
+            if (read.corrupt) {
+                // First escalation rung: retry every alternate copy
+                // (only kReplicated has any). Detection traffic is
+                // charged per attempt.
+                bool healed = false;
+                for (unsigned r = 1; r < store_->replicaCount(); ++r) {
+                    MediumRead retry = store_->restoreWordChecked(
+                        record, log.interval(), issue_at, r);
+                    done = std::max(done, retry.done);
+                    if (!retry.corrupt) {
+                        healed = true;
+                        ++state.replicaSwitches;
+                        stats_.add("rec.replicaSwitches");
+                        break;
+                    }
+                }
+                if (!healed) {
+                    // Terminal: undo logs compose by prefix — every
+                    // older target applies a superset of records, so
+                    // no retarget can route around this one.
+                    state.dead = true;
+                    state.deadDetail = csprintf(
+                        "stored log record for addr %llu (interval "
+                        "%llu) unreadable on every copy",
+                        static_cast<unsigned long long>(record.addr),
+                        static_cast<unsigned long long>(
+                            log.interval()));
+                    state.dramDone = std::max(state.dramDone, done);
+                    return false;
+                }
+            }
+            // The medium's rot never reaches working memory: a record
+            // is either served verified (possibly from an alternate
+            // replica) or the rollback dies above.
             system_.memory().write(record.addr, record.oldValue);
-            dram_done = std::max(
-                dram_done, store_->restoreWord(record, issue_at));
+            state.dramDone = std::max(state.dramDone, done);
             stats_.add("rec.restoredWords");
         }
-        restored.push_back(record.addr);
+        state.restored.push_back(record.addr);
     }
+    return true;
 }
 
 RecoveryOutcome
@@ -297,29 +339,28 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
         ACR_ASSERT(affected != 0, "failing core not in any group");
     }
 
-    // Pick the most recent safe checkpoint: established strictly before
-    // the error occurred (Fig. 2: a checkpoint taken between error
-    // occurrence and detection may hold corrupted state) and still valid
-    // for every affected core.
-    const Checkpoint *target = nullptr;
-    for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
-        if (it->establishedAt < error_time &&
-            (it->validFor & affected) == affected) {
-            target = &*it;
-            break;
-        }
-    }
-    ACR_ASSERT(target != nullptr,
-               "no safe checkpoint: detection latency exceeded the "
-               "checkpoint period");
-
     // Coordinate the affected cores for recovery.
     Cycle start = system_.syncCores(affected);
     start = std::max(start, detection_time);
 
-    Cycle dram_done = start;
-    std::vector<Cycle> replay_cycles(system_.numCores(), 0);
-    std::vector<Addr> restored;
+    ApplyState state;
+    state.dramDone = start;
+    state.replayCycles.assign(system_.numCores(), 0);
+    unsigned retargets = 0;
+
+    auto unrecoverable = [&](const std::string &detail) {
+        // Every escalation rung failed (DESIGN.md §16). The machine
+        // state is undefined; the driver must surface a structured
+        // failure — never resume, never serve the half-rolled image.
+        stats_.add("rec.unrecoverable");
+        RecoveryOutcome outcome;
+        outcome.affected = affected;
+        outcome.unrecoverable = true;
+        outcome.failureDetail = detail;
+        outcome.replicaSwitches = state.replicaSwitches;
+        outcome.retargets = retargets;
+        return outcome;
+    };
 
     if (dropRecordAt_ != 0 && dropRecordAt_ == recoveryOrdinal_) {
         // Oracle fixture: lose one undo record of an affected writer
@@ -332,40 +373,110 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
         dropRecordAt_ = 0;
     }
 
-    // Apply undo logs newest -> oldest; older records overwrite newer
-    // ones, landing memory on the target checkpoint's state.
-    applyLog(openLog_, affected, start, dram_done, replay_cycles,
-             restored);
-    for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
-        if (it->index <= target->index)
-            break;
-        applyLog(it->log, affected, start, dram_done, replay_cycles,
-                 restored);
+    // Escalation ladder: each attempt picks a target, applies the undo
+    // logs, and verifies the target's per-checkpoint data. Corrupt
+    // per-checkpoint data (arch state) re-targets the older retained
+    // checkpoint and restarts; dramDone/replayCycles carry across
+    // attempts (the abandoned attempt's traffic really happened) while
+    // restored is per-attempt (the final attempt's newest->oldest
+    // superset application lands the correct image and supersedes it).
+    const Checkpoint *target = nullptr;
+    std::uint64_t below = ~std::uint64_t{0};
+    for (;;) {
+        // Pick the most recent safe checkpoint: established strictly
+        // before the error occurred (Fig. 2: a checkpoint taken between
+        // error occurrence and detection may hold corrupted state),
+        // still valid for every affected core, not refused by this
+        // ladder already, and with an intact establishment digest (a
+        // torn group write poisons the whole checkpoint).
+        target = nullptr;
+        for (auto it = retained_.rbegin(); it != retained_.rend();
+             ++it) {
+            if (it->index >= below)
+                continue;
+            if (it->establishedAt < error_time &&
+                (it->validFor & affected) == affected &&
+                store_->establishmentIntact(*it)) {
+                target = &*it;
+                break;
+            }
+        }
+        if (target == nullptr && store_->faultsArmed())
+            return unrecoverable(
+                "no intact rollback target for the affected cores");
+        ACR_ASSERT(target != nullptr,
+                   "no safe checkpoint: detection latency exceeded the "
+                   "checkpoint period");
+
+        // Apply undo logs newest -> oldest; older records overwrite
+        // newer ones, landing memory on the target checkpoint's state.
+        state.restored.clear();
+        bool applied = applyLog(openLog_, affected, start, state);
+        if (applied) {
+            for (auto it = retained_.rbegin(); it != retained_.rend();
+                 ++it) {
+                if (it->index <= target->index)
+                    break;
+                if (!applyLog(it->log, affected, start, state)) {
+                    applied = false;
+                    break;
+                }
+            }
+        }
+        if (!applied)
+            return unrecoverable(state.deadDetail);
+
+        // Verify the target's architectural state is serveable before
+        // committing to it (the actual register restore below is free
+        // of further faults — the reads were just charged + checked).
+        bool arch_ok = true;
+        for (CoreId c = 0; c < system_.numCores() && arch_ok; ++c) {
+            if (!inMask(affected, c))
+                continue;
+            bool clean = false;
+            for (unsigned r = 0; r < store_->replicaCount(); ++r) {
+                MediumRead read =
+                    store_->readArchStateChecked(*target, c, start, r);
+                state.dramDone = std::max(state.dramDone, read.done);
+                if (!read.corrupt) {
+                    if (r > 0) {
+                        ++state.replicaSwitches;
+                        stats_.add("rec.replicaSwitches");
+                    }
+                    clean = true;
+                    break;
+                }
+            }
+            arch_ok = clean;
+        }
+        if (!arch_ok) {
+            // Second rung: fall back to the older retained checkpoint
+            // (wider recompute window, charged honestly by carrying
+            // the accumulated traffic into the next attempt).
+            ++retargets;
+            stats_.add("rec.retargets");
+            below = target->index;
+            continue;
+        }
+        break;
     }
 
     if (corruptRecoveryAt_ != 0 &&
-        corruptRecoveryAt_ == recoveryOrdinal_ && !restored.empty()) {
+        corruptRecoveryAt_ == recoveryOrdinal_ &&
+        !state.restored.empty()) {
         // Oracle fixture: flip the low bit of the first word this
         // rollback restored, simulating a recovery that rebuilt the
         // wrong memory image.
-        Addr addr = restored.front();
+        Addr addr = state.restored.front();
         system_.memory().write(addr, system_.memory().read(addr) ^ 1);
         corruptRecoveryAt_ = 0;
     }
 
-    // Restore architectural state of affected cores, reading the
-    // store's checkpoint region.
-    for (CoreId c = 0; c < system_.numCores(); ++c) {
-        if (!inMask(affected, c))
-            continue;
-        dram_done =
-            std::max(dram_done, store_->readArchState(c, start));
-    }
-
     Cycle replay_done = start;
     for (CoreId c = 0; c < system_.numCores(); ++c)
-        replay_done = std::max(replay_done, start + replay_cycles[c]);
-    Cycle resume = std::max(dram_done, replay_done);
+        replay_done =
+            std::max(replay_done, start + state.replayCycles[c]);
+    Cycle resume = std::max(state.dramDone, replay_done);
 
     for (CoreId c = 0; c < system_.numCores(); ++c) {
         if (!inMask(affected, c))
@@ -389,7 +500,7 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
     }
 
     if (provider_)
-        provider_->onRollback(restored);
+        provider_->onRollback(state.restored);
 
     stats_.add("rec.recoveries");
     stats_.add("rec.wasteCycles",
@@ -404,6 +515,8 @@ CheckpointManager::recover(CoreId failing, Cycle error_time,
     outcome.resumeCycle = resume;
     outcome.progressAt = target->progressAt;
     outcome.targetEstablishedAt = target->establishedAt;
+    outcome.replicaSwitches = state.replicaSwitches;
+    outcome.retargets = retargets;
     return outcome;
 }
 

@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/directory.hh"
@@ -51,6 +52,23 @@ struct RecoveryOutcome
      *  that landed after this on an affected core were erased by the
      *  rollback (the injector re-posts them). */
     Cycle targetEstablishedAt = 0;
+
+    // --- Escalation ladder bookkeeping (DESIGN.md §16) ---
+
+    /** Corrupt reads healed by switching to an alternate replica
+     *  (kReplicated's first escalation rung). */
+    unsigned replicaSwitches = 0;
+    /** Rollback attempts abandoned for corrupt per-checkpoint data
+     *  (arch state) and restarted against the older retained
+     *  checkpoint (second rung; wider recompute window). */
+    unsigned retargets = 0;
+    /** Every rung failed: the machine cannot be restored to any safe
+     *  checkpoint. The run must surface a structured failure (exit 5)
+     *  — none of the other fields below affected/failureDetail are
+     *  meaningful. */
+    bool unrecoverable = false;
+    /** Which datum was unserveable, when unrecoverable. */
+    std::string failureDetail;
 };
 
 /** The checkpointing and recovery substrate. */
@@ -97,9 +115,26 @@ class CheckpointManager
      * most recent safe checkpoint, roll back memory + architectural
      * state (global: all cores; local: the failing core's communication
      * group closure), recompute amnesic records, and account costs.
+     *
+     * Under an armed storage-fault injector, detected corruption
+     * escalates (DESIGN.md §16) instead of serving rotten bytes:
+     * corrupt record/arch reads retry the alternate replica
+     * (kReplicated); corrupt per-checkpoint data (arch state, torn
+     * establishment) re-targets the older retained checkpoint and
+     * restarts the rollback (the wider window's reads and replays are
+     * charged again — honestly); when no rung is left the outcome
+     * comes back unrecoverable and the machine state is undefined.
      */
     RecoveryOutcome recover(CoreId failing, Cycle error_time,
                             Cycle detection_time);
+
+    /** Arm storage-fault injection on the checkpoint medium (null =
+     *  reliable medium). Forwards to the store's integrity layer. */
+    void
+    setStorageFaults(fault::StorageFaultInjector *faults)
+    {
+        store_->setFaultInjector(faults);
+    }
 
     /**
      * Install a recovery auditor. With an auditor present, a
@@ -142,13 +177,30 @@ class CheckpointManager
     /** Establishment work for one coordination group. */
     void establishGroup(cache::SharerMask group, IntervalSizes &sizes);
 
+    /** Mutable bookkeeping of one rollback attempt. dramDone and
+     *  replayCycles carry over between escalation attempts (work done
+     *  before a retarget really happened); restored is per-attempt
+     *  (the final attempt's applies supersede earlier ones). */
+    struct ApplyState
+    {
+        Cycle dramDone = 0;
+        std::vector<Cycle> replayCycles;
+        std::vector<Addr> restored;
+        unsigned replicaSwitches = 0;
+        /** A stored record was unreadable on every copy — no rollback
+         *  target can route around it (undo logs compose by prefix:
+         *  every older target applies a superset of records). */
+        bool dead = false;
+        std::string deadDetail;
+    };
+
     /** Apply one log's records (filtered by @p mask) to memory,
-     *  recomputing amnesic ones; collects restored addresses and
-     *  accumulates timing. */
-    void applyLog(const IntervalLog &log, cache::SharerMask mask,
-                  Cycle issue_at, Cycle &dram_done,
-                  std::vector<Cycle> &replay_cycles,
-                  std::vector<Addr> &restored);
+     *  recomputing amnesic ones and integrity-checking stored reads;
+     *  collects restored addresses and accumulates timing in
+     *  @p state. Returns false when a record was unserveable
+     *  (state.dead). */
+    bool applyLog(const IntervalLog &log, cache::SharerMask mask,
+                  Cycle issue_at, ApplyState &state);
 
     Config config_;
     sim::MulticoreSystem &system_;

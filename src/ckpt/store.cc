@@ -101,8 +101,10 @@ class LogStore final : public CheckpointStore
     }
 
     Cycle
-    restoreWord(const LogRecord &record, Cycle issue_at) override
+    restoreWord(const LogRecord &record, Cycle issue_at,
+                unsigned replica) override
     {
+        (void)replica;  // single copy
         auto &dram = system_.caches().dram();
         Cycle t1 = dram.wordRead(record.addr, issue_at);
         Cycle t2 = dram.wordWrite(record.addr, issue_at);
@@ -116,8 +118,10 @@ class LogStore final : public CheckpointStore
     }
 
     Cycle
-    readArchState(CoreId core, Cycle issue_at) override
+    readArchState(CoreId core, Cycle issue_at,
+                  unsigned replica) override
     {
+        (void)replica;  // single copy
         auto &dram = system_.caches().dram();
         const std::uint64_t arch_lines =
             (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
@@ -203,10 +207,12 @@ class ReplicatedStore final : public CheckpointStore
     }
 
     Cycle
-    restoreWord(const LogRecord &record, Cycle issue_at) override
+    restoreWord(const LogRecord &record, Cycle issue_at,
+                unsigned replica) override
     {
         auto &dram = system_.caches().dram();
-        Cycle t1 = dram.wordRead(replicaAddr(0, record.addr), issue_at);
+        Cycle t1 =
+            dram.wordRead(replicaAddr(replica, record.addr), issue_at);
         Cycle t2 = dram.wordWrite(record.addr, issue_at);
         return std::max(t1, t2);
     }
@@ -221,15 +227,16 @@ class ReplicatedStore final : public CheckpointStore
     }
 
     Cycle
-    readArchState(CoreId core, Cycle issue_at) override
+    readArchState(CoreId core, Cycle issue_at,
+                  unsigned replica) override
     {
         auto &dram = system_.caches().dram();
         const std::uint64_t arch_lines =
             (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
         Cycle done = issue_at;
         for (std::uint64_t i = 0; i < arch_lines; ++i) {
-            Cycle t =
-                dram.lineRead(replicaArchLine(0, core, i), issue_at);
+            Cycle t = dram.lineRead(replicaArchLine(replica, core, i),
+                                    issue_at);
             done = std::max(done, t);
         }
         return done;
@@ -306,8 +313,10 @@ class NvmStore final : public CheckpointStore
     }
 
     Cycle
-    restoreWord(const LogRecord &record, Cycle issue_at) override
+    restoreWord(const LogRecord &record, Cycle issue_at,
+                unsigned replica) override
     {
+        (void)replica;  // single copy
         Cycle t1 = nvmRead(kLogRecordBytes, issue_at);
         Cycle t2 =
             system_.caches().dram().wordWrite(record.addr, issue_at);
@@ -322,9 +331,11 @@ class NvmStore final : public CheckpointStore
     }
 
     Cycle
-    readArchState(CoreId core, Cycle issue_at) override
+    readArchState(CoreId core, Cycle issue_at,
+                  unsigned replica) override
     {
         (void)core;
+        (void)replica;  // single copy
         const std::uint64_t arch_lines =
             (archBytesPerCore_ + kLineBytes - 1) / kLineBytes;
         Cycle done = issue_at;
@@ -377,7 +388,270 @@ class NvmStore final : public CheckpointStore
     double channelFree_ = 0.0;
 };
 
+/** FNV-1a over the 8 bytes of @p value, folded into @p sum. */
+std::uint64_t
+fnv1aWord(std::uint64_t sum, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        sum ^= (value >> (8 * i)) & 0xff;
+        sum *= 0x100000001b3ULL;
+    }
+    return sum;
+}
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+/** Per-record checksum: FNV-1a over old value + addr + interval
+ *  (DESIGN.md §16 — the checksum format the issue pins). */
+std::uint64_t
+recordChecksum(Word value, Addr addr, std::uint64_t interval)
+{
+    std::uint64_t sum = fnv1aWord(kFnvBasis, value);
+    sum = fnv1aWord(sum, addr);
+    return fnv1aWord(sum, interval);
+}
+
+/** Per-core arch digest: FNV-1a over the saved register file, pc, and
+ *  rollback bookkeeping. @p flip perturbs reg 0 — the served bytes of
+ *  a flipped copy. */
+std::uint64_t
+archChecksum(const cpu::ArchState &arch, Word flip = 0)
+{
+    std::uint64_t sum = kFnvBasis;
+    bool first = true;
+    for (Word reg : arch.regs) {
+        sum = fnv1aWord(sum, first ? (reg ^ flip) : reg);
+        first = false;
+    }
+    sum = fnv1aWord(sum, arch.pc);
+    sum = fnv1aWord(sum, arch.instrsRetired);
+    return fnv1aWord(sum, arch.barrierEpoch);
+}
+
 } // namespace
+
+void
+CheckpointStore::setFaultInjector(fault::StorageFaultInjector *faults)
+{
+    faults_ = faults;
+}
+
+void
+CheckpointStore::onEstablished(const Checkpoint &ckpt)
+{
+    if (faults_ == nullptr)
+        return;
+
+    // Checksum what the medium now holds: every stored record (amnesic
+    // records never land on the medium — immune by construction) and
+    // every core's architectural state.
+    for (const LogRecord &record : ckpt.log.records()) {
+        if (record.isAmnesic())
+            continue;
+        recordSums_[{ckpt.index, record.addr}] =
+            recordChecksum(record.oldValue, record.addr, ckpt.index);
+    }
+    for (CoreId c = 0; c < static_cast<CoreId>(ckpt.arch.size()); ++c)
+        archSums_[{ckpt.index, c}] = archChecksum(ckpt.arch[c]);
+
+    for (const fault::StorageFaultPlan::Event &event :
+         faults_->takeDue(ckpt.index))
+        applyFault(ckpt, event);
+}
+
+void
+CheckpointStore::applyFault(const Checkpoint &ckpt,
+                            const fault::StorageFaultPlan::Event &event)
+{
+    // The victim replica: high pick bits, so the same event picks the
+    // same datum whether or not the medium replicates.
+    const unsigned replica =
+        static_cast<unsigned>((event.pick >> 48) % replicaCount());
+
+    // Record-granular kinds pick among this checkpoint's stored
+    // (non-amnesic) records, in log order.
+    auto pickStoredAddr = [&](Addr &addr) {
+        std::uint64_t stored = 0;
+        for (const LogRecord &record : ckpt.log.records())
+            if (!record.isAmnesic())
+                ++stored;
+        if (stored == 0)
+            return false;
+        std::uint64_t index = event.pick % stored;
+        for (const LogRecord &record : ckpt.log.records()) {
+            if (record.isAmnesic())
+                continue;
+            if (index-- == 0) {
+                addr = record.addr;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    switch (event.kind) {
+      case fault::StorageFaultKind::kRecordFlip: {
+          Addr addr = 0;
+          if (!pickStoredAddr(addr)) {
+              faults_->noteDropped();
+              return;
+          }
+          armedRecordFlips_[{ckpt.index, addr}][replica] ^=
+              event.xorMask;
+          break;
+      }
+      case fault::StorageFaultKind::kArchFlip: {
+          const CoreId core = static_cast<CoreId>(
+              event.pick % ckpt.arch.size());
+          armedArchFlips_[{ckpt.index, core}][replica] ^= event.xorMask;
+          break;
+      }
+      case fault::StorageFaultKind::kTornGroup:
+        armedTorn_.insert(ckpt.index);
+        break;
+      case fault::StorageFaultKind::kReplicaLoss:
+        if (replicaCount() < 2) {
+            faults_->noteDropped();
+            return;
+        }
+        armedLostReplicas_[replica].insert(ckpt.index);
+        break;
+      case fault::StorageFaultKind::kUncorrectableRead: {
+          Addr addr = 0;
+          if (!pickStoredAddr(addr)) {
+              faults_->noteDropped();
+              return;
+          }
+          armedUncorrectable_.insert({ckpt.index, addr});
+          break;
+      }
+    }
+    faults_->noteInjected();
+}
+
+bool
+CheckpointStore::establishmentIntact(const Checkpoint &ckpt)
+{
+    if (faults_ == nullptr)
+        return true;
+    stats_.add("ckpt.integrityChecks");
+    if (armedTorn_.count(ckpt.index) != 0) {
+        stats_.add("ckpt.tornRefusals");
+        return false;
+    }
+    return true;
+}
+
+MediumRead
+CheckpointStore::restoreWordChecked(const LogRecord &record,
+                                    std::uint64_t interval,
+                                    Cycle issue_at, unsigned replica)
+{
+    MediumRead read;
+    read.done = restoreWord(record, issue_at, replica);
+    if (faults_ == nullptr)
+        return read;
+
+    const auto key = std::make_pair(interval, record.addr);
+    const auto sum = recordSums_.find(key);
+    if (sum == recordSums_.end())
+        return read;  // open interval: volatile working state, never
+                      // stored on the medium, nothing to verify
+
+    stats_.add("ckpt.integrityChecks");
+    if (armedUncorrectable_.count(key) != 0 ||
+        armedLostReplicas_[replica].count(interval) != 0) {
+        read.corrupt = true;
+    } else {
+        Word served = record.oldValue;
+        const auto flip = armedRecordFlips_.find(key);
+        if (flip != armedRecordFlips_.end())
+            served ^= flip->second[replica];
+        read.corrupt = recordChecksum(served, record.addr, interval) !=
+                       sum->second;
+    }
+    if (read.corrupt)
+        stats_.add("ckpt.corruptReads");
+    return read;
+}
+
+MediumRead
+CheckpointStore::readArchStateChecked(const Checkpoint &ckpt,
+                                      CoreId core, Cycle issue_at,
+                                      unsigned replica)
+{
+    MediumRead read;
+    read.done = readArchState(core, issue_at, replica);
+    if (faults_ == nullptr)
+        return read;
+
+    const auto key = std::make_pair(ckpt.index, core);
+    const auto sum = archSums_.find(key);
+    if (sum == archSums_.end())
+        return read;  // checkpoint 0: recorded before the fault clock
+                      // started, unconditionally intact
+
+    stats_.add("ckpt.integrityChecks");
+    if (armedLostReplicas_[replica].count(ckpt.index) != 0) {
+        read.corrupt = true;
+    } else {
+        Word flip = 0;
+        const auto it = armedArchFlips_.find(key);
+        if (it != armedArchFlips_.end())
+            flip = it->second[replica];
+        read.corrupt =
+            archChecksum(ckpt.arch[core], flip) != sum->second;
+    }
+    if (read.corrupt)
+        stats_.add("ckpt.corruptReads");
+    return read;
+}
+
+void
+CheckpointStore::onCheckpointRetired(const Checkpoint &ckpt)
+{
+    if (faults_ == nullptr)
+        return;
+    // Retired data can never be read again: prune its sums and any
+    // armed corruption that targeted it.
+    const auto record_lo = recordSums_.lower_bound({ckpt.index, 0});
+    const auto record_hi = recordSums_.lower_bound({ckpt.index + 1, 0});
+    recordSums_.erase(record_lo, record_hi);
+    archSums_.erase(archSums_.lower_bound({ckpt.index, 0}),
+                    archSums_.lower_bound({ckpt.index + 1, 0}));
+    armedRecordFlips_.erase(
+        armedRecordFlips_.lower_bound({ckpt.index, 0}),
+        armedRecordFlips_.lower_bound({ckpt.index + 1, 0}));
+    armedArchFlips_.erase(
+        armedArchFlips_.lower_bound({ckpt.index, 0}),
+        armedArchFlips_.lower_bound({ckpt.index + 1, 0}));
+    armedUncorrectable_.erase(
+        armedUncorrectable_.lower_bound({ckpt.index, 0}),
+        armedUncorrectable_.lower_bound({ckpt.index + 1, 0}));
+    for (auto &lost : armedLostReplicas_)
+        lost.erase(ckpt.index);
+    armedTorn_.erase(ckpt.index);
+}
+
+const std::vector<fault::StorageFaultKind> &
+storageFaultKinds(Backend backend)
+{
+    using K = fault::StorageFaultKind;
+    static const std::vector<K> log_kinds = {
+        K::kRecordFlip, K::kArchFlip, K::kTornGroup};
+    static const std::vector<K> replicated_kinds = {
+        K::kRecordFlip, K::kArchFlip, K::kTornGroup, K::kReplicaLoss};
+    static const std::vector<K> nvm_kinds = {
+        K::kRecordFlip, K::kArchFlip, K::kTornGroup,
+        K::kUncorrectableRead};
+    switch (backend) {
+      case Backend::kLog: return log_kinds;
+      case Backend::kReplicated: return replicated_kinds;
+      case Backend::kNvm: return nvm_kinds;
+    }
+    panic("unknown checkpoint store backend %d",
+          static_cast<int>(backend));
+}
 
 const char *
 backendName(Backend backend)

@@ -23,14 +23,19 @@
 #ifndef ACR_CKPT_STORE_HH
 #define ACR_CKPT_STORE_HH
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/directory.hh"
 #include "ckpt/log.hh"
 #include "common/stats.hh"
+#include "fault/storage_fault.hh"
 #include "sim/system.hh"
 
 namespace acr::ckpt
@@ -59,6 +64,24 @@ const std::vector<Backend> &allBackends();
  *  working image plus one recovery replica per checkpoint datum,
  *  modeled as k independent in-memory copies). */
 inline constexpr unsigned kReplicaCount = 2;
+
+/** The failure modes @p backend's medium can suffer (DESIGN.md §16):
+ *  flips and torn establishments everywhere, replica loss only where
+ *  replicas exist, uncorrectable reads only on NVM cells. */
+const std::vector<fault::StorageFaultKind> &
+storageFaultKinds(Backend backend);
+
+/** Result of an integrity-checked read from the checkpoint medium. */
+struct MediumRead
+{
+    /** Completion cycle of the read (charged even when corrupt —
+     *  detecting rot costs the same traffic as serving it). */
+    Cycle done = 0;
+    /** The stored bytes failed their checksum, the replica was lost,
+     *  or the medium reported an uncorrectable error: the served
+     *  value must not be used. */
+    bool corrupt = false;
+};
 
 /** One established checkpoint. */
 struct Checkpoint
@@ -123,11 +146,23 @@ struct IntervalSizes
  *  - restoreWord()/writeRecomputed()/readArchState() charge rollback
  *    traffic; the returned cycles feed the recovery's resume time.
  *  - onCheckpointRetired()/onCheckpointInvalidated() observe the
- *    manager's retention decisions (reclamation hooks; no-ops for the
- *    built-in backends, which model occupancy through footprint only).
+ *    manager's retention decisions (reclamation hooks; the base class
+ *    prunes its integrity state there).
  *  - supportsAmnesic() gates ACR's amnesic omission: a store that
  *    serves recovery from stored bytes alone (kReplicated) must see
  *    every old value, so the manager logs records non-amnesically.
+ *
+ * Integrity layer (DESIGN.md §16): when a StorageFaultInjector is
+ * armed, onEstablished() checksums every stored datum (FNV-1a over
+ * old value + addr + interval for records; a digest of the saved
+ * ArchState per core) and applies the faults due at that ordinal; the
+ * *Checked() read wrappers then verify the served bytes against the
+ * stored sums, so a corrupt read is reported (`ckpt.corruptReads`,
+ * against `ckpt.integrityChecks`) instead of silently served. Amnesic
+ * records never land on the medium, so they are immune — ReCkpt's
+ * fault cross-section is smaller than Ckpt's by exactly the omitted
+ * bytes. Without an injector the layer is entirely inert (no sums, no
+ * stats, byte-identical behavior to the reliable-medium model).
  */
 class CheckpointStore
 {
@@ -165,10 +200,11 @@ class CheckpointStore
                                   unsigned num_cores,
                                   IntervalSizes &sizes) const = 0;
 
-    /** Charge reading @p record's old value from the store and writing
-     *  it back to working memory; returns the completion cycle. */
-    virtual Cycle restoreWord(const LogRecord &record,
-                              Cycle issue_at) = 0;
+    /** Charge reading @p record's old value from copy @p replica of
+     *  the store and writing it back to working memory; returns the
+     *  completion cycle. Single-copy media ignore @p replica. */
+    virtual Cycle restoreWord(const LogRecord &record, Cycle issue_at,
+                              unsigned replica) = 0;
 
     /** Charge writing a recomputed (amnesic) word to working memory —
      *  the value was never stored; returns the completion cycle. */
@@ -176,15 +212,14 @@ class CheckpointStore
                                   Cycle issue_at) = 0;
 
     /** Charge reading core @p core's checkpointed architectural state
-     *  from the store; returns the completion cycle. */
-    virtual Cycle readArchState(CoreId core, Cycle issue_at) = 0;
+     *  from copy @p replica of the store; returns the completion
+     *  cycle. Single-copy media ignore @p replica. */
+    virtual Cycle readArchState(CoreId core, Cycle issue_at,
+                                unsigned replica) = 0;
 
-    /** The manager dropped @p ckpt from retention (oldest-first). */
-    virtual void
-    onCheckpointRetired(const Checkpoint &ckpt)
-    {
-        (void)ckpt;
-    }
+    /** The manager dropped @p ckpt from retention (oldest-first);
+     *  overriders must call the base, which prunes integrity state. */
+    virtual void onCheckpointRetired(const Checkpoint &ckpt);
 
     /** A rollback invalidated @p ckpt as a target for @p cores. */
     virtual void
@@ -195,10 +230,77 @@ class CheckpointStore
         (void)cores;
     }
 
+    // --- Integrity layer (base-class; inert without an injector) ---
+
+    /** Arm the storage-fault integrity layer; null disarms it (the
+     *  reliable-medium model, the default). */
+    void setFaultInjector(fault::StorageFaultInjector *faults);
+
+    /** Is a storage-fault injector armed? */
+    bool faultsArmed() const { return faults_ != nullptr; }
+
+    /** The manager finished establishing @p ckpt: checksum its stored
+     *  data and apply the storage-fault events due at its ordinal. */
+    void onEstablished(const Checkpoint &ckpt);
+
+    /** Verify @p ckpt's establishment digest before trusting it as a
+     *  rollback target: false when the group write tore. Charges an
+     *  integrity check when the layer is armed. */
+    bool establishmentIntact(const Checkpoint &ckpt);
+
+    /** Was @p ckpt_index's establishment torn? Pure query (oracle
+     *  cross-checks); charges nothing. */
+    bool
+    tornEstablishment(std::uint64_t ckpt_index) const
+    {
+        return armedTorn_.count(ckpt_index) != 0;
+    }
+
+    /** Integrity-checked restoreWord: charges the medium read from
+     *  copy @p replica and verifies the served record of interval
+     *  @p interval against its establishment checksum. */
+    MediumRead restoreWordChecked(const LogRecord &record,
+                                  std::uint64_t interval, Cycle issue_at,
+                                  unsigned replica);
+
+    /** Integrity-checked readArchState against @p ckpt's digest. */
+    MediumRead readArchStateChecked(const Checkpoint &ckpt, CoreId core,
+                                    Cycle issue_at, unsigned replica);
+
+    /** Independent copies a corrupt read can be retried from. */
+    unsigned
+    replicaCount() const
+    {
+        return backend() == Backend::kReplicated ? kReplicaCount : 1;
+    }
+
   protected:
     sim::MulticoreSystem &system_;
     StatSet &stats_;
     std::uint64_t archBytesPerCore_;
+
+  private:
+    void applyFault(const Checkpoint &ckpt,
+                    const fault::StorageFaultPlan::Event &event);
+
+    fault::StorageFaultInjector *faults_ = nullptr;
+
+    /** Establishment checksums: (interval, addr) -> FNV-1a sum. */
+    std::map<std::pair<std::uint64_t, Addr>, std::uint64_t> recordSums_;
+    /** Arch digests: (checkpoint index, core) -> FNV-1a sum. */
+    std::map<std::pair<std::uint64_t, CoreId>, std::uint64_t> archSums_;
+
+    // Armed corruptions (what the medium will actually serve).
+    std::map<std::pair<std::uint64_t, Addr>,
+             std::array<Word, kReplicaCount>>
+        armedRecordFlips_;
+    std::map<std::pair<std::uint64_t, CoreId>,
+             std::array<Word, kReplicaCount>>
+        armedArchFlips_;
+    std::set<std::pair<std::uint64_t, Addr>> armedUncorrectable_;
+    std::array<std::set<std::uint64_t>, kReplicaCount>
+        armedLostReplicas_;
+    std::set<std::uint64_t> armedTorn_;
 };
 
 /** Construct the @p backend store. */

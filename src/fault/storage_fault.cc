@@ -1,0 +1,85 @@
+#include "fault/storage_fault.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace acr::fault
+{
+
+const char *
+storageFaultKindName(StorageFaultKind kind)
+{
+    switch (kind) {
+      case StorageFaultKind::kRecordFlip: return "record-flip";
+      case StorageFaultKind::kArchFlip: return "arch-flip";
+      case StorageFaultKind::kTornGroup: return "torn-group";
+      case StorageFaultKind::kReplicaLoss: return "replica-loss";
+      case StorageFaultKind::kUncorrectableRead: return "uncorrectable";
+    }
+    return "?";
+}
+
+StorageFaultPlan
+StorageFaultPlan::uniform(unsigned count, unsigned num_checkpoints,
+                          const std::vector<StorageFaultKind> &kinds,
+                          std::uint64_t seed)
+{
+    ACR_ASSERT(count == 0 || num_checkpoints > 0,
+               "storage fault plan over a checkpoint-free run");
+    ACR_ASSERT(count == 0 || !kinds.empty(),
+               "storage fault plan without medium fault kinds");
+    StorageFaultPlan plan;
+    plan.events.reserve(count);
+    Rng rng(seed);
+    for (unsigned i = 1; i <= count; ++i) {
+        Event event;
+        // Interior positions over the planned establishments, the same
+        // spacing rule FaultPlan::uniform applies over progress —
+        // clamped into [1, num_checkpoints] so every event lands on a
+        // real establishment ordinal.
+        event.ckptIndex = std::min<std::uint64_t>(
+            num_checkpoints,
+            static_cast<std::uint64_t>(num_checkpoints) * i /
+                    (static_cast<std::uint64_t>(count) + 1) +
+                1);
+        event.kind = kinds[rng.below(kinds.size())];
+        event.xorMask = rng.next() | 1;  // never a no-op flip
+        event.pick = rng.next();
+        event.ordinal = i - 1;
+        plan.events.push_back(event);
+    }
+    return plan;
+}
+
+StorageFaultPlan
+StorageFaultPlan::masked(std::uint64_t keep) const
+{
+    StorageFaultPlan plan;
+    for (const Event &event : events) {
+        if ((keep >> (event.ordinal % 64)) & 1)
+            plan.events.push_back(event);
+    }
+    return plan;
+}
+
+std::vector<StorageFaultPlan::Event>
+StorageFaultInjector::takeDue(std::uint64_t ckpt_index)
+{
+    std::vector<StorageFaultPlan::Event> due;
+    auto keep = pending_.begin();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->ckptIndex == ckpt_index) {
+            due.push_back(*it);
+        } else {
+            if (keep != it)
+                *keep = *it;
+            ++keep;
+        }
+    }
+    pending_.erase(keep, pending_.end());
+    return due;
+}
+
+} // namespace acr::fault

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Storage-fault injection against the checkpoint *medium* (DESIGN.md
+ * §16). Where fault::ErrorInjector corrupts computation, this injector
+ * corrupts the stored checkpoint bytes themselves: bit-flips in stored
+ * log records and architectural state, torn (partial) group
+ * establishments, whole-replica loss on a replicated store, and
+ * uncorrectable media reads on NVM.
+ *
+ * Faults are keyed to establishment ordinals — event i of a plan lands
+ * on the data written by the i-th due checkpoint — so the same seeded
+ * plan hits the same stored bytes in every configuration compared, and
+ * masked() sub-plans preserve each event's ordinal, trigger, and masks
+ * exactly like FaultPlan: the ddmin shrinker in bench/torture composes
+ * maskings as intersections over storage plans too.
+ *
+ * The injector only *deals* events; the CheckpointStore applies them to
+ * its integrity state (checksums, armed corruptions) and detects them
+ * on read. No fault ever touches functional machine state directly —
+ * corruption lives purely in the medium model, and the manager decides
+ * how (and whether) recovery survives it.
+ */
+
+#ifndef ACR_FAULT_STORAGE_FAULT_HH
+#define ACR_FAULT_STORAGE_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace acr::fault
+{
+
+/** What a storage-fault event does to the checkpoint medium. */
+enum class StorageFaultKind
+{
+    /** Flip bits in one stored log record's old-value word. */
+    kRecordFlip,
+    /** Flip bits in one core's stored architectural state. */
+    kArchFlip,
+    /** The group establishment tore: the whole checkpoint is a
+     *  partial write and must be refused as a rollback target. */
+    kTornGroup,
+    /** One replica image of the checkpoint is lost (kReplicated). */
+    kReplicaLoss,
+    /** The medium reports an uncorrectable error on one stored
+     *  record — every read of it fails (kNvm). */
+    kUncorrectableRead,
+};
+
+/** Canonical lowercase name of @p kind (diagnostics). */
+const char *storageFaultKindName(StorageFaultKind kind);
+
+/** A seeded schedule of storage faults for one run. */
+struct StorageFaultPlan
+{
+    struct Event
+    {
+        /** Establishment ordinal (1-based checkpoint index) whose
+         *  freshly stored data this fault lands on. */
+        std::uint64_t ckptIndex = 0;
+        StorageFaultKind kind = StorageFaultKind::kRecordFlip;
+        /** Bits to flip in the victim datum (flip kinds). */
+        Word xorMask = 1;
+        /** Deterministic victim selector: the store reduces this
+         *  modulo the candidate count (stored records, cores,
+         *  replicas) so the same event picks the same datum. */
+        std::uint64_t pick = 0;
+        /** Position in the full plan (masked() preserves it — the
+         *  property ddmin shrinking relies on). */
+        unsigned ordinal = 0;
+    };
+
+    std::vector<Event> events;
+
+    /**
+     * @p count faults spread uniformly over the @p num_checkpoints
+     * planned establishment ordinals, kinds drawn from @p kinds (the
+     * medium's failure modes, ckpt::storageFaultKinds), seeded by
+     * @p seed.
+     */
+    static StorageFaultPlan
+    uniform(unsigned count, unsigned num_checkpoints,
+            const std::vector<StorageFaultKind> &kinds,
+            std::uint64_t seed);
+
+    /** Sub-plan keeping event i iff bit (i % 64) of @p keep is set;
+     *  triggers, masks, picks, and ordinals are preserved, so
+     *  maskings compose like intersection. */
+    StorageFaultPlan masked(std::uint64_t keep) const;
+};
+
+/**
+ * Deals a plan's events to the checkpoint store as establishments
+ * retire their ordinals. The store calls takeDue() once per
+ * establishment and applies (or drops, when the checkpoint holds no
+ * vulnerable datum) each event against its integrity state.
+ */
+class StorageFaultInjector
+{
+  public:
+    StorageFaultInjector(const StorageFaultPlan &plan, StatSet &stats)
+        : pending_(plan.events), planned_(plan.events.size()),
+          stats_(stats)
+    {
+    }
+
+    /** Events due at the establishment of checkpoint @p ckpt_index
+     *  (consumed; plan order preserved). */
+    std::vector<StorageFaultPlan::Event>
+    takeDue(std::uint64_t ckpt_index);
+
+    /** Events planned (before masking consumed any). */
+    std::uint64_t planned() const { return planned_; }
+
+    /** Events not yet dealt to the store. */
+    std::uint64_t pending() const { return pending_.size(); }
+
+    /** The store armed this event against stored data. */
+    void noteInjected() { stats_.add("storage.injected"); }
+
+    /** The event was due but the checkpoint held no datum it could
+     *  corrupt (e.g. a record flip on an all-amnesic interval). */
+    void noteDropped() { stats_.add("storage.dropped"); }
+
+  private:
+    std::vector<StorageFaultPlan::Event> pending_;
+    std::uint64_t planned_;
+    StatSet &stats_;
+};
+
+} // namespace acr::fault
+
+#endif // ACR_FAULT_STORAGE_FAULT_HH

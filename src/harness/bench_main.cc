@@ -354,10 +354,12 @@ mergeShardFiles(const BenchSpec &spec,
 }
 
 /**
- * Report quarantined points (results[slot] belongs to grid index
- * indices[slot]) to stderr and pick the process exit code:
- * kExitClean for a clean sweep, kExitQuarantine when any point failed
- * every attempt (precedence: harness/exit_code.hh).
+ * Report quarantined and unrecoverable points (results[slot] belongs
+ * to grid index indices[slot]) to stderr and pick the process exit
+ * code: kExitClean for a clean sweep, kExitQuarantine when any point
+ * failed every attempt, kExitUnrecoverable when any point's storage
+ * faults defeated the escalation ladder (precedence:
+ * harness/exit_code.hh).
  */
 int
 quarantineExit(const std::vector<GridPoint> &grid,
@@ -365,11 +367,20 @@ quarantineExit(const std::vector<GridPoint> &grid,
                const std::vector<ExperimentResult> &results)
 {
     std::size_t failures = 0;
+    std::size_t losses = 0;
     for (std::size_t slot = 0; slot < results.size(); ++slot) {
+        const std::size_t index = indices[slot];
+        if (results[slot].unrecoverable) {
+            ++losses;
+            std::cerr << "[sweep] UNRECOVERABLE point " << index << " ("
+                      << grid[index].workload << ", "
+                      << grid[index].config.label()
+                      << "): " << results[slot].unrecoverableDetail
+                      << "\n";
+        }
         if (!results[slot].failed)
             continue;
         ++failures;
-        const std::size_t index = indices[slot];
         std::cerr << "[sweep] FAILED point " << index << " ("
                   << grid[index].workload << ", "
                   << grid[index].config.label() << ") after "
@@ -377,12 +388,20 @@ quarantineExit(const std::vector<GridPoint> &grid,
                   << " attempt(s): " << results[slot].failReason
                   << "\n";
     }
-    if (failures == 0)
-        return kExitClean;
-    std::cerr << "[sweep] " << failures << " of " << results.size()
-              << " point(s) quarantined; treat rendered output as "
-                 "partial (NaN-derived columns show FAILED)\n";
-    return kExitQuarantine;
+    int code = kExitClean;
+    if (failures != 0) {
+        std::cerr << "[sweep] " << failures << " of " << results.size()
+                  << " point(s) quarantined; treat rendered output as "
+                     "partial (NaN-derived columns show FAILED)\n";
+        code = combineExitCodes(code, kExitQuarantine);
+    }
+    if (losses != 0) {
+        std::cerr << "[sweep] " << losses << " of " << results.size()
+                  << " point(s) unrecoverable: storage faults "
+                     "defeated every escalation rung (DESIGN.md §16)\n";
+        code = combineExitCodes(code, kExitUnrecoverable);
+    }
+    return code;
 }
 
 } // namespace

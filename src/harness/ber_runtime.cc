@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "energy/energy_model.hh"
 #include "fault/injector.hh"
+#include "fault/storage_fault.hh"
 #include "sim/system.hh"
 #include "slice/engine.hh"
 #include "validate/recovery_oracle.hh"
@@ -115,6 +116,25 @@ BerRuntime::run(const isa::Program &program,
         manager->initialCheckpoint();
     }
 
+    // --- Storage-fault injection (DESIGN.md §16) ---
+    std::unique_ptr<fault::StorageFaultInjector> storage_faults;
+    if (config.storageErrors > 0) {
+        ACR_ASSERT(manager != nullptr,
+                   "storage faults require a checkpointing mode");
+        // Ordinal-keyed against establishment, seeded off the compute-
+        // error seed (salted so the two plans draw independent
+        // streams) and shrinkable through storageFaultMask exactly
+        // like the compute plan through faultEventMask.
+        auto plan = fault::StorageFaultPlan::uniform(
+                        config.storageErrors, config.numCheckpoints,
+                        ckpt::storageFaultKinds(config.backend),
+                        config.seed ^ 0x5704a6e'fa017ULL)
+                        .masked(config.storageFaultMask);
+        storage_faults = std::make_unique<fault::StorageFaultInjector>(
+            plan, stats);
+        manager->setStorageFaults(storage_faults.get());
+    }
+
     // --- Recovery validation (oracle) ---
     std::unique_ptr<validate::RecoveryOracle> oracle;
     if (config.oracle) {
@@ -156,6 +176,11 @@ BerRuntime::run(const isa::Program &program,
 
     DriverObserver observer(manager.get(), acr.get(), slicer.get());
 
+    // Storage faults defeated every escalation rung mid-rollback: the
+    // modeled machine is lost and the run stops at the failed
+    // recovery with a structured outcome (DESIGN.md §16).
+    bool lost = false;
+
     auto handle_detection = [&](const fault::DetectionEvent &detection) {
         if (config.trace) {
             config.trace->instant("fault",
@@ -172,6 +197,12 @@ BerRuntime::run(const isa::Program &program,
                                         detection.detectTime);
         if (oracle)
             oracle->afterRecovery(*manager, outcome);
+        if (outcome.unrecoverable) {
+            result.unrecoverable = true;
+            result.unrecoverableDetail = outcome.failureDetail;
+            lost = true;
+            return outcome;  // no resume: the machine state is gone
+        }
         // Corruptions the rollback erased must be re-posted, or a
         // multi-error plan would wait forever on a dead corruption.
         if (injector)
@@ -240,6 +271,8 @@ BerRuntime::run(const isa::Program &program,
         if (injector) {
             if (auto detection = injector->poll(system)) {
                 auto outcome = handle_detection(*detection);
+                if (lost)
+                    break;
                 next_ckpt = outcome.progressAt + period;
                 continue;
             }
@@ -259,6 +292,8 @@ BerRuntime::run(const isa::Program &program,
                       program.name().c_str());
             }
             auto outcome = handle_detection(*detection);
+            if (lost)
+                break;
             next_ckpt = outcome.progressAt + period;
             continue;
         }
@@ -320,6 +355,8 @@ BerRuntime::run(const isa::Program &program,
             if (injector && !injector->done()) {
                 if (auto detection = injector->poll(system)) {
                     auto outcome = handle_detection(*detection);
+                    if (lost)
+                        break;
                     next_ckpt = outcome.progressAt + period;
                     continue;
                 }
@@ -331,7 +368,10 @@ BerRuntime::run(const isa::Program &program,
     }
 
     // --- Verification: recovery must be transparent ---
-    if (config.verifyFinalState) {
+    // An unrecoverable run never reached its final state — there is
+    // nothing to verify against the reference; the structured outcome
+    // (exit 5 upstream) is the verdict.
+    if (config.verifyFinalState && !result.unrecoverable) {
         if (oracle) {
             // With the oracle on, a diverged final image is one more
             // structured finding, not a process abort.

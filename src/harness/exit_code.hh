@@ -8,10 +8,14 @@
  * severity, not by whoever returns last:
  *
  *     kExitClean (0)  <  kExitQuarantine (3)  <  kExitDivergence (4)
+ *                     <  kExitUnrecoverable (5)
  *
  * Quarantine means "some points have no measurement" (partial output);
  * divergence means "a measurement itself is wrong" (the recovery
- * oracle caught the engine misbehaving), which always dominates.
+ * oracle caught the engine misbehaving); unrecoverable means "the
+ * modeled machine itself was lost" (storage faults defeated every
+ * escalation rung, DESIGN.md §16) — the strongest statement a
+ * campaign can make, so it dominates everything.
  * Codes 1/2 are not combinable verdicts: 1 is fatal()'s path (bad
  * flags, broken wire records) and exits immediately, 2 is reserved
  * for the platform. combineExitCodes() rejects them loudly rather
@@ -35,6 +39,10 @@ enum ExitCode : int
     /** >= 1 recovery-oracle divergence: the engine produced a wrong
      *  measurement (torture / fault campaigns). */
     kExitDivergence = 4,
+    /** >= 1 point ended unrecoverable: storage faults defeated every
+     *  escalation rung and the run surfaced a structured loss-of-
+     *  machine outcome (storage-fault campaigns). */
+    kExitUnrecoverable = 5,
 };
 
 /** Severity rank within the precedence chain; -1 for codes that are
@@ -46,11 +54,12 @@ exitCodeSeverity(int code)
     case kExitClean: return 0;
     case kExitQuarantine: return 1;
     case kExitDivergence: return 2;
+    case kExitUnrecoverable: return 3;
     default: return -1;
     }
 }
 
-/** The more severe of two verdicts (0 < 3 < 4). */
+/** The more severe of two verdicts (0 < 3 < 4 < 5). */
 inline int
 combineExitCodes(int a, int b)
 {

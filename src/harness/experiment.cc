@@ -68,6 +68,16 @@ ExperimentConfig::validate() const
         return csprintf("faultEventMask == 0 would silently drop all "
                         "%u planned errors; use numErrors = 0 instead",
                         numErrors);
+    if (storageErrors > 0 && mode == BerMode::kNoCkpt)
+        return csprintf("storageErrors > 0 requires a checkpointing "
+                        "mode (NoCkpt stores nothing to corrupt), got "
+                        "storageErrors = %u",
+                        storageErrors);
+    if (storageFaultMask == 0 && storageErrors > 0)
+        return csprintf("storageFaultMask == 0 would silently drop all "
+                        "%u planned storage faults; use "
+                        "storageErrors = 0 instead",
+                        storageErrors);
     return "";
 }
 

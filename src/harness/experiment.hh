@@ -113,6 +113,18 @@ struct ExperimentConfig
      */
     std::uint64_t faultEventMask = ~std::uint64_t{0};
 
+    /**
+     * Storage faults injected into the checkpoint medium (0 = the
+     * reliable medium; DESIGN.md §16). Seeded and ordinal-keyed like
+     * compute errors; requires a checkpointing mode. Kinds are
+     * backend-specific (ckpt::storageFaultKinds).
+     */
+    unsigned storageErrors = 0;
+
+    /** StorageFaultPlan shrinking mask, same keep-bit convention as
+     *  faultEventMask (the torture shrinker bisects it). */
+    std::uint64_t storageFaultMask = ~std::uint64_t{0};
+
     /** Optional event timeline sink (checkpoints, errors, recoveries);
      *  not owned. */
     EventTrace *trace = nullptr;
@@ -169,6 +181,18 @@ struct ExperimentResult
     /** Why the last attempt died (meaningful when failed). */
     std::string failReason;
 
+    /**
+     * Storage faults defeated every escalation rung (DESIGN.md §16):
+     * the modeled machine could not be restored to any checkpoint and
+     * the run stopped at the failed recovery. Unlike `failed` this IS
+     * a measurement — a deterministic, cacheable statement about the
+     * configuration — so cycles/stats hold the partial run up to the
+     * loss and only the derived overhead metrics NaN-poison.
+     */
+    bool unrecoverable = false;
+    /** Which stored datum was unserveable (when unrecoverable). */
+    std::string unrecoverableDetail;
+
     /** The quarantine placeholder for a point that failed every
      *  attempt. */
     static ExperimentResult
@@ -183,11 +207,14 @@ struct ExperimentResult
         return result;
     }
 
-    /** % overhead of this run w.r.t. a NoCkpt reference. */
+    /** % overhead of this run w.r.t. a NoCkpt reference. NaN for
+     *  quarantined and unrecoverable results (FAILED-style cells: a
+     *  truncated run's overhead is not comparable to a finished
+     *  one's). */
     double
     timeOverheadPct(Cycle no_ckpt_cycles) const
     {
-        if (failed)
+        if (failed || unrecoverable)
             return std::numeric_limits<double>::quiet_NaN();
         return 100.0 *
                (static_cast<double>(cycles) -
@@ -198,12 +225,16 @@ struct ExperimentResult
     double
     energyOverheadPct(double no_ckpt_energy) const
     {
+        if (failed || unrecoverable)
+            return std::numeric_limits<double>::quiet_NaN();
         return 100.0 * (energyPj - no_ckpt_energy) / no_ckpt_energy;
     }
 
     double
     edpReductionPct(double baseline_edp) const
     {
+        if (failed || unrecoverable)
+            return std::numeric_limits<double>::quiet_NaN();
         return 100.0 * (baseline_edp - edp) / baseline_edp;
     }
 };

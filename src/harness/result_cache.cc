@@ -34,6 +34,25 @@ writeAllFd(int fd, const std::string &bytes, const char *what)
     }
 }
 
+/** write(2) the whole buffer, retrying on EINTR; false on error with
+ *  errno left describing it (the ENOSPC/EIO degrade path). */
+bool
+tryWriteAllFd(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
 void
 fsyncOrDie(int fd, const std::string &path)
 {
@@ -184,11 +203,48 @@ ResultCache::open(const std::string &path)
     }
 }
 
+void
+ResultCache::failNextWriteForTest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    failNextWrite_ = true;
+}
+
+bool
+ResultCache::tryAppend(const std::string &bytes)
+{
+    int error = 0;
+    if (failNextWrite_) {
+        // Injected failure: behave exactly as if write(2) returned
+        // ENOSPC, so tests drive the same degrade the real disk would.
+        failNextWrite_ = false;
+        error = ENOSPC;
+    } else if (!tryWriteAllFd(fd_, bytes)) {
+        error = errno;
+    } else {
+        while (::fsync(fd_) < 0) {
+            if (errno != EINTR) {
+                error = errno;
+                break;
+            }
+        }
+    }
+    if (error == 0)
+        return true;
+    warn("cache '%s': append failed (%s); disabling the cache file — "
+         "loaded entries still serve, new results are not persisted",
+         path_.c_str(), std::strerror(error));
+    ::close(fd_);
+    fd_ = -1;
+    degraded_ = true;
+    return false;
+}
+
 const ExperimentResult *
 ResultCache::find(const GridPoint &point)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    ACR_ASSERT(fd_ >= 0, "cache not open");
+    ACR_ASSERT(isOpen(), "cache not open");
     if (point.config.trace != nullptr) {
         // A host-memory trace sink cannot be serialized, so the point
         // was never cached; don't try to encode it.
@@ -213,16 +269,19 @@ ResultCache::insert(const GridPoint &point,
     if (result.failed || point.config.trace != nullptr)
         return;
     std::lock_guard<std::mutex> lock(mutex_);
-    ACR_ASSERT(fd_ >= 0, "cache not open");
+    ACR_ASSERT(isOpen(), "cache not open");
     const std::string dump = wire::encodePoint(point).dump();
     if (entries_.count(dump))
         return;
-    writeAllFd(fd_,
-               entryLine(dump, wire::pointHash(point), result) + "\n",
-               "cache");
-    fsyncOrDie(fd_, path_);
+    // Degraded (ENOSPC/EIO on an earlier append): keep deduplicating
+    // in memory so this process still gets hits; nothing persists.
+    const bool durable =
+        fd_ >= 0 &&
+        tryAppend(entryLine(dump, wire::pointHash(point), result) +
+                  "\n");
     entries_[dump] = result;
-    ++inserts_;
+    if (durable)
+        ++inserts_;
 }
 
 std::size_t
@@ -240,6 +299,7 @@ ResultCache::close()
         ::close(fd_);
         fd_ = -1;
     }
+    degraded_ = false;
 }
 
 } // namespace acr::harness

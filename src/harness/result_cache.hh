@@ -25,7 +25,11 @@
  *   - a torn final line (no trailing newline)  → dropped and the file
  *     truncated to the durable prefix, like the journal;
  *   - an unreadable entry line (flipped byte, key/point mismatch,
- *     schema drift)  → that entry alone is skipped (served as a miss).
+ *     schema drift)  → that entry alone is skipped (served as a miss);
+ *   - a failed append or fsync (ENOSPC, EIO, a yanked disk)  → the
+ *     file is disabled with a one-line warning and the sweep keeps
+ *     going: find() still serves everything already loaded, insert()
+ *     keeps deduplicating in memory, nothing new persists.
  *
  * Quarantined results are never cached: a failed point's natural
  * resume semantic is retry, exactly as in the journal.
@@ -73,8 +77,16 @@ class ResultCache
      */
     void open(const std::string &path);
 
-    /** True after open(). */
-    bool isOpen() const { return fd_ >= 0; }
+    /** True after open() — including after a write-failure degrade
+     *  (loaded entries are still served; only persistence stopped). */
+    bool isOpen() const { return fd_ >= 0 || degraded_; }
+
+    /** The backing file was disabled by a failed append/fsync. */
+    bool degraded() const { return degraded_; }
+
+    /** Test hook: make the next append fail as if the disk were full
+     *  (exercises the ENOSPC degrade path without a full disk). */
+    void failNextWriteForTest();
 
     /**
      * Look up @p point by content; nullptr on miss. Counts into
@@ -86,7 +98,9 @@ class ResultCache
     /**
      * Append @p result under @p point's content key (fsync'd before
      * returning). No-op for quarantined results (retry semantics),
-     * uncacheable points, and keys already present. Thread-safe.
+     * uncacheable points, and keys already present. A failed append
+     * (ENOSPC/EIO) degrades the cache instead of dying — see the file
+     * comment. Thread-safe.
      */
     void insert(const GridPoint &point, const ExperimentResult &result);
 
@@ -103,9 +117,15 @@ class ResultCache
     void close();
 
   private:
+    /** Append @p bytes + fsync; on failure warn once, close the file
+     *  and enter the degraded state. Caller holds mutex_. */
+    bool tryAppend(const std::string &bytes);
+
     mutable std::mutex mutex_;
     std::string path_;
     int fd_ = -1;
+    bool degraded_ = false;
+    bool failNextWrite_ = false;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t inserts_ = 0;

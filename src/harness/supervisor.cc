@@ -1032,21 +1032,63 @@ Journal::open(const std::string &path, bool resume,
 }
 
 void
+Journal::failNextWriteForTest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    failNextWrite_ = true;
+}
+
+void
 Journal::record(std::size_t gridIndex, const ExperimentResult &result)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    ACR_ASSERT(fd_ >= 0, "journal not open");
+    ACR_ASSERT(isOpen(), "journal not open");
+    if (fd_ < 0)
+        return;  // degraded: the sweep outlives its journal
     const std::string line =
         (result.failed
              ? wire::encodeFailedLine({gridIndex, result.attempts,
                                        result.failReason})
              : wire::encodeResultLine({gridIndex, result})) +
         "\n";
-    writeAllFd(fd_, line, "journal");
-    while (::fsync(fd_) < 0) {
-        if (errno != EINTR)
-            fatal("fsync journal '%s': %s", path_.c_str(),
-                  std::strerror(errno));
+
+    // An append that hits ENOSPC/EIO (or a failed fsync) must degrade
+    // — one warning, journaling off, the sweep keeps running — never
+    // take down a multi-hour run over its completion log.
+    int error = 0;
+    if (failNextWrite_) {
+        // Injected failure: behave exactly as if write(2) returned
+        // ENOSPC, so tests drive the same degrade the real disk would.
+        failNextWrite_ = false;
+        error = ENOSPC;
+    } else {
+        std::size_t off = 0;
+        while (off < line.size()) {
+            const ssize_t n = ::write(fd_, line.data() + off,
+                                      line.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                error = errno;
+                break;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        while (error == 0 && ::fsync(fd_) < 0) {
+            if (errno != EINTR) {
+                error = errno;
+                break;
+            }
+        }
+    }
+    if (error != 0) {
+        warn("journal '%s': append failed (%s); journaling disabled — "
+             "the sweep continues but cannot resume past this point",
+             path_.c_str(), std::strerror(error));
+        ::close(fd_);
+        fd_ = -1;
+        degraded_ = true;
+        return;
     }
     ++appended_;
 }
@@ -1058,6 +1100,7 @@ Journal::close()
         ::close(fd_);
         fd_ = -1;
     }
+    degraded_ = false;
 }
 
 } // namespace acr::harness

@@ -192,14 +192,24 @@ class Journal
         return entries_;
     }
 
-    /** True after open(). */
-    bool isOpen() const { return fd_ >= 0; }
+    /** True after open() — including after a write-failure degrade
+     *  (loaded entries are still served; only appends stopped). */
+    bool isOpen() const { return fd_ >= 0 || degraded_; }
+
+    /** The backing file was disabled by a failed append/fsync. */
+    bool degraded() const { return degraded_; }
+
+    /** Test hook: make the next append fail as if the disk were full
+     *  (exercises the ENOSPC degrade path without a full disk). */
+    void failNextWriteForTest();
 
     /**
      * Append one completed point (fsync'd before returning), as a
      * `result` record — or a `failed` record when
      * @p result.failed. Thread-safe: in-process sweeps append from
-     * worker threads.
+     * worker threads. A failed append (ENOSPC, EIO) disables the
+     * journal with a one-line warning instead of killing the sweep:
+     * the run completes, it just cannot be resumed past this point.
      */
     void record(std::size_t gridIndex, const ExperimentResult &result);
 
@@ -212,6 +222,8 @@ class Journal
     std::mutex mutex_;
     std::string path_;
     int fd_ = -1;
+    bool degraded_ = false;
+    bool failNextWrite_ = false;
     std::uint64_t appended_ = 0;
     std::map<std::size_t, ExperimentResult> entries_;
 };

@@ -174,7 +174,9 @@ encodeConfig(const ExperimentConfig &config)
         .set("seed", config.seed)
         .set("verifyFinalState", config.verifyFinalState)
         .set("oracle", config.oracle)
-        .set("faultEventMask", config.faultEventMask);
+        .set("faultEventMask", config.faultEventMask)
+        .set("storageErrors", config.storageErrors)
+        .set("storageFaultMask", config.storageFaultMask);
     return json;
 }
 
@@ -207,6 +209,9 @@ decodeConfig(const Json &json)
     config.verifyFinalState = reader.requireBool("verifyFinalState");
     config.oracle = reader.requireBool("oracle");
     config.faultEventMask = reader.requireUint("faultEventMask");
+    config.storageErrors =
+        asUnsigned(reader.require("storageErrors"), "storageErrors");
+    config.storageFaultMask = reader.requireUint("storageFaultMask");
     config.trace = nullptr;
     reader.finish();
     return config;
@@ -252,6 +257,8 @@ encodeResult(const ExperimentResult &result)
         .set("oracleReport", result.oracleReport)
         .set("ckptBytesStored", result.ckptBytesStored)
         .set("ckptBytesOmitted", result.ckptBytesOmitted)
+        .set("unrecoverable", result.unrecoverable)
+        .set("unrecoverableDetail", result.unrecoverableDetail)
         .set("stats", encodeStats(result.stats))
         .set("history", std::move(history));
     return json;
@@ -272,6 +279,9 @@ decodeResult(const Json &json)
     result.oracleReport = reader.requireString("oracleReport");
     result.ckptBytesStored = reader.requireUint("ckptBytesStored");
     result.ckptBytesOmitted = reader.requireUint("ckptBytesOmitted");
+    result.unrecoverable = reader.requireBool("unrecoverable");
+    result.unrecoverableDetail =
+        reader.requireString("unrecoverableDetail");
     result.stats = decodeStats(reader.require("stats"));
     for (const auto &interval : reader.require("history").items())
         result.history.push_back(decodeInterval(interval));

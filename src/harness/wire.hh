@@ -45,8 +45,13 @@ namespace wire
  *  v4: config gained `backend` (pluggable checkpoint stores), so
  *      ResultCache keys and shard grids distinguish backends.
  *  v5: added the `hello` record type (the distributed sweep's strict
- *      TCP handshake, harness/net.hh). */
-inline constexpr std::uint64_t kVersion = 5;
+ *      TCP handshake, harness/net.hh).
+ *  v6: config gained `storageErrors` + `storageFaultMask` (checkpoint-
+ *      medium fault injection), result gained `unrecoverable` +
+ *      `unrecoverableDetail` (escalation-ladder exhaustion), so
+ *      ResultCache keys and shard grids distinguish storage-fault
+ *      campaigns. */
+inline constexpr std::uint64_t kVersion = 6;
 
 // --- Value encodings (no version envelope; record lines add it) ---
 

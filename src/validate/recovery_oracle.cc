@@ -112,6 +112,7 @@ divergenceKindName(DivergenceKind kind)
     case DivergenceKind::kPinning: return "pinning";
     case DivergenceKind::kGoldenState: return "golden-state";
     case DivergenceKind::kFinalImage: return "final-image";
+    case DivergenceKind::kEscalation: return "escalation";
     }
     return "unknown";
 }
@@ -372,6 +373,55 @@ RecoveryOracle::afterRecovery(const ckpt::CheckpointManager &manager,
     ++recoveriesChecked_;
     stats_.add("oracle.recoveriesChecked");
     const cache::SharerMask affected = outcome.affected;
+
+    if (outcome.unrecoverable) {
+        // The ladder was exhausted: there is no restored state to
+        // validate, but the verdict itself must be consistent — a
+        // recovery may only be declared unrecoverable after the
+        // integrity layer actually detected damage (a corrupt stored
+        // read, or a torn establishment refused at target selection).
+        stats_.add("oracle.unrecoverableChecked");
+        if (stats_.get("ckpt.corruptReads") == 0 &&
+            stats_.get("ckpt.tornRefusals") == 0) {
+            Divergence d;
+            d.kind = DivergenceKind::kEscalation;
+            d.recovery = recoveriesChecked_;
+            d.detail = "unrecoverable outcome without any detected "
+                       "corrupt read or torn establishment";
+            addDivergence(std::move(d));
+        }
+        captureValid_ = false;
+        lastRestoredOnPath_ = false;
+        return;
+    }
+
+    if (outcome.replicaSwitches > 0 || outcome.retargets > 0) {
+        // An escalated recovery gets the full differential validation
+        // below (the log-derived memory expectation and arch snapshots
+        // are target-relative, so the bit-exactness check holds for
+        // whichever rung finally served) plus rung-consistency checks.
+        stats_.add("oracle.escalatedChecked");
+        if (manager.store().tornEstablishment(outcome.targetIndex)) {
+            Divergence d;
+            d.kind = DivergenceKind::kEscalation;
+            d.recovery = recoveriesChecked_;
+            d.ckptIndex = outcome.targetIndex;
+            d.detail = "rollback committed to a checkpoint whose "
+                       "establishment tore";
+            addDivergence(std::move(d));
+        }
+        if (outcome.replicaSwitches > 0 &&
+            manager.store().backend() != ckpt::Backend::kReplicated) {
+            Divergence d;
+            d.kind = DivergenceKind::kEscalation;
+            d.recovery = recoveriesChecked_;
+            d.ckptIndex = outcome.targetIndex;
+            d.detail = csprintf(
+                "%u replica switch(es) on single-copy backend %s",
+                outcome.replicaSwitches, manager.store().name());
+            addDivergence(std::move(d));
+        }
+    }
 
     const Snapshot *snap = nullptr;
     auto found = snapshots_.find(outcome.targetIndex);

@@ -53,6 +53,11 @@ enum class DivergenceKind
     kPinning,      ///< pinned SliceInstance died while its log lives
     kGoldenState,  ///< on-path establishment != golden fault-free replay
     kFinalImage,   ///< final memory image != error-free reference
+    kEscalation,   ///< escalation-ladder outcome inconsistent with the
+                   ///< medium's state (DESIGN.md §16): an unrecoverable
+                   ///< verdict without a detected corrupt read, a torn
+                   ///< checkpoint accepted as a target, or replica
+                   ///< switches on a single-copy backend
 };
 
 const char *divergenceKindName(DivergenceKind kind);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "ckpt/manager.hh"
+#include "fault/storage_fault.hh"
 #include "isa/builder.hh"
 #include "sim/system.hh"
 
@@ -480,6 +481,157 @@ TEST_P(BackendConformance, AmnesicSupportMatchesTheRecoveryPath)
     // (kReplicated) must refuse omission; the log-shaped media accept.
     EXPECT_EQ(rig.manager.store().supportsAmnesic(),
               GetParam() != Backend::kReplicated);
+}
+
+// ---------------------------------------------------------------------
+// Storage-fault conformance (DESIGN.md §16): every backend must detect
+// a corrupted stored datum on read — never serve wrong bytes silently —
+// and then escalate to its documented rung: replica retry on
+// kReplicated, older-checkpoint retarget for arch corruption on the
+// single-copy media, torn-establishment refusal at target selection,
+// and a structured unrecoverable outcome once the ladder is exhausted.
+// ---------------------------------------------------------------------
+
+/** One hand-built storage-fault event (ordinal 0, full mask). */
+fault::StorageFaultPlan
+oneEvent(std::uint64_t ckpt_index, fault::StorageFaultKind kind,
+         Word xor_mask = 0x40, std::uint64_t pick = 0)
+{
+    fault::StorageFaultPlan plan;
+    plan.events.push_back({ckpt_index, kind, xor_mask, pick, 0});
+    return plan;
+}
+
+TEST_P(BackendConformance, CorruptStoredRecordIsDetectedOnRestore)
+{
+    Rig rig(Coordination::kGlobal, 8, 32, GetParam());
+    auto initial_image = rig.system.memory().image();
+
+    // The flip lands on a record stored by establishment #1. The
+    // error predates that establishment, so ckpt 1 is suspect
+    // (Fig. 2), the rollback targets ckpt 0, and the restore must
+    // read ckpt 1's stored log — through the corrupted copy.
+    auto plan = oneEvent(1, fault::StorageFaultKind::kRecordFlip);
+    fault::StorageFaultInjector faults(plan, rig.stats);
+    rig.manager.setStorageFaults(&faults);
+
+    rig.runUntilProgress(300);
+    Cycle error_time = rig.system.maxCycle();
+    rig.runUntilProgress(rig.system.progress() + 100);
+    rig.manager.establish();  // ckpt 1: the fault arms here
+    rig.runUntilProgress(rig.system.progress() + 200);
+
+    auto outcome =
+        rig.manager.recover(0, error_time, rig.system.maxCycle());
+    EXPECT_GE(rig.stats.get("ckpt.corruptReads"), 1.0)
+        << "the flipped stored record must be detected, not served";
+    EXPECT_GT(rig.stats.get("ckpt.integrityChecks"), 0.0);
+
+    if (GetParam() == Backend::kReplicated) {
+        // Rung 1: the clean replica heals the read; recovery is
+        // bit-exact as if the medium had never failed.
+        EXPECT_FALSE(outcome.unrecoverable);
+        EXPECT_GT(outcome.replicaSwitches, 0u);
+        EXPECT_GT(rig.stats.get("rec.replicaSwitches"), 0.0);
+        EXPECT_EQ(outcome.targetIndex, 0u);
+        EXPECT_EQ(rig.system.memory().image(), initial_image);
+    } else {
+        // Single-copy media: a corrupt stored record composes into
+        // every older restore path (records apply by prefix), so the
+        // ladder is exhausted — a structured verdict, not an abort
+        // and never silent wrong data.
+        EXPECT_TRUE(outcome.unrecoverable);
+        EXPECT_NE(outcome.failureDetail.find("unreadable"),
+                  std::string::npos)
+            << outcome.failureDetail;
+        EXPECT_DOUBLE_EQ(rig.stats.get("rec.unrecoverable"), 1.0);
+    }
+}
+
+TEST_P(BackendConformance, TornEstablishmentIsRefusedAsATarget)
+{
+    Rig rig(Coordination::kGlobal, 8, 32, GetParam());
+    auto initial_image = rig.system.memory().image();
+
+    auto plan = oneEvent(1, fault::StorageFaultKind::kTornGroup);
+    fault::StorageFaultInjector faults(plan, rig.stats);
+    rig.manager.setStorageFaults(&faults);
+
+    rig.runUntilProgress(300);
+    rig.manager.establish();  // ckpt 1 tears mid-establishment
+    rig.runUntilProgress(rig.system.progress() + 200);
+
+    // The error postdates ckpt 1, so ckpt 1 would be the preferred
+    // target — but its establishment tore, so target selection must
+    // refuse it and fall back to ckpt 0.
+    Cycle now = rig.system.maxCycle();
+    auto outcome = rig.manager.recover(0, now, now);
+    EXPECT_FALSE(outcome.unrecoverable);
+    EXPECT_EQ(outcome.targetIndex, 0u)
+        << "the torn newest checkpoint must be refused";
+    EXPECT_GE(rig.stats.get("ckpt.tornRefusals"), 1.0);
+    EXPECT_EQ(rig.system.memory().image(), initial_image);
+}
+
+TEST_P(BackendConformance, CorruptArchStateEscalatesPerBackend)
+{
+    Rig rig(Coordination::kGlobal, 8, 32, GetParam());
+    auto initial_image = rig.system.memory().image();
+    auto plan = oneEvent(1, fault::StorageFaultKind::kArchFlip);
+    fault::StorageFaultInjector faults(plan, rig.stats);
+    rig.manager.setStorageFaults(&faults);
+
+    rig.runUntilProgress(300);
+    rig.manager.establish();  // ckpt 1: core 0's arch image flips
+    auto ckpt1_image = rig.system.memory().image();
+    rig.runUntilProgress(rig.system.progress() + 200);
+
+    // The error postdates ckpt 1: the rollback commits to ckpt 1 and
+    // only then finds its stored arch state corrupt.
+    Cycle now = rig.system.maxCycle();
+    auto outcome = rig.manager.recover(0, now, now);
+    EXPECT_FALSE(outcome.unrecoverable);
+    EXPECT_GE(rig.stats.get("ckpt.corruptReads"), 1.0);
+
+    if (GetParam() == Backend::kReplicated) {
+        // Rung 1: the clean replica serves the arch words.
+        EXPECT_GT(outcome.replicaSwitches, 0u);
+        EXPECT_EQ(outcome.retargets, 0u);
+        EXPECT_EQ(outcome.targetIndex, 1u);
+        EXPECT_EQ(rig.system.memory().image(), ckpt1_image);
+    } else {
+        // Rung 2: no second copy — the recovery restarts against the
+        // older retained checkpoint (the wider recompute window is
+        // the honest price of the narrower medium).
+        EXPECT_EQ(outcome.retargets, 1u);
+        EXPECT_DOUBLE_EQ(rig.stats.get("rec.retargets"), 1.0);
+        EXPECT_EQ(outcome.targetIndex, 0u);
+        EXPECT_EQ(rig.system.memory().image(), initial_image);
+    }
+}
+
+TEST(StorageFaultKinds, MatchEachMediumsFailureModes)
+{
+    using fault::StorageFaultKind;
+    for (Backend backend : allBackends()) {
+        const auto kinds = storageFaultKinds(backend);
+        const auto has = [&](StorageFaultKind kind) {
+            for (StorageFaultKind k : kinds)
+                if (k == kind)
+                    return true;
+            return false;
+        };
+        // Every medium can flip stored bits or tear an establishment.
+        EXPECT_TRUE(has(StorageFaultKind::kRecordFlip));
+        EXPECT_TRUE(has(StorageFaultKind::kArchFlip));
+        EXPECT_TRUE(has(StorageFaultKind::kTornGroup));
+        // Replica loss only exists where replicas do; uncorrectable
+        // media reads are the NVM failure mode.
+        EXPECT_EQ(has(StorageFaultKind::kReplicaLoss),
+                  backend == Backend::kReplicated);
+        EXPECT_EQ(has(StorageFaultKind::kUncorrectableRead),
+                  backend == Backend::kNvm);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,8 +8,9 @@
 # fails here with the exact command line to rerun by hand.
 #
 # Repro format: `flags=<torture args>` and `expect=<verdict>` lines,
-# where verdict is clean (exit 0), quarantine (exit 3), or divergence
-# (exit 4) per src/harness/exit_code.hh; an optional
+# where verdict is clean (exit 0), quarantine (exit 3), divergence
+# (exit 4), or unrecoverable (exit 5, storage faults defeated every
+# escalation rung) per src/harness/exit_code.hh; an optional
 # `stderr_match=<substring>` pins the diagnostic. The extra verdict
 # `abort` pins a run that dies on an engine assertion (oracle-off
 # configurations keep the manager's hard recomputation assert): any
@@ -61,6 +62,8 @@ foreach(repro IN LISTS repros)
         set(expect_exit 3)
     elseif(expect STREQUAL "divergence")
         set(expect_exit 4)
+    elseif(expect STREQUAL "unrecoverable")
+        set(expect_exit 5)
     elseif(expect STREQUAL "abort")
         # Engine assertion: the process dies abnormally (a signal, which
         # execute_process reports as a message string, or a nonzero
@@ -74,7 +77,7 @@ foreach(repro IN LISTS repros)
     else()
         message(FATAL_ERROR
                 "${repro}: unknown verdict '${expect}' (want clean, "
-                "quarantine, divergence, or abort)")
+                "quarantine, divergence, unrecoverable, or abort)")
     endif()
 
     separate_arguments(args UNIX_COMMAND "${flags}")
@@ -84,7 +87,8 @@ foreach(repro IN LISTS repros)
         ERROR_FILE "${OUT}/${name}.stderr"
         RESULT_VARIABLE status)
     if(expect STREQUAL "abort")
-        if(status EQUAL 0 OR status EQUAL 3 OR status EQUAL 4)
+        if(status EQUAL 0 OR status EQUAL 3 OR status EQUAL 4 OR
+           status EQUAL 5)
             file(READ "${OUT}/${name}.stderr" stderr)
             message(FATAL_ERROR
                     "${name}: expected an engine abort, got a normal "

@@ -2,7 +2,8 @@
  * @file
  * Exit-code precedence (harness/exit_code.hh): the single combiner the
  * bench front-ends use must order verdicts clean < quarantine <
- * divergence regardless of argument order, be associative (so folding
+ * divergence < unrecoverable regardless of argument order, be
+ * associative (so folding
  * over any number of verdicts is well-defined), and reject codes that
  * are not combinable verdicts.
  */
@@ -18,7 +19,8 @@ namespace
 
 TEST(ExitCode, EveryPairCombinesToTheMoreSevere)
 {
-    const int codes[] = {kExitClean, kExitQuarantine, kExitDivergence};
+    const int codes[] = {kExitClean, kExitQuarantine, kExitDivergence,
+                         kExitUnrecoverable};
     for (int a : codes) {
         for (int b : codes) {
             const int combined = combineExitCodes(a, b);
@@ -42,11 +44,18 @@ TEST(ExitCode, PrecedenceChain)
               kExitDivergence);
     EXPECT_EQ(combineExitCodes(kExitQuarantine, kExitDivergence),
               kExitDivergence);
+    EXPECT_EQ(combineExitCodes(kExitClean, kExitUnrecoverable),
+              kExitUnrecoverable);
+    EXPECT_EQ(combineExitCodes(kExitQuarantine, kExitUnrecoverable),
+              kExitUnrecoverable);
+    EXPECT_EQ(combineExitCodes(kExitDivergence, kExitUnrecoverable),
+              kExitUnrecoverable);
 }
 
 TEST(ExitCode, AssociativeOverFolds)
 {
-    const int codes[] = {kExitClean, kExitQuarantine, kExitDivergence};
+    const int codes[] = {kExitClean, kExitQuarantine, kExitDivergence,
+                         kExitUnrecoverable};
     for (int a : codes)
         for (int b : codes)
             for (int c : codes)

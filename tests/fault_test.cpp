@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "fault/injector.hh"
+#include "fault/storage_fault.hh"
 #include "isa/builder.hh"
 
 namespace acr::fault
@@ -394,6 +395,104 @@ TEST(Injector, OnRecoveryRequeuesErrorsTheRollbackErased)
                         system.maxCycle() + 1000000);
     EXPECT_EQ(injector.requeued(), 1u);
     EXPECT_EQ(injector.latentCount(), 1u);
+}
+
+TEST(StorageFaultPlan, UniformIsSeedDeterministicAndInRange)
+{
+    const std::vector<StorageFaultKind> kinds = {
+        StorageFaultKind::kRecordFlip, StorageFaultKind::kArchFlip,
+        StorageFaultKind::kTornGroup};
+    auto a = StorageFaultPlan::uniform(6, 5, kinds, 42);
+    auto b = StorageFaultPlan::uniform(6, 5, kinds, 42);
+    auto c = StorageFaultPlan::uniform(6, 5, kinds, 43);
+
+    ASSERT_EQ(a.events.size(), 6u);
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        // Pure function of its arguments: same seed, same plan.
+        EXPECT_EQ(a.events[i].ckptIndex, b.events[i].ckptIndex);
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].xorMask, b.events[i].xorMask);
+        EXPECT_EQ(a.events[i].pick, b.events[i].pick);
+        EXPECT_EQ(a.events[i].ordinal, i);
+        // Every event lands on a real establishment ordinal (1-based)
+        // with a usable flip mask.
+        EXPECT_GE(a.events[i].ckptIndex, 1u);
+        EXPECT_LE(a.events[i].ckptIndex, 5u);
+        EXPECT_NE(a.events[i].xorMask, 0u);
+        // Ordinals spread monotonically, like FaultPlan's triggers.
+        if (i > 0)
+            EXPECT_GE(a.events[i].ckptIndex,
+                      a.events[i - 1].ckptIndex);
+    }
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.events.size(); ++i)
+        any_diff = any_diff || a.events[i].xorMask != c.events[i].xorMask
+                   || a.events[i].kind != c.events[i].kind;
+    EXPECT_TRUE(any_diff) << "a different seed draws a different plan";
+}
+
+TEST(StorageFaultPlan, KindsDrawOnlyFromTheMediumsFailureModes)
+{
+    const std::vector<StorageFaultKind> kinds = {
+        StorageFaultKind::kTornGroup};
+    auto plan = StorageFaultPlan::uniform(8, 4, kinds, 7);
+    for (const auto &event : plan.events)
+        EXPECT_EQ(event.kind, StorageFaultKind::kTornGroup);
+}
+
+TEST(StorageFaultPlan, MaskedProjectsEventsByOrdinal)
+{
+    const std::vector<StorageFaultKind> kinds = {
+        StorageFaultKind::kRecordFlip, StorageFaultKind::kArchFlip};
+    auto plan = StorageFaultPlan::uniform(4, 5, kinds, 9);
+
+    auto all = plan.masked(~std::uint64_t{0});
+    ASSERT_EQ(all.events.size(), 4u);
+
+    auto middle = plan.masked(0b0110);
+    ASSERT_EQ(middle.events.size(), 2u);
+    EXPECT_EQ(middle.events[0].ckptIndex, plan.events[1].ckptIndex);
+    EXPECT_EQ(middle.events[0].xorMask, plan.events[1].xorMask);
+    EXPECT_EQ(middle.events[0].pick, plan.events[1].pick);
+    // Ordinals survive projection: the shrunk storage repro replays
+    // the same (ordinal, target, mask) tuples as the full campaign.
+    EXPECT_EQ(middle.events[0].ordinal, 1u);
+    EXPECT_EQ(middle.events[1].ordinal, 2u);
+
+    // Masking composes like set intersection.
+    auto one = middle.masked(0b0100);
+    ASSERT_EQ(one.events.size(), 1u);
+    EXPECT_EQ(one.events[0].ordinal, 2u);
+}
+
+TEST(StorageFaultInjector, DealsEventsByEstablishmentOrdinal)
+{
+    const std::vector<StorageFaultKind> kinds = {
+        StorageFaultKind::kRecordFlip};
+    auto plan = StorageFaultPlan::uniform(4, 2, kinds, 11);
+    StatSet stats;
+    StorageFaultInjector injector(plan, stats);
+    EXPECT_EQ(injector.planned(), 4u);
+    EXPECT_EQ(injector.pending(), 4u);
+
+    // takeDue consumes exactly the events keyed to that ordinal; an
+    // ordinal with no events yields nothing, and dealing is one-shot.
+    std::size_t dealt = 0;
+    for (std::uint64_t index = 1; index <= 2; ++index) {
+        const auto due = injector.takeDue(index);
+        for (const auto &event : due) {
+            EXPECT_EQ(event.ckptIndex, index);
+            ++dealt;
+        }
+        EXPECT_TRUE(injector.takeDue(index).empty());
+    }
+    EXPECT_EQ(dealt, 4u);
+    EXPECT_EQ(injector.pending(), 0u);
+
+    injector.noteInjected();
+    injector.noteDropped();
+    EXPECT_DOUBLE_EQ(stats.get("storage.injected"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("storage.dropped"), 1.0);
 }
 
 } // namespace

@@ -304,6 +304,48 @@ TEST(ResultCacheTest, StaleWireVersionStartsCold)
     std::remove(path.c_str());
 }
 
+TEST(ResultCacheTest, WriteFailureDegradesInsteadOfDying)
+{
+    const auto grid = tinyGrid();
+    const auto path = cachePath("enospc");
+    std::remove(path.c_str());
+
+    {
+        ResultCache cache;
+        cache.open(path);
+        cache.insert(grid[0], fakeResult(100));
+        const auto durable_bytes = readFile(path).size();
+
+        // The next append hits (injected) ENOSPC: the cache must warn
+        // and degrade, not fatal() — a full disk may not kill a sweep.
+        cache.failNextWriteForTest();
+        cache.insert(grid[1], fakeResult(200));
+        EXPECT_TRUE(cache.degraded());
+        EXPECT_TRUE(cache.isOpen());
+        EXPECT_EQ(cache.inserts(), 1u);  // only the durable one
+        EXPECT_EQ(readFile(path).size(), durable_bytes);
+
+        // Loaded/previous entries still serve, and the failed insert
+        // still deduplicates in memory for this process.
+        EXPECT_NE(cache.find(grid[0]), nullptr);
+        EXPECT_NE(cache.find(grid[1]), nullptr);
+
+        // Further inserts are silent no-ops on disk, not crashes.
+        cache.insert(grid[2], fakeResult(300));
+        EXPECT_EQ(cache.inserts(), 1u);
+        EXPECT_EQ(readFile(path).size(), durable_bytes);
+    }
+
+    // The on-disk file holds exactly the entries appended before the
+    // failure — a clean durable prefix a later run can still load.
+    ResultCache reloaded;
+    reloaded.open(path);
+    EXPECT_EQ(reloaded.size(), 1u);
+    EXPECT_NE(reloaded.find(grid[0]), nullptr);
+    EXPECT_EQ(reloaded.find(grid[1]), nullptr);
+    std::remove(path.c_str());
+}
+
 TEST(ResultCacheTest, GarbageHeaderStartsCold)
 {
     const auto grid = tinyGrid();

@@ -179,6 +179,40 @@ TEST(JournalTest, FreshThenResumeServesRecordedResults)
     std::remove(path.c_str());
 }
 
+TEST(JournalTest, WriteFailureDegradesInsteadOfDying)
+{
+    const auto grid = tinyGrid();
+    const auto path = journalPath("enospc");
+
+    {
+        Journal journal;
+        journal.open(path, false, "bench", 0, 1, grid);
+        journal.record(0, fakeResult(100));
+
+        // The next append hits (injected) ENOSPC: the journal must
+        // warn and degrade, not fatal() — a full disk may disable
+        // resumability but never kill the sweep itself.
+        journal.failNextWriteForTest();
+        journal.record(1, fakeResult(200));
+        EXPECT_TRUE(journal.degraded());
+        EXPECT_TRUE(journal.isOpen());
+        EXPECT_EQ(journal.appended(), 1u);  // only the durable one
+
+        // Further records are silent no-ops, not crashes.
+        journal.record(2, fakeResult(300));
+        EXPECT_EQ(journal.appended(), 1u);
+    }
+
+    // The file holds exactly the records appended before the failure:
+    // a clean durable prefix a --resume can still load (the lost
+    // points simply rerun).
+    Journal reloaded;
+    reloaded.open(path, true, "bench", 0, 1, grid);
+    ASSERT_EQ(reloaded.entries().size(), 1u);
+    EXPECT_EQ(dump(reloaded.entries().at(0)), dump(fakeResult(100)));
+    std::remove(path.c_str());
+}
+
 TEST(JournalTest, WithoutResumeTruncatesExistingJournal)
 {
     const auto grid = tinyGrid();

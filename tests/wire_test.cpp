@@ -47,10 +47,16 @@ randomConfig(std::mt19937_64 &rng)
     config.oracle = config.mode != BerMode::kNoCkpt && pick(2) == 0;
     config.faultEventMask = pick(2) == 0 ? ~std::uint64_t{0} : rng() | 1;
     // NoCkpt stores nothing, so only checkpointing modes vary the
-    // backend (matches ExperimentConfig::validate()).
+    // backend or take storage faults (matches
+    // ExperimentConfig::validate()).
     config.backend = config.mode == BerMode::kNoCkpt
                          ? ckpt::Backend::kLog
                          : static_cast<ckpt::Backend>(pick(3));
+    config.storageErrors = config.mode == BerMode::kNoCkpt
+                               ? 0
+                               : static_cast<unsigned>(pick(5));
+    config.storageFaultMask =
+        pick(2) == 0 ? ~std::uint64_t{0} : rng() | 1;
     return config;
 }
 
@@ -69,6 +75,10 @@ randomResult(std::mt19937_64 &rng)
     if (result.oracleDivergences > 0)
         result.oracleReport =
             "[oracle] memory-word recovery=1 addr=42 expected=7 actual=9";
+    result.unrecoverable = pick(4) == 0;
+    if (result.unrecoverable)
+        result.unrecoverableDetail =
+            "no intact rollback target for the affected cores";
     result.ckptBytesStored = rng();
     result.ckptBytesOmitted = rng();
     result.stats.set("ckpt.logRecords", pick(1u << 20));
@@ -108,6 +118,8 @@ expectConfigEqual(const ExperimentConfig &a, const ExperimentConfig &b)
     EXPECT_EQ(a.oracle, b.oracle);
     EXPECT_EQ(a.faultEventMask, b.faultEventMask);
     EXPECT_EQ(a.backend, b.backend);
+    EXPECT_EQ(a.storageErrors, b.storageErrors);
+    EXPECT_EQ(a.storageFaultMask, b.storageFaultMask);
     EXPECT_EQ(b.trace, nullptr);
 }
 
@@ -181,6 +193,9 @@ TEST(WireResult, RoundTripProperty)
         EXPECT_EQ(result.checkpointsEstablished,
                   decoded.checkpointsEstablished);
         EXPECT_EQ(result.recoveries, decoded.recoveries);
+        EXPECT_EQ(result.unrecoverable, decoded.unrecoverable);
+        EXPECT_EQ(result.unrecoverableDetail,
+                  decoded.unrecoverableDetail);
         EXPECT_EQ(result.ckptBytesStored, decoded.ckptBytesStored);
         EXPECT_EQ(result.ckptBytesOmitted, decoded.ckptBytesOmitted);
         EXPECT_EQ(result.stats.all(), decoded.stats.all());
@@ -372,6 +387,16 @@ TEST(ConfigValidate, NamesTheOffendingField)
     config.mode = BerMode::kNoCkpt;
     config.backend = ckpt::Backend::kNvm;
     expectNames(config, "backend");
+
+    config = {};
+    config.mode = BerMode::kNoCkpt;
+    config.storageErrors = 2;
+    expectNames(config, "storageErrors");
+
+    config = {};
+    config.storageErrors = 2;
+    config.storageFaultMask = 0;
+    expectNames(config, "storageFaultMask");
 }
 
 TEST(ConfigValidate, RunnerRejectsInvalidConfigs)
